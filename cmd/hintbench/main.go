@@ -1,0 +1,66 @@
+// Command hintbench regenerates the paper's tables and figures. Each
+// experiment prints the rows/series the paper reports plus automated
+// shape checks (who wins, by roughly what factor, where crossovers
+// fall).
+//
+// Usage:
+//
+//	hintbench -list
+//	hintbench [-scale 1.0] [-seed 42] all
+//	hintbench [-scale 1.0] [-seed 42] fig3-5 table5-1 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper scale, smaller = faster)")
+	seed := flag.Int64("seed", 42, "random seed for deterministic runs")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hintbench [-scale S] [-seed N] all | <experiment-id>...")
+		fmt.Fprintln(os.Stderr, "run 'hintbench -list' for experiment ids")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	var runners []experiments.Runner
+	if len(ids) == 1 && ids[0] == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range ids {
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		rep := r.Run(cfg)
+		fmt.Println(rep)
+		failed += len(rep.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,198 @@
+// Command hintnode demonstrates the Hint Protocol over real sockets: two
+// processes exchange 802.11-style frames over UDP, one acting as a
+// mobile client whose movement hint (derived live from a synthetic
+// accelerometer via the §2.2.1 jerk algorithm) rides on its data frames,
+// the other as an access point that switches its rate adaptation
+// strategy on the received hints.
+//
+// Run the AP, then the client:
+//
+//	hintnode -listen 127.0.0.1:9999
+//	hintnode -connect 127.0.0.1:9999 -duration 10s
+//
+// Or run both in one process for a self-contained demo:
+//
+//	hintnode -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/hintproto"
+	"repro/internal/hints"
+	"repro/internal/rate"
+	"repro/internal/sensors"
+)
+
+func main() {
+	listen := flag.String("listen", "", "run as AP, listening on this UDP address")
+	connect := flag.String("connect", "", "run as client, sending to this UDP address")
+	duration := flag.Duration("duration", 10*time.Second, "client run length")
+	demo := flag.Bool("demo", false, "run AP and client in one process")
+	flag.Parse()
+
+	switch {
+	case *demo:
+		addr := "127.0.0.1:0"
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go runAP(pc)
+		runClient(pc.LocalAddr().String(), *duration)
+	case *listen != "":
+		pc, err := net.ListenPacket("udp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("AP listening on", pc.LocalAddr())
+		runAP(pc)
+	case *connect != "":
+		runClient(*connect, *duration)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hintnode -demo | -listen addr | -connect addr")
+		os.Exit(2)
+	}
+}
+
+// runAP receives frames, ingests their hints into a hint bus, and drives
+// a hint-aware rate adapter, ACKing every data frame (with the AP's own
+// movement bit — here always clear, the AP is static).
+func runAP(pc net.PacketConn) {
+	bus := core.NewBus()
+	adapter := rate.NewHintAware(1)
+	apAddr := dot11.AddrFromInt(1)
+	start := time.Now()
+
+	// Strategy switches are logged as they happen.
+	bus.Subscribe(hintproto.HintMovement, func(ev core.Event) {
+		moving := ev.Hint.Value != 0
+		if adapter.Moving() != moving {
+			adapter.SetMoving(moving)
+			state := "static -> SampleRate"
+			if moving {
+				state = "moving -> RapidSample"
+			}
+			fmt.Printf("[ap] %6.2fs hint from %v: %s\n",
+				time.Since(start).Seconds(), ev.Source.Addr, state)
+		}
+	})
+
+	buf := make([]byte, 4096)
+	var frames, hintsSeen int
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		f, err := dot11.Unmarshal(buf[:n])
+		if err != nil {
+			fmt.Printf("[ap] dropping bad frame from %v: %v\n", from, err)
+			continue
+		}
+		frames++
+		hintsSeen += bus.IngestFrame(f, time.Since(start))
+		if f.Type == dot11.TypeData {
+			// Exercise the adapter as a real AP would per packet.
+			r := adapter.PickRate(time.Since(start))
+			adapter.Observe(rate.Feedback{At: time.Since(start), Rate: r, Acked: true, SNR: rate.NoSNR()})
+			ack := dot11.Ack(f, apAddr)
+			hintproto.SetMovementBit(ack, false)
+			b, err := ack.Marshal()
+			if err == nil {
+				if _, err := pc.WriteTo(b, from); err != nil {
+					return
+				}
+			}
+		}
+		if frames%200 == 0 {
+			fmt.Printf("[ap] %6.2fs %d frames, %d hints ingested\n",
+				time.Since(start).Seconds(), frames, hintsSeen)
+		}
+	}
+}
+
+// runClient streams data frames with a live movement hint derived from a
+// synthetic accelerometer: the device rests, walks, and rests again.
+func runClient(to string, total time.Duration) {
+	conn, err := net.Dial("udp", to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	clientAddr := dot11.AddrFromInt(2)
+	apAddr := dot11.AddrFromInt(1)
+
+	// Mobility ground truth: rest 1/4, walk 1/2, rest 1/4.
+	sched := sensors.Schedule{{Start: total / 4, End: 3 * total / 4, Mode: sensors.Walk}}
+	accel := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), time.Now().UnixNano())
+	samples := accel.Generate(sched, total)
+	det := hints.NewMovementDetector(hints.MovementConfig{})
+
+	// Drain ACKs in the background so the socket buffer stays empty.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var seq uint16
+	sampleIdx := 0
+	lastHint := false
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		elapsed := now.Sub(start)
+		if elapsed >= total {
+			break
+		}
+		// Feed all accelerometer reports due by now.
+		for sampleIdx < len(samples) && samples[sampleIdx].T <= elapsed {
+			det.Update(samples[sampleIdx])
+			sampleIdx++
+		}
+		moving := det.Moving()
+		if moving != lastHint {
+			fmt.Printf("[client] %6.2fs movement hint -> %v (truth: %v)\n",
+				elapsed.Seconds(), moving, sched.MovingAt(elapsed))
+			lastHint = moving
+		}
+		f := &dot11.Frame{Type: dot11.TypeData, Seq: seq, Src: clientAddr, Dst: apAddr,
+			Payload: []byte("sensor-hints demo payload")}
+		seq++
+		hintproto.SetMovementBit(f, moving)
+		if err := hintproto.AppendTrailer(f, []hintproto.Hint{
+			{Type: hintproto.HintMovement, Value: b2f(moving)},
+			{Type: hintproto.HintSpeed, Value: 1.4 * b2f(moving)},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		b, err := f.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := conn.Write(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("[client] sent %d frames over %v\n", seq, total)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+// Command tracegen generates synthetic channel fate traces in the format
+// the MAC simulator replays (gob-encoded trace.FateTrace), standing in
+// for the paper's real-world trace collection campaign.
+//
+// Usage:
+//
+//	tracegen -env office -mode mixed -duration 20s -seed 7 -o trace.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/sensors"
+)
+
+func main() {
+	envName := flag.String("env", "office", "environment: office, hallway, outdoor, vehicular")
+	mode := flag.String("mode", "mixed", "mobility: static, mobile, mixed")
+	duration := flag.Duration("duration", 20*time.Second, "trace length")
+	period := flag.Duration("period", 10*time.Second, "static/mobile alternation period for mixed mode")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var env channel.Environment
+	switch *envName {
+	case "office":
+		env = channel.Office
+	case "hallway":
+		env = channel.Hallway
+	case "outdoor":
+		env = channel.Outdoor
+	case "vehicular":
+		env = channel.Vehicular
+	default:
+		fmt.Fprintf(os.Stderr, "unknown environment %q\n", *envName)
+		os.Exit(2)
+	}
+
+	moveMode := sensors.Walk
+	if *envName == "vehicular" {
+		moveMode = sensors.Vehicle
+	}
+	var sched sensors.Schedule
+	switch *mode {
+	case "static":
+		sched = sensors.Schedule{{Start: 0, End: *duration, Mode: sensors.Static}}
+	case "mobile":
+		sched = sensors.Schedule{{Start: 0, End: *duration, Mode: moveMode}}
+	case "mixed":
+		sched = sensors.AlternatingSchedule(*duration, *period, moveMode, false)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	tr := channel.Generate(channel.Config{Env: env, Sched: sched, Total: *duration, Seed: *seed})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Encode(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s/%s trace: %d slots, %v\n", tr.Env, tr.Mode, len(tr.Slots), tr.Duration())
+}

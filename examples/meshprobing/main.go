@@ -1,0 +1,56 @@
+// Topology maintenance with hint-adaptive probing (Chapter 4): a mesh
+// node estimates the delivery probability of a link whose other end
+// alternates between resting and walking. Fixed 1 probe/s is cheap but
+// lags badly while the neighbour moves; fixed 10 probes/s is accurate
+// but spends 10x the bandwidth. The hint-adaptive scheduler gets the
+// accuracy of fast probing at a fraction of the cost.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	sensorhints "repro"
+)
+
+func main() {
+	const total = 60 * time.Second
+	sched := sensorhints.AlternatingSchedule(total, 10*time.Second, sensorhints.Walk, false)
+
+	// A marginal mesh-scale link: even 6 Mbps delivery fluctuates when
+	// the far end moves.
+	env := sensorhints.Office.WithBaseSNR(9)
+	env.WalkShadowSigma = 11
+	env.WalkShadowTau = 5 * time.Second
+	env.CoherenceTime = 5 * time.Second
+	tr := sensorhints.GenerateTrace(sensorhints.ChannelConfig{
+		Env: env, Sched: sched, Total: total, Seed: 3,
+	})
+
+	// The hint: the neighbour's movement bit arrives on its frames with
+	// ~100 ms detection latency.
+	hint := func(now time.Duration) bool { return tr.MovingAt(now - 100*time.Millisecond) }
+
+	schedulers := []sensorhints.ProbeScheduler{
+		&sensorhints.FixedProbing{PerSecond: 1},
+		&sensorhints.FixedProbing{PerSecond: 10},
+		&sensorhints.HintProbing{MovingFn: hint},
+	}
+	fmt.Printf("%-16s %10s %12s %12s\n", "scheduler", "probes", "mean |err|", "mobile |err|")
+	for _, s := range schedulers {
+		res := sensorhints.RunProbing(tr, s, 10, 11)
+		var mob, mobN, all float64
+		for _, smp := range res.Samples {
+			all += smp.Error()
+			if tr.MovingAt(smp.At) {
+				mob += smp.Error()
+				mobN++
+			}
+		}
+		fmt.Printf("%-16s %10d %12.3f %12.3f\n",
+			s.Name(), res.Probes, all/float64(len(res.Samples)), mob/mobN)
+	}
+	fmt.Println("\nhint-adaptive probing matches the fast prober's accuracy while")
+	fmt.Println("sending close to the slow prober's traffic (paper: a 20x gap in")
+	fmt.Println("the probing rate each regime needs)")
+}

@@ -1,0 +1,114 @@
+package sensorhints_test
+
+import (
+	"testing"
+	"time"
+
+	sensorhints "repro"
+)
+
+func TestQuickstartPipeline(t *testing.T) {
+	const total = 6 * time.Second
+	sched := sensorhints.Schedule{
+		{Start: 2 * time.Second, End: 4 * time.Second, Mode: sensorhints.Walk},
+	}
+	accel := sensorhints.NewAccelerometer(sensorhints.DefaultAccelConfig(), 1)
+	samples := accel.Generate(sched, total)
+	hintsOut := sensorhints.DetectMovement(samples)
+	if len(hintsOut) != len(samples) {
+		t.Fatal("hint series length mismatch")
+	}
+	lat := sensorhints.DetectionLatency(samples, 2*time.Second)
+	if lat < 0 || lat > 100*time.Millisecond {
+		t.Errorf("detection latency = %v, want ≤ 100 ms", lat)
+	}
+}
+
+func TestHintProtocolFacade(t *testing.T) {
+	f := &sensorhints.Frame{Payload: []byte("data")}
+	sensorhints.SetMovementBit(f, true)
+	if !sensorhints.MovementBit(f) {
+		t.Error("movement bit lost")
+	}
+	if err := sensorhints.AppendHints(f, []sensorhints.Hint{
+		{Type: sensorhints.HintHeading, Value: 90},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hs := sensorhints.ExtractHints(f)
+	if len(hs) != 2 { // movement bit + heading trailer
+		t.Errorf("extracted %d hints, want 2", len(hs))
+	}
+}
+
+func TestBusFacade(t *testing.T) {
+	bus := sensorhints.NewBus()
+	bus.PublishLocal(sensorhints.HintMovement, 1, 0)
+	if !bus.MovingLocal() {
+		t.Error("bus did not record the local hint")
+	}
+}
+
+func TestRateSimFacade(t *testing.T) {
+	total := 4 * time.Second
+	sched := sensorhints.AlternatingSchedule(total, time.Second, sensorhints.Walk, false)
+	tr := sensorhints.GenerateTrace(sensorhints.ChannelConfig{
+		Env: sensorhints.Office, Sched: sched, Total: total, Seed: 2,
+	})
+	res := sensorhints.RunRateSim(sensorhints.SimConfig{
+		Trace: tr, Adapter: sensorhints.NewHintAwareRate(1), Workload: sensorhints.UDP, Seed: 3,
+	})
+	if res.ThroughputMbps <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestProbingFacade(t *testing.T) {
+	total := 10 * time.Second
+	tr := sensorhints.GenerateTrace(sensorhints.ChannelConfig{
+		Env:   sensorhints.Office.WithBaseSNR(9),
+		Sched: sensorhints.Schedule{{Start: 0, End: total, Mode: sensorhints.Static}},
+		Total: total, Seed: 4,
+	})
+	res := sensorhints.RunProbing(tr, &sensorhints.FixedProbing{PerSecond: 5}, 10, 5)
+	if res.Probes == 0 {
+		t.Error("no probes sent")
+	}
+}
+
+func TestVehicularFacade(t *testing.T) {
+	sim := sensorhints.NewVehicleSim(sensorhints.DefaultVehicleMobility(1))
+	sim.Step()
+	if len(sim.Vehicles()) != 100 {
+		t.Errorf("%d vehicles", len(sim.Vehicles()))
+	}
+	if sensorhints.CTE(5) <= sensorhints.CTE(90) {
+		t.Error("CTE ordering broken")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := sensorhints.Experiments()
+	if len(exps) != 20 {
+		t.Errorf("%d experiments registered, want 20", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{
+		"fig2-2", "fig3-1", "fig3-5", "fig3-6", "fig3-7", "fig3-8",
+		"fig4-1", "fig4-2", "fig4-3", "fig4-4", "fig4-5", "fig4-6",
+		"sec4-2", "table5-1", "sec5-1", "fig5-1", "sec5-2", "sec5-3", "sec5-4", "sec5-6",
+	} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+	if _, ok := sensorhints.ExperimentByID("fig3-5"); !ok {
+		t.Error("ByID lookup failed")
+	}
+	if _, ok := sensorhints.ExperimentByID("nope"); ok {
+		t.Error("phantom experiment")
+	}
+}

@@ -1,0 +1,153 @@
+// Package ap implements the access-point policies of §5.2 and the
+// simulation behind Figure 5-1: adaptive association scoring, adaptive
+// packet scheduling between static and mobile clients, and adaptive
+// disassociation (pruning) of clients that move out of range.
+//
+// The Figure 5-1 pathology: a commercial AP keeps open-loop
+// retransmitting to a departed client for ~10 seconds before pruning it.
+// Because the departed client's rate adaptation has collapsed to the
+// lowest rate and the AP enforces frame-level fairness, the *remaining*
+// static client's throughput collapses too. A movement hint lets the AP
+// park the departing client instead.
+package ap
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sensors"
+)
+
+// AssociationScore predicts the association lifetime of a client from
+// its hints plus signal strength, per §5.2.1. It is a trained linear
+// scorer: signal strength sets the baseline; movement shortens the
+// expected lifetime; heading toward the AP lengthens it and heading away
+// shortens it; speed scales the heading effect.
+type AssociationScore struct {
+	// RSSWeight converts signal strength (dB above sensitivity) into
+	// score seconds (default 4 s/dB — stronger signal, longer useful
+	// association).
+	RSSWeight float64
+	// StaticBonus is added when the client reports it is not moving
+	// (default 120 s: static clients keep associations).
+	StaticBonus float64
+	// ApproachGain scales the effect of closing speed in s per m/s
+	// (default 15).
+	ApproachGain float64
+}
+
+// DefaultAssociationScore returns the trained weights used by the
+// examples and benches.
+func DefaultAssociationScore() AssociationScore {
+	return AssociationScore{RSSWeight: 4, StaticBonus: 120, ApproachGain: 15}
+}
+
+// ClientHints carries the §5.2.1 probe-request hints: movement, heading
+// and speed, plus the geometry the AP knows (bearing from client to AP).
+type ClientHints struct {
+	// Moving is the movement hint.
+	Moving bool
+	// HeadingDeg is the travel heading; meaningful only when Moving.
+	HeadingDeg float64
+	// SpeedMps is the speed hint; meaningful only when Moving.
+	SpeedMps float64
+	// BearingToAPDeg is the bearing from the client's position to the
+	// AP.
+	BearingToAPDeg float64
+	// RSSdB is the received signal strength above sensitivity.
+	RSSdB float64
+}
+
+// Score returns the predicted association lifetime in seconds.
+func (a AssociationScore) Score(h ClientHints) float64 {
+	s := a.RSSWeight * h.RSSdB
+	if !h.Moving {
+		return s + a.StaticBonus
+	}
+	// Closing speed: positive when heading toward the AP.
+	diff := sensors.HeadingSeparation(h.HeadingDeg, h.BearingToAPDeg)
+	closing := h.SpeedMps * math.Cos(diff*math.Pi/180)
+	return s + a.ApproachGain*closing
+}
+
+// BestAP returns the index of the candidate with the highest predicted
+// association lifetime — the client-side selection rule of §5.2.1.
+// Hint-free clients pick by signal strength alone; pass scoreByRSS to
+// compare.
+func BestAP(score AssociationScore, cands []ClientHints) int {
+	best, bestScore := 0, math.Inf(-1)
+	for i, c := range cands {
+		if s := score.Score(c); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// BestAPByRSS returns the strongest-signal candidate, the default
+// association rule of deployed clients.
+func BestAPByRSS(cands []ClientHints) int {
+	best, bestRSS := 0, math.Inf(-1)
+	for i, c := range cands {
+		if c.RSSdB > bestRSS {
+			best, bestRSS = i, c.RSSdB
+		}
+	}
+	return best
+}
+
+// SchedulerPolicy selects how the AP divides transmissions among
+// clients (§5.2.2).
+type SchedulerPolicy int
+
+// Scheduling policies.
+const (
+	// FrameFair sends an equal number of frames to each backlogged
+	// client — the commercial default that Figure 5-1 exposes.
+	FrameFair SchedulerPolicy = iota
+	// TimeFair divides airtime equally (Tan & Guttag).
+	TimeFair
+	// MobileFavored gives a configurable extra share to clients whose
+	// movement hint is raised — §5.2.2's observation that favouring the
+	// soon-to-depart mobile client raises aggregate throughput without
+	// reducing the static client's total.
+	MobileFavored
+)
+
+// String names the policy.
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case FrameFair:
+		return "frame-fair"
+	case TimeFair:
+		return "time-fair"
+	case MobileFavored:
+		return "mobile-favored"
+	}
+	return "unknown"
+}
+
+// PruneConfig controls the disassociation policy (§5.2.3).
+type PruneConfig struct {
+	// Timeout is how long the AP keeps retrying an unresponsive client
+	// before pruning (default 10 s, the commercial behaviour observed in
+	// Figure 5-1).
+	Timeout time.Duration
+	// HintAware parks a client as soon as its movement hint is raised
+	// and its frames stop being acknowledged, probing it only
+	// occasionally instead of retransmitting open-loop.
+	HintAware bool
+	// ProbeEvery is the parked-client probe interval (default 1 s).
+	ProbeEvery time.Duration
+}
+
+// DefaultPruneConfig returns the commercial-AP behaviour.
+func DefaultPruneConfig() PruneConfig {
+	return PruneConfig{Timeout: 10 * time.Second, ProbeEvery: time.Second}
+}
+
+// lowestRate is where a departed client's rate adaptation ends up after
+// repeated failures — the paper's trace shows the AP falling to 1 Mbps;
+// in our 802.11a model the floor is 6 Mbps.
+const lowestRate = phy.Rate6

@@ -1,0 +1,145 @@
+package ap
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAssociationScoreStaticBonus(t *testing.T) {
+	s := DefaultAssociationScore()
+	still := ClientHints{Moving: false, RSSdB: 10}
+	moving := ClientHints{Moving: true, HeadingDeg: 0, BearingToAPDeg: 180, SpeedMps: 2, RSSdB: 10}
+	if s.Score(still) <= s.Score(moving) {
+		t.Error("a static client should score above one walking away")
+	}
+}
+
+func TestAssociationScoreHeading(t *testing.T) {
+	s := DefaultAssociationScore()
+	toward := ClientHints{Moving: true, HeadingDeg: 45, BearingToAPDeg: 45, SpeedMps: 2, RSSdB: 10}
+	away := ClientHints{Moving: true, HeadingDeg: 45, BearingToAPDeg: 225, SpeedMps: 2, RSSdB: 10}
+	perp := ClientHints{Moving: true, HeadingDeg: 45, BearingToAPDeg: 135, SpeedMps: 2, RSSdB: 10}
+	if !(s.Score(toward) > s.Score(perp) && s.Score(perp) > s.Score(away)) {
+		t.Errorf("ordering broken: toward %.1f perp %.1f away %.1f",
+			s.Score(toward), s.Score(perp), s.Score(away))
+	}
+}
+
+func TestBestAPSelection(t *testing.T) {
+	s := DefaultAssociationScore()
+	cands := []ClientHints{
+		{Moving: true, HeadingDeg: 0, BearingToAPDeg: 180, SpeedMps: 2, RSSdB: 20},
+		{Moving: true, HeadingDeg: 0, BearingToAPDeg: 0, SpeedMps: 2, RSSdB: 15},
+	}
+	if got := BestAP(s, cands); got != 1 {
+		t.Errorf("BestAP = %d, want the approached AP", got)
+	}
+	if got := BestAPByRSS(cands); got != 0 {
+		t.Errorf("BestAPByRSS = %d, want the stronger AP", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FrameFair.String() != "frame-fair" || TimeFair.String() != "time-fair" ||
+		MobileFavored.String() != "mobile-favored" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestTwoClientsFairBeforeDeparture(t *testing.T) {
+	res := RunTwoClients(TwoClientConfig{Policy: ap0FrameFair()})
+	// Before departure both clients receive similar frame counts, so the
+	// slower client 2 gets similar Mbps·(rate2/rate1)… frame fairness
+	// means equal packet counts: throughputs equal.
+	c1 := res.Client1.At(20)
+	c2 := res.Client2.At(20)
+	if c1 <= 0 || c2 <= 0 {
+		t.Fatal("no throughput before departure")
+	}
+	ratio := c1 / c2
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("frame fairness broken: c1 %.1f vs c2 %.1f", c1, c2)
+	}
+}
+
+func ap0FrameFair() SchedulerPolicy { return FrameFair }
+
+func TestTwoClientsFigureShape(t *testing.T) {
+	res := RunTwoClients(TwoClientConfig{Policy: FrameFair})
+	before := res.Client1.At(30)
+	during := res.Client1.At(40)
+	after := res.Client1.At(55)
+	if during >= before*0.6 {
+		t.Errorf("no collapse during open-loop retries: %.1f -> %.1f", before, during)
+	}
+	if after <= before*1.5 {
+		t.Errorf("no recovery to full channel after prune: %.1f (before %.1f)", after, before)
+	}
+	// Client 2 receives nothing after departing.
+	if res.Client2.At(50) != 0 {
+		t.Error("departed client still receiving")
+	}
+	if res.PruneAt < 44*time.Second || res.PruneAt > 46*time.Second {
+		t.Errorf("prune at %v, want ≈ depart+10s", res.PruneAt)
+	}
+}
+
+func TestHintAwarePruningAvoidsCollapse(t *testing.T) {
+	res := RunTwoClients(TwoClientConfig{
+		Policy: FrameFair,
+		Prune:  PruneConfig{Timeout: 10 * time.Second, HintAware: true, ProbeEvery: time.Second},
+	})
+	during := res.Client1.At(40)
+	before := res.Client1.At(30)
+	if during < before*1.2 {
+		t.Errorf("hint-aware AP should hand the channel to client 1: %.1f -> %.1f", before, during)
+	}
+	if res.PruneAt > 37*time.Second {
+		t.Errorf("hint-aware prune at %v, want shortly after departure", res.PruneAt)
+	}
+}
+
+func TestTimeFairGivesAirtimeShares(t *testing.T) {
+	// Under time fairness the faster client moves more bytes.
+	res := RunTwoClients(TwoClientConfig{Policy: TimeFair, Total: 30 * time.Second, DepartAt: 29 * time.Second})
+	c1 := res.Client1.At(15)
+	c2 := res.Client2.At(15)
+	if c1 <= c2 {
+		t.Errorf("time fairness should favour the faster client: c1 %.1f vs c2 %.1f", c1, c2)
+	}
+}
+
+func TestMobileFavoredShifts(t *testing.T) {
+	base := TwoClientConfig{
+		Total:         40 * time.Second,
+		DepartAt:      20 * time.Second,
+		DepartWarning: 10 * time.Second,
+		MobileShare:   0.85,
+	}
+	fair := RunTwoClients(func() TwoClientConfig { c := base; c.Policy = FrameFair; return c }())
+	fav := RunTwoClients(func() TwoClientConfig { c := base; c.Policy = MobileFavored; return c }())
+	if fav.Total2 <= fair.Total2 {
+		t.Errorf("favoring the mobile client did not raise its total: %.0f vs %.0f",
+			fav.Total2, fair.Total2)
+	}
+}
+
+func TestFiniteBacklogStops(t *testing.T) {
+	res := RunTwoClients(TwoClientConfig{
+		Policy:        FrameFair,
+		Client2Finite: 100,
+		Total:         30 * time.Second,
+		DepartAt:      29 * time.Second,
+	})
+	// 100 packets ≈ 0.8 Mb total for client 2.
+	if res.Total2 > 0.9 {
+		t.Errorf("client 2 received %.2f Mb, want ≤ 0.8 (finite backlog)", res.Total2)
+	}
+}
+
+func TestDefaultPruneConfig(t *testing.T) {
+	c := DefaultPruneConfig()
+	if c.Timeout != 10*time.Second || c.HintAware || c.ProbeEvery != time.Second {
+		t.Errorf("defaults = %+v", c)
+	}
+}

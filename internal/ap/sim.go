@@ -1,0 +1,225 @@
+package ap
+
+import (
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/stats"
+)
+
+// Two-client AP simulation reproducing Figure 5-1 and evaluating the
+// §5.2.2/§5.2.3 policies. Client 1 is static and in range throughout;
+// client 2 departs at a configurable time. The AP serves both from
+// infinite backlogs under the selected fairness policy and prune config.
+
+// TwoClientConfig parameterises the run.
+type TwoClientConfig struct {
+	// Total is the experiment length (default 60 s).
+	Total time.Duration
+	// DepartAt is when client 2 leaves range (default 35 s).
+	DepartAt time.Duration
+	// Client2Finite, when positive, bounds client 2's backlog in packets
+	// (the §5.2.2 finite-batch scenario); zero means infinite backlog.
+	Client2Finite int
+	// Policy is the scheduling policy.
+	Policy SchedulerPolicy
+	// MobileShare is the fraction of transmissions given to the mobile
+	// client under MobileFavored (default 0.75).
+	MobileShare float64
+	// Prune is the disassociation policy.
+	Prune PruneConfig
+	// PacketBytes is the frame payload (default 1000).
+	PacketBytes int
+	// Rate1 and Rate2 are the link rates while in range (default 54 and
+	// 36 Mbps).
+	Rate1, Rate2 phy.Rate
+	// HintLatency is the delay before the AP learns client 2 is moving
+	// when Prune.HintAware (default 200 ms: detection plus delivery).
+	HintLatency time.Duration
+	// DepartWarning is how long before physical departure the client's
+	// movement hint rises (it starts walking away inside coverage;
+	// default 2 s).
+	DepartWarning time.Duration
+}
+
+// TwoClientResult carries the per-client throughput time series and
+// totals.
+type TwoClientResult struct {
+	// Client1, Client2 are per-second delivered throughput (Mbps) — the
+	// two curves of Figure 5-1.
+	Client1, Client2 *stats.Series
+	// Total1, Total2 are delivered megabits.
+	Total1, Total2 float64
+	// PruneAt is when the AP stopped serving the departed client.
+	PruneAt time.Duration
+}
+
+// RunTwoClients executes the simulation.
+func RunTwoClients(cfg TwoClientConfig) TwoClientResult {
+	if cfg.Total <= 0 {
+		cfg.Total = 60 * time.Second
+	}
+	if cfg.DepartAt <= 0 {
+		cfg.DepartAt = 35 * time.Second
+	}
+	if cfg.PacketBytes <= 0 {
+		cfg.PacketBytes = 1000
+	}
+	if cfg.Rate1 == 0 {
+		cfg.Rate1 = phy.Rate54
+	}
+	if cfg.Rate2 == 0 {
+		cfg.Rate2 = phy.Rate36
+	}
+	if cfg.MobileShare == 0 {
+		cfg.MobileShare = 0.75
+	}
+	if cfg.Prune.Timeout == 0 {
+		cfg.Prune = DefaultPruneConfig()
+	}
+	if cfg.HintLatency == 0 {
+		cfg.HintLatency = 200 * time.Millisecond
+	}
+	if cfg.DepartWarning == 0 {
+		cfg.DepartWarning = 2 * time.Second
+	}
+	if cfg.Prune.ProbeEvery <= 0 {
+		cfg.Prune.ProbeEvery = time.Second
+	}
+
+	res := TwoClientResult{
+		Client1: &stats.Series{Name: "client 1 (static)"},
+		Client2: &stats.Series{Name: "client 2 (departs)"},
+		PruneAt: -1,
+	}
+	bits := float64(8 * cfg.PacketBytes)
+
+	now := time.Duration(0)
+	var delivered1, delivered2 float64 // bits in current 1 s bucket
+	bucketEnd := time.Second
+	var sent2 int
+	// Rate the AP uses toward client 2: collapses toward the floor as
+	// retransmissions fail after departure.
+	rate2 := cfg.Rate2
+	var consFail2 int
+	var client2Parked bool
+	var client2Gone bool
+	var lastFailStart time.Duration = -1
+	var nextProbe2 time.Duration
+	turn := 0 // round-robin turn: 0 → client 1, 1 → client 2
+
+	flushBuckets := func() {
+		for now >= bucketEnd {
+			t := (bucketEnd - time.Second).Seconds()
+			res.Client1.Add(t, delivered1/1e6)
+			res.Client2.Add(t, delivered2/1e6)
+			delivered1, delivered2 = 0, 0
+			bucketEnd += time.Second
+		}
+	}
+
+	client2Backlogged := func() bool {
+		if client2Gone {
+			return false
+		}
+		if cfg.Client2Finite > 0 && sent2 >= cfg.Client2Finite {
+			return false
+		}
+		return true
+	}
+
+	for now < cfg.Total {
+		flushBuckets()
+		departed := now >= cfg.DepartAt
+		hintUp := now >= cfg.DepartAt-cfg.DepartWarning+cfg.HintLatency
+
+		// Hint-aware pruning: once the movement hint is up and frames
+		// stop being acknowledged, park the client.
+		if cfg.Prune.HintAware && departed && hintUp && !client2Parked {
+			client2Parked = true
+			res.PruneAt = now
+			nextProbe2 = now + cfg.Prune.ProbeEvery
+		}
+		// Timeout pruning: after Timeout of continuous failure, give up.
+		if !client2Parked && !client2Gone && lastFailStart >= 0 && now-lastFailStart >= cfg.Prune.Timeout {
+			client2Gone = true
+			if res.PruneAt < 0 {
+				res.PruneAt = now
+			}
+		}
+
+		serve2 := client2Backlogged() && !client2Parked && !client2Gone
+		if client2Parked && now >= nextProbe2 {
+			// Occasional short probe to see if the client returned; it
+			// costs one control-frame airtime.
+			now += phy.PayloadAirtime(phy.Rate6, phy.RTSBytes) + phy.SIFS
+			nextProbe2 = now + cfg.Prune.ProbeEvery
+			continue
+		}
+
+		// Pick the next client per policy.
+		target := 1
+		if serve2 {
+			switch cfg.Policy {
+			case FrameFair:
+				target = 1 + turn%2
+				turn++
+			case TimeFair:
+				// Give each client equal airtime: serve the slower
+				// client less often in frames. Approximate by weighting
+				// turns with the airtime ratio.
+				a1 := phy.FrameExchangeAirtime(cfg.Rate1, cfg.PacketBytes)
+				a2 := phy.FrameExchangeAirtime(rate2, cfg.PacketBytes)
+				period := int(a2/a1) + 1
+				if turn%(period+1) < period {
+					target = 1
+				} else {
+					target = 2
+				}
+				turn++
+			case MobileFavored:
+				mobile := hintUp && !departed // moving but still in range
+				if mobile {
+					// Dedicate MobileShare of frames to the mobile
+					// client while it can still receive.
+					if float64(turn%100) < cfg.MobileShare*100 {
+						target = 2
+					}
+				} else {
+					target = 1 + turn%2
+				}
+				turn++
+			}
+		}
+
+		if target == 1 {
+			now += phy.FrameExchangeAirtime(cfg.Rate1, cfg.PacketBytes)
+			delivered1 += bits
+			res.Total1 += bits / 1e6
+			continue
+		}
+
+		// Serving client 2.
+		if !departed {
+			now += phy.FrameExchangeAirtime(rate2, cfg.PacketBytes)
+			delivered2 += bits
+			res.Total2 += bits / 1e6
+			sent2++
+			consFail2 = 0
+			lastFailStart = -1
+			continue
+		}
+		// Departed: the frame fails; the AP retries open-loop, its rate
+		// adaptation stepping down toward the floor.
+		if lastFailStart < 0 {
+			lastFailStart = now
+		}
+		now += phy.FailedExchangeAirtime(rate2, cfg.PacketBytes)
+		consFail2++
+		if consFail2%4 == 0 && rate2 > lowestRate {
+			rate2--
+		}
+	}
+	flushBuckets()
+	return res
+}

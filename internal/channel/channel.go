@@ -1,0 +1,347 @@
+// Package channel simulates the wireless channel and generates the fate
+// traces the evaluation runs on, replacing the paper's real-world 802.11a
+// measurement campaign (Click/MadWiFi/Atheros), which is hardware we do
+// not have.
+//
+// The generator models the channel as an SNR process sampled per trace
+// slot, mapped to per-rate delivery through the phy package's error
+// curves:
+//
+//   - Static receivers see a slowly wandering SNR (shadowing) with
+//     occasional brief short-term fades — channel conditions are
+//     relatively stable, as the paper describes.
+//   - Mobile receivers additionally see Rayleigh-style fast fading with a
+//     coherence time around 10 ms, the figure the paper measures for a
+//     walking receiver (Figure 3-1). This produces the bursty, rapidly
+//     outdated loss behaviour that defeats long-history protocols.
+//   - Vehicular receivers see a path-loss sweep as the car drives past
+//     the roadside sender, plus fast fading with an even shorter
+//     coherence time.
+//
+// A small rate-independent loss probability models contention/collision
+// losses, present in every environment.
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sensors"
+	"repro/internal/trace"
+)
+
+// Environment holds the channel parameters of one of the paper's four
+// experiment settings (Figure 3-4 and §3.3).
+type Environment struct {
+	// Name labels traces generated for this environment.
+	Name string
+	// BaseSNR is the mean SNR (dB) of the link.
+	BaseSNR float64
+	// ShadowSigma is the 1-σ amplitude (dB) of slow shadowing.
+	ShadowSigma float64
+	// ShadowTau is the shadowing correlation time.
+	ShadowTau time.Duration
+	// StaticFadeRate is the mean rate (events per second) of brief
+	// short-term fades while static; StaticFadeDepth their mean depth
+	// (dB); StaticFadeLen their mean length.
+	StaticFadeRate  float64
+	StaticFadeDepth float64
+	StaticFadeLen   time.Duration
+	// CoherenceTime is the fast-fading coherence time while the receiver
+	// moves (~10 ms walking, shorter in vehicles).
+	CoherenceTime time.Duration
+	// WalkShadowSigma and WalkShadowTau add a medium-scale shadowing
+	// process active only while moving: walking through a building
+	// changes the path obstruction on a timescale of about a second.
+	// The state freezes when the walker stops (the obstruction stays
+	// where it is). Long mesh-scale links (the Chapter 4 experiments)
+	// set this large; the short Chapter 3 links leave it 0.
+	WalkShadowSigma float64
+	WalkShadowTau   time.Duration
+	// RicianK is the ratio (linear) of line-of-sight to scattered power
+	// in the mobile fading process; 0 = pure Rayleigh (no LOS).
+	RicianK float64
+	// ExtraLossProb is a rate-independent per-packet loss probability
+	// modelling collisions and interference.
+	ExtraLossProb float64
+	// Vehicular enables the drive-by path-loss sweep.
+	Vehicular bool
+	// PassSpeed and PassDistance parameterise the vehicular pass: speed
+	// of the car (m/s) and closest approach to the sender (m).
+	PassSpeed    float64
+	PassDistance float64
+}
+
+// The paper's four environments (§3.3): an office with no line of sight,
+// a hallway with line of sight, a lightly crowded outdoor pavement, and a
+// roadside vehicular setting.
+var (
+	Office = Environment{
+		Name:            "office",
+		BaseSNR:         18.2,
+		ShadowSigma:     1.5,
+		ShadowTau:       4 * time.Second,
+		StaticFadeRate:  0.8,
+		StaticFadeDepth: 7,
+		StaticFadeLen:   40 * time.Millisecond,
+		CoherenceTime:   10 * time.Millisecond,
+		RicianK:         0, // no LOS: Rayleigh
+		ExtraLossProb:   0.03,
+	}
+	Hallway = Environment{
+		Name:            "hallway",
+		BaseSNR:         19.5,
+		ShadowSigma:     1.2,
+		ShadowTau:       5 * time.Second,
+		StaticFadeRate:  0.4,
+		StaticFadeDepth: 5,
+		StaticFadeLen:   30 * time.Millisecond,
+		CoherenceTime:   10 * time.Millisecond,
+		RicianK:         0.8, // mild LOS component
+		ExtraLossProb:   0.02,
+	}
+	Outdoor = Environment{
+		Name:            "outdoor",
+		BaseSNR:         18.6,
+		ShadowSigma:     2.0,
+		ShadowTau:       3 * time.Second,
+		StaticFadeRate:  1.0,
+		StaticFadeDepth: 6,
+		StaticFadeLen:   50 * time.Millisecond,
+		CoherenceTime:   9 * time.Millisecond,
+		RicianK:         0.3,
+		ExtraLossProb:   0.03,
+	}
+	Vehicular = Environment{
+		Name:          "vehicular",
+		BaseSNR:       24,
+		ShadowSigma:   2.0,
+		ShadowTau:     2 * time.Second,
+		CoherenceTime: 12 * time.Millisecond,
+		RicianK:       0.3,
+		ExtraLossProb: 0.02,
+		Vehicular:     true,
+		PassSpeed:     11, // ~40 km/h, mid-range of the paper's 8–72
+		PassDistance:  12,
+	}
+)
+
+// Environments returns the three mixed-mobility evaluation environments
+// of Figures 3-5/3-6/3-7 (office, hallway, outdoor).
+func Environments() []Environment {
+	return []Environment{Office, Hallway, Outdoor}
+}
+
+// WithBaseSNR returns a copy of e with the mean SNR replaced — used by
+// the topology-maintenance experiments, which study a marginal
+// (mesh-scale) link where even 6 Mbps delivery fluctuates.
+func (e Environment) WithBaseSNR(snr float64) Environment {
+	e.BaseSNR = snr
+	return e
+}
+
+// snrProcess produces the SNR sample path. Step advances the process by
+// dt and returns the SNR (dB) plus a fade indicator used for ground-truth
+// probabilities.
+type snrProcess struct {
+	cfg Environment
+	rng *rand.Rand
+
+	shadow float64
+	// medium-scale walking shadow; frozen while static
+	walkShadow float64
+	// complex fading tap for the mobile case
+	hRe, hIm float64
+	// static short-term fade state
+	fadeLeft  time.Duration
+	fadeDepth float64
+	// vehicular geometry
+	pos float64 // metres along the road, sender at 0
+	dir float64 // +1 or −1
+}
+
+func newSNRProcess(cfg Environment, rng *rand.Rand) *snrProcess {
+	p := &snrProcess{cfg: cfg, rng: rng}
+	// Start fading tap at steady state.
+	p.hRe = rng.NormFloat64() / math.Sqrt2
+	p.hIm = rng.NormFloat64() / math.Sqrt2
+	if cfg.Vehicular {
+		p.pos = -50
+		p.dir = 1
+	}
+	return p
+}
+
+// step advances by dt and returns the channel SNR in dB.
+func (p *snrProcess) step(dt time.Duration, moving bool) float64 {
+	cfg := p.cfg
+	// Slow shadowing: AR(1) toward zero with time constant ShadowTau.
+	if cfg.ShadowTau > 0 {
+		a := math.Exp(-dt.Seconds() / cfg.ShadowTau.Seconds())
+		p.shadow = a*p.shadow + math.Sqrt(1-a*a)*p.rng.NormFloat64()*cfg.ShadowSigma
+	}
+	if moving && cfg.WalkShadowSigma > 0 {
+		tau := cfg.WalkShadowTau
+		if tau <= 0 {
+			tau = time.Second
+		}
+		a := math.Exp(-dt.Seconds() / tau.Seconds())
+		p.walkShadow = a*p.walkShadow + math.Sqrt(1-a*a)*p.rng.NormFloat64()*cfg.WalkShadowSigma
+	}
+	snr := cfg.BaseSNR + p.shadow + p.walkShadow
+
+	if cfg.Vehicular && moving {
+		// Drive-by sweep: free-space-like path loss relative to the
+		// closest approach, with the car shuttling past the sender.
+		p.pos += p.dir * cfg.PassSpeed * dt.Seconds()
+		if p.pos > 50 {
+			p.dir = -1
+		} else if p.pos < -50 {
+			p.dir = 1
+		}
+		d := math.Hypot(p.pos, cfg.PassDistance)
+		snr -= 28 * math.Log10(d/cfg.PassDistance) // ~n=2.8 path loss exponent
+	}
+
+	if moving {
+		// Fast fading: complex AR(1) tap with the environment's
+		// coherence time, optionally with a Rician LOS component.
+		tc := cfg.CoherenceTime
+		if tc <= 0 {
+			tc = 10 * time.Millisecond
+		}
+		rho := math.Exp(-dt.Seconds() / tc.Seconds())
+		s := math.Sqrt(1 - rho*rho)
+		p.hRe = rho*p.hRe + s*p.rng.NormFloat64()/math.Sqrt2
+		p.hIm = rho*p.hIm + s*p.rng.NormFloat64()/math.Sqrt2
+		k := cfg.RicianK
+		// Rician fading: a constant LOS phasor plus the scattered tap,
+		// added in amplitude so destructive interference can produce deep
+		// fades even with a LOS component. Power normalised to mean 1.
+		losAmp := math.Sqrt(k / (1 + k))
+		scale := math.Sqrt(1 / (1 + k))
+		re := losAmp + scale*p.hRe
+		im := scale * p.hIm
+		gain := re*re + im*im
+		if gain < 1e-6 {
+			gain = 1e-6
+		}
+		snr += 10 * math.Log10(gain)
+	} else {
+		// Static short-term fades (passers-by, doors): brief dips.
+		if p.fadeLeft > 0 {
+			p.fadeLeft -= dt
+			snr -= p.fadeDepth
+		} else if p.rng.Float64() < cfg.StaticFadeRate*dt.Seconds() {
+			p.fadeLeft = time.Duration(float64(cfg.StaticFadeLen) * (0.5 + p.rng.Float64()))
+			p.fadeDepth = cfg.StaticFadeDepth * (0.5 + p.rng.Float64())
+		}
+	}
+	return snr
+}
+
+// Config controls one trace generation run.
+type Config struct {
+	Env Environment
+	// Sched gives ground-truth mobility over time.
+	Sched sensors.Schedule
+	// Total is the trace length; extended to the schedule end if shorter.
+	Total time.Duration
+	// SlotDur defaults to trace.DefaultSlot.
+	SlotDur time.Duration
+	// PacketBytes is the frame size used for the PER ground truth
+	// (default 1000, the paper's packet size).
+	PacketBytes int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate produces a fate trace: one slot per SlotDur, each slot holding
+// the SNR, the mobility ground truth, the per-rate delivery probability,
+// and a sampled per-rate fate.
+func Generate(cfg Config) *trace.FateTrace {
+	slotDur := cfg.SlotDur
+	if slotDur <= 0 {
+		slotDur = trace.DefaultSlot
+	}
+	bytes := cfg.PacketBytes
+	if bytes <= 0 {
+		bytes = 1000
+	}
+	total := cfg.Total
+	if end := cfg.Sched.End(); end > total {
+		total = end
+	}
+	n := int(total / slotDur)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	proc := newSNRProcess(cfg.Env, rng)
+
+	tr := &trace.FateTrace{
+		Env:       cfg.Env.Name,
+		SlotDur:   slotDur,
+		Seed:      cfg.Seed,
+		ExtraLoss: cfg.Env.ExtraLossProb,
+		Slots:     make([]trace.Slot, n),
+	}
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * slotDur
+		moving := cfg.Sched.MovingAt(at)
+		snr := proc.step(slotDur, moving)
+		s := &tr.Slots[i]
+		s.SNR = snr
+		s.Moving = moving
+		for r := 0; r < phy.NumRates; r++ {
+			// The slot fate reflects only the channel (SNR) state, which is
+			// coherent across a slot; the rate-independent contention loss
+			// is per-packet and applied by the MAC simulator. The ground
+			// truth probability includes both.
+			pChan := phy.DeliveryProb(phy.Rate(r), snr, bytes)
+			s.Prob[r] = pChan * (1 - cfg.Env.ExtraLossProb)
+			s.Delivered[r] = rng.Float64() < pChan
+		}
+	}
+	tr.Mode = modeLabel(cfg.Sched, total)
+	return tr
+}
+
+func modeLabel(s sensors.Schedule, total time.Duration) string {
+	anyMoving, anyStatic := false, false
+	const probe = 50 * time.Millisecond
+	for t := time.Duration(0); t < total; t += probe {
+		if s.MovingAt(t) {
+			anyMoving = true
+		} else {
+			anyStatic = true
+		}
+	}
+	switch {
+	case anyMoving && anyStatic:
+		return "mixed"
+	case anyMoving:
+		return "mobile"
+	default:
+		return "static"
+	}
+}
+
+// GeneratePacketStream produces a per-packet fate trace of back-to-back
+// packets at one rate, for the conditional-loss analysis of Figure 3-1.
+// The SNR process is sampled at the packet interval, so loss correlation
+// directly reflects the channel coherence time.
+func GeneratePacketStream(env Environment, mode sensors.MobilityMode, r phy.Rate, interval, total time.Duration, bytes int, seed int64) *trace.PacketTrace {
+	if bytes <= 0 {
+		bytes = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	proc := newSNRProcess(env, rng)
+	n := int(total / interval)
+	pt := &trace.PacketTrace{Rate: r, Interval: interval, Lost: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		snr := proc.step(interval, mode.Moving())
+		p := phy.DeliveryProb(r, snr, bytes) * (1 - env.ExtraLossProb)
+		pt.Lost[i] = rng.Float64() >= p
+	}
+	return pt
+}

@@ -1,0 +1,197 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+)
+
+func staticSched(total time.Duration) sensors.Schedule {
+	return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Static}}
+}
+
+func mobileSched(total time.Duration) sensors.Schedule {
+	return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Config{Env: Office, Sched: mobileSched(2 * time.Second), Total: 2 * time.Second, Seed: 5}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Slots) != len(b.Slots) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Slots {
+		if a.Slots[i] != b.Slots[i] {
+			t.Fatalf("slot %d differs across same-seed runs", i)
+		}
+	}
+	c := Generate(Config{Env: Office, Sched: mobileSched(2 * time.Second), Total: 2 * time.Second, Seed: 6})
+	same := true
+	for i := range a.Slots {
+		if a.Slots[i] != c.Slots[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	tr := Generate(Config{Env: Hallway, Sched: staticSched(time.Second), Total: time.Second, Seed: 1})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Env != "hallway" || tr.Mode != "static" {
+		t.Errorf("labels: %s/%s", tr.Env, tr.Mode)
+	}
+	if tr.ExtraLoss != Hallway.ExtraLossProb {
+		t.Error("ExtraLoss not recorded")
+	}
+}
+
+func TestMovingFlagsMatchSchedule(t *testing.T) {
+	total := 4 * time.Second
+	sched := sensors.AlternatingSchedule(total, time.Second, sensors.Walk, false)
+	tr := Generate(Config{Env: Office, Sched: sched, Total: total, Seed: 2})
+	for i, s := range tr.Slots {
+		at := time.Duration(i) * tr.SlotDur
+		if s.Moving != sched.MovingAt(at) {
+			t.Fatalf("slot %d moving=%v, schedule says %v", i, s.Moving, sched.MovingAt(at))
+		}
+	}
+	if tr.Mode != "mixed" {
+		t.Errorf("mode = %s, want mixed", tr.Mode)
+	}
+}
+
+func TestMobileMoreVariable(t *testing.T) {
+	// The core premise: mobile SNR (and hence delivery probability at a
+	// marginal rate) varies much more than static.
+	total := 10 * time.Second
+	st := Generate(Config{Env: Office, Sched: staticSched(total), Total: total, Seed: 3})
+	mo := Generate(Config{Env: Office, Sched: mobileSched(total), Total: total, Seed: 3})
+	var stSNR, moSNR []float64
+	for i := range st.Slots {
+		stSNR = append(stSNR, st.Slots[i].SNR)
+		moSNR = append(moSNR, mo.Slots[i].SNR)
+	}
+	if stats.StdDev(moSNR) < 2*stats.StdDev(stSNR) {
+		t.Errorf("mobile SNR std %.2f not ≫ static %.2f",
+			stats.StdDev(moSNR), stats.StdDev(stSNR))
+	}
+}
+
+func TestProbConsistentWithSNR(t *testing.T) {
+	tr := Generate(Config{Env: Office, Sched: staticSched(time.Second), Total: time.Second, Seed: 4})
+	for i, s := range tr.Slots {
+		for r := 0; r < phy.NumRates; r++ {
+			want := phy.DeliveryProb(phy.Rate(r), s.SNR, 1000) * (1 - Office.ExtraLossProb)
+			if math.Abs(s.Prob[r]-want) > 1e-9 {
+				t.Fatalf("slot %d rate %d prob %v, want %v", i, r, s.Prob[r], want)
+			}
+		}
+	}
+}
+
+func TestWithBaseSNR(t *testing.T) {
+	e := Office.WithBaseSNR(5)
+	if e.BaseSNR != 5 {
+		t.Error("WithBaseSNR did not set")
+	}
+	if Office.BaseSNR == 5 {
+		t.Error("WithBaseSNR mutated the original")
+	}
+}
+
+func TestEnvironments(t *testing.T) {
+	envs := Environments()
+	if len(envs) != 3 {
+		t.Fatalf("%d environments, want 3", len(envs))
+	}
+	names := map[string]bool{}
+	for _, e := range envs {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"office", "hallway", "outdoor"} {
+		if !names[want] {
+			t.Errorf("missing environment %s", want)
+		}
+	}
+}
+
+func TestPacketStreamLossCorrelation(t *testing.T) {
+	// Figure 3-1's premise at the generator level: mobile losses are
+	// short-range correlated, static ones much less so.
+	const interval = 200 * time.Microsecond
+	const total = 20 * time.Second
+	st := GeneratePacketStream(Office, sensors.Static, phy.Rate54, interval, total, 1000, 9)
+	mo := GeneratePacketStream(Office, sensors.Walk, phy.Rate54, interval, total, 1000, 9)
+
+	moCond := mo.ConditionalLoss(60)
+	stBase, moBase := st.LossRate(), mo.LossRate()
+	// Mobile losses are strongly correlated at short lag...
+	if moCond[1] < moBase+0.1 {
+		t.Errorf("mobile cond[1] %v not well above baseline %v", moCond[1], moBase)
+	}
+	// ...and the correlation decays with lag (coherence-time structure).
+	if moCond[50] >= moCond[1] {
+		t.Errorf("mobile conditional loss did not decay: k=1 %.3f vs k=50 %.3f",
+			moCond[1], moCond[50])
+	}
+	// Fading makes the mobile channel lossier overall at the top rate.
+	if moBase <= stBase {
+		t.Errorf("mobile baseline loss %.3f not above static %.3f", moBase, stBase)
+	}
+}
+
+func TestPacketStreamDeterminism(t *testing.T) {
+	a := GeneratePacketStream(Outdoor, sensors.Walk, phy.Rate24, time.Millisecond, time.Second, 1000, 7)
+	b := GeneratePacketStream(Outdoor, sensors.Walk, phy.Rate24, time.Millisecond, time.Second, 7_000, 7)
+	_ = b
+	c := GeneratePacketStream(Outdoor, sensors.Walk, phy.Rate24, time.Millisecond, time.Second, 1000, 7)
+	for i := range a.Lost {
+		if a.Lost[i] != c.Lost[i] {
+			t.Fatal("same-seed packet streams differ")
+		}
+	}
+}
+
+func TestVehicularSweep(t *testing.T) {
+	// The drive-by path loss must produce large SNR dynamic range over a
+	// full pass.
+	total := 15 * time.Second
+	sched := sensors.Schedule{{Start: 0, End: total, Mode: sensors.Vehicle}}
+	tr := Generate(Config{Env: Vehicular, Sched: sched, Total: total, Seed: 8})
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range tr.Slots {
+		min = math.Min(min, s.SNR)
+		max = math.Max(max, s.SNR)
+	}
+	if max-min < 15 {
+		t.Errorf("vehicular SNR range %.1f dB, want > 15 (drive-by sweep)", max-min)
+	}
+}
+
+func TestWalkShadowOnlyWhileMoving(t *testing.T) {
+	env := Office.WithBaseSNR(10)
+	env.WalkShadowSigma = 10
+	env.WalkShadowTau = time.Second
+	env.StaticFadeRate = 0 // isolate the walk shadow
+	total := 20 * time.Second
+	st := Generate(Config{Env: env, Sched: staticSched(total), Total: total, Seed: 11})
+	var snrs []float64
+	for _, s := range st.Slots {
+		snrs = append(snrs, s.SNR)
+	}
+	// Static: walk shadow frozen at zero, so variance stays small.
+	if stats.StdDev(snrs) > env.ShadowSigma*2 {
+		t.Errorf("static trace shows walk shadow: std %.2f", stats.StdDev(snrs))
+	}
+}

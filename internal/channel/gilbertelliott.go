@@ -1,0 +1,71 @@
+package channel
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// GilbertElliott is the classic two-state burst-loss channel, provided
+// as a cross-check for the SNR-process generator: the paper's central
+// channel observation (Figure 3-1's short-range loss dependence) is a
+// property any bursty channel shares, so the rate adaptation results
+// should be qualitatively reproducible on this much simpler model too.
+//
+// The chain alternates between a Good state (low loss) and a Bad state
+// (high loss); the mean Bad-state dwell time plays the role of the
+// channel coherence time.
+type GilbertElliott struct {
+	// PGood and PBad are the per-packet loss probabilities in each
+	// state.
+	PGood, PBad float64
+	// MeanGood and MeanBad are the mean dwell times of each state.
+	MeanGood, MeanBad time.Duration
+}
+
+// DefaultGilbertElliott returns parameters tuned to resemble the walking
+// channel at a high bit rate: rare losses in Good, near-certain losses
+// in Bad, ~10 ms fade bursts a few times a second.
+func DefaultGilbertElliott() GilbertElliott {
+	return GilbertElliott{
+		PGood:    0.03,
+		PBad:     0.9,
+		MeanGood: 120 * time.Millisecond,
+		MeanBad:  10 * time.Millisecond,
+	}
+}
+
+// GeneratePacketStream produces a per-packet fate trace from the chain,
+// comparable to the SNR-process GeneratePacketStream.
+func (g GilbertElliott) GeneratePacketStream(interval, total time.Duration, seed int64) *trace.PacketTrace {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(total / interval)
+	pt := &trace.PacketTrace{Interval: interval, Lost: make([]bool, n)}
+	bad := false
+	// Per-step transition probabilities from the dwell times.
+	pEnterBad := float64(interval) / float64(g.MeanGood)
+	pExitBad := float64(interval) / float64(g.MeanBad)
+	for i := 0; i < n; i++ {
+		if bad {
+			if rng.Float64() < pExitBad {
+				bad = false
+			}
+		} else if rng.Float64() < pEnterBad {
+			bad = true
+		}
+		p := g.PGood
+		if bad {
+			p = g.PBad
+		}
+		pt.Lost[i] = rng.Float64() < p
+	}
+	return pt
+}
+
+// StationaryLossRate returns the chain's long-run loss probability.
+func (g GilbertElliott) StationaryLossRate() float64 {
+	good := float64(g.MeanGood)
+	bad := float64(g.MeanBad)
+	return (g.PGood*good + g.PBad*bad) / (good + bad)
+}

@@ -1,0 +1,43 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestGilbertElliottLossRate(t *testing.T) {
+	g := DefaultGilbertElliott()
+	pt := g.GeneratePacketStream(200*time.Microsecond, 60*time.Second, 1)
+	want := g.StationaryLossRate()
+	if got := pt.LossRate(); math.Abs(got-want) > 0.03 {
+		t.Errorf("loss rate %.3f, stationary expectation %.3f", got, want)
+	}
+}
+
+func TestGilbertElliottBurstStructure(t *testing.T) {
+	// The cross-check property: conditional loss at short lag far above
+	// the baseline, decaying with lag — the Figure 3-1 shape from a
+	// completely different channel model.
+	g := DefaultGilbertElliott()
+	pt := g.GeneratePacketStream(200*time.Microsecond, 60*time.Second, 2)
+	cond := pt.ConditionalLoss(100)
+	base := pt.LossRate()
+	if cond[1] < 3*base {
+		t.Errorf("cond[1] = %.3f, want ≫ baseline %.3f", cond[1], base)
+	}
+	if cond[100] > cond[1]/2 {
+		t.Errorf("no decay: cond[1]=%.3f cond[100]=%.3f", cond[1], cond[100])
+	}
+}
+
+func TestGilbertElliottDeterminism(t *testing.T) {
+	g := DefaultGilbertElliott()
+	a := g.GeneratePacketStream(time.Millisecond, time.Second, 3)
+	b := g.GeneratePacketStream(time.Millisecond, time.Second, 3)
+	for i := range a.Lost {
+		if a.Lost[i] != b.Lost[i] {
+			t.Fatal("same-seed streams differ")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package core implements the hint-aware wireless architecture of
+// Figure 2-1: a hint bus through which sensor-derived hints flow into
+// every layer of the wireless networking stack.
+//
+// Hints arrive from two directions. Local hints are published by the
+// device's own sensor pipelines (e.g. the §2.2.1 movement detector).
+// Remote hints arrive inside link-layer frames via the Hint Protocol and
+// are published with the originating node's address as the source.
+// Protocols at any layer subscribe to the hint types they care about, or
+// poll the most recent value; both interfaces appear in the paper ("when
+// queried, the movement hint service returns the most recently calculated
+// hint value").
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/hintproto"
+)
+
+// Source identifies where a hint came from: the local device or a remote
+// node's MAC address.
+type Source struct {
+	// Remote is true for hints received over the air.
+	Remote bool
+	// Addr is the originating node for remote hints.
+	Addr dot11.Addr
+}
+
+// Local is the source of locally generated hints.
+var Local = Source{}
+
+// Event is one hint delivery: the hint, its source, and when it was
+// produced (simulation or wall-clock time, at the publisher's choice —
+// the bus only compares these values against each other).
+type Event struct {
+	Hint   hintproto.Hint
+	Source Source
+	At     time.Duration
+}
+
+// Subscriber receives hint events. Callbacks run synchronously on the
+// publishing goroutine; subscribers needing isolation should hand off to
+// their own goroutine.
+type Subscriber func(Event)
+
+// Bus is the hint distribution fabric. The zero value is ready to use.
+// All methods are safe for concurrent use.
+type Bus struct {
+	mu     sync.RWMutex
+	nextID int
+	subs   map[hintproto.HintType]map[int]Subscriber
+	all    map[int]Subscriber
+	latest map[latestKey]Event
+}
+
+type latestKey struct {
+	typ hintproto.HintType
+	src Source
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+func (b *Bus) init() {
+	if b.subs == nil {
+		b.subs = make(map[hintproto.HintType]map[int]Subscriber)
+	}
+	if b.all == nil {
+		b.all = make(map[int]Subscriber)
+	}
+	if b.latest == nil {
+		b.latest = make(map[latestKey]Event)
+	}
+}
+
+// Subscribe registers fn for one hint type and returns an unsubscribe
+// function.
+func (b *Bus) Subscribe(t hintproto.HintType, fn Subscriber) (cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	id := b.nextID
+	b.nextID++
+	m := b.subs[t]
+	if m == nil {
+		m = make(map[int]Subscriber)
+		b.subs[t] = m
+	}
+	m[id] = fn
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs[t], id)
+	}
+}
+
+// SubscribeAll registers fn for every hint type.
+func (b *Bus) SubscribeAll(fn Subscriber) (cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	id := b.nextID
+	b.nextID++
+	b.all[id] = fn
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.all, id)
+	}
+}
+
+// Publish delivers a hint event to subscribers and records it as the
+// latest value for its (type, source).
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	b.init()
+	b.latest[latestKey{ev.Hint.Type, ev.Source}] = ev
+	var fns []Subscriber
+	for _, fn := range b.subs[ev.Hint.Type] {
+		fns = append(fns, fn)
+	}
+	for _, fn := range b.all {
+		fns = append(fns, fn)
+	}
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// PublishLocal publishes a locally generated hint.
+func (b *Bus) PublishLocal(t hintproto.HintType, value float64, at time.Duration) {
+	b.Publish(Event{Hint: hintproto.Hint{Type: t, Value: value}, Source: Local, At: at})
+}
+
+// IngestFrame extracts every hint a received frame carries (header bit,
+// trailer, or standalone hint frame) and publishes them with the frame's
+// source address. It returns the number of hints published. This is the
+// coupling point between the Hint Protocol and the stack.
+func (b *Bus) IngestFrame(f *dot11.Frame, at time.Duration) int {
+	hs := hintproto.ExtractAll(f)
+	src := Source{Remote: true, Addr: f.Src}
+	for _, h := range hs {
+		b.Publish(Event{Hint: h, Source: src, At: at})
+	}
+	return len(hs)
+}
+
+// Latest returns the most recent event for a (type, source) and whether
+// one exists.
+func (b *Bus) Latest(t hintproto.HintType, src Source) (Event, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ev, ok := b.latest[latestKey{t, src}]
+	return ev, ok
+}
+
+// LatestFresh returns the most recent event only if it is no older than
+// maxAge relative to now; stale hints are worse than no hints, since a
+// protocol could hold a mobility-tuned strategy long after the device
+// stopped.
+func (b *Bus) LatestFresh(t hintproto.HintType, src Source, now, maxAge time.Duration) (Event, bool) {
+	ev, ok := b.Latest(t, src)
+	if !ok || now-ev.At > maxAge {
+		return Event{}, false
+	}
+	return ev, true
+}
+
+// MovingLocal is a convenience accessor for the local movement hint: it
+// returns false when no hint has been published.
+func (b *Bus) MovingLocal() bool {
+	ev, ok := b.Latest(hintproto.HintMovement, Local)
+	return ok && ev.Hint.Value != 0
+}
+
+// MovingRemote reports the last movement hint received from addr, and
+// whether any hint from that node is known.
+func (b *Bus) MovingRemote(addr dot11.Addr) (moving, known bool) {
+	ev, ok := b.Latest(hintproto.HintMovement, Source{Remote: true, Addr: addr})
+	return ok && ev.Hint.Value != 0, ok
+}

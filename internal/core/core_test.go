@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/hintproto"
+)
+
+func TestSubscribePublish(t *testing.T) {
+	b := NewBus()
+	var got []Event
+	cancel := b.Subscribe(hintproto.HintMovement, func(ev Event) { got = append(got, ev) })
+	b.PublishLocal(hintproto.HintMovement, 1, time.Second)
+	b.PublishLocal(hintproto.HintSpeed, 3, time.Second) // different type: not delivered
+	if len(got) != 1 || got[0].Hint.Value != 1 {
+		t.Fatalf("got %v", got)
+	}
+	cancel()
+	b.PublishLocal(hintproto.HintMovement, 0, 2*time.Second)
+	if len(got) != 1 {
+		t.Error("event delivered after unsubscribe")
+	}
+}
+
+func TestSubscribeAll(t *testing.T) {
+	b := NewBus()
+	n := 0
+	cancel := b.SubscribeAll(func(Event) { n++ })
+	b.PublishLocal(hintproto.HintMovement, 1, 0)
+	b.PublishLocal(hintproto.HintSpeed, 2, 0)
+	if n != 2 {
+		t.Errorf("SubscribeAll saw %d events, want 2", n)
+	}
+	cancel()
+	b.PublishLocal(hintproto.HintHeading, 3, 0)
+	if n != 2 {
+		t.Error("event after cancel")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	b := NewBus()
+	if _, ok := b.Latest(hintproto.HintMovement, Local); ok {
+		t.Error("fresh bus should have no latest")
+	}
+	b.PublishLocal(hintproto.HintMovement, 1, 5*time.Second)
+	b.PublishLocal(hintproto.HintMovement, 0, 9*time.Second)
+	ev, ok := b.Latest(hintproto.HintMovement, Local)
+	if !ok || ev.Hint.Value != 0 || ev.At != 9*time.Second {
+		t.Errorf("latest = %+v", ev)
+	}
+}
+
+func TestLatestFresh(t *testing.T) {
+	b := NewBus()
+	b.PublishLocal(hintproto.HintMovement, 1, 5*time.Second)
+	if _, ok := b.LatestFresh(hintproto.HintMovement, Local, 5500*time.Millisecond, time.Second); !ok {
+		t.Error("hint 0.5 s old rejected with 1 s budget")
+	}
+	if _, ok := b.LatestFresh(hintproto.HintMovement, Local, 7*time.Second, time.Second); ok {
+		t.Error("hint 2 s old accepted with 1 s budget")
+	}
+}
+
+func TestIngestFrame(t *testing.T) {
+	b := NewBus()
+	src := dot11.AddrFromInt(42)
+	f := &dot11.Frame{Type: dot11.TypeData, Src: src, Payload: []byte("d")}
+	hintproto.SetMovementBit(f, true)
+	if err := hintproto.AppendTrailer(f, []hintproto.Hint{{Type: hintproto.HintSpeed, Value: 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+	n := b.IngestFrame(f, 3*time.Second)
+	if n != 2 {
+		t.Fatalf("ingested %d hints, want 2", n)
+	}
+	moving, known := b.MovingRemote(src)
+	if !known || !moving {
+		t.Error("remote movement hint not recorded")
+	}
+	ev, ok := b.Latest(hintproto.HintSpeed, Source{Remote: true, Addr: src})
+	if !ok || ev.Hint.Value != 2.5 {
+		t.Errorf("remote speed = %+v ok=%v", ev, ok)
+	}
+	// Local state must be untouched by remote hints.
+	if b.MovingLocal() {
+		t.Error("remote hint leaked into local state")
+	}
+}
+
+func TestMovingLocal(t *testing.T) {
+	b := NewBus()
+	if b.MovingLocal() {
+		t.Error("fresh bus reports moving")
+	}
+	b.PublishLocal(hintproto.HintMovement, 1, 0)
+	if !b.MovingLocal() {
+		t.Error("local movement not reported")
+	}
+	b.PublishLocal(hintproto.HintMovement, 0, time.Second)
+	if b.MovingLocal() {
+		t.Error("stale movement reported")
+	}
+}
+
+func TestMovingRemoteUnknown(t *testing.T) {
+	b := NewBus()
+	if moving, known := b.MovingRemote(dot11.AddrFromInt(1)); moving || known {
+		t.Error("unknown remote should be (false, false)")
+	}
+}
+
+func TestSourcesAreDistinct(t *testing.T) {
+	b := NewBus()
+	a1, a2 := dot11.AddrFromInt(1), dot11.AddrFromInt(2)
+	b.Publish(Event{Hint: hintproto.Hint{Type: hintproto.HintMovement, Value: 1}, Source: Source{Remote: true, Addr: a1}})
+	if moving, known := b.MovingRemote(a2); moving || known {
+		t.Error("hint from a1 visible under a2")
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	count := 0
+	b.Subscribe(hintproto.HintMovement, func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.PublishLocal(hintproto.HintMovement, float64(j%2), time.Duration(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 800 {
+		t.Errorf("delivered %d events, want 800", count)
+	}
+}
+
+func TestZeroValueBusUsable(t *testing.T) {
+	var b Bus
+	b.PublishLocal(hintproto.HintMovement, 1, 0)
+	if !b.MovingLocal() {
+		t.Error("zero-value bus not usable")
+	}
+}

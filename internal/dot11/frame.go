@@ -1,0 +1,167 @@
+// Package dot11 models the subset of 802.11 link-layer framing the hint
+// protocol rides on: data frames, ACKs, probe requests/responses and
+// beacons, with MAC addresses, sequence numbers and a frame check
+// sequence. Frames marshal to and from bytes so the hint protocol can be
+// exercised over real sockets (see cmd/hintnode) as well as inside the
+// simulator.
+//
+// The encoding is deliberately a compact 802.11-like format, not a
+// byte-exact reproduction of the standard: what matters to the paper is
+// the presence of an unused header bit that a binary hint can be stuffed
+// into, and the ability to piggy-back a (type, value) hint trailer on data
+// frames without confusing legacy receivers.
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [6]byte
+
+// String formats the address in colon-separated hex.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// AddrFromInt derives a deterministic unicast address from an integer
+// node id, convenient for simulations.
+func AddrFromInt(id int) Addr {
+	var a Addr
+	a[0] = 0x02 // locally administered, unicast
+	binary.BigEndian.PutUint32(a[2:], uint32(id))
+	return a
+}
+
+// FrameType enumerates the frame types the model supports.
+type FrameType byte
+
+// Supported frame types.
+const (
+	TypeData FrameType = iota
+	TypeAck
+	TypeProbeReq
+	TypeProbeResp
+	TypeBeacon
+	// TypeHint is the standalone hint frame of §2.3, recognised only by
+	// nodes running the hint protocol.
+	TypeHint
+)
+
+// String returns the frame type name.
+func (t FrameType) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeAck:
+		return "ack"
+	case TypeProbeReq:
+		return "probe-req"
+	case TypeProbeResp:
+		return "probe-resp"
+	case TypeBeacon:
+		return "beacon"
+	case TypeHint:
+		return "hint"
+	}
+	return fmt.Sprintf("type(%d)", byte(t))
+}
+
+// Header flag bits. FlagMovement is the paper's §2.3 trick: a simple
+// binary movement hint occupies an otherwise-unused bit of the header, so
+// ACKs and probes can carry it with zero added bytes and full legacy
+// compatibility.
+const (
+	// FlagRetry marks a retransmission.
+	FlagRetry byte = 1 << 0
+	// FlagMovement carries the boolean movement hint.
+	FlagMovement byte = 1 << 1
+	// FlagHintTrailer marks that a hint TLV trailer follows the payload.
+	FlagHintTrailer byte = 1 << 2
+)
+
+// Frame is one link-layer frame.
+type Frame struct {
+	Type    FrameType
+	Flags   byte
+	Seq     uint16
+	Src     Addr
+	Dst     Addr
+	Payload []byte
+}
+
+// header layout: type(1) flags(1) seq(2) src(6) dst(6) paylen(2) = 18
+// bytes, followed by the payload and a CRC-32 FCS.
+const (
+	headerLen = 18
+	fcsLen    = 4
+	// MaxPayload bounds the payload length to one 16-bit length field.
+	MaxPayload = 2304 // 802.11 MSDU maximum
+)
+
+// Marshal errors.
+var (
+	ErrPayloadTooLarge = errors.New("dot11: payload exceeds MaxPayload")
+	ErrShortFrame      = errors.New("dot11: frame too short")
+	ErrBadFCS          = errors.New("dot11: frame check sequence mismatch")
+	ErrBadLength       = errors.New("dot11: payload length field mismatch")
+)
+
+// Marshal serialises the frame, appending the FCS.
+func (f *Frame) Marshal() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	buf := make([]byte, headerLen+len(f.Payload)+fcsLen)
+	buf[0] = byte(f.Type)
+	buf[1] = f.Flags
+	binary.BigEndian.PutUint16(buf[2:], f.Seq)
+	copy(buf[4:], f.Src[:])
+	copy(buf[10:], f.Dst[:])
+	binary.BigEndian.PutUint16(buf[16:], uint16(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	fcs := crc32.ChecksumIEEE(buf[:headerLen+len(f.Payload)])
+	binary.BigEndian.PutUint32(buf[headerLen+len(f.Payload):], fcs)
+	return buf, nil
+}
+
+// Unmarshal parses a frame from b, verifying length consistency and the
+// FCS. The returned frame's payload aliases b.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) < headerLen+fcsLen {
+		return nil, ErrShortFrame
+	}
+	payLen := int(binary.BigEndian.Uint16(b[16:]))
+	if len(b) != headerLen+payLen+fcsLen {
+		return nil, ErrBadLength
+	}
+	want := binary.BigEndian.Uint32(b[headerLen+payLen:])
+	if crc32.ChecksumIEEE(b[:headerLen+payLen]) != want {
+		return nil, ErrBadFCS
+	}
+	f := &Frame{
+		Type:  FrameType(b[0]),
+		Flags: b[1],
+		Seq:   binary.BigEndian.Uint16(b[2:]),
+	}
+	copy(f.Src[:], b[4:10])
+	copy(f.Dst[:], b[10:16])
+	f.Payload = b[headerLen : headerLen+payLen]
+	return f, nil
+}
+
+// WireLen returns the marshalled length of the frame in bytes, used by
+// the airtime model.
+func (f *Frame) WireLen() int { return headerLen + len(f.Payload) + fcsLen }
+
+// Ack constructs the ACK for a received frame, addressed back to its
+// sender.
+func Ack(of *Frame, from Addr) *Frame {
+	return &Frame{Type: TypeAck, Seq: of.Seq, Src: from, Dst: of.Src}
+}

@@ -1,0 +1,159 @@
+package dot11
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := &Frame{
+		Type:    TypeData,
+		Flags:   FlagMovement | FlagRetry,
+		Seq:     1234,
+		Src:     AddrFromInt(7),
+		Dst:     AddrFromInt(9),
+		Payload: []byte("hello wireless world"),
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != f.WireLen() {
+		t.Errorf("wire length %d != WireLen %d", len(b), f.WireLen())
+	}
+	g, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != f.Type || g.Flags != f.Flags || g.Seq != f.Seq ||
+		g.Src != f.Src || g.Dst != f.Dst || !bytes.Equal(g.Payload, f.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", g, f)
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(typ, flags byte, seq uint16, srcID, dstID int32, payLen uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, int(payLen)%MaxPayload)
+		rng.Read(payload)
+		fr := &Frame{
+			Type:    FrameType(typ % 6),
+			Flags:   flags,
+			Seq:     seq,
+			Src:     AddrFromInt(int(srcID)),
+			Dst:     AddrFromInt(int(dstID)),
+			Payload: payload,
+		}
+		b, err := fr.Marshal()
+		if err != nil {
+			return false
+		}
+		g, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return g.Type == fr.Type && g.Flags == fr.Flags && g.Seq == fr.Seq &&
+			g.Src == fr.Src && g.Dst == fr.Dst && bytes.Equal(g.Payload, fr.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	f := &Frame{Payload: make([]byte, MaxPayload+1)}
+	if _, err := f.Marshal(); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestUnmarshalShortFrame(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestUnmarshalBadLength(t *testing.T) {
+	f := &Frame{Payload: []byte("abc")}
+	b, _ := f.Marshal()
+	// Truncate one byte: the declared payload length no longer matches.
+	if _, err := Unmarshal(b[:len(b)-1]); !errors.Is(err, ErrBadLength) {
+		t.Errorf("err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestUnmarshalCorruption(t *testing.T) {
+	f := &Frame{Type: TypeData, Payload: []byte("payload bytes")}
+	b, _ := f.Marshal()
+	// Flip every byte in turn; every corruption must be caught by FCS or
+	// the length check (a flipped length byte changes the expected
+	// total).
+	for i := range b {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x40
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestAck(t *testing.T) {
+	data := &Frame{Type: TypeData, Seq: 77, Src: AddrFromInt(1), Dst: AddrFromInt(2)}
+	ack := Ack(data, AddrFromInt(2))
+	if ack.Type != TypeAck || ack.Seq != 77 || ack.Dst != data.Src || ack.Src != AddrFromInt(2) {
+		t.Errorf("Ack = %+v", ack)
+	}
+}
+
+func TestAddrFromInt(t *testing.T) {
+	a, b := AddrFromInt(1), AddrFromInt(2)
+	if a == b {
+		t.Error("distinct ids produced equal addresses")
+	}
+	if a != AddrFromInt(1) {
+		t.Error("AddrFromInt not deterministic")
+	}
+	if a[0]&1 != 0 {
+		t.Error("generated address must be unicast (even first octet)")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{0x02, 0x00, 0xab, 0xcd, 0xef, 0x01}
+	if got := a.String(); got != "02:00:ab:cd:ef:01" {
+		t.Errorf("Addr.String() = %q", got)
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	names := map[FrameType]string{
+		TypeData: "data", TypeAck: "ack", TypeProbeReq: "probe-req",
+		TypeProbeResp: "probe-resp", TypeBeacon: "beacon", TypeHint: "hint",
+	}
+	for ft, want := range names {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+	if FrameType(99).String() == "" {
+		t.Error("unknown type should still format")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	f := &Frame{Type: TypeAck, Src: AddrFromInt(3), Dst: AddrFromInt(4)}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Payload) != 0 {
+		t.Errorf("payload = %v, want empty", g.Payload)
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/phy"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/vehicular"
+)
+
+func init() {
+	register("table5-1", "median vehicular link duration by heading difference", Table5_1)
+	register("sec5-1", "CTE route selection vs hint-free route stability", Sec5_1)
+	register("fig5-1", "AP throughput collapse when a client departs", Fig5_1)
+	register("sec5-2", "AP association scoring and mobile-favored scheduling", Sec5_2)
+	register("sec5-3", "guard-interval (cyclic prefix) selection from location hints", Sec5_3)
+	register("sec5-4", "movement-based radio power saving", Sec5_4)
+}
+
+// Table5_1 reproduces Table 5.1: simulate vehicle fleets on the road
+// grid, record every link (two vehicles within 100 m) with the heading
+// difference at link formation, and report the median link duration per
+// heading-difference bucket. Paper values: 66 / 32 / 15 / 9 seconds with
+// an all-links median of 16 — similar headings predict 4–5× longer links.
+func Table5_1(cfg Config) *Report {
+	r := &Report{
+		ID:    "table5-1",
+		Title: "Median link duration (s) by heading difference",
+		Paper: "[0,9]=66  [10,19]=32  [20,29]=15  [30,180]=9  all=16 (4–5× for similar headings)",
+	}
+	nets := cfg.scaleInt(15, 3) // the paper studies 15 networks of 100 vehicles
+	horizon := time.Duration(cfg.scaleInt(300, 120)) * time.Second
+	var all []vehicular.LinkRecord
+	for n := 0; n < nets; n++ {
+		sim := vehicular.NewSimulation(vehicular.DefaultMobilityConfig(cfg.Seed + int64(n)*613))
+		all = append(all, vehicular.CollectLinks(sim, horizon)...)
+	}
+	buckets, allMed := vehicular.MedianDurations(all)
+
+	r.Columns = []string{"median (s)"}
+	for i, name := range vehicular.BucketNames {
+		r.Rows = append(r.Rows, Row{Label: name, Values: []float64{buckets[i]}})
+	}
+	r.Rows = append(r.Rows, Row{Label: "all links", Values: []float64{allMed}})
+	r.Notes = append(r.Notes, fmt.Sprintf("%d links observed across %d networks", len(all), nets))
+
+	r.AddCheck("enough-links", len(all) > 1000, "%d links (paper observed 16,523)", len(all))
+	r.AddCheck("monotone-buckets", buckets[0] > buckets[1] && buckets[1] > buckets[2] && buckets[2] >= buckets[3],
+		"medians decrease with heading difference: %.0f > %.0f > %.0f ≥ %.0f",
+		buckets[0], buckets[1], buckets[2], buckets[3])
+	factor := 0.0
+	if allMed > 0 {
+		factor = buckets[0] / allMed
+	}
+	r.AddCheck("similar-heading-4-5x", factor >= 2.5,
+		"similar-heading links last %.1fx the all-links median (paper 4–5x)", factor)
+	return r
+}
+
+// Sec5_1 reproduces the §5.1.2 route-stability claim: routes chosen by
+// the CTE metric (prefer neighbours with similar headings) last 4–5×
+// longer than hint-free route selection.
+func Sec5_1(cfg Config) *Report {
+	r := &Report{
+		ID:    "sec5-1",
+		Title: "Route lifetime: CTE vs hint-free selection",
+		Paper: "hint-aware route selection increases route stability by 4–5×",
+	}
+	mob := vehicular.DefaultMobilityConfig(cfg.Seed)
+	mob.Vehicles = 150 // denser fleet so aligned next hops exist
+	scfg := vehicular.StabilityConfig{
+		Mobility: mob,
+		Hops:     3,
+		Trials:   cfg.scaleInt(150, 30),
+		Horizon:  150 * time.Second,
+		Seed:     cfg.Seed + 17,
+	}
+	cte := vehicular.RouteLifetimes(scfg, vehicular.CTESelector{})
+	free := vehicular.RouteLifetimes(scfg, vehicular.RandomSelector{})
+
+	cteMed, freeMed := stats.Median(cte), stats.Median(free)
+	r.Columns = []string{"median (s)", "mean (s)", "routes"}
+	r.Rows = []Row{
+		{Label: "CTE", Values: []float64{cteMed, stats.Mean(cte), float64(len(cte))}},
+		{Label: "hint-free", Values: []float64{freeMed, stats.Mean(free), float64(len(free))}},
+	}
+	factor := 0.0
+	if freeMed > 0 {
+		factor = cteMed / freeMed
+	}
+	r.AddCheck("cte-more-stable", factor >= 2,
+		"median route lifetime: CTE %.0fs vs hint-free %.0fs (%.1fx, paper 4–5x)", cteMed, freeMed, factor)
+	return r
+}
+
+// Fig5_1 reproduces Figure 5-1 and the §5.2.3 fix: two clients share an
+// AP; client 2 leaves at ~35 s. With the commercial behaviour
+// (frame-level fairness, 10 s prune timeout) the remaining client's
+// throughput collapses for ~10 s; with hint-aware pruning it barely dips.
+func Fig5_1(cfg Config) *Report {
+	r := &Report{
+		ID:    "fig5-1",
+		Title: "Two-client AP throughput; client 2 departs at 35 s",
+		Paper: "remaining client drops precipitously for ~10 s, then recovers to full bandwidth",
+	}
+	base := ap.TwoClientConfig{Policy: ap.FrameFair}
+	legacy := ap.RunTwoClients(base)
+
+	hintCfg := base
+	hintCfg.Prune = ap.PruneConfig{Timeout: 10 * time.Second, HintAware: true, ProbeEvery: time.Second}
+	hinted := ap.RunTwoClients(hintCfg)
+
+	legacy.Client1.Name = "client 1 (legacy AP)"
+	hinted.Client1.Name = "client 1 (hint-aware AP)"
+	r.Series = append(r.Series, legacy.Client1, legacy.Client2, hinted.Client1)
+
+	// Quantify the collapse: client 1's mean throughput in the windows
+	// before departure, during the open-loop retry interval, and after
+	// pruning.
+	window := func(s *stats.Series, from, to float64) float64 {
+		var xs []float64
+		for _, p := range s.Points {
+			if p.X >= from && p.X < to {
+				xs = append(xs, p.Y)
+			}
+		}
+		return stats.Mean(xs)
+	}
+	before := window(legacy.Client1, 20, 34)
+	during := window(legacy.Client1, 36, 44)
+	after := window(legacy.Client1, 48, 58)
+	hintDuring := window(hinted.Client1, 36, 44)
+
+	r.Columns = []string{"Mbps"}
+	r.Rows = []Row{
+		{Label: "legacy before depart", Values: []float64{before}},
+		{Label: "legacy during retries", Values: []float64{during}},
+		{Label: "legacy after prune", Values: []float64{after}},
+		{Label: "hint-aware during", Values: []float64{hintDuring}},
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("legacy AP pruned at %.1fs; hint-aware at %.1fs",
+			legacy.PruneAt.Seconds(), hinted.PruneAt.Seconds()))
+
+	r.AddCheck("collapse-during-retries", during < 0.5*before,
+		"client 1 throughput %.1f → %.1f Mbps while the AP retries open-loop", before, during)
+	r.AddCheck("recovers-after-prune", after > 1.5*before,
+		"client 1 recovers to the whole channel: %.1f Mbps (was sharing at %.1f)", after, before)
+	r.AddCheck("hint-avoids-collapse", hintDuring > 2*during,
+		"hint-aware AP keeps client 1 at %.1f Mbps vs %.1f legacy", hintDuring, during)
+	return r
+}
+
+// Sec5_2 evaluates the remaining AP policies: hint-aware association
+// scoring (§5.2.1) picks the AP with the longest expected association,
+// and mobile-favored scheduling (§5.2.2) increases aggregate delivered
+// traffic when a mobile client will soon depart.
+func Sec5_2(cfg Config) *Report {
+	r := &Report{
+		ID:    "sec5-2",
+		Title: "Adaptive association and packet scheduling",
+		Paper: "heading-aware association predicts longer associations; favoring the mobile client raises aggregate throughput",
+	}
+	score := ap.DefaultAssociationScore()
+
+	// Association: a client walking toward AP-B should pick AP-B even
+	// though AP-A is currently stronger.
+	toward := ap.ClientHints{Moving: true, HeadingDeg: 90, SpeedMps: 1.5, BearingToAPDeg: 90, RSSdB: 12}
+	away := ap.ClientHints{Moving: true, HeadingDeg: 90, SpeedMps: 1.5, BearingToAPDeg: 270, RSSdB: 15}
+	hintPick := ap.BestAP(score, []ap.ClientHints{away, toward})
+	rssPick := ap.BestAPByRSS([]ap.ClientHints{away, toward})
+	r.AddCheck("association-prefers-approach", hintPick == 1 && rssPick == 0,
+		"hint-aware picks the approached AP (idx %d); RSS-only picks the one being left (idx %d)", hintPick, rssPick)
+
+	// Scheduling: client 2 departs at 20 s with a finite backlog; the
+	// static client's batch is finite in time anyway, so dedicating more
+	// of the pre-departure window to the mobile client raises the total.
+	base := ap.TwoClientConfig{
+		Total:         40 * time.Second,
+		DepartAt:      20 * time.Second,
+		DepartWarning: 10 * time.Second, // the client roams for 10 s before leaving
+		MobileShare:   0.85,
+		Policy:        ap.FrameFair,
+	}
+	fair := ap.RunTwoClients(base)
+	fav := base
+	fav.Policy = ap.MobileFavored
+	favored := ap.RunTwoClients(fav)
+
+	r.Columns = []string{"client1 Mb", "client2 Mb", "total Mb"}
+	r.Rows = []Row{
+		{Label: "frame-fair", Values: []float64{fair.Total1, fair.Total2, fair.Total1 + fair.Total2}},
+		{Label: "mobile-favored", Values: []float64{favored.Total1, favored.Total2, favored.Total1 + favored.Total2}},
+	}
+	r.AddCheck("favoring-mobile-raises-client2", favored.Total2 > 1.15*fair.Total2,
+		"mobile client receives %.0f Mb vs %.0f under frame fairness", favored.Total2, fair.Total2)
+	return r
+}
+
+// Sec5_3 evaluates the §5.3 PHY hint: outdoors the delay spread exceeds
+// the standard 0.8 µs cyclic prefix; a GPS-lock hint lets the node pick
+// the long prefix directly, recovering most of the throughput that ISI
+// destroys, without an empirical search.
+func Sec5_3(cfg Config) *Report {
+	r := &Report{
+		ID:    "sec5-3",
+		Title: "Cyclic prefix selection with an outdoor hint",
+		Paper: "802.11a works poorly outdoors with the standard prefix; a hint makes the search unnecessary",
+	}
+	const snr = 21.0
+	indoorDelay := 200 * time.Nanosecond
+	outdoorDelay := 1500 * time.Nanosecond
+	rate := phy.Rate54
+
+	stdIn := phy.EffectiveThroughputMbps(rate, phy.GI800, snr, indoorDelay, 1000)
+	stdOut := phy.EffectiveThroughputMbps(rate, phy.GI800, snr, outdoorDelay, 1000)
+	hintOut := phy.EffectiveThroughputMbps(rate, phy.GuardIntervalForEnvironment(true), snr, outdoorDelay, 1000)
+	bestOut := phy.EffectiveThroughputMbps(rate, phy.BestGuardInterval(rate, snr, outdoorDelay, 1000), snr, outdoorDelay, 1000)
+
+	r.Columns = []string{"Mbps"}
+	r.Rows = []Row{
+		{Label: "indoor, GI 0.8us", Values: []float64{stdIn}},
+		{Label: "outdoor, GI 0.8us", Values: []float64{stdOut}},
+		{Label: "outdoor, hint GI 1.6us", Values: []float64{hintOut}},
+		{Label: "outdoor, exhaustive best", Values: []float64{bestOut}},
+	}
+	r.AddCheck("outdoor-hurts-standard-prefix", stdOut < 0.5*stdIn,
+		"outdoor delay spread cuts GI0.8 throughput %.1f → %.1f Mbps", stdIn, stdOut)
+	r.AddCheck("hint-recovers", hintOut > 2*stdOut,
+		"outdoor hint prefix delivers %.1f vs %.1f Mbps", hintOut, stdOut)
+	r.AddCheck("hint-matches-search", hintOut >= 0.95*bestOut,
+		"hint pick %.1f ≈ exhaustive best %.1f Mbps", hintOut, bestOut)
+	return r
+}
+
+// Sec5_4 evaluates the §5.4 power policy on a scenario with dead spots
+// and a fast-vehicle phase: the hint-aware policy powers the radio down
+// when scanning is futile and saves most of the scan energy without
+// missing meaningful connectivity.
+func Sec5_4(cfg Config) *Report {
+	r := &Report{
+		ID:    "sec5-4",
+		Title: "Movement-based radio power saving",
+		Paper: "power down when static with no AP, or moving too fast for Wi-Fi; wake on movement hints",
+	}
+	total := 10 * time.Minute
+	// Scenario: 0–3 min parked in a dead spot; 3–5 min walking through
+	// coverage; 5–8 min driving fast (no useful Wi-Fi); 8–10 min walking
+	// in coverage again.
+	scenario := func(t time.Duration) power.Input {
+		switch {
+		case t < 3*time.Minute:
+			return power.Input{Moving: false, SpeedMps: 0, APAvailable: false}
+		case t < 5*time.Minute:
+			return power.Input{Moving: true, SpeedMps: 1.4, APAvailable: true}
+		case t < 8*time.Minute:
+			return power.Input{Moving: true, SpeedMps: 28, APAvailable: false}
+		default:
+			return power.Input{Moving: true, SpeedMps: 1.4, APAvailable: true}
+		}
+	}
+	model := power.DefaultEnergyModel()
+	aware := power.Simulate(power.NewPolicy(true), model, 100*time.Millisecond, total, scenario)
+	naive := power.Simulate(power.NewPolicy(false), model, 100*time.Millisecond, total, scenario)
+
+	r.Columns = []string{"energy mJ", "missed s", "off s"}
+	r.Rows = []Row{
+		{Label: "hint-aware", Values: []float64{aware.EnergyMJ, aware.MissedConnectivity.Seconds(), aware.TimeIn[power.RadioOff].Seconds()}},
+		{Label: "hint-oblivious", Values: []float64{naive.EnergyMJ, naive.MissedConnectivity.Seconds(), naive.TimeIn[power.RadioOff].Seconds()}},
+	}
+	saving := 1 - aware.EnergyMJ/naive.EnergyMJ
+	r.AddCheck("saves-energy", saving > 0.15,
+		"hint-aware saves %.0f%% energy (%.0f vs %.0f mJ)", 100*saving, aware.EnergyMJ, naive.EnergyMJ)
+	r.AddCheck("no-extra-missed-connectivity", aware.MissedConnectivity <= naive.MissedConnectivity+5*time.Second,
+		"missed connectivity: aware %.0fs vs naive %.0fs", aware.MissedConnectivity.Seconds(), naive.MissedConnectivity.Seconds())
+	return r
+}

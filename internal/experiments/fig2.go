@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/hints"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig2-2", "jerk over time: rest, move, rest", Fig2_2)
+}
+
+// Fig2_2 reproduces Figure 2-2: the jerk statistic over an experiment in
+// which the device starts stationary, is moved, and returns to rest. The
+// shape checks assert the paper's two claims: jerk never crosses the
+// threshold at rest and frequently exceeds it while moving, and the
+// derived movement hint flips within 100 ms of the ground truth.
+func Fig2_2(cfg Config) *Report {
+	r := &Report{
+		ID:    "fig2-2",
+		Title: "Jerk value over time (stationary → moving → stationary)",
+		Paper: "jerk < 3 while stationary, frequently > 3 while moving; detection < 100 ms",
+	}
+	const restA = 20 * time.Second
+	const moveLen = 40 * time.Second
+	const restB = 20 * time.Second
+	total := restA + moveLen + restB
+	sched := sensors.Schedule{
+		{Start: restA, End: restA + moveLen, Mode: sensors.Walk},
+	}
+	acc := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), cfg.Seed+1)
+	samples := acc.Generate(sched, total)
+	jerks := hints.JerkSeries(samples, hints.MovementConfig{})
+
+	series := &stats.Series{Name: "jerk"}
+	for i, j := range jerks {
+		// Downsample for the chart: every 25th report (50 ms).
+		if i%25 == 0 {
+			series.Add(samples[i].T.Seconds(), j)
+		}
+	}
+	r.Series = append(r.Series, series)
+
+	// Shape check 1: rest-phase jerk below threshold (allow the warmup
+	// reports and a tiny exceedance tolerance for noise tails).
+	maxRest, maxMove := 0.0, 0.0
+	exceedRest, moveAbove := 0, 0
+	nRest, nMove := 0, 0
+	for i, j := range jerks {
+		t := samples[i].T
+		if sched.MovingAt(t) {
+			nMove++
+			if j > hints.DefaultJerkThreshold {
+				moveAbove++
+			}
+			if j > maxMove {
+				maxMove = j
+			}
+		} else if t > time.Second && (t < restA-time.Second || t > restA+moveLen+time.Second) {
+			nRest++
+			if j > hints.DefaultJerkThreshold {
+				exceedRest++
+			}
+			if j > maxRest {
+				maxRest = j
+			}
+		}
+	}
+	restExceedFrac := float64(exceedRest) / float64(nRest)
+	moveFrac := float64(moveAbove) / float64(nMove)
+	r.AddCheck("rest-below-threshold", restExceedFrac < 0.001,
+		"rest jerk max %.2f, %.4f%% of rest reports above 3", maxRest, 100*restExceedFrac)
+	r.AddCheck("move-above-threshold", moveFrac > 0.10,
+		"moving jerk max %.1f, %.1f%% of moving reports above 3", maxMove, 100*moveFrac)
+
+	// Shape check 2: hint detection latency.
+	det := hints.NewMovementDetector(hints.MovementConfig{})
+	var rise, fall time.Duration = -1, -1
+	for _, s := range samples {
+		m := det.Update(s)
+		if m && rise < 0 && s.T >= restA {
+			rise = s.T - restA
+		}
+		if !m && rise >= 0 && fall < 0 && s.T >= restA+moveLen {
+			fall = s.T - (restA + moveLen)
+		}
+	}
+	r.AddCheck("rise-latency", rise >= 0 && rise <= 100*time.Millisecond,
+		"movement detected %v after motion onset", rise)
+	r.AddCheck("fall-detected", fall >= 0 && fall <= 500*time.Millisecond,
+		"stationarity detected %v after motion end (hysteresis window 100 ms)", fall)
+
+	r.Rows = []Row{
+		{Label: "max jerk (rest)", Values: []float64{maxRest}},
+		{Label: "max jerk (moving)", Values: []float64{maxMove}},
+		{Label: "rise latency (ms)", Values: []float64{float64(rise.Milliseconds())}},
+		{Label: "fall latency (ms)", Values: []float64{float64(fall.Milliseconds())}},
+	}
+	r.Columns = []string{"value"}
+	return r
+}

@@ -1,0 +1,164 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation, producing reports with the same rows/series the
+// paper presents plus automated shape checks (who wins, by roughly what
+// factor, where crossovers fall). The cmd/hintbench binary prints these
+// reports; the test suite and the root-level benchmarks assert their
+// checks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Config controls experiment scale so the same runner serves quick tests
+// and full reproductions.
+type Config struct {
+	// Scale multiplies trace counts and durations; 1.0 reproduces the
+	// paper's scale, smaller values run faster. Values ≤ 0 mean 1.0.
+	Scale float64
+	// Seed makes runs deterministic.
+	Seed int64
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// scaleInt scales n, keeping at least min.
+func (c Config) scaleInt(n, min int) int {
+	v := int(float64(n) * c.scale())
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Check is one automated shape assertion of a report.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Row is one table row: a label and named values in column order.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	// ID matches the DESIGN.md experiment index ("fig3-5", "table5-1").
+	ID string
+	// Title describes the artifact being reproduced.
+	Title string
+	// Paper states the expectation from the paper, for side-by-side
+	// reading.
+	Paper string
+	// Columns names the value columns of Rows.
+	Columns []string
+	Rows    []Row
+	// Series carries figure curves.
+	Series []*stats.Series
+	// Notes carries free-form observations.
+	Notes []string
+	// Checks carries the automated shape assertions.
+	Checks []Check
+}
+
+// AddCheck records a shape assertion.
+func (r *Report) AddCheck(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Failed returns the names of failed checks.
+func (r *Report) Failed() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c.Name+": "+c.Detail)
+		}
+	}
+	return out
+}
+
+// String renders the report for the terminal.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(&b, "%-28s", "")
+		for _, c := range r.Columns {
+			fmt.Fprintf(&b, "%14s", c)
+		}
+		b.WriteString("\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-28s", row.Label)
+			for _, v := range row.Values {
+				fmt.Fprintf(&b, "%14.4g", v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, s := range r.Series {
+		if s.Len() > 0 {
+			fmt.Fprintf(&b, "-- series: %s (%d points)\n", s.Name, s.Len())
+		}
+	}
+	if len(r.Series) > 0 {
+		b.WriteString(stats.Chart(100, 18, r.Series...))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "check [%s] %s: %s\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID   string
+	Run  func(Config) *Report
+	Desc string
+}
+
+var registry []Runner
+
+// register adds an experiment to the global registry (called from each
+// experiment file's init).
+func register(id, desc string, run func(Config) *Report) {
+	registry = append(registry, Runner{ID: id, Run: run, Desc: desc})
+}
+
+// All returns every registered experiment sorted by id.
+func All() []Runner {
+	out := append([]Runner(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

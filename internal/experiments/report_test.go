@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestReportString(t *testing.T) {
+	r := &Report{
+		ID:      "test-1",
+		Title:   "A test report",
+		Paper:   "expected shape",
+		Columns: []string{"value"},
+		Rows:    []Row{{Label: "metric", Values: []float64{42}}},
+		Notes:   []string{"a note"},
+	}
+	s := &stats.Series{Name: "curve"}
+	s.Add(0, 1)
+	s.Add(1, 2)
+	r.Series = append(r.Series, s)
+	r.AddCheck("passes", true, "ok %d", 1)
+	r.AddCheck("fails", false, "bad %d", 2)
+
+	out := r.String()
+	for _, want := range []string{"test-1", "A test report", "expected shape",
+		"metric", "42", "a note", "curve", "[PASS] passes: ok 1", "[FAIL] fails: bad 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q", want)
+		}
+	}
+	if got := r.Failed(); len(got) != 1 || !strings.Contains(got[0], "fails") {
+		t.Errorf("Failed() = %v", got)
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	var zero Config
+	if zero.scale() != 1 {
+		t.Error("zero config should scale 1.0")
+	}
+	c := Config{Scale: 0.1}
+	if c.scaleInt(100, 5) != 10 {
+		t.Errorf("scaleInt = %d", c.scaleInt(100, 5))
+	}
+	if c.scaleInt(10, 5) != 5 {
+		t.Error("scaleInt must respect the minimum")
+	}
+}
+
+func TestRegistryOrdering(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Errorf("registry unsorted at %d: %s >= %s", i, all[i-1].ID, all[i].ID)
+		}
+	}
+	for _, e := range all {
+		if e.Desc == "" {
+			t.Errorf("experiment %s has no description", e.ID)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsShape runs every registered experiment at reduced
+// scale and asserts the paper-shape checks pass.
+func TestAllExperimentsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			rep := exp.Run(Config{Scale: 0.3, Seed: 42})
+			for _, c := range rep.Checks {
+				if !c.OK {
+					t.Errorf("check %s failed: %s", c.Name, c.Detail)
+				} else {
+					t.Logf("check %s: %s", c.Name, c.Detail)
+				}
+			}
+		})
+	}
+}

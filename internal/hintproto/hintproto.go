@@ -1,0 +1,295 @@
+// Package hintproto implements the Hint Protocol of §2.3: the wire
+// encodings that let a node share its sensor hints with neighbours and
+// access points, so that a sender adapting its strategy can learn the
+// receiver's mobility state.
+//
+// Three mechanisms are provided, mirroring the paper:
+//
+//  1. A binary movement hint stuffed into an unused header bit of any
+//     frame (ACKs, probe requests, data) — zero overhead, fully
+//     compatible with legacy nodes.
+//  2. A generalised (hintType, hintValue) two-byte pair, carried in a
+//     trailer piggy-backed on data frames; multiple pairs may be stacked.
+//  3. A standalone hint frame for nodes with no traffic to piggy-back on,
+//     recognised only by hint-protocol peers.
+//
+// Legacy (hint-oblivious) receivers ignore the header bit and never see
+// TypeHint frames, so hint-aware and legacy nodes coexist.
+package hintproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/dot11"
+)
+
+// HintType identifies the kind of hint carried in a (type, value) pair.
+type HintType byte
+
+// Hint types used by the protocols in this repository. The space is
+// open-ended by design: the paper argues for a broad class of sensor
+// hints.
+const (
+	// HintMovement is the boolean movement hint (value 0 or 1).
+	HintMovement HintType = iota + 1
+	// HintHeading is a heading in degrees, quantised to 256 steps of
+	// 360/256 ≈ 1.4°.
+	HintHeading
+	// HintSpeed is a speed in m/s, quantised to 0.5 m/s steps, capped at
+	// 127.5 m/s.
+	HintSpeed
+	// HintNoise is a microphone ambient-variation level 0–255 (§5.6).
+	HintNoise
+)
+
+// String names the hint type.
+func (t HintType) String() string {
+	switch t {
+	case HintMovement:
+		return "movement"
+	case HintHeading:
+		return "heading"
+	case HintSpeed:
+		return "speed"
+	case HintNoise:
+		return "noise"
+	}
+	return "unknown"
+}
+
+// Hint is one decoded hint: a type plus its natural-unit value.
+type Hint struct {
+	Type  HintType
+	Value float64
+}
+
+// EncodeValue quantises a natural-unit value into the one-byte wire
+// value for the hint type.
+func EncodeValue(t HintType, v float64) byte {
+	switch t {
+	case HintMovement:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case HintHeading:
+		d := math.Mod(v, 360)
+		if d < 0 {
+			d += 360
+		}
+		return byte(math.Round(d/360*256)) & 0xff
+	case HintSpeed:
+		steps := math.Round(v * 2)
+		if steps < 0 {
+			steps = 0
+		}
+		if steps > 255 {
+			steps = 255
+		}
+		return byte(steps)
+	default:
+		x := math.Round(v)
+		if x < 0 {
+			x = 0
+		}
+		if x > 255 {
+			x = 255
+		}
+		return byte(x)
+	}
+}
+
+// DecodeValue converts a wire byte back to natural units for the hint
+// type.
+func DecodeValue(t HintType, b byte) float64 {
+	switch t {
+	case HintMovement:
+		if b != 0 {
+			return 1
+		}
+		return 0
+	case HintHeading:
+		return float64(b) * 360 / 256
+	case HintSpeed:
+		return float64(b) / 2
+	default:
+		return float64(b)
+	}
+}
+
+// Trailer wire format, anchored at the end of the payload so it parses
+// deterministically: payload ... | count × (type, value) pairs | count(1)
+// | magic(2). The magic lets a hint-aware receiver detect the trailer; a
+// legacy receiver treats the bytes as payload padding.
+var trailerMagic = [2]byte{0x48, 0x21} // "H!"
+
+const trailerFixed = 3
+
+// Trailer encoding errors.
+var (
+	ErrNoTrailer      = errors.New("hintproto: frame has no hint trailer")
+	ErrTrailerCorrupt = errors.New("hintproto: hint trailer corrupt")
+	ErrTooManyHints   = errors.New("hintproto: more hints than a trailer can carry")
+)
+
+// AppendTrailer appends an encoded hint trailer to a data frame's payload
+// and sets FlagHintTrailer. Hints are written in the order given.
+func AppendTrailer(f *dot11.Frame, hs []Hint) error {
+	if len(hs) > 255 {
+		return ErrTooManyHints
+	}
+	t := make([]byte, 0, trailerFixed+2*len(hs))
+	for _, h := range hs {
+		t = append(t, byte(h.Type), EncodeValue(h.Type, h.Value))
+	}
+	t = append(t, byte(len(hs)), trailerMagic[0], trailerMagic[1])
+	if len(f.Payload)+len(t) > dot11.MaxPayload {
+		return dot11.ErrPayloadTooLarge
+	}
+	f.Payload = append(append([]byte(nil), f.Payload...), t...)
+	f.Flags |= dot11.FlagHintTrailer
+	return nil
+}
+
+// ParseTrailer extracts the hint trailer from a frame carrying one,
+// returning the hints and the original payload with the trailer stripped.
+func ParseTrailer(f *dot11.Frame) ([]Hint, []byte, error) {
+	if f.Flags&dot11.FlagHintTrailer == 0 {
+		return nil, f.Payload, ErrNoTrailer
+	}
+	p := f.Payload
+	if len(p) < trailerFixed {
+		return nil, p, ErrTrailerCorrupt
+	}
+	if p[len(p)-2] != trailerMagic[0] || p[len(p)-1] != trailerMagic[1] {
+		return nil, p, ErrTrailerCorrupt
+	}
+	n := int(p[len(p)-3])
+	start := len(p) - trailerFixed - 2*n
+	if start < 0 {
+		return nil, p, ErrTrailerCorrupt
+	}
+	hints := make([]Hint, 0, n)
+	for i := 0; i < n; i++ {
+		ht := HintType(p[start+2*i])
+		hv := p[start+2*i+1]
+		hints = append(hints, Hint{Type: ht, Value: DecodeValue(ht, hv)})
+	}
+	return hints, p[:start], nil
+}
+
+// SetMovementBit sets or clears the zero-overhead movement bit on any
+// frame (mechanism 1). Works on ACKs and probe requests exactly as §2.3
+// describes.
+func SetMovementBit(f *dot11.Frame, moving bool) {
+	if moving {
+		f.Flags |= dot11.FlagMovement
+	} else {
+		f.Flags &^= dot11.FlagMovement
+	}
+}
+
+// MovementBit reads the zero-overhead movement bit from a frame.
+func MovementBit(f *dot11.Frame) bool {
+	return f.Flags&dot11.FlagMovement != 0
+}
+
+// NewHintFrame builds a standalone hint frame (mechanism 3) carrying the
+// given hints from src to dst. The payload is the bare TLV list: a
+// two-byte count-prefixed sequence identical to the trailer body.
+func NewHintFrame(src, dst dot11.Addr, hs []Hint) (*dot11.Frame, error) {
+	if len(hs) > 255 {
+		return nil, ErrTooManyHints
+	}
+	payload := make([]byte, 1, 1+2*len(hs))
+	payload[0] = byte(len(hs))
+	for _, h := range hs {
+		payload = append(payload, byte(h.Type), EncodeValue(h.Type, h.Value))
+	}
+	return &dot11.Frame{Type: dot11.TypeHint, Src: src, Dst: dst, Payload: payload}, nil
+}
+
+// ParseHintFrame decodes a standalone hint frame's payload.
+func ParseHintFrame(f *dot11.Frame) ([]Hint, error) {
+	if f.Type != dot11.TypeHint {
+		return nil, ErrNoTrailer
+	}
+	p := f.Payload
+	if len(p) < 1 {
+		return nil, ErrTrailerCorrupt
+	}
+	n := int(p[0])
+	if len(p) != 1+2*n {
+		return nil, ErrTrailerCorrupt
+	}
+	hints := make([]Hint, 0, n)
+	for i := 0; i < n; i++ {
+		ht := HintType(p[1+2*i])
+		hints = append(hints, Hint{Type: ht, Value: DecodeValue(ht, p[2+2*i])})
+	}
+	return hints, nil
+}
+
+// ExtractAll gathers every hint a frame carries through any mechanism:
+// the movement bit, a trailer, or a standalone hint frame body. It never
+// fails: frames without hints yield an empty slice, and corrupt trailers
+// are skipped (a hint is advisory; a broken one is dropped, not an
+// error). The uint16 pair form of §2.3 — a single (hintType, hintVal)
+// field — is representable as a one-element trailer.
+func ExtractAll(f *dot11.Frame) []Hint {
+	var out []Hint
+	// Movement bit is meaningful on every frame type; report it only
+	// when set, since a clear bit on a legacy frame is indistinguishable
+	// from "no hint". Hint-aware peers that want explicit "not moving"
+	// use the trailer.
+	if MovementBit(f) {
+		out = append(out, Hint{Type: HintMovement, Value: 1})
+	}
+	if f.Type == dot11.TypeHint {
+		if hs, err := ParseHintFrame(f); err == nil {
+			out = append(out, hs...)
+		}
+		return out
+	}
+	if f.Flags&dot11.FlagHintTrailer != 0 {
+		if hs, _, err := ParseTrailer(f); err == nil {
+			out = append(out, hs...)
+		}
+	}
+	return out
+}
+
+// pairEncoding provides the compact two-byte (hintType, hintVal) field of
+// §2.3 for protocols that extend the frame format directly.
+
+// EncodePair packs one hint into the two-byte field.
+func EncodePair(h Hint) [2]byte {
+	return [2]byte{byte(h.Type), EncodeValue(h.Type, h.Value)}
+}
+
+// DecodePair unpacks the two-byte field.
+func DecodePair(b [2]byte) Hint {
+	t := HintType(b[0])
+	return Hint{Type: t, Value: DecodeValue(t, b[1])}
+}
+
+// PutPair writes the two-byte field into buf, which must have length ≥ 2.
+func PutPair(buf []byte, h Hint) {
+	p := EncodePair(h)
+	buf[0], buf[1] = p[0], p[1]
+}
+
+// PairFromUint16 and Uint16FromPair convert between the two-byte field
+// and a host uint16, for stacks that treat the field as an integer.
+
+// Uint16FromPair returns the big-endian integer form of the pair.
+func Uint16FromPair(p [2]byte) uint16 { return binary.BigEndian.Uint16(p[:]) }
+
+// PairFromUint16 returns the pair form of the big-endian integer.
+func PairFromUint16(v uint16) [2]byte {
+	var p [2]byte
+	binary.BigEndian.PutUint16(p[:], v)
+	return p
+}

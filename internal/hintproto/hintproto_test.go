@@ -1,0 +1,269 @@
+package hintproto
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dot11"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ HintType
+		in  float64
+		out float64 // after quantisation
+	}{
+		{HintMovement, 0, 0},
+		{HintMovement, 1, 1},
+		{HintMovement, 0.3, 1}, // any non-zero is moving
+		{HintHeading, 0, 0},
+		{HintHeading, 90, 90},
+		{HintHeading, 359, 358.59375}, // 256-step quantisation
+		{HintSpeed, 0, 0},
+		{HintSpeed, 1.4, 1.5}, // 0.5 m/s steps
+		{HintSpeed, 300, 127.5},
+		{HintNoise, 42, 42},
+		{HintNoise, 999, 255},
+	}
+	for _, c := range cases {
+		b := EncodeValue(c.typ, c.in)
+		got := DecodeValue(c.typ, b)
+		if math.Abs(got-c.out) > 1e-9 {
+			t.Errorf("%v(%v) -> %v, want %v", c.typ, c.in, got, c.out)
+		}
+	}
+}
+
+func TestHeadingQuantisationProperty(t *testing.T) {
+	f := func(deg float64) bool {
+		if math.IsNaN(deg) || math.IsInf(deg, 0) {
+			return true
+		}
+		deg = math.Mod(deg, 100000)
+		got := DecodeValue(HintHeading, EncodeValue(HintHeading, deg))
+		want := math.Mod(deg, 360)
+		if want < 0 {
+			want += 360
+		}
+		// Quantisation error ≤ half a step (360/256 ≈ 1.4°), modulo wrap.
+		d := math.Abs(got - want)
+		if d > 180 {
+			d = 360 - d
+		}
+		return d <= 360.0/256/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrailerRoundTrip(t *testing.T) {
+	f := &dot11.Frame{Type: dot11.TypeData, Payload: []byte("user payload")}
+	hs := []Hint{
+		{Type: HintMovement, Value: 1},
+		{Type: HintHeading, Value: 90},
+		{Type: HintSpeed, Value: 2},
+	}
+	if err := AppendTrailer(f, hs); err != nil {
+		t.Fatal(err)
+	}
+	if f.Flags&dot11.FlagHintTrailer == 0 {
+		t.Error("trailer flag not set")
+	}
+	got, payload, err := ParseTrailer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, []byte("user payload")) {
+		t.Errorf("payload = %q", payload)
+	}
+	if len(got) != 3 || got[0].Type != HintMovement || got[1].Type != HintHeading || got[2].Type != HintSpeed {
+		t.Errorf("hints = %v", got)
+	}
+	if got[2].Value != 2 {
+		t.Errorf("speed = %v", got[2].Value)
+	}
+}
+
+func TestTrailerEmptyHints(t *testing.T) {
+	f := &dot11.Frame{Type: dot11.TypeData, Payload: []byte("x")}
+	if err := AppendTrailer(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	hs, payload, err := ParseTrailer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 0 || !bytes.Equal(payload, []byte("x")) {
+		t.Errorf("hs=%v payload=%q", hs, payload)
+	}
+}
+
+func TestTrailerSurvivesMarshal(t *testing.T) {
+	f := &dot11.Frame{Type: dot11.TypeData, Src: dot11.AddrFromInt(1), Payload: []byte("data")}
+	if err := AppendTrailer(f, []Hint{{Type: HintSpeed, Value: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dot11.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, _, err := ParseTrailer(g)
+	if err != nil || len(hs) != 1 || hs[0].Value != 5 {
+		t.Errorf("hints after wire round trip: %v, %v", hs, err)
+	}
+}
+
+func TestParseTrailerOnPlainFrame(t *testing.T) {
+	f := &dot11.Frame{Type: dot11.TypeData, Payload: []byte("no trailer here")}
+	if _, _, err := ParseTrailer(f); !errors.Is(err, ErrNoTrailer) {
+		t.Errorf("err = %v, want ErrNoTrailer", err)
+	}
+}
+
+func TestParseTrailerCorrupt(t *testing.T) {
+	// Flag set but the payload has no valid trailer.
+	f := &dot11.Frame{Type: dot11.TypeData, Flags: dot11.FlagHintTrailer, Payload: []byte("xx")}
+	if _, _, err := ParseTrailer(f); !errors.Is(err, ErrTrailerCorrupt) {
+		t.Errorf("short payload: err = %v", err)
+	}
+	f.Payload = []byte("garbage but long enough")
+	if _, _, err := ParseTrailer(f); !errors.Is(err, ErrTrailerCorrupt) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	// Count byte claiming more pairs than the payload holds.
+	f.Payload = []byte{200, 'H', '!'}
+	f.Payload = append([]byte{1, 2}, f.Payload...)
+	if _, _, err := ParseTrailer(f); !errors.Is(err, ErrTrailerCorrupt) {
+		t.Errorf("overlong count: err = %v", err)
+	}
+}
+
+func TestMovementBit(t *testing.T) {
+	f := &dot11.Frame{Type: dot11.TypeAck}
+	if MovementBit(f) {
+		t.Error("fresh frame has movement bit set")
+	}
+	SetMovementBit(f, true)
+	if !MovementBit(f) {
+		t.Error("bit not set")
+	}
+	SetMovementBit(f, false)
+	if MovementBit(f) {
+		t.Error("bit not cleared")
+	}
+}
+
+func TestHintFrameRoundTrip(t *testing.T) {
+	hs := []Hint{{Type: HintMovement, Value: 1}, {Type: HintHeading, Value: 180}}
+	f, err := NewHintFrame(dot11.AddrFromInt(1), dot11.AddrFromInt(2), hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != dot11.TypeHint {
+		t.Error("wrong frame type")
+	}
+	got, err := ParseHintFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Value != 180 {
+		t.Errorf("hints = %v", got)
+	}
+}
+
+func TestParseHintFrameErrors(t *testing.T) {
+	f := &dot11.Frame{Type: dot11.TypeData}
+	if _, err := ParseHintFrame(f); err == nil {
+		t.Error("non-hint frame accepted")
+	}
+	bad := &dot11.Frame{Type: dot11.TypeHint, Payload: []byte{5, 1}}
+	if _, err := ParseHintFrame(bad); !errors.Is(err, ErrTrailerCorrupt) {
+		t.Errorf("truncated hint frame: err = %v", err)
+	}
+}
+
+func TestExtractAll(t *testing.T) {
+	// Mechanism 1: bit only.
+	f := &dot11.Frame{Type: dot11.TypeAck}
+	SetMovementBit(f, true)
+	hs := ExtractAll(f)
+	if len(hs) != 1 || hs[0].Type != HintMovement || hs[0].Value != 1 {
+		t.Errorf("bit extraction: %v", hs)
+	}
+
+	// Mechanism 2: trailer plus bit.
+	f2 := &dot11.Frame{Type: dot11.TypeData, Payload: []byte("d")}
+	SetMovementBit(f2, true)
+	if err := AppendTrailer(f2, []Hint{{Type: HintSpeed, Value: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	hs2 := ExtractAll(f2)
+	if len(hs2) != 2 {
+		t.Errorf("trailer extraction: %v", hs2)
+	}
+
+	// Mechanism 3: standalone hint frame.
+	f3, _ := NewHintFrame(dot11.AddrFromInt(1), dot11.Broadcast, []Hint{{Type: HintHeading, Value: 45}})
+	hs3 := ExtractAll(f3)
+	if len(hs3) != 1 || hs3[0].Type != HintHeading {
+		t.Errorf("hint frame extraction: %v", hs3)
+	}
+
+	// Legacy frame: nothing to extract, no error.
+	legacy := &dot11.Frame{Type: dot11.TypeData, Payload: []byte("old node")}
+	if hs := ExtractAll(legacy); len(hs) != 0 {
+		t.Errorf("legacy frame produced hints: %v", hs)
+	}
+
+	// Corrupt trailer: hints dropped silently, not fatal.
+	broken := &dot11.Frame{Type: dot11.TypeData, Flags: dot11.FlagHintTrailer, Payload: []byte("zz")}
+	if hs := ExtractAll(broken); len(hs) != 0 {
+		t.Errorf("corrupt trailer produced hints: %v", hs)
+	}
+}
+
+func TestPairEncoding(t *testing.T) {
+	h := Hint{Type: HintSpeed, Value: 4.5}
+	p := EncodePair(h)
+	got := DecodePair(p)
+	if got.Type != HintSpeed || got.Value != 4.5 {
+		t.Errorf("pair round trip: %v", got)
+	}
+	var buf [2]byte
+	PutPair(buf[:], h)
+	if buf != p {
+		t.Error("PutPair differs from EncodePair")
+	}
+	if PairFromUint16(Uint16FromPair(p)) != p {
+		t.Error("uint16 conversion not inverse")
+	}
+}
+
+func TestTooManyHints(t *testing.T) {
+	many := make([]Hint, 256)
+	f := &dot11.Frame{Type: dot11.TypeData}
+	if err := AppendTrailer(f, many); !errors.Is(err, ErrTooManyHints) {
+		t.Errorf("err = %v, want ErrTooManyHints", err)
+	}
+	if _, err := NewHintFrame(dot11.Addr{}, dot11.Addr{}, many); !errors.Is(err, ErrTooManyHints) {
+		t.Errorf("err = %v, want ErrTooManyHints", err)
+	}
+}
+
+func TestHintTypeString(t *testing.T) {
+	if HintMovement.String() != "movement" || HintHeading.String() != "heading" ||
+		HintSpeed.String() != "speed" || HintNoise.String() != "noise" {
+		t.Error("hint type names wrong")
+	}
+	if HintType(200).String() != "unknown" {
+		t.Error("unknown type name")
+	}
+}

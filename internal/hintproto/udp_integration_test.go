@@ -1,0 +1,143 @@
+package hintproto_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/hintproto"
+)
+
+// TestHintProtocolOverUDP exercises the full stack over real sockets:
+// a client marshals data frames carrying hints (header bit + trailer),
+// a receiver unmarshals them, ingests the hints into a bus, and ACKs
+// with its own movement bit — the cmd/hintnode data path as a test.
+func TestHintProtocolOverUDP(t *testing.T) {
+	ap, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Close()
+
+	bus := core.NewBus()
+	clientAddr := dot11.AddrFromInt(2)
+	apAddr := dot11.AddrFromInt(1)
+
+	// AP loop: read frames, ingest hints, ACK data.
+	done := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		ingested := 0
+		for {
+			ap.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, from, err := ap.ReadFrom(buf)
+			if err != nil {
+				done <- ingested
+				return
+			}
+			f, err := dot11.Unmarshal(buf[:n])
+			if err != nil {
+				continue
+			}
+			ingested += bus.IngestFrame(f, time.Duration(ingested)*time.Millisecond)
+			if f.Type == dot11.TypeData {
+				ack := dot11.Ack(f, apAddr)
+				hintproto.SetMovementBit(ack, false)
+				if b, err := ack.Marshal(); err == nil {
+					ap.WriteTo(b, from)
+				}
+			}
+			if ingested >= 20 {
+				done <- ingested
+				return
+			}
+		}
+	}()
+
+	conn, err := net.Dial("udp", ap.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	acks := make(chan *dot11.Frame, 32)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, err := conn.Read(buf)
+			if err != nil {
+				close(acks)
+				return
+			}
+			if f, err := dot11.Unmarshal(buf[:n]); err == nil {
+				acks <- f
+			}
+		}
+	}()
+
+	// Send 10 data frames, each carrying the movement bit plus a
+	// (movement, speed) trailer.
+	for seq := uint16(0); seq < 10; seq++ {
+		f := &dot11.Frame{Type: dot11.TypeData, Seq: seq, Src: clientAddr, Dst: apAddr,
+			Payload: []byte("integration payload")}
+		hintproto.SetMovementBit(f, true)
+		if err := hintproto.AppendTrailer(f, []hintproto.Hint{
+			{Type: hintproto.HintMovement, Value: 1},
+			{Type: hintproto.HintSpeed, Value: 1.5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	select {
+	case n := <-done:
+		// 10 frames × (bit + 2 trailer hints) = 30 published hints; the
+		// AP stops at ≥ 20. UDP may drop locally, so require most.
+		if n < 20 {
+			t.Errorf("AP ingested only %d hints", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AP never ingested the hints")
+	}
+
+	// The bus must now report the client as moving with a speed hint.
+	moving, known := bus.MovingRemote(clientAddr)
+	if !known || !moving {
+		t.Error("AP bus missing the client's movement hint")
+	}
+	src := core.Source{Remote: true, Addr: clientAddr}
+	if ev, ok := bus.Latest(hintproto.HintSpeed, src); !ok || ev.Hint.Value != 1.5 {
+		t.Errorf("speed hint = %+v ok=%v", ev, ok)
+	}
+
+	// The client received ACKs carrying the AP's (clear) movement bit.
+	gotAck := false
+	timeout := time.After(2 * time.Second)
+	for !gotAck {
+		select {
+		case f, ok := <-acks:
+			if !ok {
+				timeout = time.After(0)
+				continue
+			}
+			if f.Type == dot11.TypeAck {
+				gotAck = true
+				if hintproto.MovementBit(f) {
+					t.Error("static AP's ACK claims movement")
+				}
+			}
+		case <-timeout:
+			t.Fatal("no ACK received")
+		}
+	}
+}

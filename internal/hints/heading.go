@@ -1,0 +1,87 @@
+package hints
+
+import (
+	"time"
+
+	"repro/internal/sensors"
+)
+
+// HeadingEstimator produces the heading hint of §2.2.2. Outdoors, GPS
+// course is authoritative while moving. Indoors, the digital compass can
+// be magnetically noisy, so the estimator fuses the gyroscope's relative
+// rotation with the compass's absolute reference using a complementary
+// filter: the gyro tracks fast changes, the compass slowly corrects the
+// gyro's drift.
+type HeadingEstimator struct {
+	// CompassWeight is the fraction of each compass innovation applied to
+	// the fused estimate (small = trust gyro short-term). Default 0.02.
+	CompassWeight float64
+
+	heading  float64
+	lastGyro time.Duration
+	started  bool
+}
+
+// NewHeadingEstimator returns an estimator with the default compass
+// weight.
+func NewHeadingEstimator() *HeadingEstimator {
+	return &HeadingEstimator{CompassWeight: 0.02}
+}
+
+// UpdateCompass ingests one compass reading. The first reading
+// initialises the estimate; later readings nudge the fused heading toward
+// the compass by CompassWeight of the angular difference.
+func (e *HeadingEstimator) UpdateCompass(s sensors.CompassSample) {
+	if !e.started {
+		e.heading = s.HeadingDeg
+		e.started = true
+		return
+	}
+	w := e.CompassWeight
+	if w <= 0 {
+		w = 0.02
+	}
+	e.heading = norm360(e.heading + w*sensors.AngleDiff(s.HeadingDeg, e.heading))
+}
+
+// UpdateGyro ingests one gyro reading, integrating the angular rate since
+// the previous gyro report.
+func (e *HeadingEstimator) UpdateGyro(s sensors.GyroSample) {
+	if !e.started {
+		e.lastGyro = s.T
+		e.started = true
+		return
+	}
+	dt := (s.T - e.lastGyro).Seconds()
+	e.lastGyro = s.T
+	if dt <= 0 {
+		return
+	}
+	e.heading = norm360(e.heading + s.RateDegSec*dt)
+}
+
+// UpdateGPS ingests a GPS fix; when the fix has a lock and the device is
+// moving fast enough for course to be meaningful, the GPS heading
+// overrides the fused estimate (outdoor case).
+func (e *HeadingEstimator) UpdateGPS(s sensors.GPSSample) {
+	if s.Lock && s.SpeedMps > 0.5 {
+		e.heading = norm360(s.HeadingDeg)
+		e.started = true
+	}
+}
+
+// Heading returns the current heading hint in degrees [0, 360) and
+// whether the estimator has been initialised by at least one sensor.
+func (e *HeadingEstimator) Heading() (float64, bool) {
+	return e.heading, e.started
+}
+
+func norm360(d float64) float64 {
+	for d < 0 {
+		d += 360
+	}
+	for d >= 360 {
+		d -= 360
+	}
+	return d
+}

@@ -1,0 +1,139 @@
+package hints
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+func TestHeadingCompassInitialises(t *testing.T) {
+	e := NewHeadingEstimator()
+	if _, ok := e.Heading(); ok {
+		t.Error("estimator should start uninitialised")
+	}
+	e.UpdateCompass(sensors.CompassSample{T: 0, HeadingDeg: 123})
+	h, ok := e.Heading()
+	if !ok || h != 123 {
+		t.Errorf("heading = %v ok=%v, want 123", h, ok)
+	}
+}
+
+func TestHeadingGyroIntegration(t *testing.T) {
+	e := NewHeadingEstimator()
+	e.UpdateCompass(sensors.CompassSample{T: 0, HeadingDeg: 0})
+	// 10 deg/s for 9 seconds via 10 ms gyro reports.
+	for i := 1; i <= 900; i++ {
+		e.UpdateGyro(sensors.GyroSample{T: time.Duration(i) * 10 * time.Millisecond, RateDegSec: 10})
+	}
+	h, _ := e.Heading()
+	if math.Abs(h-90) > 1.5 {
+		t.Errorf("integrated heading = %v, want ≈ 90", h)
+	}
+}
+
+func TestHeadingCompassCorrectsGyroDrift(t *testing.T) {
+	e := NewHeadingEstimator()
+	e.UpdateCompass(sensors.CompassSample{T: 0, HeadingDeg: 0})
+	// A biased gyro (1 deg/s false rotation) with periodic compass fixes
+	// pointing at the truth: the fused heading must stay bounded instead
+	// of drifting without bound.
+	for i := 1; i <= 6000; i++ {
+		tt := time.Duration(i) * 10 * time.Millisecond
+		e.UpdateGyro(sensors.GyroSample{T: tt, RateDegSec: 1})
+		if i%5 == 0 { // 20 Hz compass
+			e.UpdateCompass(sensors.CompassSample{T: tt, HeadingDeg: 0})
+		}
+	}
+	h, _ := e.Heading()
+	if sep := sensors.HeadingSeparation(h, 0); sep > 15 {
+		t.Errorf("drift not bounded: fused heading %v (sep %v)", h, sep)
+	}
+}
+
+func TestHeadingGPSOverride(t *testing.T) {
+	e := NewHeadingEstimator()
+	e.UpdateCompass(sensors.CompassSample{T: 0, HeadingDeg: 10})
+	e.UpdateGPS(sensors.GPSSample{T: time.Second, Lock: true, SpeedMps: 5, HeadingDeg: 200})
+	h, _ := e.Heading()
+	if h != 200 {
+		t.Errorf("GPS course should override: %v", h)
+	}
+	// No lock or too slow → no override.
+	e.UpdateGPS(sensors.GPSSample{T: 2 * time.Second, Lock: false, SpeedMps: 5, HeadingDeg: 90})
+	e.UpdateGPS(sensors.GPSSample{T: 3 * time.Second, Lock: true, SpeedMps: 0.1, HeadingDeg: 90})
+	if h, _ := e.Heading(); h != 200 {
+		t.Errorf("heading changed on unusable fixes: %v", h)
+	}
+}
+
+func TestHeadingWrap(t *testing.T) {
+	e := NewHeadingEstimator()
+	e.UpdateCompass(sensors.CompassSample{T: 0, HeadingDeg: 350})
+	// Rotate +20° across the wrap.
+	for i := 1; i <= 200; i++ {
+		e.UpdateGyro(sensors.GyroSample{T: time.Duration(i) * 10 * time.Millisecond, RateDegSec: 10})
+	}
+	h, _ := e.Heading()
+	if h < 0 || h >= 360 {
+		t.Errorf("heading %v outside [0, 360)", h)
+	}
+	if sep := sensors.HeadingSeparation(h, 10); sep > 2 {
+		t.Errorf("wrapped heading = %v, want ≈ 10", h)
+	}
+}
+
+func TestSpeedEstimatorGPS(t *testing.T) {
+	e := NewSpeedEstimator()
+	e.UpdateGPS(sensors.GPSSample{T: 0, Lock: true, X: 3, Y: 4, SpeedMps: 7})
+	if e.Speed() != 7 {
+		t.Errorf("speed = %v, want 7", e.Speed())
+	}
+	x, y := e.Position()
+	if x != 3 || y != 4 {
+		t.Errorf("position = (%v, %v)", x, y)
+	}
+}
+
+func TestSpeedEstimatorIndoorApproximation(t *testing.T) {
+	e := NewSpeedEstimator()
+	// Learn the resting magnitude, then shake.
+	for i := 0; i < 100; i++ {
+		e.UpdateAccel(sensors.AccelSample{
+			T: time.Duration(i) * sensors.ReportInterval, X: 0, Y: 0, Z: 250,
+		}, 0)
+	}
+	if e.Speed() > 0.05 {
+		t.Errorf("resting speed = %v, want ≈ 0", e.Speed())
+	}
+	for i := 100; i < 600; i++ {
+		z := 250.0
+		if i%2 == 0 {
+			z = 280
+		}
+		e.UpdateAccel(sensors.AccelSample{
+			T: time.Duration(i) * sensors.ReportInterval, X: 0, Y: 0, Z: z,
+		}, 90)
+	}
+	if e.Speed() <= 0.05 {
+		t.Errorf("shaking speed = %v, want > 0", e.Speed())
+	}
+	x, _ := e.Position()
+	if x <= 0 {
+		t.Errorf("dead-reckoned x = %v, want > 0 for heading 90", x)
+	}
+}
+
+func TestSpeedEstimatorGPSOverridesIntegration(t *testing.T) {
+	e := NewSpeedEstimator()
+	e.UpdateGPS(sensors.GPSSample{T: 0, Lock: true, SpeedMps: 3})
+	for i := 0; i < 50; i++ {
+		e.UpdateAccel(sensors.AccelSample{
+			T: time.Duration(i) * sensors.ReportInterval, X: 0, Y: 0, Z: 250 + float64(i%2)*40,
+		}, 0)
+	}
+	if e.Speed() != 3 {
+		t.Errorf("GPS-backed speed changed to %v", e.Speed())
+	}
+}

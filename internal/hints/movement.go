@@ -1,0 +1,183 @@
+// Package hints implements the paper's sensor-hint extraction algorithms
+// (§2.2): the jerk statistic and boolean movement hint computed from raw
+// accelerometer force reports, the heading hint fused from compass and
+// gyroscope, and speed/position hints from GPS or accelerometer
+// integration. These are the signals the hint-aware protocols in the rest
+// of the system adapt on.
+package hints
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+// Movement-hint parameters from §2.2.1. The jerk threshold and hysteresis
+// window were empirically determined once for the accelerometer type and
+// need no per-use calibration.
+const (
+	// DefaultJerkThreshold is the jerk value above which a report
+	// indicates movement.
+	DefaultJerkThreshold = 3.0
+	// DefaultHysteresisWindow is the number of trailing reports that must
+	// all be below threshold before the hint falls back to "not moving"
+	// (50 reports × 2 ms = 100 ms).
+	DefaultHysteresisWindow = 50
+	// jerkHalfWindow is the number of samples averaged on each side of
+	// the jerk difference (5 recent vs 5 prior).
+	jerkHalfWindow = 5
+)
+
+// MovementConfig tunes the movement detector. The zero value selects the
+// paper's constants.
+type MovementConfig struct {
+	// JerkThreshold replaces DefaultJerkThreshold when > 0.
+	JerkThreshold float64
+	// HysteresisWindow replaces DefaultHysteresisWindow when > 0.
+	HysteresisWindow int
+}
+
+func (c MovementConfig) threshold() float64 {
+	if c.JerkThreshold > 0 {
+		return c.JerkThreshold
+	}
+	return DefaultJerkThreshold
+}
+
+func (c MovementConfig) window() int {
+	if c.HysteresisWindow > 0 {
+		return c.HysteresisWindow
+	}
+	return DefaultHysteresisWindow
+}
+
+// MovementDetector turns a stream of accelerometer force reports into the
+// boolean movement hint of §2.2.1. Feed reports in order with Update;
+// query the current hint with Moving.
+//
+// For each report t it computes the jerk
+//
+//	J_t = (x̄ − x̄′)² + (ȳ − ȳ′)² + (z̄ − z̄′)²   (square-rooted)
+//
+// where x̄ is the mean of reports t..t−4 and x̄′ of t−5..t−9, then applies
+// the hysteresis rule: the hint rises as soon as J_t exceeds the
+// threshold and falls only after a full window of sub-threshold jerks.
+// Because J is a difference of short-window means, it is invariant to any
+// constant force offset — no gravity calibration is needed.
+type MovementDetector struct {
+	cfg    MovementConfig
+	buf    [2 * jerkHalfWindow][3]float64 // ring of the last 10 reports
+	n      int                            // total reports seen
+	moving bool
+	below  int // consecutive sub-threshold jerks while moving
+	lastJ  float64
+	lastT  time.Duration
+	// riseAt records when the hint last rose, for latency measurement.
+	risenAt  time.Duration
+	haveTime bool
+}
+
+// NewMovementDetector returns a detector with the given configuration
+// (zero value = paper constants). The hint starts at "not moving"
+// (H₀ = 0).
+func NewMovementDetector(cfg MovementConfig) *MovementDetector {
+	return &MovementDetector{cfg: cfg}
+}
+
+// Update ingests one force report and returns the movement hint after
+// processing it.
+func (d *MovementDetector) Update(s sensors.AccelSample) bool {
+	d.buf[d.n%(2*jerkHalfWindow)] = [3]float64{s.X, s.Y, s.Z}
+	d.n++
+	d.lastT = s.T
+	d.haveTime = true
+	if d.n < 2*jerkHalfWindow {
+		// Not enough history for the two 5-sample windows yet.
+		d.lastJ = 0
+		return d.moving
+	}
+	d.lastJ = d.jerk()
+	d.step()
+	return d.moving
+}
+
+// jerk computes J_t from the ring buffer. The most recent 5 reports form
+// the "recent" window, the 5 before them the "prior" window.
+func (d *MovementDetector) jerk() float64 {
+	var recent, prior [3]float64
+	for i := 0; i < jerkHalfWindow; i++ {
+		r := d.buf[(d.n-1-i)%(2*jerkHalfWindow)]
+		p := d.buf[(d.n-1-jerkHalfWindow-i)%(2*jerkHalfWindow)]
+		for a := 0; a < 3; a++ {
+			recent[a] += r[a]
+			prior[a] += p[a]
+		}
+	}
+	var sum float64
+	for a := 0; a < 3; a++ {
+		diff := (recent[a] - prior[a]) / jerkHalfWindow
+		sum += diff * diff
+	}
+	return math.Sqrt(sum)
+}
+
+// step applies the §2.2.1 hysteresis state machine to the latest jerk.
+func (d *MovementDetector) step() {
+	th := d.cfg.threshold()
+	if !d.moving {
+		if d.lastJ > th {
+			d.moving = true
+			d.below = 0
+			d.risenAt = d.lastT
+		}
+		return
+	}
+	if d.lastJ > th {
+		d.below = 0
+		return
+	}
+	d.below++
+	if d.below >= d.cfg.window() {
+		d.moving = false
+		d.below = 0
+	}
+}
+
+// Moving returns the most recently computed movement hint. This is the
+// value the movement hint service returns when queried.
+func (d *MovementDetector) Moving() bool { return d.moving }
+
+// LastJerk returns the jerk value of the most recent report (0 until ten
+// reports have been seen).
+func (d *MovementDetector) LastJerk() float64 { return d.lastJ }
+
+// LastReportTime returns the timestamp of the most recent report and
+// whether any report has been seen.
+func (d *MovementDetector) LastReportTime() (time.Duration, bool) {
+	return d.lastT, d.haveTime
+}
+
+// JerkSeries computes the jerk value for every report in the trace,
+// returning one value per sample (zero for the first nine). This is the
+// quantity plotted in Figure 2-2.
+func JerkSeries(samples []sensors.AccelSample, cfg MovementConfig) []float64 {
+	d := NewMovementDetector(cfg)
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		d.Update(s)
+		out[i] = d.LastJerk()
+	}
+	return out
+}
+
+// HintSeries runs the detector over the trace and returns the hint value
+// after each report.
+func HintSeries(samples []sensors.AccelSample, cfg MovementConfig) []bool {
+	d := NewMovementDetector(cfg)
+	out := make([]bool, len(samples))
+	for i, s := range samples {
+		out[i] = d.Update(s)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package hints
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+// mkSamples builds a synthetic report stream from per-report force
+// values on the x axis (y and z constant).
+func mkSamples(xs []float64) []sensors.AccelSample {
+	out := make([]sensors.AccelSample, len(xs))
+	for i, x := range xs {
+		out[i] = sensors.AccelSample{
+			T: time.Duration(i) * sensors.ReportInterval,
+			X: x, Y: 3, Z: -7,
+		}
+	}
+	return out
+}
+
+func TestJerkHandComputed(t *testing.T) {
+	// Ten reports: prior window all 0, recent window all 5 on x.
+	xs := []float64{0, 0, 0, 0, 0, 5, 5, 5, 5, 5}
+	d := NewMovementDetector(MovementConfig{})
+	var last float64
+	for _, s := range mkSamples(xs) {
+		d.Update(s)
+		last = d.LastJerk()
+	}
+	// x̄ = 5, x̄′ = 0 → J = √(5²) = 5.
+	if math.Abs(last-5) > 1e-9 {
+		t.Errorf("jerk = %v, want 5", last)
+	}
+}
+
+func TestJerkMultiAxis(t *testing.T) {
+	d := NewMovementDetector(MovementConfig{})
+	samples := make([]sensors.AccelSample, 10)
+	for i := range samples {
+		samples[i].T = time.Duration(i) * sensors.ReportInterval
+		if i >= 5 {
+			samples[i] = sensors.AccelSample{T: samples[i].T, X: 3, Y: 4, Z: 0}
+		}
+	}
+	for _, s := range samples {
+		d.Update(s)
+	}
+	// Δx̄ = 3, Δȳ = 4 → J = 5.
+	if math.Abs(d.LastJerk()-5) > 1e-9 {
+		t.Errorf("jerk = %v, want 5", d.LastJerk())
+	}
+}
+
+func TestJerkZeroBeforeWarmup(t *testing.T) {
+	d := NewMovementDetector(MovementConfig{})
+	for i, s := range mkSamples(make([]float64, 9)) {
+		d.Update(s)
+		if d.LastJerk() != 0 {
+			t.Fatalf("jerk non-zero at report %d before 10 samples", i)
+		}
+	}
+}
+
+// TestJerkOffsetInvariance verifies the paper's no-calibration claim: the
+// jerk is invariant to any constant force offset (gravity, mounting), so
+// the detector needs no per-use calibration.
+func TestJerkOffsetInvariance(t *testing.T) {
+	f := func(seed int64, off0, off1, off2 float64) bool {
+		for _, o := range []float64{off0, off1, off2} {
+			if math.IsNaN(o) || math.IsInf(o, 0) || math.Abs(o) > 1e9 {
+				return true
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]sensors.AccelSample, 40)
+		shifted := make([]sensors.AccelSample, 40)
+		for i := range base {
+			tt := time.Duration(i) * sensors.ReportInterval
+			x, y, z := rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5
+			base[i] = sensors.AccelSample{T: tt, X: x, Y: y, Z: z}
+			shifted[i] = sensors.AccelSample{T: tt, X: x + off0, Y: y + off1, Z: z + off2}
+		}
+		j1 := JerkSeries(base, MovementConfig{})
+		j2 := JerkSeries(shifted, MovementConfig{})
+		for i := range j1 {
+			// Relative tolerance for float cancellation at huge offsets.
+			tol := 1e-6 * (1 + math.Abs(off0) + math.Abs(off1) + math.Abs(off2))
+			if math.Abs(j1[i]-j2[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHysteresisRise(t *testing.T) {
+	d := NewMovementDetector(MovementConfig{})
+	// Quiet reports, then one step change that spikes the jerk.
+	xs := make([]float64, 30)
+	for i := 15; i < 30; i++ {
+		xs[i] = 100
+	}
+	var rose bool
+	for _, s := range mkSamples(xs) {
+		if d.Update(s) {
+			rose = true
+		}
+	}
+	if !rose {
+		t.Error("hint never rose on a large jerk")
+	}
+}
+
+func TestHysteresisFallNeedsFullWindow(t *testing.T) {
+	cfg := MovementConfig{HysteresisWindow: 50}
+	d := NewMovementDetector(cfg)
+	// Spike then quiet: hint must hold for exactly 50 quiet reports.
+	xs := make([]float64, 200)
+	for i := 10; i < 15; i++ {
+		xs[i] = 100
+	}
+	samples := mkSamples(xs)
+	var fellAt = -1
+	for i, s := range samples {
+		was := d.Moving()
+		now := d.Update(s)
+		if was && !now {
+			fellAt = i
+		}
+	}
+	if fellAt < 0 {
+		t.Fatal("hint never fell")
+	}
+	// After the spike, the jerk stays elevated while the step remains in
+	// the two 5-report windows (~10 reports), then 50 quiet jerks must
+	// elapse.
+	if fellAt < 60 {
+		t.Errorf("hint fell at report %d, before a plausible full window", fellAt)
+	}
+}
+
+func TestHysteresisReignition(t *testing.T) {
+	d := NewMovementDetector(MovementConfig{HysteresisWindow: 50})
+	// Spikes every 40 reports keep the hint up (window is 50).
+	xs := make([]float64, 400)
+	for i := 10; i < 400; i += 40 {
+		xs[i] = 200
+	}
+	samples := mkSamples(xs)
+	// Warm up past the first spike.
+	downs := 0
+	for i, s := range samples {
+		was := d.Moving()
+		d.Update(s)
+		if was && !d.Moving() && i > 20 && i < 380 {
+			downs++
+		}
+	}
+	if downs != 0 {
+		t.Errorf("hint dropped %d times despite sub-window spike spacing", downs)
+	}
+}
+
+func TestMovementConfigDefaults(t *testing.T) {
+	var cfg MovementConfig
+	if cfg.threshold() != DefaultJerkThreshold {
+		t.Error("zero config should use the default threshold")
+	}
+	if cfg.window() != DefaultHysteresisWindow {
+		t.Error("zero config should use the default window")
+	}
+	cfg = MovementConfig{JerkThreshold: 7, HysteresisWindow: 10}
+	if cfg.threshold() != 7 || cfg.window() != 10 {
+		t.Error("explicit config ignored")
+	}
+}
+
+func TestDetectorEndToEnd(t *testing.T) {
+	// Full pipeline over the synthetic accelerometer: rest → walk → rest.
+	const restA, moveLen = 5 * time.Second, 5 * time.Second
+	total := restA + moveLen + 5*time.Second
+	sched := sensors.Schedule{{Start: restA, End: restA + moveLen, Mode: sensors.Walk}}
+	acc := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), 11)
+	samples := acc.Generate(sched, total)
+
+	d := NewMovementDetector(MovementConfig{})
+	var rise, fall time.Duration = -1, -1
+	for _, s := range samples {
+		m := d.Update(s)
+		if m && rise < 0 {
+			rise = s.T
+		}
+		if !m && rise >= 0 && s.T > restA+moveLen && fall < 0 {
+			fall = s.T
+		}
+	}
+	if rise < restA || rise > restA+100*time.Millisecond {
+		t.Errorf("rise at %v, want within 100 ms of %v", rise, restA)
+	}
+	if fall < 0 {
+		t.Error("hint never fell after motion ended")
+	}
+	if lt, ok := d.LastReportTime(); !ok || lt != samples[len(samples)-1].T {
+		t.Error("LastReportTime wrong")
+	}
+}
+
+func TestHintSeriesMatchesDetector(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := 20; i < 40; i++ {
+		xs[i] = 50
+	}
+	samples := mkSamples(xs)
+	series := HintSeries(samples, MovementConfig{})
+	d := NewMovementDetector(MovementConfig{})
+	for i, s := range samples {
+		if got := d.Update(s); got != series[i] {
+			t.Fatalf("HintSeries[%d] = %v, detector says %v", i, series[i], got)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package hints
+
+import (
+	"math"
+
+	"repro/internal/sensors"
+)
+
+// NoiseDetector implements the §5.6 microphone hint: a static node in a
+// changing environment (pedestrians, passing cars) experiences channel
+// dynamics like a moving node's, and ambient sound variation correlates
+// with that nearby activity. The detector tracks the variance of recent
+// microphone level reports and raises a "dynamic environment" hint when
+// it exceeds a threshold — the cue for a static node to switch to a
+// mobility-tuned protocol such as RapidSample, which the paper observed
+// outperforming SampleRate in such environments.
+type NoiseDetector struct {
+	// Window is the number of level reports in the variance window
+	// (default 30 ≈ 3 s at 100 ms reports).
+	Window int
+	// StdThreshold is the level standard deviation (dB) above which the
+	// environment counts as dynamic (default 2.5).
+	StdThreshold float64
+
+	buf    []float64
+	head   int
+	filled bool
+}
+
+// NewNoiseDetector returns a detector with default parameters.
+func NewNoiseDetector() *NoiseDetector { return &NoiseDetector{} }
+
+func (d *NoiseDetector) window() int {
+	if d.Window > 0 {
+		return d.Window
+	}
+	return 30
+}
+
+func (d *NoiseDetector) threshold() float64 {
+	if d.StdThreshold > 0 {
+		return d.StdThreshold
+	}
+	return 2.5
+}
+
+// Update ingests one microphone report and returns the current hint.
+func (d *NoiseDetector) Update(s sensors.MicSample) bool {
+	n := d.window()
+	if d.buf == nil {
+		d.buf = make([]float64, n)
+	}
+	d.buf[d.head] = s.LevelDB
+	d.head++
+	if d.head == n {
+		d.head = 0
+		d.filled = true
+	}
+	return d.Dynamic()
+}
+
+// Dynamic reports whether the ambient variation currently indicates a
+// changing environment. It stays false until the window fills.
+func (d *NoiseDetector) Dynamic() bool {
+	if !d.filled {
+		return false
+	}
+	return d.std() > d.threshold()
+}
+
+// Level returns the current ambient variation statistic (the window's
+// standard deviation in dB), the value shared as HintNoise.
+func (d *NoiseDetector) Level() float64 {
+	if !d.filled {
+		return 0
+	}
+	return d.std()
+}
+
+func (d *NoiseDetector) std() float64 {
+	n := len(d.buf)
+	mean := 0.0
+	for _, v := range d.buf {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range d.buf {
+		diff := v - mean
+		ss += diff * diff
+	}
+	return math.Sqrt(ss / float64(n))
+}

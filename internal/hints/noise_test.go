@@ -1,0 +1,80 @@
+package hints
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+func TestNoiseDetectorQuietRoom(t *testing.T) {
+	mic := sensors.NewMicrophone(sensors.DefaultMicConfig(), 1)
+	samples := mic.Generate(func(time.Duration) float64 { return 0 }, 30*time.Second)
+	d := NewNoiseDetector()
+	dynamicReports := 0
+	for _, s := range samples {
+		if d.Update(s) {
+			dynamicReports++
+		}
+	}
+	if dynamicReports > len(samples)/50 {
+		t.Errorf("quiet room flagged dynamic in %d/%d reports", dynamicReports, len(samples))
+	}
+}
+
+func TestNoiseDetectorBusyCorridor(t *testing.T) {
+	mic := sensors.NewMicrophone(sensors.DefaultMicConfig(), 2)
+	samples := mic.Generate(func(time.Duration) float64 { return 1 }, 30*time.Second)
+	d := NewNoiseDetector()
+	dynamicReports, ready := 0, 0
+	for _, s := range samples {
+		d.Update(s)
+		if d.Level() > 0 {
+			ready++
+			if d.Dynamic() {
+				dynamicReports++
+			}
+		}
+	}
+	if dynamicReports < ready/2 {
+		t.Errorf("busy corridor flagged dynamic in only %d/%d ready reports", dynamicReports, ready)
+	}
+}
+
+func TestNoiseDetectorTransition(t *testing.T) {
+	// Quiet for 20 s, busy for 20 s: the hint must flip within a few
+	// window lengths of the change.
+	activity := func(at time.Duration) float64 {
+		if at >= 20*time.Second {
+			return 1
+		}
+		return 0
+	}
+	mic := sensors.NewMicrophone(sensors.DefaultMicConfig(), 3)
+	samples := mic.Generate(activity, 40*time.Second)
+	d := NewNoiseDetector()
+	var flipAt time.Duration = -1
+	for _, s := range samples {
+		if d.Update(s) && flipAt < 0 && s.T >= 20*time.Second {
+			flipAt = s.T
+		}
+	}
+	if flipAt < 0 {
+		t.Fatal("hint never rose after the environment became busy")
+	}
+	if flipAt > 30*time.Second {
+		t.Errorf("hint rose at %v, want within ~2 windows of 20s", flipAt)
+	}
+}
+
+func TestNoiseDetectorNotReadyBeforeWindow(t *testing.T) {
+	d := NewNoiseDetector()
+	for i := 0; i < d.window()-1; i++ {
+		if d.Update(sensors.MicSample{LevelDB: float64(i * 10)}) {
+			t.Fatal("hint raised before the window filled")
+		}
+	}
+	if d.Level() != 0 {
+		t.Error("level non-zero before window filled")
+	}
+}

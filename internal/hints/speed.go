@@ -1,0 +1,83 @@
+package hints
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+// SpeedEstimator produces the speed hint of §2.2.3: directly from GPS
+// outdoors, approximated by integrating accelerometer magnitude indoors
+// (coarser, but the indoor speed range is small). The estimator also
+// tracks position: GPS position outdoors; indoors it dead-reckons from
+// the speed estimate and the heading hint when one is supplied.
+type SpeedEstimator struct {
+	// IndoorDecay pulls the integrated indoor speed back toward zero to
+	// bound drift (per-second decay factor, default 0.6).
+	IndoorDecay float64
+
+	speed    float64
+	haveGPS  bool
+	x, y     float64
+	lastA    time.Duration
+	haveA    bool
+	restMag  float64 // learned resting force magnitude for de-biasing
+	restInit bool
+}
+
+// NewSpeedEstimator returns an estimator with default parameters.
+func NewSpeedEstimator() *SpeedEstimator {
+	return &SpeedEstimator{IndoorDecay: 0.6}
+}
+
+// UpdateGPS ingests a fix; with a lock, GPS speed and position are
+// authoritative.
+func (e *SpeedEstimator) UpdateGPS(s sensors.GPSSample) {
+	if !s.Lock {
+		e.haveGPS = false
+		return
+	}
+	e.haveGPS = true
+	e.speed = s.SpeedMps
+	e.x, e.y = s.X, s.Y
+}
+
+// UpdateAccel ingests one accelerometer report for the indoor
+// approximation. The resting force magnitude (gravity in custom units) is
+// learned online and subtracted; the residual magnitude integrates into a
+// decaying speed estimate. Values are approximate by design (§2.2.3).
+func (e *SpeedEstimator) UpdateAccel(s sensors.AccelSample, headingDeg float64) {
+	mag := math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+	if !e.restInit {
+		e.restMag = mag
+		e.restInit = true
+		e.lastA = s.T
+		e.haveA = true
+		return
+	}
+	// Slow EWMA keeps tracking the rest magnitude when quiescent.
+	e.restMag = 0.999*e.restMag + 0.001*mag
+	dt := (s.T - e.lastA).Seconds()
+	e.lastA = s.T
+	if dt <= 0 || dt > 1 {
+		return
+	}
+	if e.haveGPS {
+		return // outdoor fix overrides integration
+	}
+	// Residual force in custom units → crude m/s² scale.
+	resid := math.Abs(mag-e.restMag) * 0.04
+	decay := math.Pow(e.IndoorDecay, dt)
+	e.speed = e.speed*decay + resid*dt
+	// Dead-reckon position with the heading hint.
+	rad := headingDeg * math.Pi / 180
+	e.x += e.speed * dt * math.Sin(rad)
+	e.y += e.speed * dt * math.Cos(rad)
+}
+
+// Speed returns the current speed hint in m/s.
+func (e *SpeedEstimator) Speed() float64 { return e.speed }
+
+// Position returns the current position hint in the local metric frame.
+func (e *SpeedEstimator) Position() (x, y float64) { return e.x, e.y }

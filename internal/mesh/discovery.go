@@ -1,0 +1,266 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/probing"
+	"repro/internal/sim"
+)
+
+// Network-scale topology maintenance: the Chapter 4 protocol as running
+// code. Nodes on a plane broadcast probes on a schedule; receivers
+// update their neighbour tables with sliding-window delivery estimates.
+// Each node's probe scheduler is either fixed-rate or hint-adaptive
+// (§4.2): a moving node — or one whose neighbour advertises movement on
+// its probes — probes fast, everyone else probes slowly.
+//
+// The simulation quantifies the §4.2 trade-off at network scale: total
+// probe bandwidth versus the error of every node's delivery estimates
+// about every neighbour.
+
+// NodeState is the ground truth for one simulated node.
+type NodeState struct {
+	ID   NodeID
+	X, Y float64
+	// Moving is the node's ground-truth mobility; moving nodes random-walk.
+	Moving bool
+	// SpeedMps is the walk speed while Moving.
+	SpeedMps float64
+}
+
+// DiscoveryConfig parameterises a topology-maintenance simulation.
+type DiscoveryConfig struct {
+	// Nodes is the ground-truth node set; positions evolve during the
+	// run for moving nodes.
+	Nodes []NodeState
+	// Range is the communication range in metres (links form within it).
+	Range float64
+	// PathLossExp shapes delivery probability with distance: delivery ≈
+	// (1 − (d/Range)^PathLossExp) for d < Range, 0 beyond (default 4).
+	PathLossExp float64
+	// MobileChurn adds delivery-probability noise to links with a moving
+	// endpoint, modelling the fast-varying mobile channel (default 0.25).
+	MobileChurn float64
+	// HintAware selects the §4.2 scheduler; otherwise every node probes
+	// at StaticRate.
+	HintAware bool
+	// StaticRate and MobileRate are probes/s (defaults 1 and 10).
+	StaticRate, MobileRate float64
+	// Total is the simulated duration.
+	Total time.Duration
+	Seed  int64
+}
+
+// DiscoveryResult summarises the run.
+type DiscoveryResult struct {
+	// ProbesSent is the total probe transmissions (the bandwidth cost).
+	ProbesSent int
+	// MeanError is the average |estimate − truth| across every
+	// (node, neighbour) pair sampled once per second.
+	MeanError float64
+	// MeanErrorMobile restricts the error to pairs with a moving
+	// endpoint — where the schedulers differ.
+	MeanErrorMobile float64
+}
+
+// RunDiscovery executes the simulation on the discrete-event engine.
+func RunDiscovery(cfg DiscoveryConfig) DiscoveryResult {
+	if cfg.Range <= 0 {
+		cfg.Range = 100
+	}
+	if cfg.PathLossExp <= 0 {
+		cfg.PathLossExp = 4
+	}
+	if cfg.MobileChurn == 0 {
+		cfg.MobileChurn = 0.25
+	}
+	if cfg.StaticRate <= 0 {
+		cfg.StaticRate = 1
+	}
+	if cfg.MobileRate <= 0 {
+		cfg.MobileRate = 10
+	}
+	if cfg.Total <= 0 {
+		cfg.Total = 60 * time.Second
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eng := sim.New()
+	nodes := append([]NodeState(nil), cfg.Nodes...)
+	n := len(nodes)
+
+	// Per-receiver, per-sender delivery estimators.
+	est := make([]map[NodeID]*probing.Estimator, n)
+	tables := make([]*Table, n)
+	for i := range nodes {
+		est[i] = make(map[NodeID]*probing.Estimator)
+		tables[i] = NewTable(nodes[i].ID)
+	}
+	// Per-pair churn phase for the mobile delivery fluctuation.
+	phase := make([][]float64, n)
+	for i := range phase {
+		phase[i] = make([]float64, n)
+		for j := range phase[i] {
+			phase[i][j] = rng.Float64() * 2 * math.Pi
+		}
+	}
+
+	dist := func(a, b int) float64 {
+		return math.Hypot(nodes[a].X-nodes[b].X, nodes[a].Y-nodes[b].Y)
+	}
+	// truth returns the current delivery probability from a to b.
+	truth := func(a, b int, now time.Duration) float64 {
+		d := dist(a, b)
+		if d >= cfg.Range {
+			return 0
+		}
+		p := 1 - math.Pow(d/cfg.Range, cfg.PathLossExp)
+		if nodes[a].Moving || nodes[b].Moving {
+			lo := math.Min(float64(a), float64(b))
+			hi := math.Max(float64(a), float64(b))
+			p *= 0.75 + cfg.MobileChurn*math.Sin(2*math.Pi*now.Seconds()/3+phase[int(lo)][int(hi)])
+		}
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return p
+	}
+
+	var res DiscoveryResult
+
+	// Movement: moving nodes random-walk at 100 ms steps.
+	var moveStep func()
+	moveStep = func() {
+		for i := range nodes {
+			if !nodes[i].Moving {
+				continue
+			}
+			sp := nodes[i].SpeedMps
+			if sp <= 0 {
+				sp = 1.4
+			}
+			ang := rng.Float64() * 2 * math.Pi
+			nodes[i].X += sp * 0.1 * math.Cos(ang)
+			nodes[i].Y += sp * 0.1 * math.Sin(ang)
+		}
+		if eng.Now() < cfg.Total {
+			eng.After(100*time.Millisecond, moveStep)
+		}
+	}
+	eng.After(100*time.Millisecond, moveStep)
+
+	// neighbourMoving reports whether any node within range of i is
+	// moving — the hint a node learns from the movement bits on its
+	// neighbours' probes.
+	neighbourMoving := func(i int) bool {
+		for j := range nodes {
+			if j != i && nodes[j].Moving && dist(i, j) < cfg.Range {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Probing: each node owns a scheduler-driven probe loop.
+	for i := range nodes {
+		i := i
+		var sched probing.Scheduler
+		if cfg.HintAware {
+			sched = &probing.HintScheduler{
+				StaticPerSecond: cfg.StaticRate,
+				MobilePerSecond: cfg.MobileRate,
+				MovingFn: func(now time.Duration) bool {
+					return nodes[i].Moving || neighbourMoving(i)
+				},
+			}
+		} else {
+			sched = &probing.FixedScheduler{PerSecond: cfg.StaticRate}
+		}
+		var probe func()
+		probe = func() {
+			now := eng.Now()
+			res.ProbesSent++
+			// Broadcast: every in-range node draws a delivery outcome
+			// and updates its estimate of the sender.
+			for j := range nodes {
+				if j == i || dist(i, j) >= cfg.Range {
+					continue
+				}
+				e := est[j][nodes[i].ID]
+				if e == nil {
+					e = probing.NewEstimator()
+					est[j][nodes[i].ID] = e
+				}
+				e.Add(rng.Float64() < truth(i, j, now))
+				tables[j].Update(Link{To: nodes[i].ID, Forward: e.Estimate(), UpdatedAt: now})
+			}
+			if next := sched.Next(now); next < cfg.Total {
+				eng.At(next, probe)
+			}
+		}
+		eng.At(time.Duration(rng.Int63n(int64(time.Second))), probe)
+	}
+
+	// Accuracy sampling once per second.
+	var errSum, errN, errSumMob, errNMob float64
+	var sample func()
+	sample = func() {
+		now := eng.Now()
+		for j := range nodes {
+			for i := range nodes {
+				if i == j || dist(i, j) >= cfg.Range {
+					continue
+				}
+				e := est[j][nodes[i].ID]
+				if e == nil || !e.Ready() {
+					continue
+				}
+				err := math.Abs(e.Estimate() - truth(i, j, now))
+				errSum += err
+				errN++
+				if nodes[i].Moving || nodes[j].Moving {
+					errSumMob += err
+					errNMob++
+				}
+			}
+		}
+		if now+time.Second < cfg.Total {
+			eng.After(time.Second, sample)
+		}
+	}
+	eng.After(5*time.Second, sample) // let windows fill first
+
+	eng.RunUntil(cfg.Total)
+	if errN > 0 {
+		res.MeanError = errSum / errN
+	}
+	if errNMob > 0 {
+		res.MeanErrorMobile = errSumMob / errNMob
+	}
+	return res
+}
+
+// GridNodes lays out rows × cols static nodes with the given spacing,
+// plus walkers moving among them — a convenient DiscoveryConfig input.
+func GridNodes(rows, cols int, spacing float64, walkers int) []NodeState {
+	var out []NodeState
+	id := NodeID(0)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, NodeState{ID: id, X: float64(c) * spacing, Y: float64(r) * spacing})
+			id++
+		}
+	}
+	for w := 0; w < walkers; w++ {
+		out = append(out, NodeState{
+			ID: id, X: float64(w) * spacing, Y: spacing / 2,
+			Moving: true, SpeedMps: 1.4,
+		})
+		id++
+	}
+	return out
+}

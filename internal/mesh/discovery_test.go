@@ -1,0 +1,104 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+)
+
+func discoveryConfig(hintAware bool, seed int64) DiscoveryConfig {
+	return DiscoveryConfig{
+		Nodes:     GridNodes(3, 3, 60, 2),
+		Range:     100,
+		HintAware: hintAware,
+		Total:     40 * time.Second,
+		Seed:      seed,
+	}
+}
+
+func TestGridNodes(t *testing.T) {
+	ns := GridNodes(2, 3, 50, 1)
+	if len(ns) != 7 {
+		t.Fatalf("%d nodes, want 7", len(ns))
+	}
+	moving := 0
+	for _, n := range ns {
+		if n.Moving {
+			moving++
+		}
+	}
+	if moving != 1 {
+		t.Errorf("%d walkers, want 1", moving)
+	}
+	// IDs unique.
+	seen := map[NodeID]bool{}
+	for _, n := range ns {
+		if seen[n.ID] {
+			t.Fatalf("duplicate id %v", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}
+
+func TestRunDiscoveryBasic(t *testing.T) {
+	res := RunDiscovery(discoveryConfig(false, 1))
+	if res.ProbesSent == 0 {
+		t.Fatal("no probes sent")
+	}
+	if res.MeanError <= 0 || res.MeanError > 0.6 {
+		t.Errorf("mean error = %v, implausible", res.MeanError)
+	}
+}
+
+func TestRunDiscoveryDeterminism(t *testing.T) {
+	a := RunDiscovery(discoveryConfig(true, 5))
+	b := RunDiscovery(discoveryConfig(true, 5))
+	if a != b {
+		t.Errorf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestHintAwareDiscoveryTradeoff is the §4.2 claim at network scale:
+// the hint-aware scheduler achieves better mobile-pair accuracy than the
+// fixed slow scheduler at far below the cost of probing fast everywhere.
+func TestHintAwareDiscoveryTradeoff(t *testing.T) {
+	slow := RunDiscovery(discoveryConfig(false, 7))
+
+	fastCfg := discoveryConfig(false, 7)
+	fastCfg.StaticRate = 10
+	fast := RunDiscovery(fastCfg)
+
+	hint := RunDiscovery(discoveryConfig(true, 7))
+
+	if hint.MeanErrorMobile >= slow.MeanErrorMobile {
+		t.Errorf("hint-aware mobile error %.3f not below fixed-slow %.3f",
+			hint.MeanErrorMobile, slow.MeanErrorMobile)
+	}
+	if hint.ProbesSent >= fast.ProbesSent {
+		t.Errorf("hint-aware sent %d probes, not below always-fast %d",
+			hint.ProbesSent, fast.ProbesSent)
+	}
+	if hint.ProbesSent <= slow.ProbesSent {
+		t.Errorf("hint-aware sent %d probes, should exceed always-slow %d",
+			hint.ProbesSent, slow.ProbesSent)
+	}
+	t.Logf("probes: slow=%d hint=%d fast=%d; mobile err: slow=%.3f hint=%.3f fast=%.3f",
+		slow.ProbesSent, hint.ProbesSent, fast.ProbesSent,
+		slow.MeanErrorMobile, hint.MeanErrorMobile, fast.MeanErrorMobile)
+}
+
+func TestDiscoveryNeighbourHintPropagates(t *testing.T) {
+	// A static-only network under the hint-aware scheduler probes at the
+	// slow rate throughout: about the same probes as fixed-slow.
+	cfg := discoveryConfig(true, 9)
+	cfg.Nodes = GridNodes(3, 3, 60, 0) // nobody moves
+	hint := RunDiscovery(cfg)
+
+	cfgFixed := cfg
+	cfgFixed.HintAware = false
+	fixed := RunDiscovery(cfgFixed)
+
+	ratio := float64(hint.ProbesSent) / float64(fixed.ProbesSent)
+	if ratio > 1.3 {
+		t.Errorf("hint-aware probed %.1fx the fixed rate with nobody moving", ratio)
+	}
+}

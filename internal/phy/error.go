@@ -1,0 +1,147 @@
+package phy
+
+import "math"
+
+// The error model maps SNR (dB) to bit error rate per modulation using the
+// standard AWGN Q-function approximations, then applies an effective coding
+// gain for the convolutional code and converts to packet error rate for a
+// given frame length. The resulting per-rate PER curves have the familiar
+// waterfall shape with the correct relative ordering and ~2-4 dB spacing
+// between adjacent rates, which is what SNR-based adaptation (RBAR/CHARM)
+// and the channel simulator need.
+
+// qFunc is the Gaussian tail probability Q(x).
+func qFunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// codingGainDB approximates the SNR advantage (dB) conferred by the
+// convolutional code at each coding rate. Values are standard soft-decision
+// Viterbi asymptotic gains, slightly derated for finite block lengths.
+func codingGainDB(num, den int) float64 {
+	switch {
+	case num == 1 && den == 2:
+		return 5.0
+	case num == 2 && den == 3:
+		return 4.0
+	case num == 3 && den == 4:
+		return 3.5
+	default:
+		return 3.0
+	}
+}
+
+// rawBER returns the uncoded bit error rate of the modulation at the given
+// per-bit SNR ratio (linear, not dB).
+func rawBER(m Modulation, ebno float64) float64 {
+	if ebno <= 0 {
+		return 0.5
+	}
+	switch m {
+	case BPSK:
+		return qFunc(math.Sqrt(2 * ebno))
+	case QPSK:
+		return qFunc(math.Sqrt(2 * ebno))
+	case QAM16:
+		// Gray-coded rectangular 16-QAM approximation.
+		return 0.75 * qFunc(math.Sqrt(0.8*ebno))
+	case QAM64:
+		// Gray-coded rectangular 64-QAM approximation.
+		return (7.0 / 12.0) * qFunc(math.Sqrt(ebno*6.0/21.0))
+	}
+	return 0.5
+}
+
+// bitsPerModSymbol returns bits carried per modulated subcarrier symbol.
+func bitsPerModSymbol(m Modulation) float64 {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	}
+	return 1
+}
+
+// BER returns the post-coding bit error rate at rate r for the given SNR in
+// dB. The convolutional code is modelled as an effective SNR gain plus an
+// error-floor steepening exponent, a common simulation shortcut that
+// preserves the waterfall shape.
+func BER(r Rate, snrDB float64) float64 {
+	info := rateTable[r]
+	effSNR := snrDB + codingGainDB(info.CodingNum, info.CodingDen)
+	// Convert channel SNR to per-bit Eb/N0: divide by bits per symbol.
+	snrLin := math.Pow(10, effSNR/10)
+	ebno := snrLin / bitsPerModSymbol(info.Modulation)
+	ber := rawBER(info.Modulation, ebno)
+	// Viterbi decoding steepens the BER curve; square the raw BER (bounded
+	// below by a numerical floor) to model the post-decoding slope.
+	post := ber * ber * 4
+	if post > 0.5 {
+		post = 0.5
+	}
+	if post < 1e-12 {
+		post = 0
+	}
+	return post
+}
+
+// PER returns the packet error rate for a frame of the given length in
+// bytes sent at rate r under the given SNR in dB, assuming independent bit
+// errors after decoding.
+func PER(r Rate, snrDB float64, bytes int) float64 {
+	ber := BER(r, snrDB)
+	if ber == 0 {
+		return 0
+	}
+	bits := float64(8 * bytes)
+	per := 1 - math.Pow(1-ber, bits)
+	if per > 1 {
+		per = 1
+	}
+	return per
+}
+
+// DeliveryProb returns 1 − PER, the probability a frame of the given
+// length at rate r is delivered at the given SNR.
+func DeliveryProb(r Rate, snrDB float64, bytes int) float64 {
+	return 1 - PER(r, snrDB, bytes)
+}
+
+// MinSNRFor returns the lowest SNR in dB (to 0.25 dB resolution) at which
+// rate r delivers frames of the given length with at most the target packet
+// error rate. It is the training step SNR-based protocols perform for an
+// operating environment.
+func MinSNRFor(r Rate, bytes int, targetPER float64) float64 {
+	lo, hi := -10.0, 60.0
+	for hi-lo > 0.25 {
+		mid := (lo + hi) / 2
+		if PER(r, mid, bytes) > targetPER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// BestRateForSNR returns the fastest rate whose expected throughput
+// (Mbps × delivery probability) is maximal at the given SNR for frames of
+// the given length. SNR-based protocols use this as their rate picker.
+func BestRateForSNR(snrDB float64, bytes int) Rate {
+	best := Rate6
+	bestTput := -1.0
+	for i := 0; i < NumRates; i++ {
+		r := Rate(i)
+		tput := float64(r.Mbps()) * DeliveryProb(r, snrDB, bytes)
+		if tput > bestTput {
+			bestTput = tput
+			best = r
+		}
+	}
+	return best
+}

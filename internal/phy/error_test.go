@@ -1,0 +1,170 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPERBounds(t *testing.T) {
+	f := func(rr uint8, snr float64, bytes uint16) bool {
+		if math.IsNaN(snr) || math.IsInf(snr, 0) {
+			return true
+		}
+		r := Rate(int(rr) % NumRates)
+		p := PER(r, math.Mod(snr, 100), int(bytes)%3000)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPERMonotonicInSNR(t *testing.T) {
+	for i := 0; i < NumRates; i++ {
+		r := Rate(i)
+		prev := 1.1
+		for snr := -5.0; snr <= 40; snr += 0.5 {
+			p := PER(r, snr, 1000)
+			if p > prev+1e-9 {
+				t.Errorf("%v: PER increased with SNR at %v dB (%v -> %v)", r, snr, prev, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPERMonotonicInLength(t *testing.T) {
+	// Longer frames fail more at the same SNR.
+	for _, snr := range []float64{5, 10, 15, 18} {
+		for i := 0; i < NumRates; i++ {
+			r := Rate(i)
+			if PER(r, snr, 100) > PER(r, snr, 1500)+1e-9 {
+				t.Errorf("%v at %v dB: short frame worse than long", r, snr)
+			}
+		}
+	}
+}
+
+func TestFasterRatesNeedMoreSNR(t *testing.T) {
+	// The SNR needed for 10% PER must not decrease as the rate rises.
+	prev := -100.0
+	for i := 0; i < NumRates; i++ {
+		need := MinSNRFor(Rate(i), 1000, 0.1)
+		if need < prev-0.5 { // small tolerance for the search resolution
+			t.Errorf("rate %v needs %v dB, below slower rate's %v", Rate(i), need, prev)
+		}
+		if need > prev {
+			prev = need
+		}
+	}
+}
+
+func TestDeliveryProbComplement(t *testing.T) {
+	for i := 0; i < NumRates; i++ {
+		for snr := 0.0; snr < 30; snr += 3 {
+			p, q := PER(Rate(i), snr, 1000), DeliveryProb(Rate(i), snr, 1000)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("PER + DeliveryProb != 1 at rate %v snr %v", Rate(i), snr)
+			}
+		}
+	}
+}
+
+func TestBestRateForSNRExtremes(t *testing.T) {
+	if got := BestRateForSNR(40, 1000); got != Rate54 {
+		t.Errorf("at 40 dB best rate = %v, want 54", got)
+	}
+	if got := BestRateForSNR(-10, 1000); got != Rate6 {
+		t.Errorf("at -10 dB best rate = %v, want 6", got)
+	}
+}
+
+func TestBestRateForSNRNondecreasing(t *testing.T) {
+	prev := Rate6
+	for snr := -5.0; snr <= 35; snr += 0.25 {
+		r := BestRateForSNR(snr, 1000)
+		if r < prev {
+			t.Errorf("best rate decreased from %v to %v at %v dB", prev, r, snr)
+		}
+		prev = r
+	}
+}
+
+func TestBERUselessAtVeryLowSNR(t *testing.T) {
+	// At -40 dB every modulation is effectively a coin flip; the exact
+	// ceiling differs per constellation but a 1000-byte frame must be
+	// undeliverable.
+	for i := 0; i < NumRates; i++ {
+		if b := BER(Rate(i), -40); b < 0.25 {
+			t.Errorf("%v: BER at -40 dB = %v, want ≥ 0.25", Rate(i), b)
+		}
+		if p := PER(Rate(i), -40, 1000); p < 0.999999 {
+			t.Errorf("%v: PER at -40 dB = %v, want ≈ 1", Rate(i), p)
+		}
+	}
+}
+
+func TestGuardIntervalDurations(t *testing.T) {
+	want := map[GuardInterval]time.Duration{
+		GI400:  400 * time.Nanosecond,
+		GI800:  800 * time.Nanosecond,
+		GI1600: 1600 * time.Nanosecond,
+		GI3200: 3200 * time.Nanosecond,
+	}
+	for g, d := range want {
+		if g.Duration() != d {
+			t.Errorf("%v duration = %v, want %v", g, g.Duration(), d)
+		}
+	}
+}
+
+func TestISIPenalty(t *testing.T) {
+	// No penalty when the delay spread fits inside the guard.
+	if p := GI800.ISIPenaltyDB(500 * time.Nanosecond); p != 0 {
+		t.Errorf("covered delay spread should cost nothing, got %v dB", p)
+	}
+	// Growing penalty beyond the guard.
+	p1 := GI800.ISIPenaltyDB(1200 * time.Nanosecond)
+	p2 := GI800.ISIPenaltyDB(2000 * time.Nanosecond)
+	if !(p1 > 0 && p2 > p1) {
+		t.Errorf("penalty should grow with excess delay: %v, %v", p1, p2)
+	}
+	// Longer guard covers more.
+	if GI3200.ISIPenaltyDB(2000*time.Nanosecond) != 0 {
+		t.Error("GI3200 should cover a 2 µs spread")
+	}
+}
+
+func TestGuardIntervalTradeoff(t *testing.T) {
+	// Indoors (short delay spread) the standard prefix beats the long
+	// one because the long prefix wastes symbol time.
+	in := EffectiveThroughputMbps(Rate54, GI800, 25, 200*time.Nanosecond, 1000)
+	inLong := EffectiveThroughputMbps(Rate54, GI3200, 25, 200*time.Nanosecond, 1000)
+	if in <= inLong {
+		t.Errorf("indoors standard prefix %v should beat long prefix %v", in, inLong)
+	}
+	// Outdoors (long delay spread) the relationship flips.
+	out := EffectiveThroughputMbps(Rate54, GI800, 21, 1500*time.Nanosecond, 1000)
+	outLong := EffectiveThroughputMbps(Rate54, GI1600, 21, 1500*time.Nanosecond, 1000)
+	if outLong <= out {
+		t.Errorf("outdoors long prefix %v should beat standard %v", outLong, out)
+	}
+}
+
+func TestGuardIntervalForEnvironment(t *testing.T) {
+	if GuardIntervalForEnvironment(false) != GI800 {
+		t.Error("indoor hint should pick the standard prefix")
+	}
+	if GuardIntervalForEnvironment(true) != GI1600 {
+		t.Error("outdoor hint should pick the long prefix")
+	}
+}
+
+func TestBestGuardIntervalMatchesHint(t *testing.T) {
+	best := BestGuardInterval(Rate54, 21, 1500*time.Nanosecond, 1000)
+	if best != GI1600 {
+		t.Errorf("exhaustive search picked %v, expected GI1600 for a 1.5 µs spread", best)
+	}
+}

@@ -1,0 +1,221 @@
+// Package phy models the 802.11a OFDM physical layer: the bit-rate table,
+// frame airtime computation, and the SNR → BER → packet-error-rate curves
+// that the channel simulator and the SNR-based rate adaptation protocols
+// (RBAR, CHARM) rely on.
+//
+// The model follows the standard 802.11a parameters: 20 MHz channels,
+// 4 µs OFDM symbols (3.2 µs data + 0.8 µs cyclic prefix), 16 µs PLCP
+// preamble and a 4 µs SIGNAL field. It is intentionally a simulation-grade
+// model — it reproduces the relative behaviour of the eight OFDM rates,
+// which is what rate adaptation protocols key on, not hardware-exact
+// absolute error rates.
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate identifies one of the eight 802.11a OFDM bit rates by index,
+// ordered from slowest (0 = 6 Mbps) to fastest (7 = 54 Mbps).
+type Rate int
+
+// The eight 802.11a OFDM rates.
+const (
+	Rate6 Rate = iota
+	Rate9
+	Rate12
+	Rate18
+	Rate24
+	Rate36
+	Rate48
+	Rate54
+
+	// NumRates is the number of 802.11a OFDM bit rates.
+	NumRates = 8
+)
+
+// Modulation enumerates the OFDM subcarrier modulations used by 802.11a.
+type Modulation int
+
+// Modulations in increasing constellation density.
+const (
+	BPSK Modulation = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String returns the conventional name of the modulation.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	}
+	return fmt.Sprintf("Modulation(%d)", int(m))
+}
+
+// RateInfo describes the PHY parameters of one OFDM rate.
+type RateInfo struct {
+	// Mbps is the nominal data rate in megabits per second.
+	Mbps int
+	// Modulation is the subcarrier modulation.
+	Modulation Modulation
+	// CodingNum and CodingDen give the convolutional coding rate
+	// (e.g. 1/2, 3/4) as a fraction CodingNum/CodingDen.
+	CodingNum, CodingDen int
+	// BitsPerSymbol is N_DBPS, the number of data bits carried by one
+	// 4 µs OFDM symbol.
+	BitsPerSymbol int
+}
+
+// rateTable holds the 802.11a rate set in index order.
+var rateTable = [NumRates]RateInfo{
+	{6, BPSK, 1, 2, 24},
+	{9, BPSK, 3, 4, 36},
+	{12, QPSK, 1, 2, 48},
+	{18, QPSK, 3, 4, 72},
+	{24, QAM16, 1, 2, 96},
+	{36, QAM16, 3, 4, 144},
+	{48, QAM64, 2, 3, 192},
+	{54, QAM64, 3, 4, 216},
+}
+
+// Info returns the PHY parameters of r. It panics if r is out of range;
+// use Valid to check untrusted values first.
+func (r Rate) Info() RateInfo {
+	return rateTable[r]
+}
+
+// Valid reports whether r is one of the eight defined OFDM rates.
+func (r Rate) Valid() bool {
+	return r >= 0 && r < NumRates
+}
+
+// Mbps returns the nominal data rate of r in megabits per second.
+func (r Rate) Mbps() int { return rateTable[r].Mbps }
+
+// String returns a short human-readable name such as "54Mbps".
+func (r Rate) String() string {
+	if !r.Valid() {
+		return fmt.Sprintf("Rate(%d)", int(r))
+	}
+	return fmt.Sprintf("%dMbps", rateTable[r].Mbps)
+}
+
+// AllRates returns the rates in increasing speed order. The returned slice
+// is freshly allocated and may be modified by the caller.
+func AllRates() []Rate {
+	rs := make([]Rate, NumRates)
+	for i := range rs {
+		rs[i] = Rate(i)
+	}
+	return rs
+}
+
+// 802.11a MAC/PHY timing constants.
+const (
+	// SymbolDuration is the duration of one OFDM symbol.
+	SymbolDuration = 4 * time.Microsecond
+	// PreambleDuration covers the PLCP preamble (16 µs) plus the
+	// SIGNAL field (4 µs).
+	PreambleDuration = 20 * time.Microsecond
+	// SIFS is the short interframe space for 802.11a.
+	SIFS = 16 * time.Microsecond
+	// DIFS is the DCF interframe space for 802.11a.
+	DIFS = 34 * time.Microsecond
+	// SlotTime is the 802.11a backoff slot duration.
+	SlotTime = 9 * time.Microsecond
+	// ServiceBits and TailBits are the PLCP service and convolutional
+	// tail bits prepended/appended to the PSDU.
+	ServiceBits = 16
+	TailBits    = 6
+	// ACKBytes is the length of an 802.11 ACK control frame.
+	ACKBytes = 14
+)
+
+// PayloadAirtime returns the on-air time of the data portion of a frame
+// with the given MPDU length in bytes at rate r: preamble + SIGNAL plus
+// the ceiling number of OFDM symbols for service+payload+tail bits.
+func PayloadAirtime(r Rate, bytes int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	bits := ServiceBits + 8*bytes + TailBits
+	ndbps := rateTable[r].BitsPerSymbol
+	symbols := (bits + ndbps - 1) / ndbps
+	return PreambleDuration + time.Duration(symbols)*SymbolDuration
+}
+
+// ControlRate returns the mandatory control-response rate used to send an
+// ACK for a data frame at rate r: the highest basic rate (6, 12, 24 Mbps)
+// that does not exceed r, per the 802.11 control-response rules.
+func ControlRate(r Rate) Rate {
+	switch {
+	case r >= Rate24:
+		return Rate24
+	case r >= Rate12:
+		return Rate12
+	default:
+		return Rate6
+	}
+}
+
+// FrameExchangeAirtime returns the total channel time consumed by one
+// DATA/ACK exchange at rate r with the given payload size: DIFS + average
+// contention backoff + data frame + SIFS + ACK. It is the cost model used
+// by the trace-driven MAC simulator and by SampleRate's expected
+// transmission-time metric.
+func FrameExchangeAirtime(r Rate, bytes int) time.Duration {
+	const avgBackoffSlots = 8 // mean of CWmin/2 for CWmin=15
+	backoff := time.Duration(avgBackoffSlots) * SlotTime
+	data := PayloadAirtime(r, bytes)
+	ack := PayloadAirtime(ControlRate(r), ACKBytes)
+	return DIFS + backoff + data + SIFS + ack
+}
+
+// FailedExchangeAirtime returns the channel time wasted by a transmission
+// that receives no ACK: DIFS + backoff + data frame + ACK timeout.
+func FailedExchangeAirtime(r Rate, bytes int) time.Duration {
+	const avgBackoffSlots = 8
+	const ackTimeout = 50 * time.Microsecond
+	backoff := time.Duration(avgBackoffSlots) * SlotTime
+	return DIFS + backoff + PayloadAirtime(r, bytes) + ackTimeout
+}
+
+// RTSBytes and CTSBytes are the 802.11 control frame lengths used by the
+// RTS/CTS exchange.
+const (
+	RTSBytes = 20
+	CTSBytes = 14
+)
+
+// RetryBackoff returns the additional mean contention backoff a
+// retransmission attempt suffers beyond the first attempt's, per the
+// 802.11 DCF exponential backoff: the contention window doubles each
+// retry (CWmin 15, CWmax 1023), so the mean backoff grows from ~8 slots
+// to ~512.
+func RetryBackoff(attempt int) time.Duration {
+	if attempt <= 0 {
+		return 0
+	}
+	cw := 15 << attempt
+	if cw > 1023 {
+		cw = 1023
+	}
+	meanSlots := cw / 2
+	return time.Duration(meanSlots-8) * SlotTime
+}
+
+// RTSCTSAirtime returns the extra channel time an RTS/CTS exchange adds
+// in front of a data frame: RTS + SIFS + CTS + SIFS, with both control
+// frames at the lowest mandatory rate.
+func RTSCTSAirtime() time.Duration {
+	return PayloadAirtime(Rate6, RTSBytes) + SIFS + PayloadAirtime(Rate6, CTSBytes) + SIFS
+}

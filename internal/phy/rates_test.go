@@ -1,0 +1,165 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateTable(t *testing.T) {
+	want := []struct {
+		r    Rate
+		mbps int
+		mod  Modulation
+		ndbp int
+	}{
+		{Rate6, 6, BPSK, 24},
+		{Rate9, 9, BPSK, 36},
+		{Rate12, 12, QPSK, 48},
+		{Rate18, 18, QPSK, 72},
+		{Rate24, 24, QAM16, 96},
+		{Rate36, 36, QAM16, 144},
+		{Rate48, 48, QAM64, 192},
+		{Rate54, 54, QAM64, 216},
+	}
+	for _, w := range want {
+		info := w.r.Info()
+		if info.Mbps != w.mbps {
+			t.Errorf("%v: Mbps = %d, want %d", w.r, info.Mbps, w.mbps)
+		}
+		if info.Modulation != w.mod {
+			t.Errorf("%v: modulation = %v, want %v", w.r, info.Modulation, w.mod)
+		}
+		if info.BitsPerSymbol != w.ndbp {
+			t.Errorf("%v: NDBPS = %d, want %d", w.r, info.BitsPerSymbol, w.ndbp)
+		}
+		// NDBPS must equal Mbps × 4 µs symbol.
+		if info.BitsPerSymbol != info.Mbps*4 {
+			t.Errorf("%v: NDBPS %d inconsistent with rate", w.r, info.BitsPerSymbol)
+		}
+	}
+}
+
+func TestRateValid(t *testing.T) {
+	for i := 0; i < NumRates; i++ {
+		if !Rate(i).Valid() {
+			t.Errorf("rate %d should be valid", i)
+		}
+	}
+	for _, r := range []Rate{-1, NumRates, 100} {
+		if r.Valid() {
+			t.Errorf("rate %d should be invalid", r)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if got := Rate54.String(); got != "54Mbps" {
+		t.Errorf("Rate54.String() = %q", got)
+	}
+	if got := Rate(-3).String(); got != "Rate(-3)" {
+		t.Errorf("invalid rate String() = %q", got)
+	}
+}
+
+func TestAllRates(t *testing.T) {
+	rs := AllRates()
+	if len(rs) != NumRates {
+		t.Fatalf("AllRates returned %d rates", len(rs))
+	}
+	for i, r := range rs {
+		if int(r) != i {
+			t.Errorf("AllRates[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestPayloadAirtime(t *testing.T) {
+	// 1000-byte frame at 54 Mbps: 16+8000+6 = 8022 bits over 216
+	// bits/symbol = 38 symbols = 152 µs, plus 20 µs preamble.
+	if got, want := PayloadAirtime(Rate54, 1000), 172*time.Microsecond; got != want {
+		t.Errorf("airtime(54, 1000) = %v, want %v", got, want)
+	}
+	// 6 Mbps: 8022/24 = 335 symbols (ceil) = 1340 µs + 20.
+	if got, want := PayloadAirtime(Rate6, 1000), 1360*time.Microsecond; got != want {
+		t.Errorf("airtime(6, 1000) = %v, want %v", got, want)
+	}
+	// Zero and negative payloads must not panic and must cover the
+	// service/tail bits.
+	if PayloadAirtime(Rate6, 0) <= PreambleDuration {
+		t.Error("zero payload should still need at least one symbol")
+	}
+	if PayloadAirtime(Rate6, -5) != PayloadAirtime(Rate6, 0) {
+		t.Error("negative payload should clamp to zero")
+	}
+}
+
+func TestAirtimeMonotonicInRate(t *testing.T) {
+	for i := 1; i < NumRates; i++ {
+		lo, hi := Rate(i-1), Rate(i)
+		if PayloadAirtime(hi, 1000) >= PayloadAirtime(lo, 1000) {
+			t.Errorf("airtime at %v should be below %v", hi, lo)
+		}
+	}
+}
+
+func TestControlRate(t *testing.T) {
+	cases := []struct{ data, ctrl Rate }{
+		{Rate6, Rate6}, {Rate9, Rate6},
+		{Rate12, Rate12}, {Rate18, Rate12},
+		{Rate24, Rate24}, {Rate36, Rate24}, {Rate48, Rate24}, {Rate54, Rate24},
+	}
+	for _, c := range cases {
+		if got := ControlRate(c.data); got != c.ctrl {
+			t.Errorf("ControlRate(%v) = %v, want %v", c.data, got, c.ctrl)
+		}
+	}
+}
+
+func TestFrameExchangeAirtime(t *testing.T) {
+	// A full exchange must exceed the bare payload airtime (DIFS,
+	// backoff, SIFS, ACK all add).
+	for i := 0; i < NumRates; i++ {
+		r := Rate(i)
+		if FrameExchangeAirtime(r, 1000) <= PayloadAirtime(r, 1000) {
+			t.Errorf("exchange airtime at %v too small", r)
+		}
+		if FailedExchangeAirtime(r, 1000) <= PayloadAirtime(r, 1000) {
+			t.Errorf("failed exchange airtime at %v too small", r)
+		}
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	if RetryBackoff(0) != 0 {
+		t.Error("first attempt has no extra backoff")
+	}
+	prev := time.Duration(0)
+	for a := 1; a <= 6; a++ {
+		b := RetryBackoff(a)
+		if b < prev {
+			t.Errorf("backoff must be non-decreasing: attempt %d %v < %v", a, b, prev)
+		}
+		prev = b
+	}
+	// Saturation at CWmax.
+	if RetryBackoff(10) != RetryBackoff(20) {
+		t.Error("backoff must saturate at CWmax")
+	}
+}
+
+func TestRTSCTSAirtime(t *testing.T) {
+	if RTSCTSAirtime() <= 2*SIFS {
+		t.Error("RTS/CTS exchange must cost more than the interframe spaces")
+	}
+}
+
+func TestQuickAirtimePositive(t *testing.T) {
+	f := func(rr uint8, bytes uint16) bool {
+		r := Rate(int(rr) % NumRates)
+		return PayloadAirtime(r, int(bytes)) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package power implements the movement-based radio power saving of
+// §5.4: a client that cannot find an access point powers its radio down
+// until a movement hint arrives (no point rescanning from the same dead
+// spot), and a client moving too fast for useful Wi-Fi (vehicular speed)
+// powers down until it slows. The package provides the policy state
+// machine and an energy model to quantify the savings.
+package power
+
+import (
+	"time"
+)
+
+// RadioState is the Wi-Fi radio's power state.
+type RadioState int
+
+// Radio states.
+const (
+	// RadioOff draws minimal power.
+	RadioOff RadioState = iota
+	// RadioScanning searches for access points.
+	RadioScanning
+	// RadioAssociated is connected and usable.
+	RadioAssociated
+)
+
+// String names the state.
+func (s RadioState) String() string {
+	switch s {
+	case RadioOff:
+		return "off"
+	case RadioScanning:
+		return "scanning"
+	case RadioAssociated:
+		return "associated"
+	}
+	return "unknown"
+}
+
+// EnergyModel gives the power draw of each state in milliwatts. Values
+// default to typical smartphone Wi-Fi figures.
+type EnergyModel struct {
+	OffMW, ScanMW, AssociatedMW float64
+}
+
+// DefaultEnergyModel returns smartphone-typical draws.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{OffMW: 5, ScanMW: 900, AssociatedMW: 300}
+}
+
+// Draw returns the power draw of state s.
+func (m EnergyModel) Draw(s RadioState) float64 {
+	switch s {
+	case RadioOff:
+		return m.OffMW
+	case RadioScanning:
+		return m.ScanMW
+	default:
+		return m.AssociatedMW
+	}
+}
+
+// Policy is the hint-aware power manager.
+type Policy struct {
+	// MaxUsefulSpeed is the speed (m/s) above which Wi-Fi is considered
+	// useless and the radio sleeps (default 20 — highway speed).
+	MaxUsefulSpeed float64
+	// ScanBudget is how long a scan runs before concluding no AP is
+	// available (default 3 s).
+	ScanBudget time.Duration
+	// HintAware enables the §5.4 behaviour; when false, the radio
+	// rescans periodically regardless of hints (RescanEvery).
+	HintAware bool
+	// RescanEvery is the hint-oblivious rescan period (default 30 s).
+	RescanEvery time.Duration
+
+	state     RadioState
+	scanSince time.Duration
+	offSince  time.Duration
+	started   bool
+}
+
+// NewPolicy returns a policy with defaults.
+func NewPolicy(hintAware bool) *Policy {
+	return &Policy{
+		MaxUsefulSpeed: 20,
+		ScanBudget:     3 * time.Second,
+		HintAware:      hintAware,
+		RescanEvery:    30 * time.Second,
+	}
+}
+
+// Input is the environment at one policy step.
+type Input struct {
+	Now time.Duration
+	// Moving is the movement hint.
+	Moving bool
+	// SpeedMps is the speed hint.
+	SpeedMps float64
+	// APAvailable is whether a scan would find an access point.
+	APAvailable bool
+}
+
+// State returns the current radio state.
+func (p *Policy) State() RadioState { return p.state }
+
+// Step advances the policy and returns the new state.
+//
+// Hint-aware rules (§5.4): scanning with no AP found and no movement →
+// power down until a movement hint; speed above MaxUsefulSpeed → power
+// down until it drops. Hint-oblivious: rescan every RescanEvery.
+func (p *Policy) Step(in Input) RadioState {
+	if !p.started {
+		p.started = true
+		p.state = RadioScanning
+		p.scanSince = in.Now
+	}
+	tooFast := in.SpeedMps > p.MaxUsefulSpeed
+	switch p.state {
+	case RadioAssociated:
+		switch {
+		case p.HintAware && tooFast:
+			p.toOff(in.Now)
+		case !in.APAvailable:
+			p.toScan(in.Now)
+		}
+	case RadioScanning:
+		switch {
+		case p.HintAware && tooFast:
+			p.toOff(in.Now)
+		case in.APAvailable:
+			p.state = RadioAssociated
+		case in.Now-p.scanSince >= p.ScanBudget:
+			// Scan exhausted with no AP.
+			p.toOff(in.Now)
+		}
+	case RadioOff:
+		switch {
+		case p.HintAware:
+			// Wake on movement hint (position changed, so an AP may now
+			// be reachable) — but not while moving too fast.
+			if in.Moving && !tooFast {
+				p.toScan(in.Now)
+			}
+		case in.Now-p.offSince >= p.RescanEvery:
+			p.toScan(in.Now)
+		}
+	}
+	return p.state
+}
+
+func (p *Policy) toOff(now time.Duration) {
+	p.state = RadioOff
+	p.offSince = now
+}
+
+func (p *Policy) toScan(now time.Duration) {
+	p.state = RadioScanning
+	p.scanSince = now
+}
+
+// SimResult summarises one policy simulation.
+type SimResult struct {
+	// EnergyMJ is total energy in millijoules.
+	EnergyMJ float64
+	// TimeIn accumulates time per state.
+	TimeIn [3]time.Duration
+	// MissedConnectivity is time an AP was reachable (at usable speed)
+	// while the radio was off or still scanning — the cost side of the
+	// §5.4 trade-off.
+	MissedConnectivity time.Duration
+}
+
+// Simulate runs the policy over a scenario sampled at the given step,
+// charging energy per the model.
+func Simulate(p *Policy, model EnergyModel, step time.Duration, total time.Duration, scenario func(time.Duration) Input) SimResult {
+	var res SimResult
+	if step <= 0 {
+		step = 100 * time.Millisecond
+	}
+	for now := time.Duration(0); now < total; now += step {
+		in := scenario(now)
+		in.Now = now
+		st := p.Step(in)
+		res.TimeIn[st] += step
+		res.EnergyMJ += model.Draw(st) * step.Seconds()
+		if in.APAvailable && in.SpeedMps <= p.MaxUsefulSpeed && st != RadioAssociated {
+			res.MissedConnectivity += step
+		}
+	}
+	return res
+}

@@ -1,0 +1,138 @@
+package power
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRadioStateString(t *testing.T) {
+	if RadioOff.String() != "off" || RadioScanning.String() != "scanning" ||
+		RadioAssociated.String() != "associated" {
+		t.Error("state names wrong")
+	}
+}
+
+func TestEnergyModelDraw(t *testing.T) {
+	m := DefaultEnergyModel()
+	if m.Draw(RadioScanning) <= m.Draw(RadioAssociated) {
+		t.Error("scanning should draw more than associated")
+	}
+	if m.Draw(RadioOff) >= m.Draw(RadioAssociated) {
+		t.Error("off should draw least")
+	}
+}
+
+func TestPolicyAssociatesWhenAPAvailable(t *testing.T) {
+	p := NewPolicy(true)
+	st := p.Step(Input{Now: 0, APAvailable: true})
+	if st != RadioAssociated {
+		t.Errorf("state = %v, want associated", st)
+	}
+}
+
+func TestHintAwareSleepsOnFailedScan(t *testing.T) {
+	p := NewPolicy(true)
+	now := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		p.Step(Input{Now: now, APAvailable: false})
+		now += 100 * time.Millisecond
+	}
+	if p.State() != RadioOff {
+		t.Errorf("state after exhausted scan = %v, want off", p.State())
+	}
+	// Still off while nothing moves.
+	for i := 0; i < 50; i++ {
+		p.Step(Input{Now: now, APAvailable: true}) // AP reachable but no hint
+		now += 100 * time.Millisecond
+	}
+	if p.State() != RadioOff {
+		t.Errorf("hint-aware radio woke without a movement hint: %v", p.State())
+	}
+	// A movement hint wakes it.
+	p.Step(Input{Now: now, Moving: true, APAvailable: true})
+	if p.State() != RadioScanning {
+		t.Errorf("state after movement hint = %v, want scanning", p.State())
+	}
+}
+
+func TestHintAwareSleepsAtSpeed(t *testing.T) {
+	p := NewPolicy(true)
+	p.Step(Input{Now: 0, APAvailable: true}) // associated
+	p.Step(Input{Now: time.Second, Moving: true, SpeedMps: 30, APAvailable: true})
+	if p.State() != RadioOff {
+		t.Errorf("state at 30 m/s = %v, want off", p.State())
+	}
+	// Stays off while fast even though moving.
+	p.Step(Input{Now: 2 * time.Second, Moving: true, SpeedMps: 30, APAvailable: true})
+	if p.State() != RadioOff {
+		t.Error("woke at highway speed")
+	}
+	// Slows down → movement hint wakes it.
+	p.Step(Input{Now: 3 * time.Second, Moving: true, SpeedMps: 1.5, APAvailable: true})
+	if p.State() != RadioScanning {
+		t.Errorf("state after slowing = %v, want scanning", p.State())
+	}
+}
+
+func TestObliviousPolicyRescans(t *testing.T) {
+	p := NewPolicy(false)
+	p.RescanEvery = 5 * time.Second
+	now := time.Duration(0)
+	// Exhaust the initial scan.
+	for p.State() != RadioOff {
+		p.Step(Input{Now: now, APAvailable: false})
+		now += 500 * time.Millisecond
+	}
+	offAt := now
+	// The oblivious policy wakes by timer, no hint needed.
+	woke := false
+	for now < offAt+10*time.Second {
+		if p.Step(Input{Now: now, APAvailable: false}) == RadioScanning {
+			woke = true
+			break
+		}
+		now += 500 * time.Millisecond
+	}
+	if !woke {
+		t.Error("hint-oblivious policy never rescanned")
+	}
+}
+
+func TestSimulateAccounting(t *testing.T) {
+	p := NewPolicy(true)
+	model := DefaultEnergyModel()
+	res := Simulate(p, model, 100*time.Millisecond, 10*time.Second, func(time.Duration) Input {
+		return Input{APAvailable: true}
+	})
+	var total time.Duration
+	for _, d := range res.TimeIn {
+		total += d
+	}
+	if total != 10*time.Second {
+		t.Errorf("state times sum to %v, want 10s", total)
+	}
+	// Always-available AP at walking speed: mostly associated, tiny
+	// energy relative to scanning the whole time.
+	if res.TimeIn[RadioAssociated] < 9*time.Second {
+		t.Errorf("associated only %v", res.TimeIn[RadioAssociated])
+	}
+	wantMax := model.ScanMW * 10 // all-scanning upper bound in mJ
+	if res.EnergyMJ <= 0 || res.EnergyMJ >= wantMax {
+		t.Errorf("energy = %v mJ", res.EnergyMJ)
+	}
+	if res.MissedConnectivity > time.Second {
+		t.Errorf("missed connectivity %v with an always-available AP", res.MissedConnectivity)
+	}
+}
+
+func TestHintAwareSavesEnergyInDeadSpot(t *testing.T) {
+	scenario := func(time.Duration) Input {
+		return Input{Moving: false, APAvailable: false}
+	}
+	model := DefaultEnergyModel()
+	aware := Simulate(NewPolicy(true), model, 100*time.Millisecond, 5*time.Minute, scenario)
+	naive := Simulate(NewPolicy(false), model, 100*time.Millisecond, 5*time.Minute, scenario)
+	if aware.EnergyMJ >= naive.EnergyMJ {
+		t.Errorf("hint-aware %v mJ not below oblivious %v mJ", aware.EnergyMJ, naive.EnergyMJ)
+	}
+}

@@ -1,0 +1,205 @@
+// Package probing implements the topology-maintenance machinery of
+// Chapter 4: delivery-probability estimation from periodic probes, the
+// error analysis of probing rate versus estimate accuracy (Figures 4-2
+// through 4-5), and the hint-aware probe scheduler that probes fast only
+// while a node (or its neighbour) is moving (Figure 4-6).
+//
+// The methodology mirrors the paper's measurement: a sender probes at an
+// aggressive reference rate (200 probes/s); lower probing rates are
+// obtained by sub-sampling that stream, and each delivery-probability
+// estimate aggregates a sliding window of probe outcomes.
+package probing
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/trace"
+)
+
+// ReferenceRate is the aggressive probe rate (probes per second) used to
+// collect ground-truth streams, as in §4.1.
+const ReferenceRate = 200
+
+// ActualWindow is the averaging window defining the "actual" delivery
+// probability: 10 packets of the 200/s reference stream, i.e. 50 ms, as
+// in §4.1.
+const ActualWindow = 50 * time.Millisecond
+
+// ProbeRate is the paper's probe bit rate for the topology experiments.
+const ProbeRate = phy.Rate6
+
+// Probe is one probe transmission outcome.
+type Probe struct {
+	At time.Duration
+	OK bool
+}
+
+// Stream is a sequence of probe outcomes at a fixed sending rate.
+type Stream struct {
+	// Interval is the inter-probe spacing.
+	Interval time.Duration
+	Probes   []Probe
+}
+
+// CollectStream sends probes at the given rate (probes/s) against the
+// trace at ProbeRate, drawing each outcome from the slot's ground-truth
+// delivery probability. Outcomes are deterministic for a seed.
+func CollectStream(tr *trace.FateTrace, perSecond float64, seed int64) *Stream {
+	if perSecond <= 0 {
+		perSecond = ReferenceRate
+	}
+	interval := time.Duration(float64(time.Second) / perSecond)
+	rng := rand.New(rand.NewSource(seed))
+	s := &Stream{Interval: interval}
+	for at := time.Duration(0); at < tr.Duration(); at += interval {
+		p := tr.At(at).Prob[ProbeRate]
+		s.Probes = append(s.Probes, Probe{At: at, OK: rng.Float64() < p})
+	}
+	return s
+}
+
+// SubSample returns the stream obtained by keeping every k-th probe,
+// modelling a sender that probes k times less often (§4.1's methodology
+// for comparing probing rates without separate experiments).
+func (s *Stream) SubSample(k int) *Stream {
+	if k <= 1 {
+		return s
+	}
+	out := &Stream{Interval: s.Interval * time.Duration(k)}
+	for i := 0; i < len(s.Probes); i += k {
+		out.Probes = append(out.Probes, s.Probes[i])
+	}
+	return out
+}
+
+// Estimator computes the delivery probability over a sliding window of
+// the last W probe outcomes (the paper uses W = 10).
+type Estimator struct {
+	// WindowProbes is the number of probes aggregated per estimate
+	// (default 10).
+	WindowProbes int
+
+	window []bool
+	head   int
+	filled bool
+	ones   int
+}
+
+// NewEstimator returns an estimator with the paper's 10-probe window.
+func NewEstimator() *Estimator { return &Estimator{} }
+
+func (e *Estimator) size() int {
+	if e.WindowProbes > 0 {
+		return e.WindowProbes
+	}
+	return 10
+}
+
+// Add ingests one probe outcome.
+func (e *Estimator) Add(ok bool) {
+	n := e.size()
+	if e.window == nil {
+		e.window = make([]bool, n)
+	}
+	if e.filled && e.window[e.head] {
+		e.ones--
+	}
+	e.window[e.head] = ok
+	if ok {
+		e.ones++
+	}
+	e.head++
+	if e.head == n {
+		e.head = 0
+		e.filled = true
+	}
+}
+
+// Ready reports whether a full window has been observed.
+func (e *Estimator) Ready() bool { return e.filled }
+
+// Estimate returns the current delivery-probability estimate in [0, 1].
+// Before the window fills it averages what has been seen (0 with no
+// probes).
+func (e *Estimator) Estimate() float64 {
+	n := e.size()
+	if !e.filled {
+		if e.head == 0 {
+			return 0
+		}
+		return float64(e.ones) / float64(e.head)
+	}
+	return float64(e.ones) / float64(n)
+}
+
+// Reset clears the window.
+func (e *Estimator) Reset() {
+	e.head = 0
+	e.filled = false
+	e.ones = 0
+	for i := range e.window {
+		e.window[i] = false
+	}
+}
+
+// ErrorSample is one |observed − actual| error at a point in time.
+type ErrorSample struct {
+	At       time.Duration
+	Observed float64
+	Actual   float64
+}
+
+// Error returns |observed − actual|, the paper's error definition.
+func (s ErrorSample) Error() float64 { return math.Abs(s.Observed - s.Actual) }
+
+// EstimateSeries runs the estimator over a probe stream, sampling the
+// estimate and the trace's ground truth after every probe once the
+// window is full.
+func EstimateSeries(tr *trace.FateTrace, s *Stream, windowProbes int) []ErrorSample {
+	est := &Estimator{WindowProbes: windowProbes}
+	var out []ErrorSample
+	for _, p := range s.Probes {
+		est.Add(p.OK)
+		if !est.Ready() {
+			continue
+		}
+		out = append(out, ErrorSample{
+			At:       p.At,
+			Observed: est.Estimate(),
+			Actual:   tr.WindowProb(p.At, ActualWindow, ProbeRate),
+		})
+	}
+	return out
+}
+
+// MeanError returns the average |observed − actual| over the samples.
+func MeanError(samples []ErrorSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s.Error()
+	}
+	return sum / float64(len(samples))
+}
+
+// ErrorVsRate computes the mean estimate error at each probing rate by
+// sub-sampling a reference stream — the analysis behind Figures 4-2 and
+// 4-3. Rates are probes/second and must divide the reference rate.
+func ErrorVsRate(tr *trace.FateTrace, rates []float64, windowProbes int, seed int64) map[float64]float64 {
+	ref := CollectStream(tr, ReferenceRate, seed)
+	out := make(map[float64]float64, len(rates))
+	for _, r := range rates {
+		k := int(math.Round(ReferenceRate / r))
+		if k < 1 {
+			k = 1
+		}
+		sub := ref.SubSample(k)
+		out[r] = MeanError(EstimateSeries(tr, sub, windowProbes))
+	}
+	return out
+}

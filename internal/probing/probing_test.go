@@ -1,0 +1,257 @@
+package probing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/trace"
+)
+
+// constTrace has a constant delivery probability at the probe rate.
+func constTrace(n int, p float64) *trace.FateTrace {
+	tr := &trace.FateTrace{Env: "unit", Mode: "static", SlotDur: trace.DefaultSlot, Slots: make([]trace.Slot, n)}
+	for i := range tr.Slots {
+		for r := 0; r < phy.NumRates; r++ {
+			tr.Slots[i].Prob[r] = p
+		}
+	}
+	return tr
+}
+
+// stepTrace switches probability from p1 to p2 halfway through.
+func stepTrace(n int, p1, p2 float64) *trace.FateTrace {
+	tr := constTrace(n, p1)
+	for i := n / 2; i < n; i++ {
+		for r := 0; r < phy.NumRates; r++ {
+			tr.Slots[i].Prob[r] = p2
+		}
+	}
+	return tr
+}
+
+func TestEstimatorWindow(t *testing.T) {
+	e := NewEstimator()
+	for i := 0; i < 9; i++ {
+		e.Add(true)
+		if e.Ready() {
+			t.Fatalf("ready after %d probes", i+1)
+		}
+	}
+	e.Add(true)
+	if !e.Ready() || e.Estimate() != 1 {
+		t.Errorf("estimate = %v ready = %v", e.Estimate(), e.Ready())
+	}
+	// Slide: 5 failures drop the estimate to 0.5.
+	for i := 0; i < 5; i++ {
+		e.Add(false)
+	}
+	if e.Estimate() != 0.5 {
+		t.Errorf("estimate = %v, want 0.5", e.Estimate())
+	}
+	// Full window of failures → 0.
+	for i := 0; i < 5; i++ {
+		e.Add(false)
+	}
+	if e.Estimate() != 0 {
+		t.Errorf("estimate = %v, want 0", e.Estimate())
+	}
+}
+
+func TestEstimatorPartialWindow(t *testing.T) {
+	e := NewEstimator()
+	if e.Estimate() != 0 {
+		t.Error("empty estimator should report 0")
+	}
+	e.Add(true)
+	e.Add(false)
+	if e.Estimate() != 0.5 {
+		t.Errorf("partial estimate = %v, want 0.5", e.Estimate())
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e := NewEstimator()
+	for i := 0; i < 15; i++ {
+		e.Add(true)
+	}
+	e.Reset()
+	if e.Ready() || e.Estimate() != 0 {
+		t.Error("Reset did not clear the window")
+	}
+}
+
+func TestEstimatorBoundsProperty(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		e := NewEstimator()
+		for _, ok := range outcomes {
+			e.Add(ok)
+			if v := e.Estimate(); v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectStreamCadenceAndBias(t *testing.T) {
+	tr := constTrace(2000, 0.7) // 10 s
+	s := CollectStream(tr, 200, 1)
+	if len(s.Probes) != 2000 {
+		t.Fatalf("%d probes, want 2000 at 200/s over 10 s", len(s.Probes))
+	}
+	ok := 0
+	for _, p := range s.Probes {
+		if p.OK {
+			ok++
+		}
+	}
+	frac := float64(ok) / float64(len(s.Probes))
+	if math.Abs(frac-0.7) > 0.04 {
+		t.Errorf("delivery fraction %.3f, want ≈ 0.7", frac)
+	}
+}
+
+func TestSubSample(t *testing.T) {
+	tr := constTrace(400, 1)
+	s := CollectStream(tr, 200, 1)
+	sub := s.SubSample(20) // 10 probes/s
+	if len(sub.Probes) != len(s.Probes)/20 {
+		t.Errorf("sub-sampled %d probes", len(sub.Probes))
+	}
+	if sub.Interval != s.Interval*20 {
+		t.Errorf("interval = %v", sub.Interval)
+	}
+	if s.SubSample(1) != s {
+		t.Error("k=1 should return the same stream")
+	}
+	// Sub-sampled probes keep their original outcomes and times.
+	for i, p := range sub.Probes {
+		if p != s.Probes[i*20] {
+			t.Fatalf("sub-sample reordered probes at %d", i)
+		}
+	}
+}
+
+func TestErrorSampleError(t *testing.T) {
+	s := ErrorSample{Observed: 0.3, Actual: 0.8}
+	if s.Error() != 0.5 {
+		t.Errorf("error = %v", s.Error())
+	}
+}
+
+func TestMeanError(t *testing.T) {
+	if MeanError(nil) != 0 {
+		t.Error("empty mean error should be 0")
+	}
+	samples := []ErrorSample{{Observed: 1, Actual: 0}, {Observed: 0.5, Actual: 0.5}}
+	if MeanError(samples) != 0.5 {
+		t.Errorf("mean = %v", MeanError(samples))
+	}
+}
+
+func TestEstimateSeriesTracksStep(t *testing.T) {
+	// After the step the fast stream's estimates converge to the new
+	// probability.
+	tr := stepTrace(4000, 1, 0) // 20 s: 10 s at 1.0, 10 s at 0.0
+	s := CollectStream(tr, 200, 2)
+	series := EstimateSeries(tr, s, 10)
+	// Look at estimates near the end: they must be ≈ 0.
+	tail := series[len(series)-100:]
+	if m := MeanError(tail); m > 0.05 {
+		t.Errorf("tail error = %v after a step the estimator had 10 s to learn", m)
+	}
+}
+
+func TestErrorVsRateMonotoneOnFastChannel(t *testing.T) {
+	// On a channel with a mid-trace step, faster probing cannot be worse.
+	tr := stepTrace(8000, 0.9, 0.3)
+	errs := ErrorVsRate(tr, []float64{0.5, 10}, 10, 3)
+	if errs[10] > errs[0.5]+0.02 {
+		t.Errorf("10/s error %.3f above 0.5/s %.3f", errs[10], errs[0.5])
+	}
+}
+
+func TestFixedSchedulerSpacing(t *testing.T) {
+	f := &FixedScheduler{PerSecond: 4}
+	if got := f.Next(0); got != 250*time.Millisecond {
+		t.Errorf("next = %v, want 250ms", got)
+	}
+	var zero FixedScheduler
+	if got := zero.Next(0); got != time.Second {
+		t.Errorf("default rate next = %v, want 1s", got)
+	}
+}
+
+func TestHintSchedulerRates(t *testing.T) {
+	moving := false
+	h := &HintScheduler{MovingFn: func(time.Duration) bool { return moving }}
+	// Static: 1 probe/s.
+	if got := h.Next(0); got != time.Second {
+		t.Errorf("static next = %v, want 1s", got)
+	}
+	// Moving: 10 probes/s.
+	moving = true
+	if got := h.Next(10 * time.Second); got != 10*time.Second+100*time.Millisecond {
+		t.Errorf("mobile next = %v, want +100ms", got)
+	}
+	// Linger: just after movement stops the fast rate persists.
+	moving = false
+	if got := h.Next(10*time.Second + 500*time.Millisecond); got != 10*time.Second+600*time.Millisecond {
+		t.Errorf("linger next = %v, want fast rate within linger", got)
+	}
+	// Well after the linger expires, back to slow.
+	if got := h.Next(30 * time.Second); got != 31*time.Second {
+		t.Errorf("post-linger next = %v, want +1s", got)
+	}
+}
+
+func TestHintSchedulerCustomRatesAndLinger(t *testing.T) {
+	h := &HintScheduler{
+		StaticPerSecond: 2, MobilePerSecond: 20,
+		Linger:   2 * time.Second,
+		MovingFn: func(at time.Duration) bool { return at < time.Second },
+	}
+	if got := h.Next(0); got != 50*time.Millisecond {
+		t.Errorf("mobile custom next = %v", got)
+	}
+	// 1.5 s: movement stopped at 1 s but the 2 s linger holds.
+	if got := h.Next(1500 * time.Millisecond); got != 1550*time.Millisecond {
+		t.Errorf("linger next = %v", got)
+	}
+	// 4 s: linger expired.
+	if got := h.Next(4 * time.Second); got != 4500*time.Millisecond {
+		t.Errorf("slow next = %v", got)
+	}
+}
+
+func TestRunSchedulerCountsProbes(t *testing.T) {
+	tr := constTrace(2000, 1) // 10 s
+	res := RunScheduler(tr, &FixedScheduler{PerSecond: 5}, 10, 4)
+	if res.Probes < 48 || res.Probes > 52 {
+		t.Errorf("probes = %d, want ≈ 50", res.Probes)
+	}
+	if res.MeanError() > 0.25 {
+		t.Errorf("mean error %v on a constant perfect channel", res.MeanError())
+	}
+}
+
+func TestMovementHintFn(t *testing.T) {
+	tr := constTrace(400, 1)
+	for i := 200; i < 400; i++ {
+		tr.Slots[i].Moving = true
+	}
+	fn := MovementHintFn(tr, 100*time.Millisecond)
+	movingStart := time.Duration(200) * tr.SlotDur
+	if fn(movingStart) {
+		t.Error("hint should lag ground truth by the latency")
+	}
+	if !fn(movingStart + 150*time.Millisecond) {
+		t.Error("hint should be up after the latency")
+	}
+}

@@ -1,0 +1,52 @@
+package probing
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// RunResult is the timeline of one scheduler-driven probing run.
+type RunResult struct {
+	// Samples holds the estimate and ground truth after each probe.
+	Samples []ErrorSample
+	// Probes is the number of probes sent — the bandwidth cost the
+	// hint-aware scheduler saves.
+	Probes int
+}
+
+// MeanError returns the average estimate error over the run, considering
+// only samples taken after the estimation window first filled.
+func (r RunResult) MeanError() float64 { return MeanError(r.Samples) }
+
+// RunScheduler drives a probe scheduler over a fate trace: probes are
+// sent when the scheduler dictates, each outcome drawn from the slot's
+// ground-truth delivery probability, and the sliding-window estimate is
+// recorded after every probe. This is the simulation behind Figure 4-6.
+func RunScheduler(tr *trace.FateTrace, sched Scheduler, windowProbes int, seed int64) RunResult {
+	rng := rand.New(rand.NewSource(seed))
+	est := &Estimator{WindowProbes: windowProbes}
+	var res RunResult
+	for now := time.Duration(0); now < tr.Duration(); now = sched.Next(now) {
+		ok := rng.Float64() < tr.At(now).Prob[ProbeRate]
+		est.Add(ok)
+		res.Probes++
+		res.Samples = append(res.Samples, ErrorSample{
+			At:       now,
+			Observed: est.Estimate(),
+			Actual:   tr.WindowProb(now, ActualWindow, ProbeRate),
+		})
+	}
+	return res
+}
+
+// MovementHintFn adapts a trace's ground-truth mobility into the hint
+// signal a HintScheduler consumes, with the given detection latency
+// (§2.2.1 detects within 100 ms; hint-protocol delivery adds at most a
+// probe interval).
+func MovementHintFn(tr *trace.FateTrace, latency time.Duration) func(time.Duration) bool {
+	return func(now time.Duration) bool {
+		return tr.MovingAt(now - latency)
+	}
+}

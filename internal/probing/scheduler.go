@@ -1,0 +1,95 @@
+package probing
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scheduler decides when the next probe should be sent. Implementations
+// are consulted after every probe with the current time and return the
+// time of the next probe.
+type Scheduler interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Next returns the next probe time strictly after now.
+	Next(now time.Duration) time.Duration
+}
+
+// FixedScheduler probes at a constant rate — the "1 probe per second"
+// default of many deployed wireless networks that Figure 4-6 shows
+// lagging badly under movement.
+type FixedScheduler struct {
+	// PerSecond is the probing rate.
+	PerSecond float64
+}
+
+// Name implements Scheduler.
+func (f *FixedScheduler) Name() string {
+	return fmt.Sprintf("fixed-%g/s", f.PerSecond)
+}
+
+// Next implements Scheduler.
+func (f *FixedScheduler) Next(now time.Duration) time.Duration {
+	rate := f.PerSecond
+	if rate <= 0 {
+		rate = 1
+	}
+	return now + time.Duration(float64(time.Second)/rate)
+}
+
+// HintScheduler is the hint-aware protocol of §4.2: probe slowly while
+// everything is static, jump to the fast rate the moment a movement hint
+// arrives (locally or from the neighbour), and keep probing fast for a
+// linger period after movement stops so that every probe in the
+// estimation window reflects the settled channel.
+type HintScheduler struct {
+	// StaticPerSecond and MobilePerSecond are the two probing rates
+	// (defaults 1 and 10, the values §4.2 implements).
+	StaticPerSecond, MobilePerSecond float64
+	// Linger keeps the fast rate for this long after movement stops
+	// (default 1 s).
+	Linger time.Duration
+	// MovingFn reports whether a movement hint is currently asserted for
+	// either end of the link.
+	MovingFn func(now time.Duration) bool
+
+	movingTill time.Duration
+	everMoved  bool
+}
+
+// Name implements Scheduler.
+func (h *HintScheduler) Name() string { return "hint-adaptive" }
+
+func (h *HintScheduler) linger() time.Duration {
+	if h.Linger > 0 {
+		return h.Linger
+	}
+	return time.Second
+}
+
+// FastUntil returns the time until which the fast rate applies given the
+// movement hint history observed so far.
+func (h *HintScheduler) fast(now time.Duration) bool {
+	if h.MovingFn != nil && h.MovingFn(now) {
+		h.movingTill = now + h.linger()
+		h.everMoved = true
+	}
+	return h.everMoved && now < h.movingTill
+}
+
+// Next implements Scheduler.
+func (h *HintScheduler) Next(now time.Duration) time.Duration {
+	static := h.StaticPerSecond
+	if static <= 0 {
+		static = 1
+	}
+	mobile := h.MobilePerSecond
+	if mobile <= 0 {
+		mobile = 10
+	}
+	rate := static
+	if h.fast(now) {
+		rate = mobile
+	}
+	return now + time.Duration(float64(time.Second)/rate)
+}

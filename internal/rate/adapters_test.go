@@ -1,0 +1,322 @@
+package rate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/phy"
+)
+
+func allAdapters(seed int64) []Adapter {
+	return []Adapter{
+		NewRapidSample(),
+		NewSampleRate(seed),
+		NewRRAA(),
+		NewRBAR(),
+		NewCHARM(),
+		NewHintAware(seed),
+	}
+}
+
+// TestAdaptersAlwaysReturnValidRates drives every adapter through random
+// feedback sequences and checks the core safety invariant: PickRate
+// always returns a defined OFDM rate.
+func TestAdaptersAlwaysReturnValidRates(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, a := range allAdapters(seed) {
+			at := time.Duration(0)
+			for i := 0; i < int(steps)%200+20; i++ {
+				if ha, ok := a.(*HintAware); ok && rng.Intn(20) == 0 {
+					ha.SetMoving(rng.Intn(2) == 0)
+				}
+				if su, ok := a.(SNRUpdater); ok && rng.Intn(3) == 0 {
+					su.UpdateSNR(at, rng.Float64()*40-5)
+				}
+				r := a.PickRate(at)
+				if !r.Valid() {
+					return false
+				}
+				a.Observe(Feedback{At: at, Rate: r, Acked: rng.Intn(2) == 0, SNR: NoSNR()})
+				at += time.Duration(rng.Intn(2000)) * time.Microsecond
+				if rng.Intn(50) == 0 {
+					a.Reset()
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleRateSettlesOnBestRate(t *testing.T) {
+	sr := NewSampleRate(1)
+	// 36 Mbps always works, everything above always fails: SampleRate
+	// must converge to 36.
+	at := time.Duration(0)
+	for i := 0; i < 400; i++ {
+		r := sr.PickRate(at)
+		ok := r <= phy.Rate36
+		sr.Observe(Feedback{At: at, Rate: r, Acked: ok, SNR: NoSNR()})
+		at += 500 * time.Microsecond
+	}
+	// Count the steady-state distribution over another stretch.
+	uses := map[phy.Rate]int{}
+	for i := 0; i < 200; i++ {
+		r := sr.PickRate(at)
+		uses[r]++
+		ok := r <= phy.Rate36
+		sr.Observe(Feedback{At: at, Rate: r, Acked: ok, SNR: NoSNR()})
+		at += 500 * time.Microsecond
+	}
+	if uses[phy.Rate36] < 150 {
+		t.Errorf("steady-state usage of 36 Mbps = %d/200, want dominant (%v)", uses[phy.Rate36], uses)
+	}
+}
+
+func TestSampleRateWindowExpiry(t *testing.T) {
+	sr := NewSampleRate(1)
+	sr.Window = 100 * time.Millisecond
+	// Load history at 54 then advance past the window: old events must
+	// not influence the average.
+	at := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		sr.Observe(Feedback{At: at, Rate: phy.Rate54, Acked: true, SNR: NoSNR()})
+		at += time.Millisecond
+	}
+	if _, ok := sr.avgTxTime(phy.Rate54); !ok {
+		t.Fatal("recent history invisible")
+	}
+	sr.expire(at + time.Second)
+	if _, ok := sr.avgTxTime(phy.Rate54); ok {
+		t.Error("expired history still visible")
+	}
+}
+
+func TestSampleRateConsFailSwitchAway(t *testing.T) {
+	sr := NewSampleRate(1)
+	at := time.Duration(0)
+	// Establish 54 as current with history, then fail it repeatedly.
+	for i := 0; i < 20; i++ {
+		sr.Observe(Feedback{At: at, Rate: phy.Rate54, Acked: true, SNR: NoSNR()})
+		at += time.Millisecond
+	}
+	for i := 0; i < 4; i++ {
+		sr.Observe(Feedback{At: at, Rate: phy.Rate54, Acked: false, SNR: NoSNR()})
+		at += time.Millisecond
+	}
+	if got := sr.PickRate(at); got == phy.Rate54 {
+		t.Error("SampleRate kept a rate with 4 consecutive failures")
+	}
+}
+
+func TestSampleRateSamplingCandidates(t *testing.T) {
+	sr := NewSampleRate(1)
+	sr.SampleEvery = 2
+	at := time.Duration(0)
+	// Establish 48 as the best-known rate.
+	for i := 0; i < 30; i++ {
+		sr.Observe(Feedback{At: at, Rate: phy.Rate48, Acked: true, SNR: NoSNR()})
+		at += time.Millisecond
+	}
+	// With every second pick a sample, samples must only target rates
+	// whose lossless tx time beats 48's average — i.e. only 54.
+	for i := 0; i < 20; i++ {
+		r := sr.PickRate(at)
+		if r != phy.Rate48 && r != phy.Rate54 {
+			t.Fatalf("sampled %v; only 54 can beat a clean 48", r)
+		}
+		sr.Observe(Feedback{At: at, Rate: r, Acked: true, SNR: NoSNR()})
+		at += time.Millisecond
+	}
+}
+
+func TestSampleRateName(t *testing.T) {
+	sr := NewSampleRate(1)
+	if sr.Name() != "SampleRate" {
+		t.Errorf("name = %q", sr.Name())
+	}
+	sr.Window = time.Second
+	if sr.Name() != "SampleRate(1s)" {
+		t.Errorf("name with window = %q", sr.Name())
+	}
+}
+
+func TestRRAAStartsFastAndStepsDown(t *testing.T) {
+	r := NewRRAA()
+	if got := r.PickRate(0); got != phy.Rate54 {
+		t.Errorf("initial = %v", got)
+	}
+	// Continuous loss forces a step down (early exit).
+	at := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		cur := r.PickRate(at)
+		r.Observe(Feedback{At: at, Rate: cur, Acked: false, SNR: NoSNR()})
+		at += time.Millisecond
+		if r.PickRate(at) < phy.Rate54 {
+			return
+		}
+	}
+	t.Error("RRAA never stepped down under continuous loss")
+}
+
+func TestRRAAStepsUpWhenClean(t *testing.T) {
+	r := NewRRAA()
+	r.PickRate(0)
+	// Force down to a low rate.
+	at := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		cur := r.PickRate(at)
+		r.Observe(Feedback{At: at, Rate: cur, Acked: cur <= phy.Rate12, SNR: NoSNR()})
+		at += time.Millisecond
+	}
+	low := r.PickRate(at)
+	if low > phy.Rate18 {
+		t.Fatalf("did not descend: %v", low)
+	}
+	// Now everything succeeds: RRAA must climb.
+	for i := 0; i < 2000; i++ {
+		cur := r.PickRate(at)
+		r.Observe(Feedback{At: at, Rate: cur, Acked: true, SNR: NoSNR()})
+		at += time.Millisecond
+	}
+	if got := r.PickRate(at); got <= low {
+		t.Errorf("did not climb from %v (now %v)", low, got)
+	}
+}
+
+func TestRRAAIgnoresStaleFeedback(t *testing.T) {
+	r := NewRRAA()
+	r.PickRate(0)
+	// Feedback for a rate other than current must not perturb the window.
+	r.Observe(Feedback{At: 0, Rate: phy.Rate6, Acked: false, SNR: NoSNR()})
+	if got := r.PickRate(time.Millisecond); got != phy.Rate54 {
+		t.Errorf("stale feedback moved the rate to %v", got)
+	}
+}
+
+func TestRBARFollowsSNR(t *testing.T) {
+	r := NewRBAR()
+	if got := r.PickRate(0); got != phy.Rate6 {
+		t.Errorf("rate without SNR = %v, want conservative 6", got)
+	}
+	r.UpdateSNR(0, 30)
+	if got := r.PickRate(0); got != phy.Rate54 {
+		t.Errorf("rate at 30 dB = %v, want 54", got)
+	}
+	r.UpdateSNR(time.Millisecond, 3)
+	if got := r.PickRate(time.Millisecond); got > phy.Rate12 {
+		t.Errorf("rate at 3 dB = %v, want low", got)
+	}
+}
+
+func TestRBARBacksOffOnConsecutiveFailures(t *testing.T) {
+	r := NewRBAR()
+	r.UpdateSNR(0, 25)
+	first := r.PickRate(0)
+	for i := 0; i < 4; i++ {
+		r.Observe(Feedback{At: 0, Rate: first, Acked: false, SNR: NoSNR()})
+	}
+	after := r.PickRate(0)
+	if after >= first {
+		t.Errorf("no backoff after 4 failures: %v -> %v", first, after)
+	}
+	// A success clears the backoff.
+	r.Observe(Feedback{At: 0, Rate: after, Acked: true, SNR: NoSNR()})
+	if got := r.PickRate(0); got != first {
+		t.Errorf("backoff not cleared: %v", got)
+	}
+}
+
+func TestRBARUsesRTS(t *testing.T) {
+	if !NewRBAR().UsesRTS() {
+		t.Error("RBAR must declare RTS/CTS usage")
+	}
+}
+
+func TestCHARMAveragesSNR(t *testing.T) {
+	c := NewCHARM()
+	if got := c.PickRate(0); got != phy.Rate6 {
+		t.Errorf("rate without SNR = %v", got)
+	}
+	// Noisy reports around 20 dB: the average should select a high rate
+	// even though individual reports dip.
+	at := time.Duration(0)
+	vals := []float64{20, 16, 24, 19, 21, 17, 23, 20}
+	for _, v := range vals {
+		c.UpdateSNR(at, v)
+		at += 10 * time.Millisecond
+	}
+	if got := c.PickRate(at); got < phy.Rate48 {
+		t.Errorf("rate for ≈20 dB average = %v, want ≥ 48", got)
+	}
+}
+
+func TestCHARMWindowExpiry(t *testing.T) {
+	c := NewCHARM()
+	c.Window = 100 * time.Millisecond
+	c.UpdateSNR(0, 30)
+	// Long after the report expires, CHARM has no estimate again.
+	if got := c.PickRate(10 * time.Second); got != phy.Rate6 {
+		t.Errorf("rate after window expiry = %v, want 6", got)
+	}
+}
+
+func TestCHARMOffsetRaisesConservatism(t *testing.T) {
+	c := NewCHARM()
+	c.UpdateSNR(0, 20)
+	before := c.PickRate(0)
+	for i := 0; i < 6; i++ {
+		c.Observe(Feedback{At: 0, Rate: before, Acked: false, SNR: NoSNR()})
+	}
+	after := c.PickRate(0)
+	if after >= before {
+		t.Errorf("loss calibration did not lower the rate: %v -> %v", before, after)
+	}
+}
+
+func TestHintAwareSwitchesAndResets(t *testing.T) {
+	h := NewHintAware(1)
+	if h.Moving() {
+		t.Error("starts moving")
+	}
+	if h.Name() != "HintAware" {
+		t.Error("name wrong")
+	}
+	// While static it behaves like SampleRate (starts at 54, settles by
+	// tx-time); while moving like RapidSample.
+	h.SetMoving(true)
+	if !h.Moving() || h.Switches() != 1 {
+		t.Error("switch not recorded")
+	}
+	h.SetMoving(true) // idempotent
+	if h.Switches() != 1 {
+		t.Error("redundant hint counted as a switch")
+	}
+	// Pollute the mobile protocol with failures, switch out and back:
+	// history must be cleared on activation.
+	feed(h, 0, false)
+	feed(h, time.Millisecond, false)
+	h.SetMoving(false)
+	h.SetMoving(true)
+	if got := h.PickRate(2 * time.Millisecond); got != phy.Rate54 {
+		t.Errorf("activated RapidSample did not start fresh: %v", got)
+	}
+}
+
+func TestHintAwareWithCustomAdapters(t *testing.T) {
+	h := NewHintAwareWith(NewRRAA(), NewRapidSample())
+	h.PickRate(0)
+	h.SetMoving(true)
+	if got := h.PickRate(0); !got.Valid() {
+		t.Error("custom hint-aware broken")
+	}
+	h.Reset()
+	if h.Moving() || h.Switches() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}

@@ -1,0 +1,83 @@
+package rate
+
+import (
+	"time"
+
+	"repro/internal/phy"
+)
+
+// HintAware is the paper's hint-aware rate adaptation protocol (§3.2):
+// it runs SampleRate while the receiver is static and RapidSample while
+// the receiver moves, switching on the movement hint the receiver shares
+// through the Hint Protocol. On each switch the newly activated
+// protocol's history is cleared: the channel statistics accumulated in
+// the other mobility regime are exactly the kind of stale state the
+// paper argues protocols must not carry across regimes.
+//
+// The hint arrives via SetMoving, typically wired to a core.Bus
+// subscription on the remote movement hint; the harness can also drive
+// it directly with a configurable detection+delivery latency.
+type HintAware struct {
+	static Adapter // SampleRate
+	mobile Adapter // RapidSample
+	moving bool
+	// switches counts strategy switches, exposed for tests and reports.
+	switches int
+}
+
+// NewHintAware builds the paper's configuration: SampleRate for static,
+// RapidSample for mobile. seed drives SampleRate's sampling.
+func NewHintAware(seed int64) *HintAware {
+	return &HintAware{static: NewSampleRate(seed), mobile: NewRapidSample()}
+}
+
+// NewHintAwareWith builds a switcher over arbitrary static and mobile
+// adapters, for ablation experiments.
+func NewHintAwareWith(static, mobile Adapter) *HintAware {
+	return &HintAware{static: static, mobile: mobile}
+}
+
+// Name implements Adapter.
+func (h *HintAware) Name() string { return "HintAware" }
+
+// Reset implements Adapter.
+func (h *HintAware) Reset() {
+	h.static.Reset()
+	h.mobile.Reset()
+	h.moving = false
+	h.switches = 0
+}
+
+// SetMoving delivers the receiver's movement hint. A change of state
+// activates the other protocol with fresh history.
+func (h *HintAware) SetMoving(moving bool) {
+	if moving == h.moving {
+		return
+	}
+	h.moving = moving
+	h.switches++
+	h.active().Reset()
+}
+
+// Moving returns the current hint state.
+func (h *HintAware) Moving() bool { return h.moving }
+
+// Switches returns how many strategy switches have occurred.
+func (h *HintAware) Switches() int { return h.switches }
+
+func (h *HintAware) active() Adapter {
+	if h.moving {
+		return h.mobile
+	}
+	return h.static
+}
+
+// PickRate implements Adapter, delegating to the active protocol.
+func (h *HintAware) PickRate(now time.Duration) phy.Rate {
+	return h.active().PickRate(now)
+}
+
+// Observe implements Adapter, delegating to the active protocol.
+func (h *HintAware) Observe(fb Feedback) {
+	h.active().Observe(fb)
+}

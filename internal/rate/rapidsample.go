@@ -1,0 +1,133 @@
+package rate
+
+import (
+	"time"
+
+	"repro/internal/phy"
+)
+
+// RapidSample default timing parameters (§3.1): δ_success is the run of
+// success needed before sampling a faster rate; δ_fail is the back-off
+// before a recently failed rate (or anything above it) may be sampled
+// again. δ_fail matches the ~10 ms channel coherence time measured for a
+// walking receiver, and δ_success is deliberately smaller.
+const (
+	DefaultDeltaSuccess = 5 * time.Millisecond
+	DefaultDeltaFail    = 10 * time.Millisecond
+)
+
+// RapidSample is the paper's frame-based rate adaptation protocol for
+// rapidly changing (mobile) channels, transcribed from Figure 3-2.
+//
+// It starts at the fastest rate. On a loss it immediately steps down one
+// rate (losses are strongly correlated in the short term when moving, so
+// persisting would lose more packets). After δ_success of success at the
+// current rate it samples the fastest rate such that neither that rate
+// nor any slower rate has failed within δ_fail — allowing opportunistic
+// multi-rate jumps rather than one-step increases. If the sample fails,
+// it reverts to the rate used before the sample.
+type RapidSample struct {
+	// DeltaSuccess and DeltaFail override the defaults when positive.
+	DeltaSuccess, DeltaFail time.Duration
+	// StepOnly disables opportunistic jumps, limiting upward samples to
+	// one rate above the current — the ablation of the paper's fourth
+	// design idea.
+	StepOnly bool
+
+	lastBR     phy.Rate
+	failedTime [phy.NumRates]time.Duration
+	pickedTime [phy.NumRates]time.Duration
+	sample     bool
+	oldBR      phy.Rate
+	started    bool
+}
+
+// NewRapidSample returns a RapidSample instance with the paper's
+// parameters.
+func NewRapidSample() *RapidSample { return &RapidSample{} }
+
+// Name implements Adapter.
+func (rs *RapidSample) Name() string { return "RapidSample" }
+
+// Reset implements Adapter, clearing all rate history.
+func (rs *RapidSample) Reset() {
+	*rs = RapidSample{DeltaSuccess: rs.DeltaSuccess, DeltaFail: rs.DeltaFail, StepOnly: rs.StepOnly}
+}
+
+func (rs *RapidSample) dSuccess() time.Duration {
+	if rs.DeltaSuccess > 0 {
+		return rs.DeltaSuccess
+	}
+	return DefaultDeltaSuccess
+}
+
+func (rs *RapidSample) dFail() time.Duration {
+	if rs.DeltaFail > 0 {
+		return rs.DeltaFail
+	}
+	return DefaultDeltaFail
+}
+
+// PickRate implements Adapter. The decision logic runs in Observe (as in
+// the paper's per-packet callback); PickRate reports the chosen rate.
+func (rs *RapidSample) PickRate(now time.Duration) phy.Rate {
+	if !rs.started {
+		rs.started = true
+		rs.lastBR = phy.Rate(phy.NumRates - 1) // start at the fastest rate
+		rs.pickedTime[rs.lastBR] = now
+		// Initialise failure times to the distant past.
+		for i := range rs.failedTime {
+			rs.failedTime[i] = -time.Hour
+		}
+	}
+	return rs.lastBR
+}
+
+// Observe implements Adapter, applying the Figure 3-2 update.
+func (rs *RapidSample) Observe(fb Feedback) {
+	now := fb.At
+	lastbr := fb.Rate
+	br := lastbr
+	if !fb.Acked {
+		rs.failedTime[lastbr] = now
+		if rs.sample {
+			br = rs.oldBR
+		} else if lastbr > 0 {
+			br = lastbr - 1
+		}
+		rs.sample = false
+	} else {
+		rs.sample = false
+		if now-rs.pickedTime[lastbr] > rs.dSuccess() {
+			if cand, ok := rs.eligible(now); ok && cand != lastbr {
+				if rs.StepOnly && cand > lastbr+1 {
+					cand = lastbr + 1
+				}
+				rs.sample = true
+				rs.oldBR = lastbr
+				br = cand
+			}
+		}
+	}
+	if br != lastbr {
+		rs.pickedTime[br] = now
+	}
+	rs.lastBR = br
+}
+
+// eligible returns the fastest rate i such that no rate j ≤ i failed
+// within δ_fail, and whether any rate qualifies.
+func (rs *RapidSample) eligible(now time.Duration) (phy.Rate, bool) {
+	dFail := rs.dFail()
+	best := phy.Rate(-1)
+	for i := 0; i < phy.NumRates; i++ {
+		if now-rs.failedTime[i] <= dFail {
+			break // rate i failed recently: i and everything above is out
+		}
+		best = phy.Rate(i)
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

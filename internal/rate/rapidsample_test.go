@@ -1,0 +1,194 @@
+package rate
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/phy"
+)
+
+// feed drives an adapter through one attempt at the given time with the
+// given outcome, returning the rate it picked.
+func feed(a Adapter, at time.Duration, acked bool) phy.Rate {
+	r := a.PickRate(at)
+	a.Observe(Feedback{At: at, Rate: r, Acked: acked, SNR: NoSNR()})
+	return r
+}
+
+func TestRapidSampleStartsFastest(t *testing.T) {
+	rs := NewRapidSample()
+	if got := rs.PickRate(0); got != phy.Rate54 {
+		t.Errorf("initial rate = %v, want 54", got)
+	}
+}
+
+func TestRapidSampleStepsDownOnLoss(t *testing.T) {
+	rs := NewRapidSample()
+	feed(rs, 0, false)
+	if got := rs.PickRate(time.Millisecond); got != phy.Rate48 {
+		t.Errorf("after one loss rate = %v, want 48", got)
+	}
+	feed(rs, time.Millisecond, false)
+	if got := rs.PickRate(2 * time.Millisecond); got != phy.Rate36 {
+		t.Errorf("after two losses rate = %v, want 36", got)
+	}
+}
+
+func TestRapidSampleFloorsAtLowestRate(t *testing.T) {
+	rs := NewRapidSample()
+	at := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		feed(rs, at, false)
+		at += 100 * time.Microsecond
+	}
+	if got := rs.PickRate(at); got != phy.Rate6 {
+		t.Errorf("rate = %v, want floor 6", got)
+	}
+}
+
+func TestRapidSampleSamplesUpAfterSuccessRun(t *testing.T) {
+	rs := NewRapidSample()
+	// Drop to 48, then succeed past δ_success with no recent failures
+	// anywhere else: the next pick jumps opportunistically.
+	feed(rs, 0, false) // 54 fails at t=0
+	at := time.Millisecond
+	var sawJump bool
+	for i := 0; i < 40; i++ {
+		r := feed(rs, at, true)
+		if r > phy.Rate48 {
+			sawJump = true
+			break
+		}
+		at += 500 * time.Microsecond
+	}
+	if !sawJump {
+		t.Error("never sampled a higher rate despite sustained success")
+	}
+}
+
+func TestRapidSampleRevertsOnFailedSample(t *testing.T) {
+	rs := NewRapidSample()
+	feed(rs, 0, false)          // 54 fails → at 48
+	at := 20 * time.Millisecond // past δ_fail, everything eligible
+	for i := 0; i < 40; i++ {   // succeed at 48 until a sample fires
+		r := rs.PickRate(at)
+		if r != phy.Rate48 {
+			// This is the sample. Fail it: the protocol must revert to 48.
+			rs.Observe(Feedback{At: at, Rate: r, Acked: false, SNR: NoSNR()})
+			if got := rs.PickRate(at + time.Microsecond); got != phy.Rate48 {
+				t.Fatalf("after failed sample at %v, rate = %v, want revert to 48", r, got)
+			}
+			return
+		}
+		rs.Observe(Feedback{At: at, Rate: r, Acked: true, SNR: NoSNR()})
+		at += 400 * time.Microsecond
+	}
+	t.Fatal("no sample fired")
+}
+
+func TestRapidSampleAdoptsSuccessfulSample(t *testing.T) {
+	rs := NewRapidSample()
+	feed(rs, 0, false)
+	at := 20 * time.Millisecond
+	for i := 0; i < 40; i++ {
+		r := rs.PickRate(at)
+		rs.Observe(Feedback{At: at, Rate: r, Acked: true, SNR: NoSNR()})
+		if r > phy.Rate48 {
+			// The sample succeeded; the next pick keeps the faster rate.
+			if got := rs.PickRate(at + time.Microsecond); got != r {
+				t.Fatalf("successful sample at %v not adopted (next = %v)", r, got)
+			}
+			return
+		}
+		at += 400 * time.Microsecond
+	}
+	t.Fatal("no sample fired")
+}
+
+func TestRapidSampleEligibilityBlocksAboveFailedLower(t *testing.T) {
+	// Paper rule (b): no rate above a recently failed slower rate may be
+	// sampled.
+	rs := NewRapidSample()
+	rs.PickRate(0)
+	// Fail at 12 Mbps "recently".
+	rs.Observe(Feedback{At: 50 * time.Millisecond, Rate: phy.Rate12, Acked: false, SNR: NoSNR()})
+	// Succeeding at 9 for a while: the sample target must not exceed 9,
+	// because 12 failed within δ_fail.
+	at := 52 * time.Millisecond
+	for i := 0; i < 20; i++ {
+		r := rs.PickRate(at)
+		if r > phy.Rate9 {
+			t.Fatalf("sampled %v while 12 Mbps failure was fresh", r)
+		}
+		rs.Observe(Feedback{At: at, Rate: phy.Rate9, Acked: true, SNR: NoSNR()})
+		at += 300 * time.Microsecond
+	}
+}
+
+func TestRapidSampleOpportunisticJump(t *testing.T) {
+	// With every failure stale, the sample target is the fastest rate —
+	// a multi-rate jump, not a single step.
+	rs := NewRapidSample()
+	feed(rs, 0, false)                // at 48
+	feed(rs, time.Millisecond, false) // at 36
+	// Wait out δ_fail, then succeed at 36 past δ_success.
+	at := 30 * time.Millisecond
+	for i := 0; i < 30; i++ {
+		r := rs.PickRate(at)
+		if r != phy.Rate36 {
+			if r != phy.Rate54 {
+				t.Fatalf("jump target = %v, want 54 (opportunistic)", r)
+			}
+			return
+		}
+		rs.Observe(Feedback{At: at, Rate: r, Acked: true, SNR: NoSNR()})
+		at += 400 * time.Microsecond
+	}
+	t.Fatal("no sample fired")
+}
+
+func TestRapidSampleStepOnlyAblation(t *testing.T) {
+	rs := &RapidSample{StepOnly: true}
+	feed(rs, 0, false)
+	feed(rs, time.Millisecond, false) // at 36
+	at := 30 * time.Millisecond
+	for i := 0; i < 30; i++ {
+		r := rs.PickRate(at)
+		if r != phy.Rate36 {
+			if r != phy.Rate48 {
+				t.Fatalf("StepOnly jump target = %v, want 48 (one step)", r)
+			}
+			return
+		}
+		rs.Observe(Feedback{At: at, Rate: r, Acked: true, SNR: NoSNR()})
+		at += 400 * time.Microsecond
+	}
+	t.Fatal("no sample fired")
+}
+
+func TestRapidSampleReset(t *testing.T) {
+	rs := NewRapidSample()
+	feed(rs, 0, false)
+	feed(rs, time.Millisecond, false)
+	rs.Reset()
+	if got := rs.PickRate(2 * time.Millisecond); got != phy.Rate54 {
+		t.Errorf("after Reset rate = %v, want fresh start at 54", got)
+	}
+}
+
+func TestRapidSampleCustomDeltas(t *testing.T) {
+	rs := &RapidSample{DeltaSuccess: time.Millisecond, DeltaFail: 2 * time.Millisecond}
+	if rs.dSuccess() != time.Millisecond || rs.dFail() != 2*time.Millisecond {
+		t.Error("custom deltas ignored")
+	}
+	var def RapidSample
+	if def.dSuccess() != DefaultDeltaSuccess || def.dFail() != DefaultDeltaFail {
+		t.Error("defaults wrong")
+	}
+}
+
+func TestRapidSampleName(t *testing.T) {
+	if NewRapidSample().Name() != "RapidSample" {
+		t.Error("name wrong")
+	}
+}

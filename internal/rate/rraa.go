@@ -1,0 +1,141 @@
+package rate
+
+import (
+	"time"
+
+	"repro/internal/phy"
+)
+
+// RRAA (Robust Rate Adaptation Algorithm, Wong et al. 2006) adapts on
+// short-term loss ratios: it counts losses over a per-rate estimation
+// window and compares the loss ratio against two thresholds derived from
+// transmission times — P_MTL (maximum tolerable loss: above it, step
+// down) and P_ORI (opportunistic rate increase: below it, step up). The
+// window is short (tens of frames), making RRAA more opportunistic than
+// SampleRate but still slower than RapidSample under mobility, as the
+// paper observes. The adaptive RTS filter of the original (a collision
+// defence) is out of scope: the harness models a single contention-free
+// link.
+type RRAA struct {
+	// PacketBytes is the frame size for threshold derivation (default
+	// 1000).
+	PacketBytes int
+	// WindowFrames overrides the per-rate estimation window when > 0.
+	// By default the window follows the original's design: shorter
+	// windows (more responsive) at faster rates, longer (more stable) at
+	// slower ones, within the 5–40 frame range.
+	WindowFrames int
+
+	started bool
+	current phy.Rate
+	lost    int
+	sent    int
+	pmtl    [phy.NumRates]float64
+	pori    [phy.NumRates]float64
+}
+
+// NewRRAA returns an RRAA instance with default parameters.
+func NewRRAA() *RRAA { return &RRAA{} }
+
+// Name implements Adapter.
+func (r *RRAA) Name() string { return "RRAA" }
+
+// Reset implements Adapter.
+func (r *RRAA) Reset() {
+	r.started = false
+	r.lost, r.sent = 0, 0
+}
+
+func (r *RRAA) bytes() int {
+	if r.PacketBytes > 0 {
+		return r.PacketBytes
+	}
+	return 1000
+}
+
+func (r *RRAA) windowFrames() int {
+	if r.WindowFrames > 0 {
+		return r.WindowFrames
+	}
+	// Per the original's table: longer estimation windows at the fast
+	// rates (up to 40 frames), shorter at the slow ones. The early-exit
+	// rule still reacts to loss bursts quickly; the long window is what
+	// makes climbing back sluggish on a recovering mobile channel.
+	return 12 + 4*int(r.current)
+}
+
+// init computes the per-rate thresholds. P_MTL for rate i is the loss
+// ratio at which dropping to rate i−1 becomes worthwhile:
+// 1 − txTime(i)/txTime(i−1). P_ORI for rate i is P_MTL(i+1)/α with α=2,
+// the original's heuristic.
+func (r *RRAA) init() {
+	b := r.bytes()
+	for i := 1; i < phy.NumRates; i++ {
+		hi := losslessTxTime(phy.Rate(i), b).Seconds()
+		lo := losslessTxTime(phy.Rate(i-1), b).Seconds()
+		r.pmtl[i] = 1 - hi/lo
+	}
+	r.pmtl[0] = 1 // never step below the lowest rate
+	const alpha = 2
+	for i := 0; i < phy.NumRates-1; i++ {
+		r.pori[i] = r.pmtl[i+1] / alpha
+	}
+	r.pori[phy.NumRates-1] = 0 // cannot step above the highest rate
+}
+
+// PickRate implements Adapter.
+func (r *RRAA) PickRate(now time.Duration) phy.Rate {
+	if !r.started {
+		r.started = true
+		r.current = phy.Rate(phy.NumRates - 1)
+		r.init()
+	}
+	return r.current
+}
+
+// Observe implements Adapter: accumulate the window, then compare the
+// loss ratio against the thresholds. The original also short-circuits a
+// window early when the loss already exceeds P_MTL; we implement that
+// too, since it matters under bursty mobile loss.
+func (r *RRAA) Observe(fb Feedback) {
+	if fb.Rate != r.current {
+		return // stale feedback from before a rate change
+	}
+	r.sent++
+	if !fb.Acked {
+		r.lost++
+	}
+	loss := float64(r.lost) / float64(r.sent)
+	w := r.windowFrames()
+	// Early exit: even if every remaining frame succeeded, the loss
+	// ratio would still exceed P_MTL.
+	if r.lost > 0 && float64(r.lost)/float64(w) > r.pmtl[r.current] {
+		r.stepDown()
+		return
+	}
+	if r.sent < w {
+		return
+	}
+	switch {
+	case loss > r.pmtl[r.current]:
+		r.stepDown()
+	case loss < r.pori[r.current]:
+		r.stepUp()
+	default:
+		r.lost, r.sent = 0, 0
+	}
+}
+
+func (r *RRAA) stepDown() {
+	if r.current > 0 {
+		r.current--
+	}
+	r.lost, r.sent = 0, 0
+}
+
+func (r *RRAA) stepUp() {
+	if r.current < phy.NumRates-1 {
+		r.current++
+	}
+	r.lost, r.sent = 0, 0
+}

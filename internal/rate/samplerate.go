@@ -1,0 +1,246 @@
+package rate
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/phy"
+)
+
+// SampleRate is Bicket's frame-based protocol: send most packets at the
+// rate with the lowest average per-packet transmission time over a
+// trailing window (10 s by default), and periodically spend a packet
+// sampling a different rate that could plausibly do better. It smooths
+// over short-term fading, which makes it the strongest baseline in static
+// settings (Figure 3-7) — and slow to track a mobile channel
+// (Figure 3-6).
+//
+// Window is the protocol's tuning parameter. The paper post-processes
+// each trace to pick the best window for SampleRate, biasing comparisons
+// in its favour; the harness supports that by sweeping Window.
+type SampleRate struct {
+	// Window is the averaging window (default 10 s).
+	Window time.Duration
+	// PacketBytes is the frame size used for transmission-time
+	// bookkeeping (default 1000).
+	PacketBytes int
+	// SampleEvery controls how often a sample packet is sent (default
+	// every 10th packet).
+	SampleEvery int
+	// Rand drives sample-rate selection; a deterministic source is
+	// injected by the harness.
+	Rand *rand.Rand
+
+	started bool
+	count   int
+	// events is a FIFO of attempts inside the window; agg holds the
+	// matching per-rate running totals so rate selection is O(1).
+	events []srEvent
+	head   int
+	agg    [phy.NumRates]srAgg
+	// consFail counts consecutive failures per rate (4+ disqualifies the
+	// rate until it succeeds again or the count goes stale).
+	consFail [phy.NumRates]int
+	// lastAttempt tracks when each rate was last tried, so stale failure
+	// counts can be forgiven.
+	lastAttempt [phy.NumRates]time.Duration
+	current     phy.Rate
+	sampling    bool
+}
+
+type srEvent struct {
+	at      time.Duration
+	rate    phy.Rate
+	txTime  time.Duration
+	success bool
+}
+
+type srAgg struct {
+	totalTx time.Duration
+	succ    int
+	n       int
+}
+
+// NewSampleRate returns a SampleRate with the standard 10 s window.
+func NewSampleRate(seed int64) *SampleRate {
+	return &SampleRate{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Adapter, including the window when non-standard.
+func (sr *SampleRate) Name() string {
+	if sr.Window > 0 && sr.Window != 10*time.Second {
+		return fmt.Sprintf("SampleRate(%v)", sr.Window)
+	}
+	return "SampleRate"
+}
+
+// Reset implements Adapter.
+func (sr *SampleRate) Reset() {
+	sr.started = false
+	sr.count = 0
+	sr.events = sr.events[:0]
+	sr.head = 0
+	sr.agg = [phy.NumRates]srAgg{}
+	sr.consFail = [phy.NumRates]int{}
+	sr.lastAttempt = [phy.NumRates]time.Duration{}
+	sr.sampling = false
+}
+
+func (sr *SampleRate) window() time.Duration {
+	if sr.Window > 0 {
+		return sr.Window
+	}
+	return 10 * time.Second
+}
+
+func (sr *SampleRate) bytes() int {
+	if sr.PacketBytes > 0 {
+		return sr.PacketBytes
+	}
+	return 1000
+}
+
+func (sr *SampleRate) sampleEvery() int {
+	if sr.SampleEvery > 0 {
+		return sr.SampleEvery
+	}
+	return 10
+}
+
+// PickRate implements Adapter.
+func (sr *SampleRate) PickRate(now time.Duration) phy.Rate {
+	if !sr.started {
+		sr.started = true
+		sr.current = phy.Rate(phy.NumRates - 1)
+	}
+	sr.expire(now)
+	// Forgive consecutive-failure counts that have gone stale: the
+	// channel has likely changed since the rate last failed.
+	for i := range sr.consFail {
+		if sr.consFail[i] >= 4 && now-sr.lastAttempt[i] > time.Second {
+			sr.consFail[i] = 0
+		}
+	}
+	best := sr.bestRate()
+	sr.current = best
+	sr.count++
+	sr.sampling = false
+	if sr.count%sr.sampleEvery() == 0 {
+		if s, ok := sr.pickSample(best); ok {
+			sr.sampling = true
+			return s
+		}
+	}
+	return best
+}
+
+// Observe implements Adapter.
+func (sr *SampleRate) Observe(fb Feedback) {
+	var tx time.Duration
+	if fb.Acked {
+		tx = phy.FrameExchangeAirtime(fb.Rate, sr.bytes())
+		sr.consFail[fb.Rate] = 0
+	} else {
+		tx = phy.FailedExchangeAirtime(fb.Rate, sr.bytes())
+		sr.consFail[fb.Rate]++
+	}
+	sr.lastAttempt[fb.Rate] = fb.At
+	sr.events = append(sr.events, srEvent{at: fb.At, rate: fb.Rate, txTime: tx, success: fb.Acked})
+	a := &sr.agg[fb.Rate]
+	a.totalTx += tx
+	a.n++
+	if fb.Acked {
+		a.succ++
+	}
+	sr.expire(fb.At)
+}
+
+// expire drops events older than the window, keeping the aggregates in
+// step. The FIFO advances a head index and compacts occasionally to
+// bound memory.
+func (sr *SampleRate) expire(now time.Duration) {
+	cut := now - sr.window()
+	for sr.head < len(sr.events) && sr.events[sr.head].at < cut {
+		e := sr.events[sr.head]
+		a := &sr.agg[e.rate]
+		a.totalTx -= e.txTime
+		a.n--
+		if e.success {
+			a.succ--
+		}
+		sr.head++
+	}
+	if sr.head > 4096 && sr.head*2 > len(sr.events) {
+		sr.events = append(sr.events[:0], sr.events[sr.head:]...)
+		sr.head = 0
+	}
+}
+
+// avgTxTime returns the average transmission time per *successful*
+// packet at rate r over the window, and whether any success exists.
+func (sr *SampleRate) avgTxTime(r phy.Rate) (time.Duration, bool) {
+	a := sr.agg[r]
+	if a.succ <= 0 {
+		return 0, false
+	}
+	return a.totalTx / time.Duration(a.succ), true
+}
+
+// bestRate returns the rate minimising average tx time among rates
+// without four or more consecutive failures (Bicket's switch-away rule:
+// a rate that keeps failing must be abandoned even if its windowed
+// average still looks good).
+func (sr *SampleRate) bestRate() phy.Rate {
+	best := phy.Rate(-1)
+	var bestTx time.Duration
+	for i := 0; i < phy.NumRates; i++ {
+		if sr.consFail[i] >= 4 {
+			continue
+		}
+		if tx, ok := sr.avgTxTime(phy.Rate(i)); ok {
+			if best < 0 || tx < bestTx {
+				best, bestTx = phy.Rate(i), tx
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	if sr.agg[sr.current].n == 0 && sr.consFail[sr.current] < 4 {
+		// No history at all yet: stay at the optimistic starting rate.
+		return sr.current
+	}
+	// Every rate with history is failing repeatedly: fall back to the
+	// most robust rate, as the madwifi retry chain does.
+	return phy.Rate6
+}
+
+// pickSample selects a random candidate rate other than current that
+// could beat it: its lossless transmission time must be below current's
+// average, and it must not have 4+ consecutive failures.
+func (sr *SampleRate) pickSample(current phy.Rate) (phy.Rate, bool) {
+	curAvg, okCur := sr.avgTxTime(current)
+	var cands []phy.Rate
+	for i := 0; i < phy.NumRates; i++ {
+		r := phy.Rate(i)
+		if r == current || sr.consFail[r] >= 4 {
+			continue
+		}
+		if okCur && losslessTxTime(r, sr.bytes()) >= curAvg {
+			continue // cannot possibly beat the current rate
+		}
+		cands = append(cands, r)
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	if sr.Rand == nil {
+		sr.Rand = rand.New(rand.NewSource(1))
+	}
+	return cands[sr.Rand.Intn(len(cands))], true
+}
+
+// Sampling reports whether the most recent PickRate returned a sample
+// (exposed for tests).
+func (sr *SampleRate) Sampling() bool { return sr.sampling }

@@ -1,0 +1,188 @@
+package rate
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/phy"
+)
+
+// The two SNR-based baselines of §3.4. Both map a receiver-SNR estimate
+// to the throughput-optimal rate through the trained phy curves (the
+// harness grants them ideal training, as the paper did). They differ only
+// in the estimate: RBAR uses the single most recent SNR observation
+// (fresh but noisy), CHARM a windowed average (smooth but stale). The
+// paper finds RBAR slightly ahead when mobile — instantaneous SNR tracks
+// a fast channel better — and CHARM slightly ahead when static, and our
+// implementations inherit exactly that trade-off.
+
+// RBAR picks the rate from the most recent receiver SNR, learned here
+// from the last acknowledged exchange (standing in for the original's
+// RTS/CTS probe).
+type RBAR struct {
+	// PacketBytes is the frame size for the rate picker (default 1000).
+	PacketBytes int
+
+	haveSNR bool
+	lastSNR float64
+	// consFail counts consecutive failures. In the original, a fade that
+	// outruns the SNR estimate makes the RTS exchange itself fail and the
+	// receiver quotes ever more conservative rates; we model that as a
+	// per-consecutive-failure SNR back-off that clears on success.
+	consFail int
+}
+
+// NewRBAR returns an RBAR instance.
+func NewRBAR() *RBAR { return &RBAR{} }
+
+// Name implements Adapter.
+func (r *RBAR) Name() string { return "RBAR" }
+
+// Reset implements Adapter.
+func (r *RBAR) Reset() {
+	r.haveSNR = false
+	r.consFail = 0
+}
+
+func (r *RBAR) bytes() int {
+	if r.PacketBytes > 0 {
+		return r.PacketBytes
+	}
+	return 1000
+}
+
+// PickRate implements Adapter: the throughput-optimal rate for the last
+// known SNR; the lowest rate until an SNR is known.
+func (r *RBAR) PickRate(now time.Duration) phy.Rate {
+	if !r.haveSNR {
+		return phy.Rate6
+	}
+	return phy.BestRateForSNR(r.lastSNR-2.5*float64(r.consFail), r.bytes())
+}
+
+// UsesRTS implements RTSUser: RBAR's receiver-side rate selection rides
+// on an RTS/CTS exchange before every data frame.
+func (r *RBAR) UsesRTS() bool { return true }
+
+// Observe implements Adapter, recording any fresh SNR and tracking the
+// consecutive-failure back-off.
+func (r *RBAR) Observe(fb Feedback) {
+	if fb.Acked {
+		r.consFail = 0
+	} else {
+		r.consFail++
+	}
+	if !math.IsNaN(fb.SNR) {
+		r.lastSNR = fb.SNR
+		r.haveSNR = true
+	}
+}
+
+// UpdateSNR implements SNRUpdater: RBAR replaces its estimate with the
+// newest report.
+func (r *RBAR) UpdateSNR(at time.Duration, snr float64) {
+	r.lastSNR = snr
+	r.haveSNR = true
+}
+
+// CHARM estimates the receiver SNR by averaging recent observations
+// (exploiting channel reciprocity in the original), making it robust to
+// short-term SNR fluctuation but slower to follow a changing channel.
+type CHARM struct {
+	// PacketBytes is the frame size for the rate picker (default 1000).
+	PacketBytes int
+	// Window is the SNR averaging window (default 1 s).
+	Window time.Duration
+
+	obs []snrObs
+	// offset is CHARM's dynamic calibration (dB): the original adjusts
+	// its SNR thresholds when observed losses disagree with the
+	// SNR-predicted outcome. Failures raise the offset (pick lower
+	// rates); successes let it decay.
+	offset float64
+}
+
+type snrObs struct {
+	at  time.Duration
+	snr float64
+}
+
+// NewCHARM returns a CHARM instance with the default window.
+func NewCHARM() *CHARM { return &CHARM{} }
+
+// Name implements Adapter.
+func (c *CHARM) Name() string { return "CHARM" }
+
+// Reset implements Adapter.
+func (c *CHARM) Reset() {
+	c.obs = c.obs[:0]
+	c.offset = 0
+}
+
+func (c *CHARM) bytes() int {
+	if c.PacketBytes > 0 {
+		return c.PacketBytes
+	}
+	return 1000
+}
+
+func (c *CHARM) window() time.Duration {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return time.Second
+}
+
+// PickRate implements Adapter: the throughput-optimal rate for the
+// windowed average SNR; the lowest rate until an SNR is known.
+func (c *CHARM) PickRate(now time.Duration) phy.Rate {
+	c.expire(now)
+	if len(c.obs) == 0 {
+		return phy.Rate6
+	}
+	sum := 0.0
+	for _, o := range c.obs {
+		sum += o.snr
+	}
+	return phy.BestRateForSNR(sum/float64(len(c.obs))-c.offset, c.bytes())
+}
+
+// Observe implements Adapter, recording any fresh SNR and applying the
+// dynamic threshold calibration: each loss raises the offset, each
+// success lets it decay, so a fade the averaged SNR cannot see still
+// pushes CHARM to a surviving rate within a few attempts.
+func (c *CHARM) Observe(fb Feedback) {
+	if fb.Acked {
+		c.offset *= 0.99
+		if c.offset < 0.01 {
+			c.offset = 0
+		}
+	} else {
+		c.offset += 1.2
+		if c.offset > 12 {
+			c.offset = 12
+		}
+	}
+	if !math.IsNaN(fb.SNR) {
+		c.obs = append(c.obs, snrObs{at: fb.At, snr: fb.SNR})
+		c.expire(fb.At)
+	}
+}
+
+// UpdateSNR implements SNRUpdater: CHARM appends the report to its
+// averaging window.
+func (c *CHARM) UpdateSNR(at time.Duration, snr float64) {
+	c.obs = append(c.obs, snrObs{at: at, snr: snr})
+	c.expire(at)
+}
+
+func (c *CHARM) expire(now time.Duration) {
+	cut := now - c.window()
+	i := 0
+	for i < len(c.obs) && c.obs[i].at < cut {
+		i++
+	}
+	if i > 0 {
+		c.obs = append(c.obs[:0], c.obs[i:]...)
+	}
+}

@@ -1,0 +1,57 @@
+package ratesim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/rate"
+	"repro/internal/sensors"
+)
+
+// TestCalibrationShape is a coarse early check that the synthetic channel
+// induces the paper's protocol ordering: RapidSample best when mobile,
+// SampleRate best when static, hint-aware best on mixed traces.
+func TestCalibrationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	envs := channel.Environments()
+	for _, env := range envs {
+		for _, mode := range []string{"static", "mobile", "mixed"} {
+			var sched sensors.Schedule
+			total := 20 * time.Second
+			switch mode {
+			case "static":
+				sched = sensors.Schedule{{Start: 0, End: total, Mode: sensors.Static}}
+			case "mobile":
+				sched = sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}}
+			case "mixed":
+				sched = sensors.AlternatingSchedule(total, 10*time.Second, sensors.Walk, false)
+			}
+			tputs := map[string]float64{}
+			for _, mk := range []func(int64) rate.Adapter{
+				func(s int64) rate.Adapter { return rate.NewRapidSample() },
+				func(s int64) rate.Adapter { return rate.NewSampleRate(s) },
+				func(s int64) rate.Adapter { return rate.NewRRAA() },
+				func(s int64) rate.Adapter { return rate.NewRBAR() },
+				func(s int64) rate.Adapter { return rate.NewCHARM() },
+				func(s int64) rate.Adapter { return rate.NewHintAware(s) },
+			} {
+				sum := 0.0
+				const reps = 5
+				for rep := 0; rep < reps; rep++ {
+					tr := channel.Generate(channel.Config{Env: env, Sched: sched, Total: total, Seed: int64(rep*100 + 1)})
+					a := mk(int64(rep + 7))
+					res := Run(Config{Trace: tr, Adapter: a, Workload: TCP})
+					sum += res.ThroughputMbps
+				}
+				name := mk(0).Name()
+				tputs[name] = sum / reps
+			}
+			t.Logf("%-8s %-7s RS=%.2f SR=%.2f RRAA=%.2f RBAR=%.2f CHARM=%.2f HA=%.2f",
+				env.Name, mode, tputs["RapidSample"], tputs["SampleRate"], tputs["RRAA"],
+				tputs["RBAR"], tputs["CHARM"], tputs["HintAware"])
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// GPSSample is one GPS fix. Positions are in a local metric frame
+// (metres east/north of an arbitrary origin) rather than lat/lon, which
+// is what the vehicular simulator and the hint extractors consume.
+type GPSSample struct {
+	T time.Duration
+	// Lock reports whether the receiver has a satellite fix. GPS does not
+	// work indoors, and the paper uses lock acquisition as the
+	// indoor/outdoor discriminator (§5.3).
+	Lock bool
+	// X, Y are metres in the local frame; valid only when Lock.
+	X, Y float64
+	// SpeedMps is ground speed in metres per second; valid only when Lock.
+	SpeedMps float64
+	// HeadingDeg is the course over ground in degrees clockwise from
+	// north, in [0, 360); valid only when Lock and moving.
+	HeadingDeg float64
+}
+
+// GPSConfig tunes the synthetic GPS receiver.
+type GPSConfig struct {
+	// Interval between fixes (typically 1 s).
+	Interval time.Duration
+	// PosNoise is the 1-σ horizontal position error in metres.
+	PosNoise float64
+	// SpeedNoise is the 1-σ speed error in m/s.
+	SpeedNoise float64
+	// HeadingNoise is the 1-σ course error in degrees while moving.
+	HeadingNoise float64
+	// Outdoors controls lock: an indoor device never acquires a fix.
+	Outdoors bool
+}
+
+// DefaultGPSConfig returns a typical consumer-GPS error profile.
+func DefaultGPSConfig(outdoors bool) GPSConfig {
+	return GPSConfig{
+		Interval:     time.Second,
+		PosNoise:     4,
+		SpeedNoise:   0.3,
+		HeadingNoise: 5,
+		Outdoors:     outdoors,
+	}
+}
+
+// Path describes ground-truth kinematics for the GPS generator: position,
+// speed and heading as a function of time.
+type Path interface {
+	// At returns position (m), speed (m/s) and heading (deg from north)
+	// at time t.
+	At(t time.Duration) (x, y, speed, heading float64)
+}
+
+// LinePath is a constant-velocity straight-line path.
+type LinePath struct {
+	X0, Y0     float64
+	SpeedMps   float64
+	HeadingDeg float64
+}
+
+// At implements Path.
+func (p LinePath) At(t time.Duration) (x, y, speed, heading float64) {
+	rad := p.HeadingDeg * math.Pi / 180
+	d := p.SpeedMps * t.Seconds()
+	// Heading measured clockwise from north: north = +y, east = +x.
+	return p.X0 + d*math.Sin(rad), p.Y0 + d*math.Cos(rad), p.SpeedMps, p.HeadingDeg
+}
+
+// StopGoPath alternates between halts and straight segments, following a
+// schedule: during Static episodes the device holds position, otherwise
+// it moves at the mode's typical speed along the given heading.
+type StopGoPath struct {
+	Sched      Schedule
+	HeadingDeg float64
+	WalkSpeed  float64 // m/s, default 1.4 if zero
+	CarSpeed   float64 // m/s, default 11 if zero
+}
+
+// At implements Path by integrating the schedule up to t.
+func (p StopGoPath) At(t time.Duration) (x, y, speed, heading float64) {
+	walk := p.WalkSpeed
+	if walk == 0 {
+		walk = 1.4
+	}
+	car := p.CarSpeed
+	if car == 0 {
+		car = 11
+	}
+	speedFor := func(m MobilityMode) float64 {
+		switch m {
+		case Walk:
+			return walk
+		case Vehicle:
+			return car
+		}
+		return 0
+	}
+	// Integrate distance in 100 ms steps: adequate for 1 Hz GPS fixes.
+	const step = 100 * time.Millisecond
+	var dist float64
+	for u := time.Duration(0); u+step <= t; u += step {
+		dist += speedFor(p.Sched.ModeAt(u)) * step.Seconds()
+	}
+	rad := p.HeadingDeg * math.Pi / 180
+	return dist * math.Sin(rad), dist * math.Cos(rad), speedFor(p.Sched.ModeAt(t)), p.HeadingDeg
+}
+
+// GPS synthesizes fix streams along a ground-truth path.
+type GPS struct {
+	cfg GPSConfig
+	rng *rand.Rand
+}
+
+// NewGPS returns a generator with the given configuration and seed.
+func NewGPS(cfg GPSConfig, seed int64) *GPS {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	return &GPS{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate produces fixes along path from time 0 to total.
+func (g *GPS) Generate(path Path, total time.Duration) []GPSSample {
+	var out []GPSSample
+	for t := time.Duration(0); t <= total; t += g.cfg.Interval {
+		s := GPSSample{T: t, Lock: g.cfg.Outdoors}
+		if s.Lock {
+			x, y, sp, hd := path.At(t)
+			s.X = x + g.rng.NormFloat64()*g.cfg.PosNoise
+			s.Y = y + g.rng.NormFloat64()*g.cfg.PosNoise
+			s.SpeedMps = math.Max(0, sp+g.rng.NormFloat64()*g.cfg.SpeedNoise)
+			s.HeadingDeg = normDeg(hd + g.rng.NormFloat64()*g.cfg.HeadingNoise)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// normDeg normalises an angle to [0, 360).
+func normDeg(d float64) float64 {
+	d = math.Mod(d, 360)
+	if d < 0 {
+		d += 360
+	}
+	return d
+}

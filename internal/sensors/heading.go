@@ -1,0 +1,157 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// CompassSample is one magnetometer heading report in degrees clockwise
+// from magnetic north, [0, 360).
+type CompassSample struct {
+	T          time.Duration
+	HeadingDeg float64
+}
+
+// GyroSample is one gyroscope report: angular rate about the vertical
+// axis in degrees per second (positive = clockwise).
+type GyroSample struct {
+	T          time.Duration
+	RateDegSec float64
+}
+
+// CompassConfig tunes the synthetic magnetometer. Indoor environments can
+// be magnetically hostile (§2.2.2), modelled as intermittent large-bias
+// disturbance episodes on top of baseline noise.
+type CompassConfig struct {
+	Interval time.Duration
+	// Noise is baseline 1-σ heading noise in degrees.
+	Noise float64
+	// DisturbProb is the per-sample probability of entering a magnetic
+	// disturbance episode; DisturbBias its magnitude in degrees;
+	// DisturbLen its duration.
+	DisturbProb float64
+	DisturbBias float64
+	DisturbLen  time.Duration
+}
+
+// DefaultCompassConfig returns indoor- or outdoor-typical magnetometer
+// behaviour.
+func DefaultCompassConfig(indoor bool) CompassConfig {
+	cfg := CompassConfig{
+		Interval: 20 * time.Millisecond,
+		Noise:    2,
+	}
+	if indoor {
+		cfg.Noise = 6
+		cfg.DisturbProb = 0.002
+		cfg.DisturbBias = 55
+		cfg.DisturbLen = 2 * time.Second
+	}
+	return cfg
+}
+
+// Compass synthesizes heading reports around a ground-truth heading
+// function.
+type Compass struct {
+	cfg CompassConfig
+	rng *rand.Rand
+}
+
+// NewCompass returns a generator with the given configuration and seed.
+func NewCompass(cfg CompassConfig, seed int64) *Compass {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 20 * time.Millisecond
+	}
+	return &Compass{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate produces compass samples for the true heading function from
+// time 0 to total.
+func (c *Compass) Generate(trueHeading func(time.Duration) float64, total time.Duration) []CompassSample {
+	var out []CompassSample
+	var disturbUntil time.Duration
+	var disturbBias float64
+	for t := time.Duration(0); t <= total; t += c.cfg.Interval {
+		if t >= disturbUntil && c.rng.Float64() < c.cfg.DisturbProb {
+			disturbUntil = t + c.cfg.DisturbLen
+			disturbBias = c.cfg.DisturbBias * (2*c.rng.Float64() - 1)
+		}
+		h := trueHeading(t) + c.rng.NormFloat64()*c.cfg.Noise
+		if t < disturbUntil {
+			h += disturbBias
+		}
+		out = append(out, CompassSample{T: t, HeadingDeg: normDeg(h)})
+	}
+	return out
+}
+
+// GyroConfig tunes the synthetic gyroscope.
+type GyroConfig struct {
+	Interval time.Duration
+	// Noise is 1-σ rate noise in deg/s.
+	Noise float64
+	// BiasDrift is the random-walk step of the slowly wandering rate
+	// bias, in deg/s per sample — the reason gyros need an absolute
+	// reference such as the compass (§2.2.2).
+	BiasDrift float64
+}
+
+// DefaultGyroConfig returns a MEMS-typical gyro profile.
+func DefaultGyroConfig() GyroConfig {
+	return GyroConfig{Interval: 10 * time.Millisecond, Noise: 0.4, BiasDrift: 0.003}
+}
+
+// Gyro synthesizes angular-rate reports around a true heading function.
+type Gyro struct {
+	cfg  GyroConfig
+	rng  *rand.Rand
+	bias float64
+}
+
+// NewGyro returns a generator with the given configuration and seed.
+func NewGyro(cfg GyroConfig, seed int64) *Gyro {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	return &Gyro{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate produces gyro samples for the true heading function from time
+// 0 to total. Rates are derived by differentiating the heading.
+func (g *Gyro) Generate(trueHeading func(time.Duration) float64, total time.Duration) []GyroSample {
+	var out []GyroSample
+	prev := trueHeading(0)
+	for t := g.cfg.Interval; t <= total; t += g.cfg.Interval {
+		cur := trueHeading(t)
+		rate := angleDiff(cur, prev) / g.cfg.Interval.Seconds()
+		prev = cur
+		g.bias += g.rng.NormFloat64() * g.cfg.BiasDrift
+		out = append(out, GyroSample{
+			T:          t,
+			RateDegSec: rate + g.bias + g.rng.NormFloat64()*g.cfg.Noise,
+		})
+	}
+	return out
+}
+
+// angleDiff returns the signed smallest difference a−b in degrees,
+// in (−180, 180].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 360)
+	if d > 180 {
+		d -= 360
+	}
+	if d <= -180 {
+		d += 360
+	}
+	return d
+}
+
+// AngleDiff returns the signed smallest difference a−b in degrees, in
+// (−180, 180]. Exported for hint extractors and the vehicular CTE metric.
+func AngleDiff(a, b float64) float64 { return angleDiff(a, b) }
+
+// HeadingSeparation returns the unsigned heading difference between two
+// courses in [0, 180], the quantity Table 5.1 buckets links by.
+func HeadingSeparation(a, b float64) float64 { return math.Abs(angleDiff(a, b)) }

@@ -1,0 +1,77 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Microphone model for the §5.6 hint: a changing environment around a
+// *static* node (pedestrians, passing cars) induces channel dynamics
+// similar to the node itself moving, and ambient acoustic variation is
+// highly correlated with that nearby activity. The synthetic microphone
+// reports short-window sound levels whose variance rises with the
+// activity level of the surroundings.
+
+// MicSample is one microphone level report: the RMS sound level of a
+// short capture window, in dB relative to an arbitrary reference.
+type MicSample struct {
+	T       time.Duration
+	LevelDB float64
+}
+
+// MicConfig tunes the synthetic microphone.
+type MicConfig struct {
+	// Interval between level reports (default 100 ms).
+	Interval time.Duration
+	// QuietLevel is the ambient level of a quiet environment; QuietStd
+	// its report-to-report standard deviation.
+	QuietLevel, QuietStd float64
+	// BusyStd is the report-to-report deviation of a busy environment;
+	// BusyBurstDB the extra level of activity bursts.
+	BusyStd, BusyBurstDB float64
+}
+
+// DefaultMicConfig returns indoor-typical sound statistics.
+func DefaultMicConfig() MicConfig {
+	return MicConfig{
+		Interval:    100 * time.Millisecond,
+		QuietLevel:  38,
+		QuietStd:    0.8,
+		BusyStd:     4,
+		BusyBurstDB: 14,
+	}
+}
+
+// Microphone synthesizes sound-level reports given a time-varying
+// activity function in [0, 1] (0 = empty room, 1 = busy corridor).
+type Microphone struct {
+	cfg MicConfig
+	rng *rand.Rand
+}
+
+// NewMicrophone returns a generator with the given configuration.
+func NewMicrophone(cfg MicConfig, seed int64) *Microphone {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	return &Microphone{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate produces level reports from time 0 to total. activity gives
+// the surrounding-activity level at each time.
+func (m *Microphone) Generate(activity func(time.Duration) float64, total time.Duration) []MicSample {
+	var out []MicSample
+	for t := time.Duration(0); t <= total; t += m.cfg.Interval {
+		a := math.Max(0, math.Min(1, activity(t)))
+		std := m.cfg.QuietStd + a*(m.cfg.BusyStd-m.cfg.QuietStd)
+		level := m.cfg.QuietLevel + m.rng.NormFloat64()*std
+		// Activity bursts: the louder the surroundings, the more often a
+		// passing person/car spikes the level.
+		if m.rng.Float64() < 0.3*a {
+			level += m.cfg.BusyBurstDB * m.rng.Float64()
+		}
+		out = append(out, MicSample{T: t, LevelDB: level})
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleModeAt(t *testing.T) {
+	s := Schedule{
+		{Start: 10 * time.Second, End: 20 * time.Second, Mode: Walk},
+		{Start: 30 * time.Second, End: 40 * time.Second, Mode: Vehicle},
+	}
+	cases := []struct {
+		t    time.Duration
+		want MobilityMode
+	}{
+		{0, Static},
+		{10 * time.Second, Walk},
+		{19*time.Second + 999*time.Millisecond, Walk},
+		{20 * time.Second, Static}, // end is exclusive
+		{35 * time.Second, Vehicle},
+		{50 * time.Second, Static},
+	}
+	for _, c := range cases {
+		if got := s.ModeAt(c.t); got != c.want {
+			t.Errorf("ModeAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if s.End() != 40*time.Second {
+		t.Errorf("End = %v", s.End())
+	}
+	if Schedule(nil).End() != 0 {
+		t.Error("empty schedule End should be 0")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Static.String() != "static" || Walk.String() != "walk" || Vehicle.String() != "vehicle" {
+		t.Error("mode names wrong")
+	}
+	if Static.Moving() || !Walk.Moving() || !Vehicle.Moving() {
+		t.Error("Moving() wrong")
+	}
+}
+
+func TestAlternatingSchedule(t *testing.T) {
+	s := AlternatingSchedule(20*time.Second, 5*time.Second, Walk, false)
+	if len(s) != 4 {
+		t.Fatalf("episodes = %d, want 4", len(s))
+	}
+	// static, walk, static, walk
+	wants := []MobilityMode{Static, Walk, Static, Walk}
+	for i, w := range wants {
+		if s[i].Mode != w {
+			t.Errorf("episode %d mode = %v, want %v", i, s[i].Mode, w)
+		}
+	}
+	// startMoving flips the phase.
+	s2 := AlternatingSchedule(20*time.Second, 5*time.Second, Walk, true)
+	if s2[0].Mode != Walk {
+		t.Error("startMoving should begin with the moving mode")
+	}
+	// Non-divisible total truncates the last episode.
+	s3 := AlternatingSchedule(12*time.Second, 5*time.Second, Walk, false)
+	if s3[len(s3)-1].End != 12*time.Second {
+		t.Errorf("last episode ends at %v, want 12s", s3[len(s3)-1].End)
+	}
+}
+
+func TestAccelerometerReportCadence(t *testing.T) {
+	acc := NewAccelerometer(DefaultAccelConfig(), 1)
+	samples := acc.Generate(nil, 100*time.Millisecond)
+	if len(samples) != 50 {
+		t.Fatalf("%d samples in 100 ms, want 50 (2 ms cadence)", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].T-samples[i-1].T != ReportInterval {
+			t.Fatalf("irregular report interval at %d", i)
+		}
+	}
+}
+
+func TestAccelerometerDeterminism(t *testing.T) {
+	sched := Schedule{{Start: 0, End: time.Second, Mode: Walk}}
+	a := NewAccelerometer(DefaultAccelConfig(), 7).Generate(sched, time.Second)
+	b := NewAccelerometer(DefaultAccelConfig(), 7).Generate(sched, time.Second)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestAccelerometerRestVsMoving(t *testing.T) {
+	// Moving samples must have far larger short-window mean shifts than
+	// rest samples — the property the jerk detector relies on.
+	total := 4 * time.Second
+	sched := Schedule{{Start: 2 * time.Second, End: 4 * time.Second, Mode: Walk}}
+	samples := NewAccelerometer(DefaultAccelConfig(), 3).Generate(sched, total)
+
+	shift := func(from, to int) float64 {
+		sum := 0.0
+		n := 0
+		for i := from + 10; i < to; i += 10 {
+			var a, b [3]float64
+			for k := 0; k < 5; k++ {
+				s1, s2 := samples[i-k], samples[i-5-k]
+				a[0] += s1.X / 5
+				a[1] += s1.Y / 5
+				a[2] += s1.Z / 5
+				b[0] += s2.X / 5
+				b[1] += s2.Y / 5
+				b[2] += s2.Z / 5
+			}
+			sum += math.Hypot(math.Hypot(a[0]-b[0], a[1]-b[1]), a[2]-b[2])
+			n++
+		}
+		return sum / float64(n)
+	}
+	half := len(samples) / 2
+	rest := shift(0, half)
+	move := shift(half, len(samples))
+	if move < 5*rest {
+		t.Errorf("moving mean-shift %v not far above rest %v", move, rest)
+	}
+}
+
+func TestAccelerometerGeneratesThroughScheduleEnd(t *testing.T) {
+	sched := Schedule{{Start: 0, End: 3 * time.Second, Mode: Walk}}
+	samples := NewAccelerometer(DefaultAccelConfig(), 1).Generate(sched, time.Second)
+	if got := samples[len(samples)-1].T; got < 3*time.Second-ReportInterval*2 {
+		t.Errorf("generation stopped at %v, want through schedule end 3s", got)
+	}
+}
+
+func TestGPSIndoorNoLock(t *testing.T) {
+	g := NewGPS(DefaultGPSConfig(false), 1)
+	for _, s := range g.Generate(LinePath{SpeedMps: 2}, 5*time.Second) {
+		if s.Lock {
+			t.Fatal("indoor GPS acquired a lock")
+		}
+	}
+}
+
+func TestGPSOutdoorTracksPath(t *testing.T) {
+	cfg := DefaultGPSConfig(true)
+	cfg.PosNoise = 0.001
+	cfg.SpeedNoise = 0.001
+	cfg.HeadingNoise = 0.001
+	g := NewGPS(cfg, 1)
+	path := LinePath{SpeedMps: 10, HeadingDeg: 90} // due east
+	fixes := g.Generate(path, 10*time.Second)
+	last := fixes[len(fixes)-1]
+	if !last.Lock {
+		t.Fatal("outdoor GPS has no lock")
+	}
+	if math.Abs(last.X-100) > 1 || math.Abs(last.Y) > 1 {
+		t.Errorf("position (%v, %v), want ≈ (100, 0)", last.X, last.Y)
+	}
+	if math.Abs(last.SpeedMps-10) > 0.5 {
+		t.Errorf("speed %v, want ≈ 10", last.SpeedMps)
+	}
+	if math.Abs(last.HeadingDeg-90) > 1 {
+		t.Errorf("heading %v, want ≈ 90", last.HeadingDeg)
+	}
+}
+
+func TestStopGoPath(t *testing.T) {
+	sched := Schedule{{Start: 10 * time.Second, End: 20 * time.Second, Mode: Walk}}
+	p := StopGoPath{Sched: sched, HeadingDeg: 0}
+	x0, y0, sp0, _ := p.At(5 * time.Second)
+	if x0 != 0 || y0 != 0 || sp0 != 0 {
+		t.Errorf("should be halted at 5s: (%v,%v) speed %v", x0, y0, sp0)
+	}
+	_, yMid, spMid, _ := p.At(15 * time.Second)
+	if spMid != 1.4 {
+		t.Errorf("walking speed = %v, want default 1.4", spMid)
+	}
+	if yMid < 5 || yMid > 9 {
+		t.Errorf("northward distance at 15s = %v, want ≈ 7", yMid)
+	}
+	_, yEnd, _, _ := p.At(25 * time.Second)
+	if math.Abs(yEnd-14) > 0.5 {
+		t.Errorf("total distance = %v, want ≈ 14 (10 s walk at 1.4)", yEnd)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{10, 350, 20},
+		{350, 10, -20},
+		{180, 0, 180},
+		{0, 180, 180}, // (−180, 180] convention
+		{90, 90, 0},
+	}
+	for _, c := range cases {
+		if got := AngleDiff(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("AngleDiff(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHeadingSeparationProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 1e6), math.Mod(b, 1e6)
+		d1 := HeadingSeparation(a, b)
+		d2 := HeadingSeparation(b, a)
+		return d1 >= 0 && d1 <= 180 && math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompassDisturbance(t *testing.T) {
+	cfg := DefaultCompassConfig(true)
+	cfg.DisturbProb = 1 // enter a disturbance immediately
+	c := NewCompass(cfg, 1)
+	samples := c.Generate(func(time.Duration) float64 { return 0 }, time.Second)
+	// During a disturbance, readings are biased far off true north.
+	biased := 0
+	for _, s := range samples {
+		if HeadingSeparation(s.HeadingDeg, 0) > 15 {
+			biased++
+		}
+	}
+	if biased == 0 {
+		t.Error("disturbed compass should produce biased headings")
+	}
+}
+
+func TestCompassOutdoorClean(t *testing.T) {
+	c := NewCompass(DefaultCompassConfig(false), 1)
+	samples := c.Generate(func(time.Duration) float64 { return 45 }, 2*time.Second)
+	for _, s := range samples {
+		if HeadingSeparation(s.HeadingDeg, 45) > 10 {
+			t.Fatalf("outdoor compass reading %v too far from 45", s.HeadingDeg)
+		}
+	}
+}
+
+func TestGyroTracksRotation(t *testing.T) {
+	cfg := DefaultGyroConfig()
+	cfg.Noise = 0.001
+	cfg.BiasDrift = 0
+	g := NewGyro(cfg, 1)
+	// Constant 10 deg/s rotation.
+	truth := func(t time.Duration) float64 { return math.Mod(10*t.Seconds(), 360) }
+	samples := g.Generate(truth, 5*time.Second)
+	for _, s := range samples {
+		if math.Abs(s.RateDegSec-10) > 0.5 {
+			t.Fatalf("gyro rate %v, want ≈ 10", s.RateDegSec)
+		}
+	}
+}
+
+func TestGyroBiasDrifts(t *testing.T) {
+	cfg := DefaultGyroConfig()
+	cfg.Noise = 0
+	cfg.BiasDrift = 0.5
+	g := NewGyro(cfg, 1)
+	samples := g.Generate(func(time.Duration) float64 { return 0 }, 20*time.Second)
+	last := samples[len(samples)-1]
+	if last.RateDegSec == 0 {
+		t.Error("gyro bias should have wandered from zero")
+	}
+}

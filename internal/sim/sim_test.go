@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events fired in order %v", got)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("clock at %v, want 30ms", e.Now())
+	}
+}
+
+func TestFIFOTies(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	ev.Cancel() // double cancel is a no-op
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	var nilEv *Event
+	nilEv.Cancel() // nil cancel must not panic
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at time.Duration
+	e.At(10*time.Millisecond, func() {
+		e.After(5*time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15*time.Millisecond {
+		t.Errorf("After fired at %v, want 15ms", at)
+	}
+}
+
+func TestSchedulingInPast(t *testing.T) {
+	e := New()
+	var at time.Duration
+	e.At(10*time.Millisecond, func() {
+		// Scheduling before now must not rewind the clock.
+		e.At(1*time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10*time.Millisecond {
+		t.Errorf("past event fired at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(5*time.Millisecond, func() { fired++ })
+	e.At(15*time.Millisecond, func() { fired++ })
+	e.RunUntil(10 * time.Millisecond)
+	if fired != 1 {
+		t.Errorf("fired %d events before deadline, want 1", fired)
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Errorf("clock at %v, want deadline", e.Now())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("remaining event lost: fired=%d", fired)
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := New()
+	ev := e.At(time.Millisecond, func() { t.Error("cancelled event fired") })
+	ev.Cancel()
+	e.RunUntil(2 * time.Millisecond)
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty engine should return false")
+	}
+	if e.Pending() != 0 {
+		t.Error("empty engine has pending events")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event chain built during execution runs to completion.
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(time.Millisecond, tick)
+		}
+	}
+	e.After(time.Millisecond, tick)
+	e.Run()
+	if count != 10 {
+		t.Errorf("chain ran %d times, want 10", count)
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Errorf("clock = %v, want 10ms", e.Now())
+	}
+}

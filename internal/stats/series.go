@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is an ordered sequence of points with a name, used by the
+// experiment harness to carry one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Ys returns the y values in order.
+func (s *Series) Ys() []float64 {
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Y
+	}
+	return ys
+}
+
+// At returns the y value at the largest x not exceeding the query, using
+// step interpolation; it returns the first point's y for queries before
+// the series start, and 0 for an empty series.
+func (s *Series) At(x float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].X > x })
+	if i == 0 {
+		return s.Points[0].Y
+	}
+	return s.Points[i-1].Y
+}
+
+// Bucketed aggregates the series into buckets of the given x width,
+// averaging y within each bucket. Used for per-second delivery ratios.
+func (s *Series) Bucketed(width float64) *Series {
+	if width <= 0 || len(s.Points) == 0 {
+		return &Series{Name: s.Name}
+	}
+	out := &Series{Name: s.Name}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	buckets := map[int]*acc{}
+	minB, maxB := math.MaxInt32, math.MinInt32
+	for _, p := range s.Points {
+		b := int(math.Floor(p.X / width))
+		a := buckets[b]
+		if a == nil {
+			a = &acc{}
+			buckets[b] = a
+		}
+		a.sum += p.Y
+		a.n++
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	for b := minB; b <= maxB; b++ {
+		if a := buckets[b]; a != nil {
+			out.Add(float64(b)*width, a.sum/float64(a.n))
+		}
+	}
+	return out
+}
+
+// Chart renders one or more series as a fixed-width ASCII chart, one
+// column per x step, suitable for printing figure reproductions in a
+// terminal. Each series is drawn with a distinct glyph.
+func Chart(width, height int, series ...*Series) string {
+	glyphs := []byte{'*', '+', 'x', 'o', '#', '@'}
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if first || width < 2 || height < 2 {
+		return "(empty chart)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			cx := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			cy := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: [%.3g, %.3g]  x: [%.3g, %.3g]\n", minY, maxY, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

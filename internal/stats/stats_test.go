@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 || StdDev([]float64{4}) != 0 {
+		t.Error("StdDev of < 2 samples should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ≈ 2.138 (sample std)", got)
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	if got := Median(xs); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+	// Median must not mutate the input.
+	if xs[0] != 9 {
+		t.Error("Median mutated its input")
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Errorf("P100 = %v, want 9", got)
+	}
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("P50 of {1,2} = %v, want 1.5 (interpolated)", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("percentile of empty should be 0")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		pp := math.Mod(math.Abs(p), 100)
+		v := Percentile(clean, pp)
+		min, max := clean[0], clean[0]
+		for _, x := range clean {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		return v >= min && v <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI of one sample should be 0")
+	}
+	xs := []float64{10, 12, 9, 11, 10, 12, 9, 11}
+	ci := CI95(xs)
+	if ci <= 0 || ci > StdDev(xs)*2 {
+		t.Errorf("CI95 = %v out of plausible range", ci)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Mean != 2 || s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("Summary.String() = %q", s.String())
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should have N=0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-5, 0, 10, 0}, {15, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSeriesAddAt(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(0, 10)
+	s.Add(5, 20)
+	s.Add(10, 30)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{-1, 10}, {0, 10}, {2, 10}, {5, 20}, {7, 20}, {10, 30}, {99, 30},
+	}
+	for _, c := range cases {
+		if got := s.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if (&Series{}).At(3) != 0 {
+		t.Error("At on empty series should be 0")
+	}
+}
+
+func TestSeriesYs(t *testing.T) {
+	s := &Series{}
+	s.Add(0, 1)
+	s.Add(1, 2)
+	ys := s.Ys()
+	if len(ys) != 2 || ys[0] != 1 || ys[1] != 2 {
+		t.Errorf("Ys = %v", ys)
+	}
+}
+
+func TestSeriesBucketed(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i)*0.1, float64(i)) // x in [0, 0.9]
+	}
+	b := s.Bucketed(0.5)
+	if b.Len() != 2 {
+		t.Fatalf("bucketed len = %d, want 2", b.Len())
+	}
+	if b.Points[0].Y != 2 { // mean of 0..4
+		t.Errorf("bucket 0 mean = %v, want 2", b.Points[0].Y)
+	}
+	if b.Points[1].Y != 7 { // mean of 5..9
+		t.Errorf("bucket 1 mean = %v, want 7", b.Points[1].Y)
+	}
+	if (&Series{}).Bucketed(1).Len() != 0 {
+		t.Error("bucketing empty series should be empty")
+	}
+	if s.Bucketed(0).Len() != 0 {
+		t.Error("zero-width buckets should yield empty")
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := &Series{Name: "line"}
+	s.Add(0, 0)
+	s.Add(1, 1)
+	out := Chart(20, 5, s)
+	if !strings.Contains(out, "line") {
+		t.Error("chart must include the series legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("chart must plot glyphs")
+	}
+	if got := Chart(20, 5); !strings.Contains(got, "empty") {
+		t.Error("chart of nothing should say empty")
+	}
+	// A constant series must not divide by zero.
+	c := &Series{Name: "const"}
+	c.Add(0, 5)
+	c.Add(1, 5)
+	if out := Chart(10, 4, c); out == "" {
+		t.Error("constant series chart empty")
+	}
+}

@@ -1,0 +1,184 @@
+// Package trace defines the trace containers the evaluation harness runs
+// on, mirroring the paper's methodology: channel fate traces that record,
+// for each 5 ms timeslot, the fate of a packet sent at each of the eight
+// 802.11a bit rates during that slot. The MAC simulator bypasses any
+// propagation model and simply references the trace — the same
+// architecture as the paper's modified ns-3 harness.
+//
+// Traces serialise with encoding/gob for storage and exchange between
+// cmd/tracegen and the benchmarks.
+package trace
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/phy"
+)
+
+// DefaultSlot is the paper's trace timeslot width.
+const DefaultSlot = 5 * time.Millisecond
+
+// Slot records the channel state during one timeslot.
+type Slot struct {
+	// SNR is the channel signal-to-noise ratio (dB) during the slot.
+	SNR float64
+	// Moving is the ground-truth mobility state of the receiver.
+	Moving bool
+	// Delivered records whether a packet sent at each rate during this
+	// slot is received (every packet of the same rate in one slot shares
+	// this fate, as in the paper's trace playback).
+	Delivered [phy.NumRates]bool
+	// Prob is the ground-truth delivery probability at each rate, used
+	// as the "actual" curve in the probing experiments.
+	Prob [phy.NumRates]float64
+}
+
+// FateTrace is a complete channel trace.
+type FateTrace struct {
+	// Env and Mode label the trace (e.g. "office", "mixed").
+	Env, Mode string
+	// SlotDur is the slot width (DefaultSlot unless stated).
+	SlotDur time.Duration
+	// Seed reproduces the trace via the channel generator.
+	Seed int64
+	// ExtraLoss is the rate-independent per-packet loss probability
+	// (collisions/interference) the MAC simulator applies on top of the
+	// per-slot channel fates. Slot probabilities already include it.
+	ExtraLoss float64
+	Slots     []Slot
+}
+
+// Duration returns the trace length.
+func (t *FateTrace) Duration() time.Duration {
+	return time.Duration(len(t.Slots)) * t.SlotDur
+}
+
+// SlotIndex returns the slot index covering time at, clamped to the
+// trace bounds.
+func (t *FateTrace) SlotIndex(at time.Duration) int {
+	if at < 0 {
+		return 0
+	}
+	i := int(at / t.SlotDur)
+	if i >= len(t.Slots) {
+		i = len(t.Slots) - 1
+	}
+	return i
+}
+
+// At returns the slot covering time at.
+func (t *FateTrace) At(at time.Duration) *Slot {
+	return &t.Slots[t.SlotIndex(at)]
+}
+
+// Delivered reports the fate of a packet sent at rate r at time at.
+func (t *FateTrace) Delivered(at time.Duration, r phy.Rate) bool {
+	return t.At(at).Delivered[r]
+}
+
+// MovingAt reports ground-truth receiver mobility at time at.
+func (t *FateTrace) MovingAt(at time.Duration) bool { return t.At(at).Moving }
+
+// WindowProb returns the mean delivery probability at rate r over the
+// window [at−window, at]. The probing experiments use this as the
+// "actual" delivery probability, matching the paper's definition (the
+// ground truth is itself a 10-packet sliding window over the 200/s
+// reference stream, i.e. a ~50 ms average).
+func (t *FateTrace) WindowProb(at, window time.Duration, r phy.Rate) float64 {
+	if window <= 0 {
+		return t.At(at).Prob[r]
+	}
+	from := t.SlotIndex(at - window)
+	to := t.SlotIndex(at)
+	sum := 0.0
+	for i := from; i <= to; i++ {
+		sum += t.Slots[i].Prob[r]
+	}
+	return sum / float64(to-from+1)
+}
+
+// Validate checks structural invariants: positive slot width, at least
+// one slot, probabilities within [0, 1].
+func (t *FateTrace) Validate() error {
+	if t.SlotDur <= 0 {
+		return errors.New("trace: non-positive slot duration")
+	}
+	if len(t.Slots) == 0 {
+		return errors.New("trace: no slots")
+	}
+	for i, s := range t.Slots {
+		for r := 0; r < phy.NumRates; r++ {
+			if p := s.Prob[r]; p < 0 || p > 1 {
+				return fmt.Errorf("trace: slot %d rate %d probability %v out of range", i, r, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode serialises the trace with gob.
+func (t *FateTrace) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// Read deserialises a trace written by Encode.
+func Read(r io.Reader) (*FateTrace, error) {
+	var t FateTrace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// PacketTrace is a fine-grained per-packet fate record used by the
+// conditional-loss analysis (Figure 3-1), where back-to-back packets at
+// one rate are sent far faster than the 5 ms slot width.
+type PacketTrace struct {
+	Rate phy.Rate
+	// Interval is the inter-packet spacing.
+	Interval time.Duration
+	// Lost[i] is true when packet i was not delivered.
+	Lost []bool
+}
+
+// LossRate returns the unconditional packet loss probability.
+func (p *PacketTrace) LossRate() float64 {
+	if len(p.Lost) == 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range p.Lost {
+		if l {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Lost))
+}
+
+// ConditionalLoss returns P(packet i+k lost | packet i lost) for each lag
+// k in 1..maxLag — the quantity plotted in Figure 3-1.
+func (p *PacketTrace) ConditionalLoss(maxLag int) []float64 {
+	out := make([]float64, maxLag+1)
+	for k := 1; k <= maxLag; k++ {
+		lost, both := 0, 0
+		for i := 0; i+k < len(p.Lost); i++ {
+			if p.Lost[i] {
+				lost++
+				if p.Lost[i+k] {
+					both++
+				}
+			}
+		}
+		if lost > 0 {
+			out[k] = float64(both) / float64(lost)
+		}
+	}
+	return out
+}

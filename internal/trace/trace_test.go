@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/phy"
+)
+
+func mkTrace(n int) *FateTrace {
+	tr := &FateTrace{Env: "test", Mode: "static", SlotDur: DefaultSlot, Slots: make([]Slot, n)}
+	for i := range tr.Slots {
+		tr.Slots[i].SNR = float64(i)
+		for r := 0; r < phy.NumRates; r++ {
+			tr.Slots[i].Prob[r] = float64(i % 2) // alternating 0/1
+			tr.Slots[i].Delivered[r] = i%2 == 1
+		}
+	}
+	return tr
+}
+
+func TestSlotIndexClamping(t *testing.T) {
+	tr := mkTrace(10)
+	if tr.SlotIndex(-time.Second) != 0 {
+		t.Error("negative time should clamp to slot 0")
+	}
+	if tr.SlotIndex(0) != 0 {
+		t.Error("time 0 should be slot 0")
+	}
+	if tr.SlotIndex(7*DefaultSlot+DefaultSlot/2) != 7 {
+		t.Error("mid-slot time should land in slot 7")
+	}
+	if tr.SlotIndex(time.Hour) != 9 {
+		t.Error("beyond-end time should clamp to last slot")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	tr := mkTrace(10)
+	if tr.Duration() != 10*DefaultSlot {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestDeliveredAndMoving(t *testing.T) {
+	tr := mkTrace(4)
+	tr.Slots[2].Moving = true
+	if tr.Delivered(0, phy.Rate6) {
+		t.Error("slot 0 should not deliver")
+	}
+	if !tr.Delivered(DefaultSlot, phy.Rate54) {
+		t.Error("slot 1 should deliver")
+	}
+	if !tr.MovingAt(2*DefaultSlot) || tr.MovingAt(0) {
+		t.Error("MovingAt wrong")
+	}
+}
+
+func TestWindowProb(t *testing.T) {
+	tr := mkTrace(10) // probs alternate 0, 1, 0, 1...
+	// A window covering exactly slots 0..3 averages 0.5.
+	got := tr.WindowProb(3*DefaultSlot, 3*DefaultSlot, phy.Rate6)
+	if got != 0.5 {
+		t.Errorf("window mean = %v, want 0.5", got)
+	}
+	// Zero window degenerates to the instantaneous probability.
+	if tr.WindowProb(3*DefaultSlot, 0, phy.Rate6) != 1 {
+		t.Error("zero window should be instantaneous")
+	}
+	// Window extending before the trace clamps.
+	if v := tr.WindowProb(0, time.Hour, phy.Rate6); v != 0 {
+		t.Errorf("clamped window = %v", v)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := mkTrace(3)
+	if err := tr.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := mkTrace(3)
+	bad.SlotDur = 0
+	if bad.Validate() == nil {
+		t.Error("zero slot duration accepted")
+	}
+	bad2 := &FateTrace{SlotDur: DefaultSlot}
+	if bad2.Validate() == nil {
+		t.Error("empty trace accepted")
+	}
+	bad3 := mkTrace(3)
+	bad3.Slots[1].Prob[2] = 1.5
+	if bad3.Validate() == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := mkTrace(20)
+	tr.Seed = 99
+	tr.ExtraLoss = 0.02
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Env != tr.Env || got.Seed != 99 || got.ExtraLoss != 0.02 || len(got.Slots) != 20 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Slots[7] != tr.Slots[7] {
+		t.Error("slot content mismatch")
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	tr := mkTrace(2)
+	tr.Slots[0].Prob[0] = -1
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("invalid trace decoded without error")
+	}
+	if _, err := Read(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("garbage decoded without error")
+	}
+}
+
+func TestPacketTraceLossRate(t *testing.T) {
+	pt := &PacketTrace{Lost: []bool{true, false, true, false}}
+	if pt.LossRate() != 0.5 {
+		t.Errorf("loss rate = %v", pt.LossRate())
+	}
+	if (&PacketTrace{}).LossRate() != 0 {
+		t.Error("empty trace loss should be 0")
+	}
+}
+
+func TestConditionalLossBursty(t *testing.T) {
+	// Losses in pairs: P(loss at k=1 | loss) should be ~0.5 (every first
+	// of a pair is followed by a loss; every second by a success).
+	lost := make([]bool, 400)
+	for i := 0; i < 400; i += 10 {
+		lost[i], lost[i+1] = true, true
+	}
+	pt := &PacketTrace{Lost: lost}
+	cond := pt.ConditionalLoss(10)
+	if math.Abs(cond[1]-0.5) > 0.05 {
+		t.Errorf("cond[1] = %v, want ≈ 0.5", cond[1])
+	}
+	if cond[5] > 0.05 {
+		t.Errorf("cond[5] = %v, want ≈ 0 for paired losses", cond[5])
+	}
+}
+
+func TestConditionalLossIndependent(t *testing.T) {
+	// Deterministic alternation: a loss is never followed by a loss at
+	// odd lags, always at even lags.
+	lost := make([]bool, 100)
+	for i := 0; i < 100; i += 2 {
+		lost[i] = true
+	}
+	pt := &PacketTrace{Lost: lost}
+	cond := pt.ConditionalLoss(4)
+	if cond[1] != 0 || cond[2] != 1 {
+		t.Errorf("cond = %v", cond[:3])
+	}
+}
+
+func TestConditionalLossNoLosses(t *testing.T) {
+	pt := &PacketTrace{Lost: make([]bool, 50)}
+	for k, v := range pt.ConditionalLoss(5) {
+		if v != 0 {
+			t.Errorf("cond[%d] = %v with no losses", k, v)
+		}
+	}
+}

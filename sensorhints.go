@@ -1,0 +1,147 @@
+// Package sensorhints is the public facade of this repository: a Go
+// reproduction of "Improving Wireless Network Performance Using Sensor
+// Hints" (Ravindranath, Newport, Balakrishnan, Madden — NSDI 2011).
+//
+// The paper's thesis is that the sensors on commodity mobile devices —
+// accelerometer, GPS, compass, gyroscope — can tell the wireless stack
+// whether the device is moving, how fast, and in which direction, and
+// that protocols which switch strategy on those hints beat protocols
+// that infer everything from packet fates alone.
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - Hint extraction: MovementDetector (the §2.2.1 jerk algorithm),
+//     HeadingEstimator, SpeedEstimator over simulated sensors.
+//   - The Hint Protocol: zero-overhead movement bits and (type, value)
+//     hint trailers on 802.11-style frames, plus the Bus that routes
+//     hints into protocol adapters (Figure 2-1).
+//   - Rate adaptation: RapidSample, SampleRate, RRAA, RBAR, CHARM and
+//     the hint-aware switcher, with a trace-driven MAC harness.
+//   - Topology maintenance: delivery-probability estimation and the
+//     hint-adaptive probe scheduler.
+//   - Vehicular routing: the CTE metric and road-network simulation.
+//   - Experiments: a runner per table/figure of the paper's evaluation.
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory.
+package sensorhints
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/hintproto"
+	"repro/internal/hints"
+	"repro/internal/sensors"
+)
+
+// Sensor simulation and mobility ground truth.
+type (
+	// AccelSample is one accelerometer force report.
+	AccelSample = sensors.AccelSample
+	// Accelerometer synthesizes 2 ms force reports for a schedule.
+	Accelerometer = sensors.Accelerometer
+	// AccelConfig tunes the synthetic accelerometer.
+	AccelConfig = sensors.AccelConfig
+	// GPSSample is one GPS fix.
+	GPSSample = sensors.GPSSample
+	// Schedule is a ground-truth mobility timeline.
+	Schedule = sensors.Schedule
+	// Episode is one schedule interval.
+	Episode = sensors.Episode
+	// MobilityMode is static / walk / vehicle.
+	MobilityMode = sensors.MobilityMode
+)
+
+// Mobility modes.
+const (
+	Static  = sensors.Static
+	Walk    = sensors.Walk
+	Vehicle = sensors.Vehicle
+)
+
+// NewAccelerometer returns a synthetic accelerometer.
+func NewAccelerometer(cfg AccelConfig, seed int64) *Accelerometer {
+	return sensors.NewAccelerometer(cfg, seed)
+}
+
+// DefaultAccelConfig returns the calibrated accelerometer parameters.
+func DefaultAccelConfig() AccelConfig { return sensors.DefaultAccelConfig() }
+
+// AlternatingSchedule builds a static/moving alternation.
+func AlternatingSchedule(total, period time.Duration, mode MobilityMode, startMoving bool) Schedule {
+	return sensors.AlternatingSchedule(total, period, mode, startMoving)
+}
+
+// Hint extraction (§2.2).
+type (
+	// MovementDetector computes the boolean movement hint from raw
+	// accelerometer reports via the jerk statistic.
+	MovementDetector = hints.MovementDetector
+	// MovementConfig tunes the detector (zero value = paper constants).
+	MovementConfig = hints.MovementConfig
+	// HeadingEstimator fuses compass, gyro and GPS into a heading hint.
+	HeadingEstimator = hints.HeadingEstimator
+	// SpeedEstimator produces speed and position hints.
+	SpeedEstimator = hints.SpeedEstimator
+	// NoiseDetector raises the §5.6 dynamic-environment hint from
+	// microphone level reports.
+	NoiseDetector = hints.NoiseDetector
+	// MicSample is one microphone level report.
+	MicSample = sensors.MicSample
+	// Microphone synthesizes ambient sound levels.
+	Microphone = sensors.Microphone
+)
+
+// NewMovementDetector returns a movement detector with the paper's
+// parameters when cfg is the zero value.
+func NewMovementDetector(cfg MovementConfig) *MovementDetector {
+	return hints.NewMovementDetector(cfg)
+}
+
+// NewNoiseDetector returns a §5.6 dynamic-environment detector.
+func NewNoiseDetector() *NoiseDetector { return hints.NewNoiseDetector() }
+
+// NewMicrophone returns a synthetic microphone.
+func NewMicrophone(cfg sensors.MicConfig, seed int64) *Microphone {
+	return sensors.NewMicrophone(cfg, seed)
+}
+
+// The Hint Protocol (§2.3) and the hint bus (Figure 2-1).
+type (
+	// Hint is one (type, value) sensor hint.
+	Hint = hintproto.Hint
+	// HintType identifies the hint kind.
+	HintType = hintproto.HintType
+	// Frame is the 802.11-style link-layer frame hints ride on.
+	Frame = dot11.Frame
+	// Addr is a MAC address.
+	Addr = dot11.Addr
+	// Bus routes local and remote hints to protocol subscribers.
+	Bus = core.Bus
+	// BusEvent is one hint delivery on the bus.
+	BusEvent = core.Event
+)
+
+// Hint types.
+const (
+	HintMovement = hintproto.HintMovement
+	HintHeading  = hintproto.HintHeading
+	HintSpeed    = hintproto.HintSpeed
+)
+
+// NewBus returns an empty hint bus.
+func NewBus() *Bus { return core.NewBus() }
+
+// SetMovementBit stuffs the zero-overhead movement hint into a frame.
+func SetMovementBit(f *Frame, moving bool) { hintproto.SetMovementBit(f, moving) }
+
+// MovementBit reads the zero-overhead movement hint from a frame.
+func MovementBit(f *Frame) bool { return hintproto.MovementBit(f) }
+
+// AppendHints piggy-backs a hint trailer on a data frame.
+func AppendHints(f *Frame, hs []Hint) error { return hintproto.AppendTrailer(f, hs) }
+
+// ExtractHints gathers every hint a frame carries.
+func ExtractHints(f *Frame) []Hint { return hintproto.ExtractAll(f) }
