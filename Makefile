@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build fmt vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment engine fans trials across goroutines; the race build is
+# the gate that keeps it honest. The detector slows the simulations
+# ~10×, so the heavy registry-wide tests shrink their scale under the
+# race tag and the timeout is raised.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+ci: build vet race

@@ -18,6 +18,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/experiments"
 	"repro/internal/hints"
+	"repro/internal/parallel"
 	"repro/internal/probing"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
@@ -100,6 +101,80 @@ func BenchmarkSec5_2_APPolicies(b *testing.B)         { runExperiment(b, "sec5-2
 func BenchmarkSec5_3_GuardInterval(b *testing.B)      { runExperiment(b, "sec5-3") }
 func BenchmarkSec5_4_PowerSaving(b *testing.B)        { runExperiment(b, "sec5-4") }
 func BenchmarkSec5_6_MicrophoneHint(b *testing.B)     { runExperiment(b, "sec5-6") }
+
+// --- parallel trial-engine benchmarks ---
+//
+// Each benchmark runs one fan-out-heavy experiment at several worker
+// counts; comparing ns/op across the workers=N sub-benchmarks gives the
+// engine's wall-clock speedup (near-linear until the trial count or the
+// CPU count binds). The shape checks still run in every configuration,
+// and since reports are bit-identical for any worker count, every
+// sub-benchmark asserts the same results.
+
+// benchWorkers runs an experiment at a fixed worker count, failing on
+// any shape-check violation.
+func benchWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = exp.Run(experiments.Config{Scale: benchScale, Seed: 42, Workers: workers})
+	}
+	if fails := rep.Failed(); len(fails) > 0 {
+		b.Fatalf("shape checks failed: %v", fails)
+	}
+}
+
+// parallelWorkerCounts is the sweep shared by the speedup benchmarks.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+func BenchmarkParallelTable5_1_Vehicular(b *testing.B) {
+	for _, w := range parallelWorkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchWorkers(b, "table5-1", w) })
+	}
+}
+
+func BenchmarkParallelFig4_3_Probing(b *testing.B) {
+	for _, w := range parallelWorkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchWorkers(b, "fig4-3", w) })
+	}
+}
+
+func BenchmarkParallelFig3_8_Rate(b *testing.B) {
+	for _, w := range parallelWorkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchWorkers(b, "fig3-8", w) })
+	}
+}
+
+// BenchmarkSeedStream measures per-trial seed derivation — it must stay
+// negligible next to any real trial.
+func BenchmarkSeedStream(b *testing.B) {
+	ss := parallel.NewSeedStream(42)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += ss.Seed(i)
+	}
+	_ = sink
+}
+
+// BenchmarkPoolOverhead measures the fan-out cost of an empty trial: the
+// engine's fixed tax on embarrassingly parallel work.
+func BenchmarkPoolOverhead(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parallel.ForEach(w, 64, func(int) {})
+			}
+		})
+	}
+}
 
 // --- ablation benchmarks for the DESIGN.md design choices ---
 

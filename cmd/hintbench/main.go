@@ -6,8 +6,12 @@
 // Usage:
 //
 //	hintbench -list
-//	hintbench [-scale 1.0] [-seed 42] all
-//	hintbench [-scale 1.0] [-seed 42] fig3-5 table5-1 ...
+//	hintbench [-scale 1.0] [-seed 42] [-workers N] all
+//	hintbench [-scale 1.0] [-seed 42] [-workers N] fig3-5 table5-1 ...
+//
+// Reports are bit-identical for any -workers value: trials derive their
+// seeds by trial index and merge in trial order, so -workers only
+// changes how fast the tables appear.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper scale, smaller = faster)")
 	seed := flag.Int64("seed", 42, "random seed for deterministic runs")
+	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU); output is identical for any value")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -38,7 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	var runners []experiments.Runner
 	if len(ids) == 1 && ids[0] == "all" {
 		runners = experiments.All()

@@ -13,6 +13,10 @@
 // Or run both in one process for a self-contained demo:
 //
 //	hintnode -demo
+//
+// -workers N runs N concurrent client streams (each with its own MAC
+// address and mobility schedule), exercising the AP's per-source hint
+// routing under load.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"repro/internal/dot11"
 	"repro/internal/hintproto"
 	"repro/internal/hints"
+	"repro/internal/parallel"
 	"repro/internal/rate"
 	"repro/internal/sensors"
 )
@@ -35,6 +40,7 @@ func main() {
 	listen := flag.String("listen", "", "run as AP, listening on this UDP address")
 	connect := flag.String("connect", "", "run as client, sending to this UDP address")
 	duration := flag.Duration("duration", 10*time.Second, "client run length")
+	workers := flag.Int("workers", 1, "concurrent client streams")
 	demo := flag.Bool("demo", false, "run AP and client in one process")
 	flag.Parse()
 
@@ -46,7 +52,7 @@ func main() {
 			log.Fatal(err)
 		}
 		go runAP(pc)
-		runClient(pc.LocalAddr().String(), *duration)
+		runClients(pc.LocalAddr().String(), *duration, *workers)
 	case *listen != "":
 		pc, err := net.ListenPacket("udp", *listen)
 		if err != nil {
@@ -55,25 +61,52 @@ func main() {
 		fmt.Println("AP listening on", pc.LocalAddr())
 		runAP(pc)
 	case *connect != "":
-		runClient(*connect, *duration)
+		runClients(*connect, *duration, *workers)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: hintnode -demo | -listen addr | -connect addr")
 		os.Exit(2)
 	}
 }
 
+// runClients drives n concurrent client streams against the AP through
+// a worker pool, so a huge -workers value degrades gracefully instead of
+// opening unbounded sockets at once.
+func runClients(to string, total time.Duration, n int) {
+	if n < 1 {
+		n = 1
+	}
+	pool := parallel.NewPool(min(n, 64))
+	for id := 0; id < n; id++ {
+		id := id
+		if err := pool.Submit(func() { runClient(to, total, id) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pool.Close()
+}
+
 // runAP receives frames, ingests their hints into a hint bus, and drives
-// a hint-aware rate adapter, ACKing every data frame (with the AP's own
-// movement bit — here always clear, the AP is static).
+// one hint-aware rate adapter per client (the per-destination state a
+// real AP keeps), ACKing every data frame (with the AP's own movement
+// bit — here always clear, the AP is static).
 func runAP(pc net.PacketConn) {
 	bus := core.NewBus()
-	adapter := rate.NewHintAware(1)
+	adapters := map[dot11.Addr]*rate.HintAware{}
+	adapterFor := func(addr dot11.Addr) *rate.HintAware {
+		a := adapters[addr]
+		if a == nil {
+			a = rate.NewHintAware(1)
+			adapters[addr] = a
+		}
+		return a
+	}
 	apAddr := dot11.AddrFromInt(1)
 	start := time.Now()
 
-	// Strategy switches are logged as they happen.
+	// Strategy switches are logged as they happen, per client.
 	bus.Subscribe(hintproto.HintMovement, func(ev core.Event) {
 		moving := ev.Hint.Value != 0
+		adapter := adapterFor(ev.Source.Addr)
 		if adapter.Moving() != moving {
 			adapter.SetMoving(moving)
 			state := "static -> SampleRate"
@@ -100,7 +133,8 @@ func runAP(pc net.PacketConn) {
 		frames++
 		hintsSeen += bus.IngestFrame(f, time.Since(start))
 		if f.Type == dot11.TypeData {
-			// Exercise the adapter as a real AP would per packet.
+			// Exercise the client's adapter as a real AP would per packet.
+			adapter := adapterFor(f.Src)
 			r := adapter.PickRate(time.Since(start))
 			adapter.Observe(rate.Feedback{At: time.Since(start), Rate: r, Acked: true, SNR: rate.NoSNR()})
 			ack := dot11.Ack(f, apAddr)
@@ -120,20 +154,25 @@ func runAP(pc net.PacketConn) {
 }
 
 // runClient streams data frames with a live movement hint derived from a
-// synthetic accelerometer: the device rests, walks, and rests again.
-func runClient(to string, total time.Duration) {
+// synthetic accelerometer: the device rests, walks, and rests again. id
+// distinguishes concurrent streams: each gets its own MAC address and a
+// phase-shifted mobility schedule so the AP sees staggered hints.
+func runClient(to string, total time.Duration, id int) {
 	conn, err := net.Dial("udp", to)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
 
-	clientAddr := dot11.AddrFromInt(2)
+	clientAddr := dot11.AddrFromInt(2 + id)
 	apAddr := dot11.AddrFromInt(1)
 
-	// Mobility ground truth: rest 1/4, walk 1/2, rest 1/4.
-	sched := sensors.Schedule{{Start: total / 4, End: 3 * total / 4, Mode: sensors.Walk}}
-	accel := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), time.Now().UnixNano())
+	// Mobility ground truth: rest, walk for total/2, rest again. The walk
+	// window slides by id (wrapping every 4 streams) so concurrent
+	// clients do not move in lockstep, while Start < End holds for any id.
+	walkStart := total/4 + time.Duration(id%4)*total/16
+	sched := sensors.Schedule{{Start: walkStart, End: walkStart + total/2, Mode: sensors.Walk}}
+	accel := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), time.Now().UnixNano()+int64(id))
 	samples := accel.Generate(sched, total)
 	det := hints.NewMovementDetector(hints.MovementConfig{})
 
@@ -165,8 +204,8 @@ func runClient(to string, total time.Duration) {
 		}
 		moving := det.Moving()
 		if moving != lastHint {
-			fmt.Printf("[client] %6.2fs movement hint -> %v (truth: %v)\n",
-				elapsed.Seconds(), moving, sched.MovingAt(elapsed))
+			fmt.Printf("[client %d] %6.2fs movement hint -> %v (truth: %v)\n",
+				id, elapsed.Seconds(), moving, sched.MovingAt(elapsed))
 			lastHint = moving
 		}
 		f := &dot11.Frame{Type: dot11.TypeData, Seq: seq, Src: clientAddr, Dst: apAddr,
@@ -187,7 +226,7 @@ func runClient(to string, total time.Duration) {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("[client] sent %d frames over %v\n", seq, total)
+	fmt.Printf("[client %d] sent %d frames over %v\n", id, seq, total)
 }
 
 func b2f(b bool) float64 {

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestReportsIdenticalAcrossWorkerCounts asserts the engine's hard
+// invariant: for a fixed root seed, every experiment's rendered report —
+// rows, series, notes and checks — is byte-identical whether its trials
+// run serially or fan out across any number of workers. Per-trial seeds
+// derive from the trial index and merges happen in trial order, so the
+// scheduler must not be able to influence the output.
+func TestReportsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	// Determinism needs scheduling diversity, not statistical power:
+	// the smallest scale keeps the worker pool busy while the suite
+	// stays fast.
+	const scale = 0.1
+	workerCounts := []int{4, 8, runtime.NumCPU()}
+	if underRace {
+		// One concurrent configuration suffices for the detector.
+		workerCounts = []int{8}
+	}
+	// Dedup (NumCPU may equal an entry, or 1 on small machines): each
+	// distinct worker count runs once.
+	seen := map[int]bool{1: true}
+	var counts []int
+	for _, w := range workerCounts {
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			base := exp.Run(Config{Scale: scale, Seed: 42, Workers: 1}).String()
+			for _, w := range counts {
+				got := exp.Run(Config{Scale: scale, Seed: 42, Workers: w}).String()
+				if got != base {
+					t.Errorf("report differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						w, base, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestReportsDifferBySeed guards against an over-derived seed stream
+// accidentally ignoring the root: different seeds must produce different
+// reports for the stochastic experiments.
+func TestReportsDifferBySeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	exp, ok := ByID("table5-1")
+	if !ok {
+		t.Fatal("table5-1 not registered")
+	}
+	a := exp.Run(Config{Scale: 0.1, Seed: 42}).String()
+	b := exp.Run(Config{Scale: 0.1, Seed: 43}).String()
+	if a == b {
+		t.Fatal("reports for different seeds are identical")
+	}
+}

@@ -30,7 +30,7 @@ func Fig2_2(cfg Config) *Report {
 	sched := sensors.Schedule{
 		{Start: restA, End: restA + moveLen, Mode: sensors.Walk},
 	}
-	acc := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), cfg.Seed+1)
+	acc := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), cfg.stream("fig2-2").Seed(0))
 	samples := acc.Generate(sched, total)
 	jerks := hints.JerkSeries(samples, hints.MovementConfig{})
 

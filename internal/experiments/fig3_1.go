@@ -4,9 +4,11 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sensors"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func init() {
@@ -32,8 +34,13 @@ func Fig3_1(cfg Config) *Report {
 	total := time.Duration(cfg.scaleInt(60, 10)) * time.Second
 
 	env := channel.Office
-	staticTr := channel.GeneratePacketStream(env, sensors.Static, phy.Rate54, pktInterval, total, 1000, cfg.Seed+11)
-	mobileTr := channel.GeneratePacketStream(env, sensors.Walk, phy.Rate54, pktInterval, total, 1000, cfg.Seed+13)
+	// The static and mobile packet streams are independent trials.
+	ss := cfg.stream("fig3-1")
+	modes := []sensors.MobilityMode{sensors.Static, sensors.Walk}
+	trs := parallel.Map(cfg.workers(), len(modes), func(i int) *trace.PacketTrace {
+		return channel.GeneratePacketStream(env, modes[i], phy.Rate54, pktInterval, total, 1000, ss.Seed(i))
+	})
+	staticTr, mobileTr := trs[0], trs[1]
 
 	staticCond := staticTr.ConditionalLoss(maxLag)
 	mobileCond := mobileTr.ConditionalLoss(maxLag)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/parallel"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
 	"repro/internal/sensors"
@@ -75,27 +76,47 @@ type rateCell struct {
 	mean, ci float64
 }
 
-func rateComparison(envs []channel.Environment, schedFor func(total time.Duration, rep int) sensors.Schedule,
-	total time.Duration, nTraces int, workload ratesim.Workload, seed int64) map[string]map[string]rateCell {
+func rateComparison(cfg Config, label string, envs []channel.Environment, schedFor func(total time.Duration, rep int) sensors.Schedule,
+	total time.Duration, nTraces int, workload ratesim.Workload) map[string]map[string]rateCell {
+
+	// One trial = one (environment, trace) pair run through the whole
+	// protocol set. Trials fan out across the worker pool; each derives
+	// its trace and adapter seeds from the experiment's seed stream by
+	// trial index, and the per-trial throughput maps merge into
+	// accumulators in trial order — so the resulting table is
+	// bit-identical for any worker count.
+	traces := cfg.stream(label + "/traces")
+	adapters := cfg.stream(label + "/adapters")
+	trials := len(envs) * nTraces
+	perTrial := parallel.Map(cfg.workers(), trials, func(idx int) map[string]float64 {
+		ei, rep := idx/nTraces, idx%nTraces
+		tr := channel.Generate(channel.Config{
+			Env:   envs[ei],
+			Sched: schedFor(total, rep),
+			Total: total,
+			Seed:  traces.Seed(idx),
+		})
+		res := make(map[string]float64, len(protoSet))
+		for _, p := range protoSet {
+			res[p] = runProto(p, tr, workload, adapters.Seed(idx))
+		}
+		return res
+	})
 
 	out := make(map[string]map[string]rateCell)
 	for ei, env := range envs {
-		cell := make(map[string][]float64)
+		cell := make(map[string]*stats.Accumulator, len(protoSet))
+		for _, p := range protoSet {
+			cell[p] = &stats.Accumulator{}
+		}
 		for rep := 0; rep < nTraces; rep++ {
-			s := seed + int64(ei*1000+rep*10)
-			tr := channel.Generate(channel.Config{
-				Env:   env,
-				Sched: schedFor(total, rep),
-				Total: total,
-				Seed:  s,
-			})
-			for _, p := range protoSet {
-				cell[p] = append(cell[p], runProto(p, tr, workload, s+777))
+			for p, v := range perTrial[ei*nTraces+rep] {
+				cell[p].Add(v)
 			}
 		}
 		m := make(map[string]rateCell, len(cell))
-		for p, xs := range cell {
-			m[p] = rateCell{mean: stats.Mean(xs), ci: stats.CI95(xs)}
+		for p, acc := range cell {
+			m[p] = rateCell{mean: acc.Mean(), ci: acc.CI95()}
 		}
 		out[env.Name] = m
 	}
@@ -147,7 +168,7 @@ func Fig3_5(cfg Config) *Report {
 		// next 10 seconds or the vice versa").
 		return sensors.AlternatingSchedule(total, total/2, sensors.Walk, rep%2 == 1)
 	}
-	cells := rateComparison(envs, sched, 20*time.Second, n, ratesim.TCP, cfg.Seed+31)
+	cells := rateComparison(cfg, "fig3-5", envs, sched, 20*time.Second, n, ratesim.TCP)
 	buildRateReport(r, cells, envs, "HintAware")
 
 	for _, env := range envs {
@@ -176,7 +197,7 @@ func Fig3_6(cfg Config) *Report {
 	sched := func(total time.Duration, rep int) sensors.Schedule {
 		return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}}
 	}
-	cells := rateComparison(envs, sched, 20*time.Second, n, ratesim.TCP, cfg.Seed+41)
+	cells := rateComparison(cfg, "fig3-6", envs, sched, 20*time.Second, n, ratesim.TCP)
 	buildRateReport(r, cells, envs, "RapidSample")
 
 	for _, env := range envs {
@@ -203,7 +224,7 @@ func Fig3_7(cfg Config) *Report {
 	sched := func(total time.Duration, rep int) sensors.Schedule {
 		return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Static}}
 	}
-	cells := rateComparison(envs, sched, 20*time.Second, n, ratesim.TCP, cfg.Seed+51)
+	cells := rateComparison(cfg, "fig3-7", envs, sched, 20*time.Second, n, ratesim.TCP)
 	buildRateReport(r, cells, envs, "RapidSample")
 
 	for _, env := range envs {
@@ -232,7 +253,7 @@ func Fig3_8(cfg Config) *Report {
 	sched := func(total time.Duration, rep int) sensors.Schedule {
 		return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Vehicle}}
 	}
-	cells := rateComparison(envs, sched, 10*time.Second, n, ratesim.UDP, cfg.Seed+61)
+	cells := rateComparison(cfg, "fig3-8", envs, sched, 10*time.Second, n, ratesim.UDP)
 	buildRateReport(r, cells, envs, "RapidSample")
 
 	c := cells["vehicular"]

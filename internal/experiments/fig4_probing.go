@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/mesh"
+	"repro/internal/parallel"
 	"repro/internal/probing"
 	"repro/internal/sensors"
 	"repro/internal/stats"
@@ -121,23 +122,32 @@ func Fig4_1(cfg Config) *Report {
 }
 
 // errVsRate runs the Figures 4-2/4-3 analysis for one mobility mode over
-// several traces, returning mean error per probing rate.
-func errVsRate(cfg Config, mode sensors.MobilityMode, seedOff int64) map[float64]float64 {
+// several traces, returning mean error per probing rate. Each trace is
+// one trial of the worker pool: it derives its own trace and probe seeds
+// by trial index, and the per-rate errors merge in trial order.
+func errVsRate(cfg Config, mode sensors.MobilityMode, label string) map[float64]float64 {
 	n := cfg.scaleInt(20, 5) // the paper collects 20 traces per case
 	total := time.Duration(cfg.scaleInt(180, 120)) * time.Second
-	agg := make(map[float64][]float64)
-	for rep := 0; rep < n; rep++ {
+	traces := cfg.stream("fig4-err/" + label + "/traces")
+	probes := cfg.stream("fig4-err/" + label + "/probes")
+	perTrial := parallel.Map(cfg.workers(), n, func(rep int) map[float64]float64 {
 		sched := sensors.Schedule{{Start: 0, End: total, Mode: mode}}
 		tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total,
-			Seed: cfg.Seed + seedOff + int64(rep)*37})
-		errs := probing.ErrorVsRate(tr, probingRates, 10, cfg.Seed+seedOff+int64(rep)*41)
+			Seed: traces.Seed(rep)})
+		return probing.ErrorVsRate(tr, probingRates, 10, probes.Seed(rep))
+	})
+	agg := make(map[float64]*stats.Accumulator, len(probingRates))
+	for _, rate := range probingRates {
+		agg[rate] = &stats.Accumulator{}
+	}
+	for _, errs := range perTrial {
 		for rate, e := range errs {
-			agg[rate] = append(agg[rate], e)
+			agg[rate].Add(e)
 		}
 	}
 	out := make(map[float64]float64, len(agg))
-	for rate, xs := range agg {
-		out[rate] = stats.Mean(xs)
+	for rate, acc := range agg {
+		out[rate] = acc.Mean()
 	}
 	return out
 }
@@ -161,7 +171,7 @@ func Fig4_2(cfg Config) *Report {
 		Title: "Estimate error vs probing rate (static)",
 		Paper: "error ≈ 11% at 0.1 probes/s; ≤ ~5% by 0.5 probes/s",
 	}
-	errs := errVsRate(cfg, sensors.Static, 101)
+	errs := errVsRate(cfg, sensors.Static, "static")
 	errReport(r, errs)
 	r.AddCheck("low-error-at-low-rate", errs[0.1] < 0.15,
 		"error at 0.1 probes/s = %.3f (paper ≈ 0.11)", errs[0.1])
@@ -178,7 +188,7 @@ func Fig4_3(cfg Config) *Report {
 		Title: "Estimate error vs probing rate (mobile)",
 		Paper: ">35% error at 0.5 probes/s; ~10% at 5 probes/s; 5% needs 10 probes/s (20× the static rate)",
 	}
-	errs := errVsRate(cfg, sensors.Walk, 201)
+	errs := errVsRate(cfg, sensors.Walk, "mobile")
 	errReport(r, errs)
 	r.AddCheck("high-error-at-low-rate", errs[0.5] > 0.2,
 		"error at 0.5 probes/s = %.3f (paper > 0.35)", errs[0.5])
@@ -187,7 +197,7 @@ func Fig4_3(cfg Config) *Report {
 
 	// The factor-of-20 headline: compare the probing rate each case
 	// needs to reach a 10% error.
-	static := errVsRate(cfg, sensors.Static, 101)
+	static := errVsRate(cfg, sensors.Static, "static")
 	needRate := func(errs map[float64]float64, target float64) float64 {
 		for _, rate := range probingRates {
 			if errs[rate] <= target {
@@ -218,9 +228,16 @@ func trackingTimeline(cfg Config, mode sensors.MobilityMode, seedOff int64, r *R
 	}
 	r.Series = append(r.Series, actual)
 
+	// The three probing rates are independent runs over the same trace;
+	// fan them out and merge series and errors in rate order.
+	trackRates := []float64{1, 5, 10}
+	runs := parallel.Map(cfg.workers(), len(trackRates), func(i int) probing.RunResult {
+		rate := trackRates[i]
+		return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: rate}, 10, cfg.Seed+seedOff+int64(rate))
+	})
 	meanErr := map[float64]float64{}
-	for _, rate := range []float64{1, 5, 10} {
-		res := probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: rate}, 10, cfg.Seed+seedOff+int64(rate))
+	for i, rate := range trackRates {
+		res := runs[i]
 		s := &stats.Series{Name: fmt.Sprintf("%.0f probe/s", rate)}
 		// Skip the window-fill transient (10 probes).
 		fill := time.Duration(float64(10*time.Second) / rate)
@@ -304,10 +321,21 @@ func Fig4_6(cfg Config) *Report {
 	sched := sensors.AlternatingSchedule(total, 10*time.Second, sensors.Walk, false)
 	tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + 501})
 
-	hintFn := probing.MovementHintFn(tr, 100*time.Millisecond)
-	adaptive := probing.RunScheduler(tr, &probing.HintScheduler{MovingFn: hintFn}, 10, cfg.Seed+502)
-	fixed := probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 1}, 10, cfg.Seed+503)
-	fast := probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 10}, 10, cfg.Seed+504)
+	// Three independent scheduler strategies over the same trace.
+	scheds := []func() probing.RunResult{
+		func() probing.RunResult {
+			hintFn := probing.MovementHintFn(tr, 100*time.Millisecond)
+			return probing.RunScheduler(tr, &probing.HintScheduler{MovingFn: hintFn}, 10, cfg.Seed+502)
+		},
+		func() probing.RunResult {
+			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 1}, 10, cfg.Seed+503)
+		},
+		func() probing.RunResult {
+			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 10}, 10, cfg.Seed+504)
+		},
+	}
+	runs := parallel.Map(cfg.workers(), len(scheds), func(i int) probing.RunResult { return scheds[i]() })
+	adaptive, fixed, fast := runs[0], runs[1], runs[2]
 
 	actual := &stats.Series{Name: "actual"}
 	hint := &stats.Series{Name: "hint"}

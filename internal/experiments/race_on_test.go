@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// underRace lets the slow registry-wide tests shrink their scale when
+// the race detector (≈10× slowdown) is on: the interleavings the
+// detector needs happen at any scale.
+const underRace = true

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -22,6 +23,24 @@ type Config struct {
 	Scale float64
 	// Seed makes runs deterministic.
 	Seed int64
+	// Workers bounds the goroutines an experiment fans its independent
+	// trials across; ≤ 0 means one per CPU. The report is bit-identical
+	// for any value: every trial derives its own seed from Seed by trial
+	// index (see Config.stream) and per-trial results merge in trial
+	// order, never in completion order.
+	Workers int
+}
+
+// workers returns the effective worker count.
+func (c Config) workers() int {
+	return parallel.Workers(c.Workers, 1<<30)
+}
+
+// stream returns the experiment-labelled seed stream; trials must take
+// their seeds from it by trial index so that runs are reproducible
+// regardless of scheduling.
+func (c Config) stream(label string) parallel.SeedStream {
+	return parallel.NewSeedStream(c.Seed).Derive(label)
 }
 
 func (c Config) scale() float64 {

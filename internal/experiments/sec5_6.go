@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/hints"
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
@@ -43,7 +44,7 @@ func Sec5_6(cfg Config) *Report {
 	}
 
 	// Detection: quiet then busy surroundings.
-	mic := sensors.NewMicrophone(sensors.DefaultMicConfig(), cfg.Seed+1)
+	mic := sensors.NewMicrophone(sensors.DefaultMicConfig(), cfg.stream("sec5-6/mic").Seed(0))
 	activity := func(at time.Duration) float64 {
 		if at >= 20*time.Second {
 			return 1
@@ -75,42 +76,58 @@ func Sec5_6(cfg Config) *Report {
 	total := 20 * time.Second
 	envSched := sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}} // surroundings churn
 	n := cfg.scaleInt(10, 4)
-	tputs := map[string][]float64{}
-	for rep := 0; rep < n; rep++ {
-		seed := cfg.Seed + int64(rep)*19
-		tr := channel.Generate(channel.Config{Env: channel.Office, Sched: envSched, Total: total, Seed: seed})
+	// One trial per trace; each derives adapter and MAC seeds from the
+	// stream by trial index and returns the four protocols' throughputs.
+	traces := cfg.stream("sec5-6/traces")
+	adapters := cfg.stream("sec5-6/adapters")
+	macs := cfg.stream("sec5-6/macs")
+	names := []string{"NoiseHintAware", "RapidSample", "MovementHintAware", "SampleRate"}
+	perTrial := parallel.Map(cfg.workers(), n, func(rep int) map[string]float64 {
+		seed := adapters.Seed(rep)
+		tr := channel.Generate(channel.Config{Env: channel.Office, Sched: envSched, Total: total, Seed: traces.Seed(rep)})
 		for i := range tr.Slots {
 			tr.Slots[i].Moving = false // the device itself never moves
 		}
 
 		run := func(a rate.Adapter) float64 {
-			res := ratesim.Run(ratesim.Config{Trace: tr, Adapter: a, Workload: ratesim.TCP, Seed: seed + 7})
+			res := ratesim.Run(ratesim.Config{Trace: tr, Adapter: a, Workload: ratesim.TCP, Seed: macs.Seed(rep)})
 			return res.ThroughputMbps
 		}
+		out := map[string]float64{}
 		sr := rate.NewSampleRate(seed)
 		sr.Window = time.Second // even the mobile-friendliest window
-		tputs["SampleRate"] = append(tputs["SampleRate"], run(sr))
-		tputs["RapidSample"] = append(tputs["RapidSample"], run(rate.NewRapidSample()))
+		out["SampleRate"] = run(sr)
+		out["RapidSample"] = run(rate.NewRapidSample())
 
 		// Movement-hint-aware: the harness drives SetMoving from the
 		// (always false) ground truth → it stays on SampleRate.
-		tputs["MovementHintAware"] = append(tputs["MovementHintAware"], run(rate.NewHintAware(seed)))
+		out["MovementHintAware"] = run(rate.NewHintAware(seed))
 
 		// Noise-hint-aware: the microphone hint (dynamic throughout this
 		// trace) selects RapidSample; pinned so the harness cannot
 		// override it with the movement ground truth.
 		na := rate.NewHintAware(seed)
 		na.SetMoving(true)
-		tputs["NoiseHintAware"] = append(tputs["NoiseHintAware"], run(pinned{inner: na}))
+		out["NoiseHintAware"] = run(pinned{inner: na})
+		return out
+	})
+	tputs := map[string]*stats.Accumulator{}
+	for _, name := range names {
+		tputs[name] = &stats.Accumulator{}
+	}
+	for _, res := range perTrial {
+		for name, v := range res {
+			tputs[name].Add(v)
+		}
 	}
 	r.Columns = []string{"Mbps"}
-	for _, name := range []string{"NoiseHintAware", "RapidSample", "MovementHintAware", "SampleRate"} {
-		r.Rows = append(r.Rows, Row{Label: name, Values: []float64{stats.Mean(tputs[name])}})
+	for _, name := range names {
+		r.Rows = append(r.Rows, Row{Label: name, Values: []float64{tputs[name].Mean()}})
 	}
-	rs := stats.Mean(tputs["RapidSample"])
-	sr := stats.Mean(tputs["SampleRate"])
-	na := stats.Mean(tputs["NoiseHintAware"])
-	mh := stats.Mean(tputs["MovementHintAware"])
+	rs := tputs["RapidSample"].Mean()
+	sr := tputs["SampleRate"].Mean()
+	na := tputs["NoiseHintAware"].Mean()
+	mh := tputs["MovementHintAware"].Mean()
 	r.AddCheck("rapidsample-beats-samplerate", rs > sr,
 		"RapidSample %.2f vs SampleRate %.2f in a dynamic environment", rs, sr)
 	r.AddCheck("noise-hint-recovers-rapidsample", na > 0.9*rs,

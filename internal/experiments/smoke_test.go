@@ -8,10 +8,14 @@ func TestAllExperimentsShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow")
 	}
+	scale := 0.3
+	if underRace {
+		scale = 0.1
+	}
 	for _, exp := range All() {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {
-			rep := exp.Run(Config{Scale: 0.3, Seed: 42})
+			rep := exp.Run(Config{Scale: scale, Seed: 42})
 			for _, c := range rep.Checks {
 				if !c.OK {
 					t.Errorf("check %s failed: %s", c.Name, c.Detail)

@@ -1,0 +1,123 @@
+package hints
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+// accelAt builds one accelerometer report with the given vertical
+// magnitude (gravity plus shake) at time t.
+func accelAt(t time.Duration, mag float64) sensors.AccelSample {
+	return sensors.AccelSample{T: t, Z: mag}
+}
+
+// feedQuiet advances the estimator with constant-magnitude (resting)
+// reports at 10 Hz over the given span.
+func feedQuiet(e *SpeedEstimator, from, span time.Duration, headingDeg float64) time.Duration {
+	for t := from; t < from+span; t += 100 * time.Millisecond {
+		e.UpdateAccel(accelAt(t, 9.8), headingDeg)
+	}
+	return from + span
+}
+
+// feedShake alternates the report magnitude around rest, like a carried,
+// walking device.
+func feedShake(e *SpeedEstimator, from, span time.Duration, headingDeg float64) time.Duration {
+	i := 0
+	for t := from; t < from+span; t += 100 * time.Millisecond {
+		mag := 9.8 + 2.0
+		if i%2 == 0 {
+			mag = 9.8 - 2.0
+		}
+		i++
+		e.UpdateAccel(accelAt(t, mag), headingDeg)
+	}
+	return from + span
+}
+
+func TestSpeedGPSAuthoritative(t *testing.T) {
+	e := NewSpeedEstimator()
+	e.UpdateGPS(sensors.GPSSample{T: time.Second, Lock: true, SpeedMps: 5.5, X: 10, Y: 20})
+	if e.Speed() != 5.5 {
+		t.Fatalf("Speed = %g, want 5.5 from the GPS fix", e.Speed())
+	}
+	if x, y := e.Position(); x != 10 || y != 20 {
+		t.Fatalf("Position = (%g, %g), want (10, 20)", x, y)
+	}
+	// While locked, accelerometer integration must not move the speed:
+	// the outdoor fix is authoritative (§2.2.3).
+	feedShake(e, 2*time.Second, 3*time.Second, 0)
+	if e.Speed() != 5.5 {
+		t.Fatalf("Speed = %g after shaking while locked, want 5.5", e.Speed())
+	}
+}
+
+func TestSpeedQuietStaysNearZero(t *testing.T) {
+	e := NewSpeedEstimator()
+	feedQuiet(e, 0, 10*time.Second, 0)
+	if e.Speed() > 0.01 {
+		t.Fatalf("Speed = %g at rest, want ≈ 0", e.Speed())
+	}
+}
+
+func TestSpeedIndoorIntegrationRisesAndDecays(t *testing.T) {
+	e := NewSpeedEstimator()
+	next := feedQuiet(e, 0, 2*time.Second, 0) // learn the rest magnitude
+	next = feedShake(e, next, 5*time.Second, 0)
+	peak := e.Speed()
+	if peak <= 0.05 {
+		t.Fatalf("Speed = %g after sustained shaking, want clearly positive", peak)
+	}
+	// Movement stops: the decaying integrator must pull the estimate
+	// back toward zero rather than drifting (IndoorDecay bounds drift).
+	feedQuiet(e, next, 6*time.Second, 0)
+	if e.Speed() > peak/4 {
+		t.Fatalf("Speed decayed only to %g from %g after 6 s of rest", e.Speed(), peak)
+	}
+}
+
+func TestSpeedLossOfLockFallsBackToIntegration(t *testing.T) {
+	e := NewSpeedEstimator()
+	feedQuiet(e, 0, time.Second, 0)
+	e.UpdateGPS(sensors.GPSSample{T: time.Second, Lock: true, SpeedMps: 3, X: 1, Y: 2})
+	// Walking into a building: the fix drops and the accelerometer takes
+	// over from the last GPS state.
+	e.UpdateGPS(sensors.GPSSample{T: 2 * time.Second, Lock: false})
+	feedShake(e, 2*time.Second, 4*time.Second, 0)
+	if e.Speed() == 3 {
+		t.Fatal("speed frozen at the stale GPS value after losing lock")
+	}
+	if e.Speed() <= 0 {
+		t.Fatalf("Speed = %g indoors while shaking, want positive", e.Speed())
+	}
+}
+
+func TestSpeedDeadReckonsAlongHeading(t *testing.T) {
+	e := NewSpeedEstimator()
+	next := feedQuiet(e, 0, time.Second, 90)
+	x0, _ := e.Position()
+	// Shake while heading due east (90°): dead-reckoning must move the
+	// position east (+x) and leave north (y) nearly unchanged.
+	feedShake(e, next, 10*time.Second, 90)
+	x1, y1 := e.Position()
+	if x1 <= x0 {
+		t.Fatalf("x did not advance east: %g → %g", x0, x1)
+	}
+	if math.Abs(y1) > 1e-6 {
+		t.Fatalf("y drifted to %g while heading east", y1)
+	}
+}
+
+func TestSpeedIgnoresPathologicalGaps(t *testing.T) {
+	e := NewSpeedEstimator()
+	e.UpdateAccel(accelAt(0, 9.8), 0)
+	// A report gap longer than a second (sensor outage) must not
+	// integrate a huge dt.
+	e.UpdateAccel(accelAt(10*time.Second, 13.8), 0)
+	if e.Speed() != 0 {
+		t.Fatalf("Speed = %g after a 10 s sensor gap, want 0", e.Speed())
+	}
+}

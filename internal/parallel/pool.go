@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("parallel: pool is closed")
+
+// Pool is a long-lived bounded worker pool for callers that submit work
+// incrementally (servers, CLIs) rather than fanning out a known index
+// range — for that, use ForEach/Map, which need no pool lifecycle.
+//
+// A task that panics does not kill its worker: the first panic is
+// captured and rethrown (wrapped in *Panic) from the next Wait or Close.
+type Pool struct {
+	tasks    chan func()
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	box    panicBox
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (≤ 0 means one per CPU).
+func NewPool(workers int) *Pool {
+	workers = Workers(workers, 1<<30)
+	p := &Pool{tasks: make(chan func())}
+	p.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.workers.Done()
+			for fn := range p.tasks {
+				p.box.run(fn)
+				p.inflight.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task, blocking while all workers are busy (the
+// bounded-ness of the pool). It returns ErrClosed after Close.
+func (p *Pool) Submit(fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.inflight.Add(1)
+	p.mu.Unlock()
+	p.tasks <- fn
+	return nil
+}
+
+// Wait blocks until every submitted task has finished, then rethrows the
+// first panic captured over the pool's lifetime, if any (a poisoned pool
+// keeps rethrowing it from every Wait/Close). The pool remains usable
+// afterwards.
+func (p *Pool) Wait() {
+	p.inflight.Wait()
+	p.box.rethrow()
+}
+
+// Close rejects further submissions, drains the queue, stops the
+// workers, and rethrows the first captured panic, if any. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	alreadyClosed := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !alreadyClosed {
+		p.inflight.Wait()
+		close(p.tasks)
+	}
+	p.workers.Wait()
+	p.box.rethrow()
+}

@@ -1,0 +1,57 @@
+package parallel
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// goldenGamma is the splitmix64 increment: 2^64 / φ, the constant that
+// makes the sequence of stream states equidistributed.
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 output function: a bijective avalanche mix
+// whose outputs pass BigCrush even on sequential inputs, which is what
+// lets adjacent trial indices yield statistically independent seeds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SeedStream derives independent per-trial RNG seeds from one root seed.
+// Seed(i) is a pure function of (root, labels, i): any worker can compute
+// trial i's seed without coordination, which is what makes a parallel
+// experiment's output independent of worker count and scheduling order.
+//
+// Streams are value types; Derive returns a decorrelated child stream so
+// an experiment can give each phase ("traces", "adapters") its own index
+// space without seed reuse.
+type SeedStream struct {
+	root uint64
+}
+
+// NewSeedStream returns the stream rooted at the given seed. Roots that
+// differ in any bit yield unrelated streams.
+func NewSeedStream(root int64) SeedStream {
+	return SeedStream{root: mix64(uint64(root) + goldenGamma)}
+}
+
+// Seed returns the i-th derived seed (i ≥ 0).
+func (s SeedStream) Seed(i int) int64 {
+	return int64(mix64(s.root + (uint64(i)+1)*goldenGamma))
+}
+
+// Derive returns a child stream decorrelated from s by the label, so two
+// experiment phases sharing a root never consume the same seeds.
+func (s SeedStream) Derive(label string) SeedStream {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return SeedStream{root: mix64(s.root ^ h.Sum64())}
+}
+
+// Rand returns a fresh math/rand generator seeded with Seed(i). Each
+// trial must own its generator; sharing one across goroutines would race
+// and destroy reproducibility.
+func (s SeedStream) Rand(i int) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed(i)))
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the mergeable accumulators the parallel experiment
+// engine reduces per-trial results into. The contract they share: Merge
+// must be associative, and merging parts produced by independent trials
+// in trial-index order yields the same state as one serial pass — which
+// is what keeps experiment reports bit-identical for any worker count.
+
+// Accumulator collects scalar samples and merges with other
+// accumulators. It keeps the raw values, so exact medians, percentiles
+// and confidence intervals survive the merge (a moments-only reducer
+// could not recover them).
+type Accumulator struct {
+	xs []float64
+}
+
+// Add appends samples.
+func (a *Accumulator) Add(xs ...float64) {
+	a.xs = append(a.xs, xs...)
+}
+
+// Merge appends every sample of o. Merging in trial-index order
+// reproduces the serial pass exactly.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if o != nil {
+		a.xs = append(a.xs, o.xs...)
+	}
+}
+
+// N returns the number of samples.
+func (a *Accumulator) N() int { return len(a.xs) }
+
+// Values returns the samples in insertion order. The slice is shared;
+// callers must not modify it.
+func (a *Accumulator) Values() []float64 { return a.xs }
+
+// Mean returns the sample mean.
+func (a *Accumulator) Mean() float64 { return Mean(a.xs) }
+
+// Median returns the sample median.
+func (a *Accumulator) Median() float64 { return Median(a.xs) }
+
+// CI95 returns the half-width of the 95% confidence interval.
+func (a *Accumulator) CI95() float64 { return CI95(a.xs) }
+
+// Summary returns the headline statistics of the sample.
+func (a *Accumulator) Summary() Summary { return Summarize(a.xs) }
+
+// Histogram is a fixed-width bucketed counter over the reals. Unlike
+// Accumulator it is O(buckets) in memory regardless of sample count,
+// which suits the link-duration and delivery-probability distributions
+// the big sweeps produce. Buckets are indexed by floor(x/Width), so two
+// histograms of the same width merge exactly.
+type Histogram struct {
+	// Width is the bucket width; it must be positive and identical
+	// across merged histograms.
+	Width  float64
+	counts map[int]int64
+	n      int64
+	sum    float64
+}
+
+// NewHistogram returns an empty histogram with the given bucket width.
+func NewHistogram(width float64) *Histogram {
+	if width <= 0 {
+		panic(fmt.Sprintf("stats: non-positive histogram width %g", width))
+	}
+	return &Histogram{Width: width, counts: map[int]int64{}}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN counts a sample n times.
+func (h *Histogram) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.counts[h.bucket(x)] += n
+	h.n += n
+	h.sum += x * float64(n)
+}
+
+func (h *Histogram) bucket(x float64) int { return int(math.Floor(x / h.Width)) }
+
+// Merge adds every bucket of o into h. The widths must match — merging
+// histograms of different resolutions has no exact meaning.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if o.Width != h.Width {
+		panic(fmt.Sprintf("stats: merging histograms of width %g and %g", h.Width, o.Width))
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the exact mean of the added samples (the sum is tracked
+// outside the buckets).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Percentile returns the p-th percentile (0–100) approximated by linear
+// interpolation inside the bucket holding that rank. The error is
+// bounded by Width.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	bs := h.buckets()
+	rank := p / 100 * float64(h.n-1)
+	if rank < 0 {
+		rank = 0
+	}
+	var below int64
+	for _, b := range bs {
+		if float64(below+h.counts[b]) > rank {
+			frac := (rank - float64(below)) / float64(h.counts[b])
+			return (float64(b) + frac) * h.Width
+		}
+		below += h.counts[b]
+	}
+	last := bs[len(bs)-1]
+	return float64(last+1) * h.Width
+}
+
+// buckets returns the occupied bucket indices in ascending order.
+func (h *Histogram) buckets() []int {
+	bs := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		bs = append(bs, b)
+	}
+	sort.Ints(bs)
+	return bs
+}
+
+// String renders the histogram compactly for report notes.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g",
+		h.n, h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99))
+}
+
+// MergeSeries concatenates the parts in argument order and stable-sorts
+// the points by X, so per-trial fragments of one curve reassemble into
+// the same series regardless of which worker produced which fragment.
+func MergeSeries(name string, parts ...*Series) *Series {
+	out := &Series{Name: name}
+	for _, p := range parts {
+		if p != nil {
+			out.Points = append(out.Points, p.Points...)
+		}
+	}
+	sort.SliceStable(out.Points, func(i, j int) bool { return out.Points[i].X < out.Points[j].X })
+	return out
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccumulatorMergeEqualsSerial(t *testing.T) {
+	// Three per-trial accumulators merged in trial order must equal one
+	// serial pass over the same samples.
+	serial := &Accumulator{}
+	parts := []*Accumulator{{}, {}, {}}
+	vals := [][]float64{{3, 1}, {4, 1, 5}, {9, 2, 6}}
+	for ti, xs := range vals {
+		for _, x := range xs {
+			serial.Add(x)
+			parts[ti].Add(x)
+		}
+	}
+	merged := &Accumulator{}
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N() != serial.N() {
+		t.Fatalf("N: merged %d serial %d", merged.N(), serial.N())
+	}
+	for i, v := range merged.Values() {
+		if v != serial.Values()[i] {
+			t.Fatalf("value %d: merged %g serial %g", i, v, serial.Values()[i])
+		}
+	}
+	if merged.Mean() != serial.Mean() || merged.Median() != serial.Median() || merged.CI95() != serial.CI95() {
+		t.Fatal("summary statistics differ after merge")
+	}
+	merged.Merge(nil) // nil-safe
+}
+
+func TestHistogramMergeAndPercentiles(t *testing.T) {
+	serial := NewHistogram(1)
+	a, b := NewHistogram(1), NewHistogram(1)
+	for i := 0; i < 100; i++ {
+		x := float64(i) + 0.5
+		serial.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != serial.Count() {
+		t.Fatalf("count: merged %d serial %d", a.Count(), serial.Count())
+	}
+	if math.Abs(a.Mean()-serial.Mean()) > 1e-9 {
+		t.Fatalf("mean: merged %g serial %g", a.Mean(), serial.Mean())
+	}
+	for _, p := range []float64{0, 25, 50, 90, 100} {
+		if a.Percentile(p) != serial.Percentile(p) {
+			t.Fatalf("p%g: merged %g serial %g", p, a.Percentile(p), serial.Percentile(p))
+		}
+	}
+	// Percentile error is bounded by the bucket width.
+	if d := math.Abs(a.Percentile(50) - 50); d > 1 {
+		t.Fatalf("p50 = %g, want within 1 of 50", a.Percentile(50))
+	}
+}
+
+func TestHistogramNegativeValuesAndAddN(t *testing.T) {
+	h := NewHistogram(0.5)
+	h.Add(-1.2)
+	h.AddN(3.0, 4)
+	h.AddN(7, 0) // no-op
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	want := (-1.2 + 4*3.0) / 5
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", h.Mean(), want)
+	}
+	if p := h.Percentile(100); p < 3 || p > 3.5 {
+		t.Fatalf("p100 = %g, want in [3, 3.5]", p)
+	}
+	if p := h.Percentile(0); p < -1.5 || p > -1 {
+		t.Fatalf("p0 = %g, want in [-1.5, -1]", p)
+	}
+}
+
+func TestHistogramMergeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched widths did not panic")
+		}
+	}()
+	NewHistogram(1).Merge(NewHistogram(2))
+}
+
+func TestMergeSeriesSortsByX(t *testing.T) {
+	a := &Series{}
+	a.Add(3, 30)
+	a.Add(1, 10)
+	b := &Series{}
+	b.Add(2, 20)
+	m := MergeSeries("merged", a, b, nil)
+	if m.Name != "merged" || m.Len() != 3 {
+		t.Fatalf("merged series %q len %d", m.Name, m.Len())
+	}
+	for i, want := range []Point{{1, 10}, {2, 20}, {3, 30}} {
+		if m.Points[i] != want {
+			t.Fatalf("point %d = %v, want %v", i, m.Points[i], want)
+		}
+	}
+}

@@ -78,38 +78,50 @@ type StabilityConfig struct {
 	Seed    int64
 }
 
-// RouteLifetimes measures the lifetime of Trials routes built with the
-// selector: a route dies when any hop separates beyond LinkRange. It
-// returns one lifetime in seconds per successfully constructed route.
-func RouteLifetimes(cfg StabilityConfig, sel RouteSelector) []float64 {
+// RouteLifetimeTrial runs one self-contained route-stability attempt:
+// its own simulation and RNG both derive from the given seed, so trials
+// are independent and can run concurrently in any order. It returns the
+// route lifetime in seconds; ok is false when no route could be
+// constructed from the sampled source (sparse neighbourhood).
+func RouteLifetimeTrial(cfg StabilityConfig, sel RouteSelector, seed int64) (life float64, ok bool) {
 	if cfg.Hops <= 0 {
 		cfg.Hops = 3
-	}
-	if cfg.Trials <= 0 {
-		cfg.Trials = 200
 	}
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 120 * time.Second
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	mcfg := cfg.Mobility
+	mcfg.Seed = seed
+	sim := NewSimulation(mcfg)
+	// Warm up so vehicle positions decorrelate from the initial
+	// placement.
+	for i := 0; i < 10; i++ {
+		sim.Step()
+	}
+	// The route-construction RNG is decoupled from the mobility seed so
+	// the same fleet can be re-rolled with different sources if desired.
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	route, built := buildRoute(sim, sel, cfg.Hops, rng)
+	if !built {
+		return 0, false
+	}
+	return measureRoute(sim, route, cfg.Horizon).Seconds(), true
+}
+
+// RouteLifetimes measures the lifetime of Trials routes built with the
+// selector: a route dies when any hop separates beyond LinkRange. It
+// returns one lifetime in seconds per successfully constructed route,
+// retrying failed constructions up to 4× Trials attempts. Each attempt
+// is an independent RouteLifetimeTrial with an attempt-indexed seed.
+func RouteLifetimes(cfg StabilityConfig, sel RouteSelector) []float64 {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 200
+	}
 	var lifetimes []float64
-	trial := 0
-	for attempt := 0; trial < cfg.Trials && attempt < cfg.Trials*4; attempt++ {
-		mcfg := cfg.Mobility
-		mcfg.Seed = cfg.Seed + int64(attempt)*104729
-		sim := NewSimulation(mcfg)
-		// Warm up so vehicle positions decorrelate from the initial
-		// placement.
-		for i := 0; i < 10; i++ {
-			sim.Step()
+	for attempt := 0; len(lifetimes) < cfg.Trials && attempt < cfg.Trials*4; attempt++ {
+		if life, ok := RouteLifetimeTrial(cfg, sel, cfg.Seed+int64(attempt)*104729); ok {
+			lifetimes = append(lifetimes, life)
 		}
-		route, ok := buildRoute(sim, sel, cfg.Hops, rng)
-		if !ok {
-			continue
-		}
-		trial++
-		life := measureRoute(sim, route, cfg.Horizon)
-		lifetimes = append(lifetimes, life.Seconds())
 	}
 	return lifetimes
 }
