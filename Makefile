@@ -23,7 +23,14 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# Figure-level and hot-path benchmarks, recorded to BENCH_hotpath.json
+# (ns/op plus workers-vs-serial and LUT-vs-analytic speedups) so the
+# perf trajectory is tracked in-repo. `make bench-all` additionally runs
+# the ablation benchmarks without writing the JSON.
 bench:
+	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+
+bench-all:
 	$(GO) test -bench=. -benchtime=1x .
 
 ci: build vet race

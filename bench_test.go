@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hints"
 	"repro/internal/parallel"
+	"repro/internal/phy"
 	"repro/internal/probing"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
@@ -352,6 +353,83 @@ func BenchmarkAblationCTEAggregation(b *testing.B) {
 				med = vehicular.RouteCTE(diffs[best])
 			}
 			b.ReportMetric(med, "weakest_hop_CTE")
+		})
+	}
+}
+
+// --- table-driven fast path vs analytic reference ---
+//
+// The three benchmarks below carry the before/after evidence for the
+// hot-path optimisation: each pairs the retained reference
+// implementation (analytic error curves, math/rand) against the
+// table-driven path the simulators actually run, so one `go test
+// -bench 'DeliveryProb|Generate|RatesimRun'` shows where the speedup
+// comes from.
+
+// BenchmarkDeliveryProb compares one SNR→delivery-probability
+// evaluation: analytic (Erfc + two Pow) vs the interpolated LUT read.
+func BenchmarkDeliveryProb(b *testing.B) {
+	b.Run("analytic", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			snr := 5 + float64(i%256)*0.1
+			sink += phy.DeliveryProb(phy.Rate(i%phy.NumRates), snr, 1000)
+		}
+		_ = sink
+	})
+	b.Run("lut", func(b *testing.B) {
+		et := phy.ErrorTableFor(1000)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			snr := 5 + float64(i%256)*0.1
+			sink += et.DeliveryProb(phy.Rate(i%phy.NumRates), snr)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkGenerate compares full 20 s trace generation: the pre-LUT
+// reference vs the table-driven generator, plus the buffer-reusing
+// GenerateInto the trial pools use (which must report 0 allocs/op).
+func BenchmarkGenerate(b *testing.B) {
+	sched := sensors.AlternatingSchedule(20*time.Second, 10*time.Second, sensors.Walk, false)
+	cfg := channel.Config{Env: channel.Office, Sched: sched, Total: 20 * time.Second, Seed: 7}
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			channel.GenerateReference(cfg)
+		}
+	})
+	b.Run("lut", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			channel.Generate(cfg)
+		}
+	})
+	b.Run("lut-into", func(b *testing.B) {
+		tr := channel.Generate(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			channel.GenerateInto(cfg, tr)
+		}
+	})
+}
+
+// BenchmarkRatesimRun measures one MAC-simulation replay of a 10 s
+// mixed trace under both workloads — the per-trial unit of every
+// Chapter 3 experiment. Allocations are reported; the inner loop is
+// pinned at ~0 by TestRunAllocationFree.
+func BenchmarkRatesimRun(b *testing.B) {
+	sched := sensors.AlternatingSchedule(10*time.Second, 5*time.Second, sensors.Walk, false)
+	tr := channel.Generate(channel.Config{Env: channel.Office, Sched: sched, Total: 10 * time.Second, Seed: 3})
+	for _, wl := range []ratesim.Workload{ratesim.UDP, ratesim.TCP} {
+		wl := wl
+		b.Run(wl.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ratesim.Run(ratesim.Config{Trace: tr, Adapter: rate.NewRapidSample(), Workload: wl, Seed: int64(i)})
+			}
 		})
 	}
 }

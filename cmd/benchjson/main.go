@@ -1,0 +1,164 @@
+// Command benchjson runs the repository's figure and hot-path
+// benchmarks and records the results as machine-readable JSON, so the
+// performance trajectory of the simulation core is tracked in-repo
+// rather than lost in terminal scrollback.
+//
+//	benchjson [-out BENCH_hotpath.json] [-bench <regex>] [-benchtime 1x]
+//
+// It shells out to `go test -bench`, echoes the raw output, then parses
+// ns/op (and B/op / allocs/op when present) into a result list plus two
+// families of derived speedups:
+//
+//   - workers=N sub-benchmarks of the BenchmarkParallel* experiments
+//     against their workers=1 serial baseline, and
+//   - table-driven fast paths (lut sub-benchmarks) against their
+//     analytic/reference twins.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup is one derived baseline-vs-variant ratio.
+type Speedup struct {
+	Benchmark string  `json:"benchmark"`
+	Baseline  string  `json:"baseline"`
+	Variant   string  `json:"variant"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// Report is the BENCH_hotpath.json schema.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	NumCPU      int       `json:"num_cpu"`
+	BenchRegex  string    `json:"bench_regex"`
+	BenchTime   string    `json:"bench_time"`
+	Results     []Result  `json:"results"`
+	Speedups    []Speedup `json:"speedups"`
+}
+
+// benchLine matches `BenchmarkX/sub-8   12  3456 ns/op  ...`.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	bytesCol   = regexp.MustCompile(`([\d.]+) B/op`)
+	allocsCol  = regexp.MustCompile(`([\d.]+) allocs/op`)
+	lutBenches = []struct{ variant, baseline string }{
+		{"BenchmarkDeliveryProb/lut", "BenchmarkDeliveryProb/analytic"},
+		{"BenchmarkGenerate/lut", "BenchmarkGenerate/reference"},
+		{"BenchmarkGenerate/lut-into", "BenchmarkGenerate/reference"},
+	}
+)
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output JSON `file`")
+	bench := flag.String("bench", "Fig|Table|Sec|Parallel",
+		"figure-level benchmark regex, run once per experiment (-benchtime)")
+	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime for the figure benchmarks")
+	micro := flag.String("microbench", "DeliveryProb|Generate|RatesimRun",
+		"hot-path micro-benchmark regex, run with -microtime for stable ns/op")
+	microtime := flag.String("microtime", "200ms", "value passed to -benchtime for the micro-benchmarks")
+	flag.Parse()
+
+	// Two passes: experiments are one-shot (each iteration is a full
+	// reproduction), micro-benchmarks need real iteration counts.
+	var raw []byte
+	for _, pass := range [][2]string{{*bench, *benchtime}, {*micro, *microtime}} {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", pass[0], "-benchtime", pass[1], ".")
+		cmd.Stderr = os.Stderr
+		got, err := cmd.Output()
+		os.Stdout.Write(got)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+			os.Exit(1)
+		}
+		raw = append(raw, got...)
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		BenchRegex:  *bench + "|" + *micro,
+		BenchTime:   *benchtime + "/" + *microtime,
+	}
+	byName := map[string]Result{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		// Optional columns emitted by b.ReportAllocs.
+		if bm := bytesCol.FindStringSubmatch(m[4]); bm != nil {
+			r.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if am := allocsCol.FindStringSubmatch(m[4]); am != nil {
+			r.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		rep.Results = append(rep.Results, r)
+		byName[r.Name] = r
+	}
+
+	// Parallel experiment speedups vs the workers=1 serial baseline.
+	for _, r := range rep.Results {
+		name, sub, ok := strings.Cut(r.Name, "/")
+		if !ok || !strings.HasPrefix(sub, "workers=") || sub == "workers=1" {
+			continue
+		}
+		base, ok := byName[name+"/workers=1"]
+		if !ok || r.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, Speedup{
+			Benchmark: name, Baseline: "workers=1", Variant: sub,
+			Speedup: base.NsPerOp / r.NsPerOp,
+		})
+	}
+	// Table-driven fast path vs analytic/reference twins, in fixed
+	// order so repeat runs diff cleanly.
+	for _, pair := range lutBenches {
+		v, okV := byName[pair.variant]
+		b, okB := byName[pair.baseline]
+		if !okV || !okB || v.NsPerOp == 0 {
+			continue
+		}
+		name, sub, _ := strings.Cut(pair.variant, "/")
+		rep.Speedups = append(rep.Speedups, Speedup{
+			Benchmark: name, Baseline: strings.TrimPrefix(pair.baseline, name+"/"), Variant: sub,
+			Speedup: b.NsPerOp / v.NsPerOp,
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results, %d speedups)\n", *out, len(rep.Results), len(rep.Speedups))
+}

@@ -8,39 +8,82 @@
 //	hintbench -list
 //	hintbench [-scale 1.0] [-seed 42] [-workers N] all
 //	hintbench [-scale 1.0] [-seed 42] [-workers N] fig3-5 table5-1 ...
+//	hintbench -cpuprofile cpu.pprof -memprofile mem.pprof fig3-5
 //
 // Reports are bit-identical for any -workers value: trials derive their
 // seeds by trial index and merge in trial order, so -workers only
 // changes how fast the tables appear.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the experiment
+// runs (the profiles are flushed even when shape checks fail), for
+// hunting hot-path regressions with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so deferred profile
+// writers run before the process exits (os.Exit skips defers).
+func realMain() int {
 	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper scale, smaller = faster)")
 	seed := flag.Int64("seed", 42, "random seed for deterministic runs")
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU); output is identical for any value")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file` (pprof format)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` on exit (pprof format)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocation stats before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: hintbench [-scale S] [-seed N] all | <experiment-id>...")
 		fmt.Fprintln(os.Stderr, "run 'hintbench -list' for experiment ids")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
@@ -52,7 +95,7 @@ func main() {
 			r, ok := experiments.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			runners = append(runners, r)
 		}
@@ -66,6 +109,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -93,6 +93,13 @@ func RunTwoClients(cfg TwoClientConfig) TwoClientResult {
 		PruneAt: -1,
 	}
 	bits := float64(8 * cfg.PacketBytes)
+	// Loop invariants hoisted out of the per-frame scheduling loop: the
+	// memoized airtime table for the configured payload (client 2's rate
+	// changes as its retry chain collapses, so its costs are indexed per
+	// frame) and the fixed probe cost.
+	airt := phy.AirtimesFor(cfg.PacketBytes)
+	frame1 := airt.Frame[cfg.Rate1]
+	probeCost := phy.PayloadAirtime(phy.Rate6, phy.RTSBytes) + phy.SIFS
 
 	now := time.Duration(0)
 	var delivered1, delivered2 float64 // bits in current 1 s bucket
@@ -152,7 +159,7 @@ func RunTwoClients(cfg TwoClientConfig) TwoClientResult {
 		if client2Parked && now >= nextProbe2 {
 			// Occasional short probe to see if the client returned; it
 			// costs one control-frame airtime.
-			now += phy.PayloadAirtime(phy.Rate6, phy.RTSBytes) + phy.SIFS
+			now += probeCost
 			nextProbe2 = now + cfg.Prune.ProbeEvery
 			continue
 		}
@@ -168,8 +175,8 @@ func RunTwoClients(cfg TwoClientConfig) TwoClientResult {
 				// Give each client equal airtime: serve the slower
 				// client less often in frames. Approximate by weighting
 				// turns with the airtime ratio.
-				a1 := phy.FrameExchangeAirtime(cfg.Rate1, cfg.PacketBytes)
-				a2 := phy.FrameExchangeAirtime(rate2, cfg.PacketBytes)
+				a1 := frame1
+				a2 := airt.Frame[rate2]
 				period := int(a2/a1) + 1
 				if turn%(period+1) < period {
 					target = 1
@@ -193,7 +200,7 @@ func RunTwoClients(cfg TwoClientConfig) TwoClientResult {
 		}
 
 		if target == 1 {
-			now += phy.FrameExchangeAirtime(cfg.Rate1, cfg.PacketBytes)
+			now += frame1
 			delivered1 += bits
 			res.Total1 += bits / 1e6
 			continue
@@ -201,7 +208,7 @@ func RunTwoClients(cfg TwoClientConfig) TwoClientResult {
 
 		// Serving client 2.
 		if !departed {
-			now += phy.FrameExchangeAirtime(rate2, cfg.PacketBytes)
+			now += airt.Frame[rate2]
 			delivered2 += bits
 			res.Total2 += bits / 1e6
 			sent2++
@@ -214,7 +221,7 @@ func RunTwoClients(cfg TwoClientConfig) TwoClientResult {
 		if lastFailStart < 0 {
 			lastFailStart = now
 		}
-		now += phy.FailedExchangeAirtime(rate2, cfg.PacketBytes)
+		now += airt.Failed[rate2]
 		consFail2++
 		if consFail2%4 == 0 && rate2 > lowestRate {
 			rate2--

@@ -20,13 +20,23 @@
 //
 // A small rate-independent loss probability models contention/collision
 // losses, present in every environment.
+//
+// Generation is the per-trial hot path of every multi-trial experiment,
+// so it is table-driven and allocation-lean: per-rate delivery comes
+// from the phy error LUT (phy.ErrorTableFor) rather than per-packet
+// Erfc/Pow evaluation, randomness from an inline splitmix64 generator
+// (parallel.RNG) rather than a heap-allocated math/rand state, and
+// GenerateInto/TracePool let trial loops recycle slot buffers. The
+// pre-LUT implementation is retained as GenerateReference (the accuracy
+// and speedup oracle); see DESIGN.md, "Table-driven error model".
 package channel
 
 import (
 	"math"
-	"math/rand"
+	"sync"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sensors"
 	"repro/internal/trace"
@@ -142,12 +152,14 @@ func (e Environment) WithBaseSNR(snr float64) Environment {
 	return e
 }
 
-// snrProcess produces the SNR sample path. Step advances the process by
-// dt and returns the SNR (dB) plus a fade indicator used for ground-truth
-// probabilities.
+// snrProcess produces the SNR sample path. step advances the process by
+// dt and returns the SNR (dB). The process shares the caller's inline
+// RNG, holds a few dozen bytes of state, and lives on the caller's
+// stack — one trial's trace generation performs no per-slot heap
+// allocation.
 type snrProcess struct {
 	cfg Environment
-	rng *rand.Rand
+	rng *parallel.RNG
 
 	shadow float64
 	// medium-scale walking shadow; frozen while static
@@ -160,10 +172,47 @@ type snrProcess struct {
 	// vehicular geometry
 	pos float64 // metres along the road, sender at 0
 	dir float64 // +1 or −1
+
+	// Cached AR(1) coefficients for the step size coDt. Trace slots are
+	// fixed-width, so the exp/sqrt evaluations are loop-invariant and
+	// hoisted here instead of being recomputed every step.
+	coDt                 time.Duration
+	coShadowA, coShadowB float64 // shadow: x' = A·x + B·N(0,1)
+	coWalkA, coWalkB     float64 // walking shadow
+	coFadeRho, coFadeS   float64 // fading tap: h' = ρ·h + S·N(0,1) per axis
+	coLosAmp, coScale    float64 // Rician LOS/scatter amplitudes (k-dependent)
 }
 
-func newSNRProcess(cfg Environment, rng *rand.Rand) *snrProcess {
-	p := &snrProcess{cfg: cfg, rng: rng}
+// refreshCoeffs recomputes the per-dt AR(1) coefficients; callers pass a
+// constant dt, so this runs once per trace rather than once per step.
+func (p *snrProcess) refreshCoeffs(dt time.Duration) {
+	cfg := &p.cfg
+	p.coDt = dt
+	if cfg.ShadowTau > 0 {
+		a := math.Exp(-dt.Seconds() / cfg.ShadowTau.Seconds())
+		p.coShadowA = a
+		p.coShadowB = math.Sqrt(1-a*a) * cfg.ShadowSigma
+	}
+	if cfg.WalkShadowSigma > 0 {
+		tau := cfg.WalkShadowTau
+		if tau <= 0 {
+			tau = time.Second
+		}
+		a := math.Exp(-dt.Seconds() / tau.Seconds())
+		p.coWalkA = a
+		p.coWalkB = math.Sqrt(1-a*a) * cfg.WalkShadowSigma
+	}
+	tc := cfg.CoherenceTime
+	if tc <= 0 {
+		tc = 10 * time.Millisecond
+	}
+	rho := math.Exp(-dt.Seconds() / tc.Seconds())
+	p.coFadeRho = rho
+	p.coFadeS = math.Sqrt(1-rho*rho) / math.Sqrt2
+}
+
+func newSNRProcess(cfg Environment, rng *parallel.RNG) snrProcess {
+	p := snrProcess{cfg: cfg, rng: rng}
 	// Start fading tap at steady state.
 	p.hRe = rng.NormFloat64() / math.Sqrt2
 	p.hIm = rng.NormFloat64() / math.Sqrt2
@@ -171,24 +220,24 @@ func newSNRProcess(cfg Environment, rng *rand.Rand) *snrProcess {
 		p.pos = -50
 		p.dir = 1
 	}
+	k := cfg.RicianK
+	p.coLosAmp = math.Sqrt(k / (1 + k))
+	p.coScale = math.Sqrt(1 / (1 + k))
 	return p
 }
 
 // step advances by dt and returns the channel SNR in dB.
 func (p *snrProcess) step(dt time.Duration, moving bool) float64 {
-	cfg := p.cfg
+	cfg := &p.cfg
+	if dt != p.coDt {
+		p.refreshCoeffs(dt)
+	}
 	// Slow shadowing: AR(1) toward zero with time constant ShadowTau.
 	if cfg.ShadowTau > 0 {
-		a := math.Exp(-dt.Seconds() / cfg.ShadowTau.Seconds())
-		p.shadow = a*p.shadow + math.Sqrt(1-a*a)*p.rng.NormFloat64()*cfg.ShadowSigma
+		p.shadow = p.coShadowA*p.shadow + p.coShadowB*p.rng.NormFloat64()
 	}
 	if moving && cfg.WalkShadowSigma > 0 {
-		tau := cfg.WalkShadowTau
-		if tau <= 0 {
-			tau = time.Second
-		}
-		a := math.Exp(-dt.Seconds() / tau.Seconds())
-		p.walkShadow = a*p.walkShadow + math.Sqrt(1-a*a)*p.rng.NormFloat64()*cfg.WalkShadowSigma
+		p.walkShadow = p.coWalkA*p.walkShadow + p.coWalkB*p.rng.NormFloat64()
 	}
 	snr := cfg.BaseSNR + p.shadow + p.walkShadow
 
@@ -208,22 +257,13 @@ func (p *snrProcess) step(dt time.Duration, moving bool) float64 {
 	if moving {
 		// Fast fading: complex AR(1) tap with the environment's
 		// coherence time, optionally with a Rician LOS component.
-		tc := cfg.CoherenceTime
-		if tc <= 0 {
-			tc = 10 * time.Millisecond
-		}
-		rho := math.Exp(-dt.Seconds() / tc.Seconds())
-		s := math.Sqrt(1 - rho*rho)
-		p.hRe = rho*p.hRe + s*p.rng.NormFloat64()/math.Sqrt2
-		p.hIm = rho*p.hIm + s*p.rng.NormFloat64()/math.Sqrt2
-		k := cfg.RicianK
+		p.hRe = p.coFadeRho*p.hRe + p.coFadeS*p.rng.NormFloat64()
+		p.hIm = p.coFadeRho*p.hIm + p.coFadeS*p.rng.NormFloat64()
 		// Rician fading: a constant LOS phasor plus the scattered tap,
 		// added in amplitude so destructive interference can produce deep
 		// fades even with a LOS component. Power normalised to mean 1.
-		losAmp := math.Sqrt(k / (1 + k))
-		scale := math.Sqrt(1 / (1 + k))
-		re := losAmp + scale*p.hRe
-		im := scale * p.hIm
+		re := p.coLosAmp + p.coScale*p.hRe
+		im := p.coScale * p.hIm
 		gain := re*re + im*im
 		if gain < 1e-6 {
 			gain = 1e-6
@@ -262,6 +302,16 @@ type Config struct {
 // the SNR, the mobility ground truth, the per-rate delivery probability,
 // and a sampled per-rate fate.
 func Generate(cfg Config) *trace.FateTrace {
+	tr := new(trace.FateTrace)
+	GenerateInto(cfg, tr)
+	return tr
+}
+
+// GenerateInto regenerates tr in place, reusing its slot buffer when
+// capacity allows. A trial loop that recycles one FateTrace per worker
+// (see TracePool) generates traces with zero heap allocations; the
+// result is identical to Generate with the same Config.
+func GenerateInto(cfg Config, tr *trace.FateTrace) {
 	slotDur := cfg.SlotDur
 	if slotDur <= 0 {
 		slotDur = trace.DefaultSlot
@@ -275,16 +325,21 @@ func Generate(cfg Config) *trace.FateTrace {
 		total = end
 	}
 	n := int(total / slotDur)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	proc := newSNRProcess(cfg.Env, rng)
+	rng := parallel.NewRNG(cfg.Seed)
+	proc := newSNRProcess(cfg.Env, &rng)
+	et := phy.ErrorTableFor(bytes)
+	extraScale := 1 - cfg.Env.ExtraLossProb
 
-	tr := &trace.FateTrace{
-		Env:       cfg.Env.Name,
-		SlotDur:   slotDur,
-		Seed:      cfg.Seed,
-		ExtraLoss: cfg.Env.ExtraLossProb,
-		Slots:     make([]trace.Slot, n),
+	tr.Env = cfg.Env.Name
+	tr.SlotDur = slotDur
+	tr.Seed = cfg.Seed
+	tr.ExtraLoss = cfg.Env.ExtraLossProb
+	if cap(tr.Slots) >= n {
+		tr.Slots = tr.Slots[:n]
+	} else {
+		tr.Slots = make([]trace.Slot, n)
 	}
+	var dp [phy.NumRates]float64
 	for i := 0; i < n; i++ {
 		at := time.Duration(i) * slotDur
 		moving := cfg.Sched.MovingAt(at)
@@ -292,18 +347,45 @@ func Generate(cfg Config) *trace.FateTrace {
 		s := &tr.Slots[i]
 		s.SNR = snr
 		s.Moving = moving
+		// The slot fate reflects only the channel (SNR) state, which is
+		// coherent across a slot; the rate-independent contention loss
+		// is per-packet and applied by the MAC simulator. The ground
+		// truth probability includes both.
+		et.DeliveryProbs(snr, &dp)
 		for r := 0; r < phy.NumRates; r++ {
-			// The slot fate reflects only the channel (SNR) state, which is
-			// coherent across a slot; the rate-independent contention loss
-			// is per-packet and applied by the MAC simulator. The ground
-			// truth probability includes both.
-			pChan := phy.DeliveryProb(phy.Rate(r), snr, bytes)
-			s.Prob[r] = pChan * (1 - cfg.Env.ExtraLossProb)
-			s.Delivered[r] = rng.Float64() < pChan
+			s.Prob[r] = dp[r] * extraScale
+			s.Delivered[r] = rng.Float64() < dp[r]
 		}
 	}
 	tr.Mode = modeLabel(cfg.Sched, total)
+}
+
+// TracePool recycles FateTrace slot buffers across trials. Experiment
+// fan-outs that generate one throwaway trace per trial Get/Generate/Put
+// through a pool so per-trial garbage stops throttling the worker pool.
+// Pooling only recycles memory: trace contents are fully regenerated, so
+// results remain bit-identical for any worker count.
+type TracePool struct {
+	p sync.Pool
+}
+
+// Generate returns a trace for cfg, reusing a pooled slot buffer when
+// one is available.
+func (tp *TracePool) Generate(cfg Config) *trace.FateTrace {
+	tr, _ := tp.p.Get().(*trace.FateTrace)
+	if tr == nil {
+		tr = new(trace.FateTrace)
+	}
+	GenerateInto(cfg, tr)
 	return tr
+}
+
+// Put returns a trace obtained from Generate to the pool once the trial
+// is done with it.
+func (tp *TracePool) Put(tr *trace.FateTrace) {
+	if tr != nil {
+		tp.p.Put(tr)
+	}
 }
 
 func modeLabel(s sensors.Schedule, total time.Duration) string {
@@ -334,13 +416,16 @@ func GeneratePacketStream(env Environment, mode sensors.MobilityMode, r phy.Rate
 	if bytes <= 0 {
 		bytes = 1000
 	}
-	rng := rand.New(rand.NewSource(seed))
-	proc := newSNRProcess(env, rng)
+	rng := parallel.NewRNG(seed)
+	proc := newSNRProcess(env, &rng)
+	et := phy.ErrorTableFor(bytes)
+	extraScale := 1 - env.ExtraLossProb
+	moving := mode.Moving()
 	n := int(total / interval)
 	pt := &trace.PacketTrace{Rate: r, Interval: interval, Lost: make([]bool, n)}
 	for i := 0; i < n; i++ {
-		snr := proc.step(interval, mode.Moving())
-		p := phy.DeliveryProb(r, snr, bytes) * (1 - env.ExtraLossProb)
+		snr := proc.step(interval, moving)
+		p := et.DeliveryProb(r, snr) * extraScale
 		pt.Lost[i] = rng.Float64() >= p
 	}
 	return pt

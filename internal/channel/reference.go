@@ -1,0 +1,147 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/trace"
+)
+
+// This file preserves the pre-LUT trace generator verbatim: the same SNR
+// process driven by math/rand and mapped through the analytic
+// phy.DeliveryProb curves per slot. It is not used by the experiments —
+// it exists as the oracle the table-driven fast path is validated and
+// benchmarked against (TestGenerateMatchesReferenceStatistics,
+// BenchmarkGenerate/reference).
+
+// refSNRProcess is the reference twin of snrProcess, differing only in
+// its RNG.
+type refSNRProcess struct {
+	cfg Environment
+	rng *rand.Rand
+
+	shadow     float64
+	walkShadow float64
+	hRe, hIm   float64
+	fadeLeft   time.Duration
+	fadeDepth  float64
+	pos        float64
+	dir        float64
+}
+
+func newRefSNRProcess(cfg Environment, rng *rand.Rand) *refSNRProcess {
+	p := &refSNRProcess{cfg: cfg, rng: rng}
+	p.hRe = rng.NormFloat64() / math.Sqrt2
+	p.hIm = rng.NormFloat64() / math.Sqrt2
+	if cfg.Vehicular {
+		p.pos = -50
+		p.dir = 1
+	}
+	return p
+}
+
+func (p *refSNRProcess) step(dt time.Duration, moving bool) float64 {
+	cfg := p.cfg
+	if cfg.ShadowTau > 0 {
+		a := math.Exp(-dt.Seconds() / cfg.ShadowTau.Seconds())
+		p.shadow = a*p.shadow + math.Sqrt(1-a*a)*p.rng.NormFloat64()*cfg.ShadowSigma
+	}
+	if moving && cfg.WalkShadowSigma > 0 {
+		tau := cfg.WalkShadowTau
+		if tau <= 0 {
+			tau = time.Second
+		}
+		a := math.Exp(-dt.Seconds() / tau.Seconds())
+		p.walkShadow = a*p.walkShadow + math.Sqrt(1-a*a)*p.rng.NormFloat64()*cfg.WalkShadowSigma
+	}
+	snr := cfg.BaseSNR + p.shadow + p.walkShadow
+
+	if cfg.Vehicular && moving {
+		p.pos += p.dir * cfg.PassSpeed * dt.Seconds()
+		if p.pos > 50 {
+			p.dir = -1
+		} else if p.pos < -50 {
+			p.dir = 1
+		}
+		d := math.Hypot(p.pos, cfg.PassDistance)
+		snr -= 28 * math.Log10(d/cfg.PassDistance)
+	}
+
+	if moving {
+		tc := cfg.CoherenceTime
+		if tc <= 0 {
+			tc = 10 * time.Millisecond
+		}
+		rho := math.Exp(-dt.Seconds() / tc.Seconds())
+		s := math.Sqrt(1 - rho*rho)
+		p.hRe = rho*p.hRe + s*p.rng.NormFloat64()/math.Sqrt2
+		p.hIm = rho*p.hIm + s*p.rng.NormFloat64()/math.Sqrt2
+		k := cfg.RicianK
+		losAmp := math.Sqrt(k / (1 + k))
+		scale := math.Sqrt(1 / (1 + k))
+		re := losAmp + scale*p.hRe
+		im := scale * p.hIm
+		gain := re*re + im*im
+		if gain < 1e-6 {
+			gain = 1e-6
+		}
+		snr += 10 * math.Log10(gain)
+	} else {
+		if p.fadeLeft > 0 {
+			p.fadeLeft -= dt
+			snr -= p.fadeDepth
+		} else if p.rng.Float64() < cfg.StaticFadeRate*dt.Seconds() {
+			p.fadeLeft = time.Duration(float64(cfg.StaticFadeLen) * (0.5 + p.rng.Float64()))
+			p.fadeDepth = cfg.StaticFadeDepth * (0.5 + p.rng.Float64())
+		}
+	}
+	return snr
+}
+
+// GenerateReference produces a fate trace through the analytic error
+// curves and math/rand — the pre-LUT implementation. Its RNG stream
+// differs from Generate's, so individual slots differ between the two;
+// trace-level statistics (SNR moments, delivery probabilities given SNR)
+// agree, which the channel tests assert.
+func GenerateReference(cfg Config) *trace.FateTrace {
+	slotDur := cfg.SlotDur
+	if slotDur <= 0 {
+		slotDur = trace.DefaultSlot
+	}
+	bytes := cfg.PacketBytes
+	if bytes <= 0 {
+		bytes = 1000
+	}
+	total := cfg.Total
+	if end := cfg.Sched.End(); end > total {
+		total = end
+	}
+	n := int(total / slotDur)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	proc := newRefSNRProcess(cfg.Env, rng)
+
+	tr := &trace.FateTrace{
+		Env:       cfg.Env.Name,
+		SlotDur:   slotDur,
+		Seed:      cfg.Seed,
+		ExtraLoss: cfg.Env.ExtraLossProb,
+		Slots:     make([]trace.Slot, n),
+	}
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * slotDur
+		moving := cfg.Sched.MovingAt(at)
+		snr := proc.step(slotDur, moving)
+		s := &tr.Slots[i]
+		s.SNR = snr
+		s.Moving = moving
+		for r := 0; r < phy.NumRates; r++ {
+			pChan := phy.DeliveryProb(phy.Rate(r), snr, bytes)
+			s.Prob[r] = pChan * (1 - cfg.Env.ExtraLossProb)
+			s.Delivered[r] = rng.Float64() < pChan
+		}
+	}
+	tr.Mode = modeLabel(cfg.Sched, total)
+	return tr
+}

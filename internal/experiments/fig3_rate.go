@@ -88,14 +88,18 @@ func rateComparison(cfg Config, label string, envs []channel.Environment, schedF
 	traces := cfg.stream(label + "/traces")
 	adapters := cfg.stream(label + "/adapters")
 	trials := len(envs) * nTraces
+	// Traces are per-trial throwaways; a pool recycles slot buffers
+	// across trials so the fan-out is not throttled by allocation.
+	var pool channel.TracePool
 	perTrial := parallel.Map(cfg.workers(), trials, func(idx int) map[string]float64 {
 		ei, rep := idx/nTraces, idx%nTraces
-		tr := channel.Generate(channel.Config{
+		tr := pool.Generate(channel.Config{
 			Env:   envs[ei],
 			Sched: schedFor(total, rep),
 			Total: total,
 			Seed:  traces.Seed(idx),
 		})
+		defer pool.Put(tr)
 		res := make(map[string]float64, len(protoSet))
 		for _, p := range protoSet {
 			res[p] = runProto(p, tr, workload, adapters.Seed(idx))

@@ -82,9 +82,11 @@ func Sec5_6(cfg Config) *Report {
 	adapters := cfg.stream("sec5-6/adapters")
 	macs := cfg.stream("sec5-6/macs")
 	names := []string{"NoiseHintAware", "RapidSample", "MovementHintAware", "SampleRate"}
+	var pool channel.TracePool
 	perTrial := parallel.Map(cfg.workers(), n, func(rep int) map[string]float64 {
 		seed := adapters.Seed(rep)
-		tr := channel.Generate(channel.Config{Env: channel.Office, Sched: envSched, Total: total, Seed: traces.Seed(rep)})
+		tr := pool.Generate(channel.Config{Env: channel.Office, Sched: envSched, Total: total, Seed: traces.Seed(rep)})
+		defer pool.Put(tr)
 		for i := range tr.Slots {
 			tr.Slots[i].Moving = false // the device itself never moves
 		}

@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverge")
+		}
+	}
+	c := NewRNG(100)
+	if a.Uint64() == c.Uint64() {
+		t.Error("adjacent seeds produced identical next outputs")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		if f := rng.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+// TestRNGMoments sanity-checks the generator's first two moments: the
+// uniform and normal outputs that drive every fade and fate draw must
+// not be biased, or trace statistics silently drift from the reference
+// implementation's.
+func TestRNGMoments(t *testing.T) {
+	const n = 1_000_000
+	rng := NewRNG(42)
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.002 {
+		t.Errorf("uniform mean %.4f, want 0.5", mean)
+	}
+	if v := sum2/n - mean*mean; math.Abs(v-1.0/12) > 0.002 {
+		t.Errorf("uniform variance %.4f, want %.4f", v, 1.0/12)
+	}
+
+	sum, sum2 = 0, 0
+	var lag1 float64
+	prev := rng.NormFloat64()
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		sum += x
+		sum2 += x * x
+		lag1 += x * prev
+		prev = x
+	}
+	mean = sum / n
+	if math.Abs(mean) > 0.005 {
+		t.Errorf("normal mean %.4f, want 0", mean)
+	}
+	if v := sum2/n - mean*mean; math.Abs(v-1) > 0.01 {
+		t.Errorf("normal variance %.4f, want 1", v)
+	}
+	if c := lag1 / n; math.Abs(c) > 0.005 {
+		t.Errorf("normal lag-1 autocorrelation %.4f, want ~0", c)
+	}
+}
+
+func TestRNGZeroAllocs(t *testing.T) {
+	rng := NewRNG(17)
+	var sink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += rng.Float64() + rng.NormFloat64()
+	})
+	if allocs != 0 {
+		t.Errorf("RNG draws allocate %v times per pair, want 0", allocs)
+	}
+	_ = sink
+}

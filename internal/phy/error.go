@@ -131,12 +131,13 @@ func MinSNRFor(r Rate, bytes int, targetPER float64) float64 {
 
 // BestRateForSNR returns the fastest rate whose expected throughput
 // (Mbps × delivery probability) is maximal at the given SNR for frames of
-// the given length. SNR-based protocols use this as their rate picker.
+// the given length. It is the analytic reference picker; per-attempt
+// callers (the SNR-based adapters) use ErrorTable.BestRate, its
+// table-driven counterpart.
 func BestRateForSNR(snrDB float64, bytes int) Rate {
 	best := Rate6
 	bestTput := -1.0
-	for i := 0; i < NumRates; i++ {
-		r := Rate(i)
+	for _, r := range Rates {
 		tput := float64(r.Mbps()) * DeliveryProb(r, snrDB, bytes)
 		if tput > bestTput {
 			bestTput = tput

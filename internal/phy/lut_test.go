@@ -1,0 +1,150 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestErrorTableAccuracy asserts the headline contract of the LUT layer:
+// the interpolated PER/DeliveryProb curves match the analytic reference
+// to within 1e-3 absolute over the full SNR range, for both the standard
+// 1000-byte data frame and a short control-frame length. The sweep step
+// is deliberately incommensurate with the table grid so almost every
+// probe lands between grid points.
+func TestErrorTableAccuracy(t *testing.T) {
+	for _, bytes := range []int{1000, 256, 14} {
+		et := ErrorTableFor(bytes)
+		maxErr := 0.0
+		for _, r := range Rates {
+			for snr := -25.0; snr <= 45.0; snr += 0.0137 {
+				got := et.PER(r, snr)
+				want := PER(r, snr, bytes)
+				if err := math.Abs(got - want); err > maxErr {
+					maxErr = err
+				}
+				if got < 0 || got > 1 {
+					t.Fatalf("PER out of range: %v at rate %v snr %.2f bytes %d", got, r, snr, bytes)
+				}
+			}
+		}
+		t.Logf("bytes=%d max |LUT-analytic| PER error: %.2e", bytes, maxErr)
+		if maxErr > 1e-3 {
+			t.Errorf("bytes=%d: max LUT error %.2e exceeds 1e-3 bound", bytes, maxErr)
+		}
+	}
+}
+
+// TestErrorTableClamps checks behaviour outside the tabulated range:
+// every rate's PER is 1 far below the grid and 0 far above it, matching
+// the analytic model's saturation.
+func TestErrorTableClamps(t *testing.T) {
+	et := ErrorTableFor(1000)
+	for _, r := range Rates {
+		if per := et.PER(r, -60); per != 1 {
+			t.Errorf("rate %v PER(-60 dB) = %v, want 1", r, per)
+		}
+		if per := et.PER(r, 80); per != 0 {
+			t.Errorf("rate %v PER(80 dB) = %v, want 0", r, per)
+		}
+	}
+}
+
+// TestErrorTableCached asserts table identity per frame length — the
+// point of the cache is that hot loops hit the same immutable table.
+func TestErrorTableCached(t *testing.T) {
+	if ErrorTableFor(1000) != ErrorTableFor(1000) {
+		t.Error("ErrorTableFor(1000) not cached")
+	}
+	if ErrorTableFor(1000) == ErrorTableFor(999) {
+		t.Error("distinct frame lengths share a table")
+	}
+	if ErrorTableFor(0) != ErrorTableFor(1000) {
+		t.Error("bytes<=0 should default to the 1000-byte table")
+	}
+}
+
+// TestBestRateNearOptimal: the table-driven picker may shift a
+// rate-switch threshold by up to half a grid step, but the rate it
+// picks must always be throughput-competitive with the analytic
+// optimum.
+func TestBestRateNearOptimal(t *testing.T) {
+	const bytes = 1000
+	et := ErrorTableFor(bytes)
+	for snr := -15.0; snr <= 42.0; snr += 0.0213 {
+		lut := et.BestRate(snr)
+		ref := BestRateForSNR(snr, bytes)
+		tputLUT := float64(lut.Mbps()) * DeliveryProb(lut, snr, bytes)
+		tputRef := float64(ref.Mbps()) * DeliveryProb(ref, snr, bytes)
+		if tputLUT < tputRef*0.99-1e-9 {
+			t.Fatalf("BestRate(%.3f) = %v (%.3f Mbps expected) vs analytic %v (%.3f Mbps)",
+				snr, lut, tputLUT, ref, tputRef)
+		}
+	}
+}
+
+// TestAirtimesMatchAnalytic: the memoized airtime tables must be
+// bit-identical to the analytic airtime functions — they are a cache,
+// not an approximation.
+func TestAirtimesMatchAnalytic(t *testing.T) {
+	for _, bytes := range []int{1000, 1500, 256, ACKBytes, RTSBytes} {
+		at := AirtimesFor(bytes)
+		for _, r := range Rates {
+			if got, want := at.Payload[r], PayloadAirtime(r, bytes); got != want {
+				t.Errorf("Payload[%v] bytes=%d: %v != %v", r, bytes, got, want)
+			}
+			if got, want := at.Frame[r], FrameExchangeAirtime(r, bytes); got != want {
+				t.Errorf("Frame[%v] bytes=%d: %v != %v", r, bytes, got, want)
+			}
+			if got, want := at.Failed[r], FailedExchangeAirtime(r, bytes); got != want {
+				t.Errorf("Failed[%v] bytes=%d: %v != %v", r, bytes, got, want)
+			}
+		}
+	}
+	if AirtimesFor(1000) != AirtimesFor(1000) {
+		t.Error("AirtimesFor(1000) not cached")
+	}
+}
+
+// TestLUTLookupsAllocationFree pins the hot-path lookups at zero heap
+// allocations per call.
+func TestLUTLookupsAllocationFree(t *testing.T) {
+	et := ErrorTableFor(1000)
+	at := AirtimesFor(1000)
+	var sinkF float64
+	var sinkD time.Duration
+	var sinkR Rate
+	allocs := testing.AllocsPerRun(1000, func() {
+		sinkF += et.DeliveryProb(Rate54, 17.3)
+		sinkR = et.BestRate(21.9)
+		sinkD += at.Frame[Rate24]
+	})
+	if allocs != 0 {
+		t.Errorf("LUT lookups allocate %v times per call, want 0", allocs)
+	}
+	_, _, _ = sinkF, sinkD, sinkR
+}
+
+// TestRatesArray: the package-level rate array matches AllRates and
+// iterating it does not allocate.
+func TestRatesArray(t *testing.T) {
+	rs := AllRates()
+	if len(rs) != NumRates {
+		t.Fatalf("AllRates length %d", len(rs))
+	}
+	for i, r := range Rates {
+		if rs[i] != r {
+			t.Errorf("Rates[%d] = %v, AllRates()[%d] = %v", i, r, i, rs[i])
+		}
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, r := range Rates {
+			sink += r.Mbps()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ranging over Rates allocates %v times, want 0", allocs)
+	}
+	_ = sink
+}

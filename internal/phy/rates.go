@@ -9,6 +9,15 @@
 // model — it reproduces the relative behaviour of the eight OFDM rates,
 // which is what rate adaptation protocols key on, not hardware-exact
 // absolute error rates.
+//
+// The package exposes two implementations of the error and cost models.
+// The analytic functions (BER, PER, DeliveryProb, the *Airtime family)
+// are the reference implementation. The table-driven layer in lut.go
+// (ErrorTableFor, AirtimesFor) precomputes them per frame length on a
+// fine SNR grid with linear interpolation; it is what the channel
+// generator and MAC simulators use per packet, and it matches the
+// analytic curves to within 1e-3 absolute (see DESIGN.md, "Table-driven
+// error model").
 package phy
 
 import (
@@ -109,13 +118,19 @@ func (r Rate) String() string {
 	return fmt.Sprintf("%dMbps", rateTable[r].Mbps)
 }
 
+// Rates lists the rates in increasing speed order. It is the
+// allocation-free way to iterate the rate set (`for _, r := range
+// phy.Rates`): ranging over the array copies eight ints on the stack,
+// where AllRates allocates a fresh slice per call. Treat it as
+// read-only.
+var Rates = [NumRates]Rate{Rate6, Rate9, Rate12, Rate18, Rate24, Rate36, Rate48, Rate54}
+
 // AllRates returns the rates in increasing speed order. The returned slice
-// is freshly allocated and may be modified by the caller.
+// is freshly allocated and may be modified by the caller; hot loops should
+// range over Rates instead.
 func AllRates() []Rate {
 	rs := make([]Rate, NumRates)
-	for i := range rs {
-		rs[i] = Rate(i)
-	}
+	copy(rs, Rates[:])
 	return rs
 }
 

@@ -67,7 +67,8 @@ type Adapter interface {
 
 // losslessTxTime returns the per-packet lossless transmission time at r
 // for the harness packet size — the quantity SampleRate and RRAA compare
-// rates by.
+// rates by. It reads the memoized airtime table: adapters evaluate it
+// per attempt, inside the MAC simulator's hot loop.
 func losslessTxTime(r phy.Rate, bytes int) time.Duration {
-	return phy.FrameExchangeAirtime(r, bytes)
+	return phy.AirtimesFor(bytes).Frame[r]
 }

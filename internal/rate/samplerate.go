@@ -47,6 +47,9 @@ type SampleRate struct {
 	lastAttempt [phy.NumRates]time.Duration
 	current     phy.Rate
 	sampling    bool
+	// airt caches the airtime table for PacketBytes across Observe
+	// calls (one per transmission attempt).
+	airt *phy.Airtimes
 }
 
 type srEvent struct {
@@ -135,14 +138,19 @@ func (sr *SampleRate) PickRate(now time.Duration) phy.Rate {
 	return best
 }
 
-// Observe implements Adapter.
+// Observe implements Adapter. Airtime bookkeeping reads the memoized
+// per-size tables — Observe runs once per transmission attempt.
 func (sr *SampleRate) Observe(fb Feedback) {
+	if sr.airt == nil || sr.airt.Bytes != sr.bytes() {
+		sr.airt = phy.AirtimesFor(sr.bytes())
+	}
+	airt := sr.airt
 	var tx time.Duration
 	if fb.Acked {
-		tx = phy.FrameExchangeAirtime(fb.Rate, sr.bytes())
+		tx = airt.Frame[fb.Rate]
 		sr.consFail[fb.Rate] = 0
 	} else {
-		tx = phy.FailedExchangeAirtime(fb.Rate, sr.bytes())
+		tx = airt.Failed[fb.Rate]
 		sr.consFail[fb.Rate]++
 	}
 	sr.lastAttempt[fb.Rate] = fb.At
@@ -221,24 +229,30 @@ func (sr *SampleRate) bestRate() phy.Rate {
 // average, and it must not have 4+ consecutive failures.
 func (sr *SampleRate) pickSample(current phy.Rate) (phy.Rate, bool) {
 	curAvg, okCur := sr.avgTxTime(current)
-	var cands []phy.Rate
-	for i := 0; i < phy.NumRates; i++ {
-		r := phy.Rate(i)
+	if sr.airt == nil || sr.airt.Bytes != sr.bytes() {
+		sr.airt = phy.AirtimesFor(sr.bytes())
+	}
+	// Fixed-size candidate buffer: pickSample runs every sampleEvery-th
+	// attempt and must not allocate.
+	var cands [phy.NumRates]phy.Rate
+	n := 0
+	for _, r := range phy.Rates {
 		if r == current || sr.consFail[r] >= 4 {
 			continue
 		}
-		if okCur && losslessTxTime(r, sr.bytes()) >= curAvg {
+		if okCur && sr.airt.Frame[r] >= curAvg {
 			continue // cannot possibly beat the current rate
 		}
-		cands = append(cands, r)
+		cands[n] = r
+		n++
 	}
-	if len(cands) == 0 {
+	if n == 0 {
 		return 0, false
 	}
 	if sr.Rand == nil {
 		sr.Rand = rand.New(rand.NewSource(1))
 	}
-	return cands[sr.Rand.Intn(len(cands))], true
+	return cands[sr.Rand.Intn(n)], true
 }
 
 // Sampling reports whether the most recent PickRate returned a sample

@@ -30,6 +30,9 @@ type RBAR struct {
 	// receiver quotes ever more conservative rates; we model that as a
 	// per-consecutive-failure SNR back-off that clears on success.
 	consFail int
+	// et caches the error LUT for PacketBytes; PickRate runs once per
+	// transmission attempt.
+	et *phy.ErrorTable
 }
 
 // NewRBAR returns an RBAR instance.
@@ -52,12 +55,16 @@ func (r *RBAR) bytes() int {
 }
 
 // PickRate implements Adapter: the throughput-optimal rate for the last
-// known SNR; the lowest rate until an SNR is known.
+// known SNR (via the table-driven picker); the lowest rate until an SNR
+// is known.
 func (r *RBAR) PickRate(now time.Duration) phy.Rate {
 	if !r.haveSNR {
 		return phy.Rate6
 	}
-	return phy.BestRateForSNR(r.lastSNR-2.5*float64(r.consFail), r.bytes())
+	if r.et == nil || r.et.Bytes != r.bytes() {
+		r.et = phy.ErrorTableFor(r.bytes())
+	}
+	return r.et.BestRate(r.lastSNR - 2.5*float64(r.consFail))
 }
 
 // UsesRTS implements RTSUser: RBAR's receiver-side rate selection rides
@@ -94,12 +101,22 @@ type CHARM struct {
 	// Window is the SNR averaging window (default 1 s).
 	Window time.Duration
 
-	obs []snrObs
+	// obs[head:] is the FIFO of in-window observations; sum is their
+	// running total. PickRate and expire run once per transmission
+	// attempt, so both must be O(1) amortised: the head index advances
+	// past expired entries (compacting occasionally to bound memory)
+	// and the mean comes from the running sum instead of a rescan.
+	obs  []snrObs
+	head int
+	sum  float64
 	// offset is CHARM's dynamic calibration (dB): the original adjusts
 	// its SNR thresholds when observed losses disagree with the
 	// SNR-predicted outcome. Failures raise the offset (pick lower
 	// rates); successes let it decay.
 	offset float64
+	// et caches the error LUT for PacketBytes; PickRate runs once per
+	// transmission attempt.
+	et *phy.ErrorTable
 }
 
 type snrObs struct {
@@ -116,6 +133,8 @@ func (c *CHARM) Name() string { return "CHARM" }
 // Reset implements Adapter.
 func (c *CHARM) Reset() {
 	c.obs = c.obs[:0]
+	c.head = 0
+	c.sum = 0
 	c.offset = 0
 }
 
@@ -134,17 +153,18 @@ func (c *CHARM) window() time.Duration {
 }
 
 // PickRate implements Adapter: the throughput-optimal rate for the
-// windowed average SNR; the lowest rate until an SNR is known.
+// windowed average SNR (via the table-driven picker); the lowest rate
+// until an SNR is known.
 func (c *CHARM) PickRate(now time.Duration) phy.Rate {
 	c.expire(now)
-	if len(c.obs) == 0 {
+	n := len(c.obs) - c.head
+	if n == 0 {
 		return phy.Rate6
 	}
-	sum := 0.0
-	for _, o := range c.obs {
-		sum += o.snr
+	if c.et == nil || c.et.Bytes != c.bytes() {
+		c.et = phy.ErrorTableFor(c.bytes())
 	}
-	return phy.BestRateForSNR(sum/float64(len(c.obs))-c.offset, c.bytes())
+	return c.et.BestRate(c.sum/float64(n) - c.offset)
 }
 
 // Observe implements Adapter, recording any fresh SNR and applying the
@@ -164,25 +184,32 @@ func (c *CHARM) Observe(fb Feedback) {
 		}
 	}
 	if !math.IsNaN(fb.SNR) {
-		c.obs = append(c.obs, snrObs{at: fb.At, snr: fb.SNR})
-		c.expire(fb.At)
+		c.add(fb.At, fb.SNR)
 	}
 }
 
 // UpdateSNR implements SNRUpdater: CHARM appends the report to its
 // averaging window.
 func (c *CHARM) UpdateSNR(at time.Duration, snr float64) {
+	c.add(at, snr)
+}
+
+func (c *CHARM) add(at time.Duration, snr float64) {
 	c.obs = append(c.obs, snrObs{at: at, snr: snr})
+	c.sum += snr
 	c.expire(at)
 }
 
 func (c *CHARM) expire(now time.Duration) {
 	cut := now - c.window()
-	i := 0
-	for i < len(c.obs) && c.obs[i].at < cut {
-		i++
+	for c.head < len(c.obs) && c.obs[c.head].at < cut {
+		c.sum -= c.obs[c.head].snr
+		c.head++
 	}
-	if i > 0 {
-		c.obs = append(c.obs[:0], c.obs[i:]...)
+	// Compact once the dead prefix dominates, amortising the copy; the
+	// buffer then stays at roughly twice the window population.
+	if c.head > 1024 && c.head*2 > len(c.obs) {
+		c.obs = append(c.obs[:0], c.obs[c.head:]...)
+		c.head = 0
 	}
 }

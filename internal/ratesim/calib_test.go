@@ -5,53 +5,72 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/parallel"
 	"repro/internal/rate"
 	"repro/internal/sensors"
 )
 
 // TestCalibrationShape is a coarse early check that the synthetic channel
 // induces the paper's protocol ordering: RapidSample best when mobile,
-// SampleRate best when static, hint-aware best on mixed traces.
+// SampleRate best when static, hint-aware best on mixed traces. The
+// (environment, mode) cells are independent, so they fan out across the
+// worker pool — this was the slowest test in the repo when it ran the
+// 9 cells serially — and log in deterministic cell order afterwards.
 func TestCalibrationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration run")
 	}
 	envs := channel.Environments()
+	modes := []string{"static", "mobile", "mixed"}
+	type cell struct {
+		env  channel.Environment
+		mode string
+	}
+	var cells []cell
 	for _, env := range envs {
-		for _, mode := range []string{"static", "mobile", "mixed"} {
-			var sched sensors.Schedule
-			total := 20 * time.Second
-			switch mode {
-			case "static":
-				sched = sensors.Schedule{{Start: 0, End: total, Mode: sensors.Static}}
-			case "mobile":
-				sched = sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}}
-			case "mixed":
-				sched = sensors.AlternatingSchedule(total, 10*time.Second, sensors.Walk, false)
-			}
-			tputs := map[string]float64{}
-			for _, mk := range []func(int64) rate.Adapter{
-				func(s int64) rate.Adapter { return rate.NewRapidSample() },
-				func(s int64) rate.Adapter { return rate.NewSampleRate(s) },
-				func(s int64) rate.Adapter { return rate.NewRRAA() },
-				func(s int64) rate.Adapter { return rate.NewRBAR() },
-				func(s int64) rate.Adapter { return rate.NewCHARM() },
-				func(s int64) rate.Adapter { return rate.NewHintAware(s) },
-			} {
-				sum := 0.0
-				const reps = 5
-				for rep := 0; rep < reps; rep++ {
-					tr := channel.Generate(channel.Config{Env: env, Sched: sched, Total: total, Seed: int64(rep*100 + 1)})
-					a := mk(int64(rep + 7))
-					res := Run(Config{Trace: tr, Adapter: a, Workload: TCP})
-					sum += res.ThroughputMbps
-				}
-				name := mk(0).Name()
-				tputs[name] = sum / reps
-			}
-			t.Logf("%-8s %-7s RS=%.2f SR=%.2f RRAA=%.2f RBAR=%.2f CHARM=%.2f HA=%.2f",
-				env.Name, mode, tputs["RapidSample"], tputs["SampleRate"], tputs["RRAA"],
-				tputs["RBAR"], tputs["CHARM"], tputs["HintAware"])
+		for _, mode := range modes {
+			cells = append(cells, cell{env, mode})
 		}
+	}
+	results := parallel.Map(0, len(cells), func(ci int) map[string]float64 {
+		env, mode := cells[ci].env, cells[ci].mode
+		var sched sensors.Schedule
+		total := 20 * time.Second
+		switch mode {
+		case "static":
+			sched = sensors.Schedule{{Start: 0, End: total, Mode: sensors.Static}}
+		case "mobile":
+			sched = sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}}
+		case "mixed":
+			sched = sensors.AlternatingSchedule(total, 10*time.Second, sensors.Walk, false)
+		}
+		tputs := map[string]float64{}
+		var pool channel.TracePool
+		for _, mk := range []func(int64) rate.Adapter{
+			func(s int64) rate.Adapter { return rate.NewRapidSample() },
+			func(s int64) rate.Adapter { return rate.NewSampleRate(s) },
+			func(s int64) rate.Adapter { return rate.NewRRAA() },
+			func(s int64) rate.Adapter { return rate.NewRBAR() },
+			func(s int64) rate.Adapter { return rate.NewCHARM() },
+			func(s int64) rate.Adapter { return rate.NewHintAware(s) },
+		} {
+			sum := 0.0
+			const reps = 5
+			for rep := 0; rep < reps; rep++ {
+				tr := pool.Generate(channel.Config{Env: env, Sched: sched, Total: total, Seed: int64(rep*100 + 1)})
+				a := mk(int64(rep + 7))
+				res := Run(Config{Trace: tr, Adapter: a, Workload: TCP})
+				pool.Put(tr)
+				sum += res.ThroughputMbps
+			}
+			name := mk(0).Name()
+			tputs[name] = sum / reps
+		}
+		return tputs
+	})
+	for ci, tputs := range results {
+		t.Logf("%-8s %-7s RS=%.2f SR=%.2f RRAA=%.2f RBAR=%.2f CHARM=%.2f HA=%.2f",
+			cells[ci].env.Name, cells[ci].mode, tputs["RapidSample"], tputs["SampleRate"], tputs["RRAA"],
+			tputs["RBAR"], tputs["CHARM"], tputs["HintAware"])
 	}
 }

@@ -9,13 +9,18 @@
 // loss-reactive congestion window with timeouts, reproducing the paper's
 // observation that TCP collapses under the bursty loss of a fast-moving
 // receiver (which is why the vehicular evaluation uses UDP).
+//
+// Run is the per-trial hot loop of every Chapter 3 experiment: airtime
+// costs come from the memoized phy.AirtimesFor tables, randomness from
+// an inline splitmix64 generator, and a replay performs no heap
+// allocation (pinned by TestRunAllocationFree).
 package ratesim
 
 import (
 	"math"
-	"math/rand"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/rate"
 	"repro/internal/trace"
@@ -122,7 +127,11 @@ func Run(cfg Config) Result {
 	if snrNoise == 0 {
 		snrNoise = 1.5
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := parallel.NewRNG(cfg.Seed)
+	// Airtime costs are pure functions of (rate, payload size); the
+	// memoized tables keep the per-attempt clock advance to two array
+	// reads instead of redone integer/Duration arithmetic.
+	airt := phy.AirtimesFor(bytes)
 
 	var res Result
 	end := tr.Duration()
@@ -171,9 +180,9 @@ func Run(cfg Config) Result {
 				// The sender learns the receiver SNR from the exchange,
 				// slightly stale and noisy.
 				fb.SNR = tr.At(now-snrStale).SNR + rng.NormFloat64()*snrNoise
-				now += phy.FrameExchangeAirtime(r, bytes)
+				now += airt.Frame[r]
 			} else {
-				now += phy.FailedExchangeAirtime(r, bytes)
+				now += airt.Failed[r]
 			}
 			cfg.Adapter.Observe(fb)
 			if ok {
@@ -208,12 +217,13 @@ func Run(cfg Config) Result {
 					consLost = 0
 				}
 			}
-			// Pace by the window: cwnd packets per RTT.
+			// Pace by the window: cwnd packets per RTT. The top-rate
+			// exchange airtime is loop-invariant, hoisted via the table.
 			gap := time.Duration(float64(rtt) / cwnd)
-			if min := phy.FrameExchangeAirtime(phy.Rate54, bytes); gap < min {
+			if min := airt.Frame[phy.Rate54]; gap < min {
 				gap = 0 // window no longer the bottleneck
 			} else {
-				gap -= phy.FrameExchangeAirtime(phy.Rate54, bytes)
+				gap -= min
 			}
 			now += gap
 		}

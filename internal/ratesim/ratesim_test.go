@@ -150,6 +150,23 @@ func TestExtraLossApplied(t *testing.T) {
 	}
 }
 
+// TestRunAllocationFree pins the simulator's inner loop at zero heap
+// allocations: with the airtime tables memoized and the inline RNG on
+// the stack, replaying a trace must not generate garbage (the adapter
+// here, RapidSample, holds fixed-size state).
+func TestRunAllocationFree(t *testing.T) {
+	sched := sensors.AlternatingSchedule(2*time.Second, time.Second, sensors.Walk, false)
+	tr := channel.Generate(channel.Config{Env: channel.Office, Sched: sched, Total: 2 * time.Second, Seed: 14})
+	ad := rate.NewRapidSample()
+	Run(Config{Trace: tr, Adapter: ad, Workload: UDP, Seed: 15}) // warm LUT caches
+	allocs := testing.AllocsPerRun(5, func() {
+		Run(Config{Trace: tr, Adapter: ad, Workload: UDP, Seed: 15})
+	})
+	if allocs != 0 {
+		t.Errorf("Run allocates %v times per replay, want 0", allocs)
+	}
+}
+
 func TestAvgRateMbps(t *testing.T) {
 	var r Result
 	if r.AvgRateMbps() != 0 {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"time"
 
 	"repro/internal/phy"
@@ -164,21 +165,61 @@ func (p *PacketTrace) LossRate() float64 {
 
 // ConditionalLoss returns P(packet i+k lost | packet i lost) for each lag
 // k in 1..maxLag — the quantity plotted in Figure 3-1.
+//
+// The computation is the dominant analysis cost on multi-minute packet
+// streams (100 lags × ~10⁵ packets), so it runs on a packed loss bitset:
+// for each lag the joint-loss count is popcount(bits & bits>>k) taken
+// word at a time, 64 packets per step, rather than a per-packet scan.
 func (p *PacketTrace) ConditionalLoss(maxLag int) []float64 {
 	out := make([]float64, maxLag+1)
-	for k := 1; k <= maxLag; k++ {
-		lost, both := 0, 0
-		for i := 0; i+k < len(p.Lost); i++ {
-			if p.Lost[i] {
-				lost++
-				if p.Lost[i+k] {
-					both++
-				}
+	n := len(p.Lost)
+	if n == 0 {
+		return out
+	}
+	words := (n + 63) / 64
+	// Pad with zero words so the shifted reads below never go out of
+	// range (they read up to maxLag bits past the end).
+	packed := make([]uint64, words+maxLag/64+2)
+	for i, l := range p.Lost {
+		if l {
+			packed[i>>6] |= 1 << (i & 63)
+		}
+	}
+	// prefix[w] = set bits in words [0, w), for O(1) "losses before
+	// index m" queries.
+	prefix := make([]int, words+1)
+	for w := 0; w < words; w++ {
+		prefix[w+1] = prefix[w] + bits.OnesCount64(packed[w])
+	}
+	for k := 1; k <= maxLag && k < n; k++ {
+		m := n - k // conditioning packets are i ∈ [0, m)
+		lw, lr := m>>6, m&63
+		lost := prefix[lw]
+		if lr > 0 {
+			lost += bits.OnesCount64(packed[lw] & (1<<lr - 1))
+		}
+		if lost == 0 {
+			continue
+		}
+		q, r := k>>6, k&63
+		both := 0
+		for w := 0; w <= lw; w++ {
+			var shifted uint64
+			if r == 0 {
+				shifted = packed[w+q]
+			} else {
+				shifted = packed[w+q]>>r | packed[w+q+1]<<(64-r)
 			}
+			word := packed[w] & shifted
+			if w == lw {
+				if lr == 0 {
+					break
+				}
+				word &= 1<<lr - 1
+			}
+			both += bits.OnesCount64(word)
 		}
-		if lost > 0 {
-			out[k] = float64(both) / float64(lost)
-		}
+		out[k] = float64(both) / float64(lost)
 	}
 	return out
 }

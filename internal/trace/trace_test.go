@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -177,6 +178,48 @@ func TestConditionalLossNoLosses(t *testing.T) {
 	for k, v := range pt.ConditionalLoss(5) {
 		if v != 0 {
 			t.Errorf("cond[%d] = %v with no losses", k, v)
+		}
+	}
+}
+
+// TestConditionalLossMatchesNaive cross-checks the bitset implementation
+// against the straightforward per-packet scan on random streams,
+// including lengths around word boundaries and lags past the stream end.
+func TestConditionalLossMatchesNaive(t *testing.T) {
+	naive := func(lost []bool, maxLag int) []float64 {
+		out := make([]float64, maxLag+1)
+		for k := 1; k <= maxLag; k++ {
+			nLost, both := 0, 0
+			for i := 0; i+k < len(lost); i++ {
+				if lost[i] {
+					nLost++
+					if lost[i+k] {
+						both++
+					}
+				}
+			}
+			if nLost > 0 {
+				out[k] = float64(both) / float64(nLost)
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 1000, 4096, 5000} {
+		for _, density := range []float64{0, 0.1, 0.5, 0.9} {
+			lost := make([]bool, n)
+			for i := range lost {
+				lost[i] = rng.Float64() < density
+			}
+			pt := &PacketTrace{Lost: lost}
+			maxLag := 130
+			got := pt.ConditionalLoss(maxLag)
+			want := naive(lost, maxLag)
+			for k := range want {
+				if math.Abs(got[k]-want[k]) > 1e-12 {
+					t.Fatalf("n=%d density=%.1f lag=%d: bitset %v, naive %v", n, density, k, got[k], want[k])
+				}
+			}
 		}
 	}
 }
