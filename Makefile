@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench ci
+.PHONY: all build fmt vet test race bench ci shard-smoke cover fuzz
 
 all: build
 
@@ -33,4 +33,33 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchtime=1x .
 
-ci: build vet race
+# Cross-process shard parity smoke: run one experiment through
+# cmd/hintshard as a 3-shard coordinator (spawning real worker
+# processes and merging their serialized partials) and diff the report
+# against the single-process hintbench output. Any byte of drift fails.
+# The registry-wide version of this check (every experiment, several
+# shard counts, in-process) is TestReportsIdenticalAcrossShards.
+shard-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/hintshard ./cmd/hintshard && \
+	$(GO) build -o $$tmp/hintbench ./cmd/hintbench && \
+	$$tmp/hintshard -run fig3-1 -shards 3 -scale 0.2 -seed 42 > $$tmp/sharded.out && \
+	$$tmp/hintbench -scale 0.2 -seed 42 fig3-1 > $$tmp/single.out && \
+	diff $$tmp/single.out $$tmp/sharded.out && \
+	echo "shard-smoke: 3-shard report is bit-identical to the single-process run"
+
+# Coverage summary for the packages that carry the serialization and
+# sharding contracts.
+cover:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) test -coverprofile=$$tmp/cover.out ./internal/stats/... ./internal/parallel/... && \
+	$(GO) tool cover -func=$$tmp/cover.out | tail -n 1
+
+# Short fuzz pass over the stats codecs (each target runs alone, as
+# `go test -fuzz` requires).
+fuzz:
+	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime 30s ./internal/stats/
+	$(GO) test -fuzz FuzzHistogramCodec -fuzztime 30s ./internal/stats/
+	$(GO) test -fuzz FuzzSeriesCodec -fuzztime 30s ./internal/stats/
+
+ci: build vet shard-smoke race

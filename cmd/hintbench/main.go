@@ -12,7 +12,8 @@
 //
 // Reports are bit-identical for any -workers value: trials derive their
 // seeds by trial index and merge in trial order, so -workers only
-// changes how fast the tables appear.
+// changes how fast the tables appear. To spread one experiment across
+// processes (or machines) with the same guarantee, see cmd/hintshard.
 //
 // -cpuprofile/-memprofile write pprof profiles covering the experiment
 // runs (the profiles are flushed even when shape checks fail), for

@@ -1,0 +1,209 @@
+// Command hintshard runs one experiment sharded across processes and
+// merges the partial results into a report that is bit-identical to the
+// single-process hintbench output for any shard count.
+//
+// It runs in three modes:
+//
+//	coordinator (spawn): split the trial space into K shards, run each
+//	as a worker process (this binary re-executed with -shard k/K),
+//	collect the partial-result files and merge them in shard order.
+//
+//	    hintshard -run fig3-5 -shards 4 [-scale S] [-seed N] [-workers W]
+//
+//	worker: run one shard's slice of every trial range and write the
+//	partial (unmerged per-trial accumulators) as JSON to -o or stdout.
+//
+//	    hintshard -run fig3-5 -shard 2/4 -o part2.json [-scale S] [-seed N]
+//
+//	merge: consume partial files produced by workers anywhere (any
+//	order; the shard set must be complete and agree on seed/scale) and
+//	print the merged report.
+//
+//	    hintshard -merge part0.json part1.json part2.json part3.json
+//
+// The determinism contract (internal/parallel/README.md) extends across
+// the process boundary: per-trial seeds derive from the root seed by
+// global trial index, shards own contiguous trial ranges, and the
+// coordinator absorbs per-trial results in global trial order — so
+// -shards, like -workers, only changes how fast the report appears.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	run := flag.String("run", "", "experiment id (see 'hintshard -list')")
+	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper scale, smaller = faster)")
+	seed := flag.Int64("seed", 42, "random seed for deterministic runs")
+	workers := flag.Int("workers", 0, "worker goroutines per process (0 = one per CPU)")
+	shardSpec := flag.String("shard", "", "run as a worker for shard `k/K` and emit a partial result")
+	shards := flag.Int("shards", 0, "run as coordinator: spawn `K` worker processes and merge their partials")
+	merge := flag.Bool("merge", false, "merge partial-result files given as arguments and print the report")
+	out := flag.String("o", "", "worker mode: write the partial to `file` instead of stdout")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return 0
+	}
+
+	switch {
+	case *merge:
+		return mergeFiles(flag.Args(), *workers)
+	case *shardSpec != "":
+		return worker(*run, experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}, *shardSpec, *out)
+	case *shards > 0:
+		return coordinate(*run, *scale, *seed, *workers, *shards)
+	}
+	fmt.Fprintln(os.Stderr, "usage: hintshard -run <id> -shards K   (coordinator)")
+	fmt.Fprintln(os.Stderr, "       hintshard -run <id> -shard k/K  (worker)")
+	fmt.Fprintln(os.Stderr, "       hintshard -merge part.json...   (merge worker output)")
+	return 2
+}
+
+// worker runs one shard and writes the partial result.
+func worker(id string, cfg experiments.Config, shardSpec, out string) int {
+	shard, err := parallel.ParseShard(shardSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	p, err := experiments.RunShard(id, cfg, shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.Encode(w); err != nil {
+		fmt.Fprintf(os.Stderr, "writing partial: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// coordinate spawns one worker process per shard, waits for all of
+// them, and merges their partial files. Workers run concurrently;
+// completion order cannot matter because the merge orders partials by
+// shard index.
+func coordinate(id string, scale float64, seed int64, workers, k int) int {
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "coordinator needs -run <experiment-id>")
+		return 2
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locating own binary: %v\n", err)
+		return 1
+	}
+	// All K workers run on this machine at once; the "one goroutine per
+	// CPU" default would oversubscribe it K-fold, so split the CPUs
+	// across the workers instead. An explicit -workers value passes
+	// through untouched (useful when the shards are I/O-bound or the
+	// invocation is being rehearsed for a multi-machine run).
+	perWorker := workers
+	if perWorker == 0 {
+		perWorker = runtime.NumCPU() / k
+		if perWorker < 1 {
+			perWorker = 1
+		}
+	}
+	dir, err := os.MkdirTemp("", "hintshard-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	files := make([]string, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for _, shard := range parallel.NewShardPlan(k).Shards() {
+		shard := shard
+		files[shard.Index] = filepath.Join(dir, fmt.Sprintf("part%d.json", shard.Index))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := exec.Command(self,
+				"-run", id,
+				"-shard", shard.String(),
+				"-scale", fmt.Sprintf("%g", scale),
+				"-seed", fmt.Sprintf("%d", seed),
+				"-workers", fmt.Sprintf("%d", perWorker),
+				"-o", files[shard.Index],
+			)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				errs[shard.Index] = fmt.Errorf("worker %v: %w", shard, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	return mergeFiles(files, workers)
+}
+
+// mergeFiles decodes worker partials, merges them, and prints the
+// report. Like hintbench, the exit code reflects the shape checks.
+func mergeFiles(paths []string, workers int) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "no partial files to merge")
+		return 2
+	}
+	parts := make([]*experiments.Partial, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		p, err := experiments.DecodePartial(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			return 1
+		}
+		parts = append(parts, p)
+	}
+	rep, err := experiments.MergeShards(parts, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println(rep)
+	if failed := rep.Failed(); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", len(failed))
+		return 1
+	}
+	return 0
+}

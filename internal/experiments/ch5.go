@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/ap"
-	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/power"
 	"repro/internal/stats"
@@ -27,40 +26,48 @@ func init() {
 // heading-difference bucket. Paper values: 66 / 32 / 15 / 9 seconds with
 // an all-links median of 16 — similar headings predict 4–5× longer links.
 func Table5_1(cfg Config) *Report {
+	nets := cfg.scaleInt(15, 3) // the paper studies 15 networks of 100 vehicles
+	horizon := time.Duration(cfg.scaleInt(300, 120)) * time.Second
+	// Each network is one independent trial: it owns a seed derived by
+	// network index and emits its link durations into the per-bucket
+	// accumulators and the duration histogram, absorbed in network
+	// order, so the report does not depend on worker or shard count.
+	ss := cfg.stream("table5-1")
+	bucketKey := func(i int) string { return fmt.Sprintf("bucket/%d", i) }
+	cfg.trials("table5-1", nets, func(n int, em *Emitter) {
+		sim := vehicular.NewSimulation(vehicular.DefaultMobilityConfig(ss.Seed(n)))
+		for _, l := range vehicular.CollectLinks(sim, horizon) {
+			d := l.Duration().Seconds()
+			em.Add(bucketKey(vehicular.HeadingBucket(l.StartHeadingDiff)), d)
+			em.Add("all", d)
+			em.Hist("durs", 1, d) // 1 s buckets over link lifetimes
+		}
+	})
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "table5-1",
 		Title: "Median link duration (s) by heading difference",
 		Paper: "[0,9]=66  [10,19]=32  [20,29]=15  [30,180]=9  all=16 (4–5× for similar headings)",
 	}
-	nets := cfg.scaleInt(15, 3) // the paper studies 15 networks of 100 vehicles
-	horizon := time.Duration(cfg.scaleInt(300, 120)) * time.Second
-	// Each network is one independent trial: it owns a seed derived by
-	// network index, and the per-network link lists merge in index order,
-	// so the report does not depend on the worker count.
-	ss := cfg.stream("table5-1")
-	perNet := parallel.Map(cfg.workers(), nets, func(n int) []vehicular.LinkRecord {
-		sim := vehicular.NewSimulation(vehicular.DefaultMobilityConfig(ss.Seed(n)))
-		return vehicular.CollectLinks(sim, horizon)
-	})
-	var all []vehicular.LinkRecord
-	durs := stats.NewHistogram(1) // 1 s buckets over link lifetimes
-	for _, links := range perNet {
-		all = append(all, links...)
-		for _, l := range links {
-			durs.Add(l.Duration().Seconds())
-		}
+	all := cfg.acc("all")
+	var buckets [4]float64
+	for i := range buckets {
+		buckets[i] = cfg.acc(bucketKey(i)).Median()
 	}
-	buckets, allMed := vehicular.MedianDurations(all)
+	allMed := all.Median()
 
 	r.Columns = []string{"median (s)"}
 	for i, name := range vehicular.BucketNames {
 		r.Rows = append(r.Rows, Row{Label: name, Values: []float64{buckets[i]}})
 	}
 	r.Rows = append(r.Rows, Row{Label: "all links", Values: []float64{allMed}})
-	r.Notes = append(r.Notes, fmt.Sprintf("%d links observed across %d networks", len(all), nets))
-	r.Notes = append(r.Notes, "link duration distribution: "+durs.String())
+	r.Notes = append(r.Notes, fmt.Sprintf("%d links observed across %d networks", all.N(), nets))
+	r.Notes = append(r.Notes, "link duration distribution: "+cfg.hist("durs").String())
 
-	r.AddCheck("enough-links", len(all) > 1000, "%d links (paper observed 16,523)", len(all))
+	r.AddCheck("enough-links", all.N() > 1000, "%d links (paper observed 16,523)", all.N())
 	r.AddCheck("monotone-buckets", buckets[0] > buckets[1] && buckets[1] > buckets[2] && buckets[2] >= buckets[3],
 		"medians decrease with heading difference: %.0f > %.0f > %.0f ≥ %.0f",
 		buckets[0], buckets[1], buckets[2], buckets[3])
@@ -77,11 +84,6 @@ func Table5_1(cfg Config) *Report {
 // the CTE metric (prefer neighbours with similar headings) last 4–5×
 // longer than hint-free route selection.
 func Sec5_1(cfg Config) *Report {
-	r := &Report{
-		ID:    "sec5-1",
-		Title: "Route lifetime: CTE vs hint-free selection",
-		Paper: "hint-aware route selection increases route stability by 4–5×",
-	}
 	mob := vehicular.DefaultMobilityConfig(cfg.Seed)
 	mob.Vehicles = 250                // denser fleet so aligned next hops exist
 	mob.Step = 500 * time.Millisecond // finer steps resolve short route lives
@@ -97,25 +99,41 @@ func Sec5_1(cfg Config) *Report {
 	}
 	trials := cfg.scaleInt(600, 150)
 	// One attempt per trial index; failed constructions (sparse
-	// neighbourhoods) drop out deterministically, and successes merge in
-	// trial order. Both selectors share the seed stream so trial i runs
-	// on the same fleet from the same source for both — a paired
-	// comparison, which is what keeps the variance of the ratio down.
+	// neighbourhoods) emit nothing and drop out deterministically, and
+	// successes absorb in trial order. Both selectors share the seed
+	// stream so trial i runs on the same fleet from the same source for
+	// both — a paired comparison, which is what keeps the variance of
+	// the ratio down.
 	ss := cfg.stream("sec5-1")
-	lifetimes := func(sel vehicular.RouteSelector) (*stats.Accumulator, *stats.Series) {
-		// Each trial returns a one-point series fragment (lifetime on x);
-		// MergeSeries reassembles the fragments sorted by lifetime, which
-		// is exactly the CDF ordering, independent of completion order.
-		frags := parallel.Map(cfg.workers(), trials, func(i int) *stats.Series {
-			life, ok := vehicular.RouteLifetimeTrial(scfg, sel, ss.Seed(i))
-			if !ok {
-				return nil
+	selectors := []struct {
+		key string
+		sel vehicular.RouteSelector
+	}{
+		{"cte", vehicular.CTESelector{}},
+		{"free", vehicular.RandomSelector{}},
+	}
+	for _, s := range selectors {
+		s := s
+		cfg.trials("sec5-1/"+s.key, trials, func(i int, em *Emitter) {
+			if life, ok := vehicular.RouteLifetimeTrial(scfg, s.sel, ss.Seed(i)); ok {
+				em.Point("life/"+s.key, life, 0)
 			}
-			s := &stats.Series{}
-			s.Add(life, 0)
-			return s
 		})
-		cdf := stats.MergeSeries("route lifetime CDF ("+sel.Name()+")", frags...)
+	}
+	if cfg.collecting() {
+		return nil
+	}
+
+	r := &Report{
+		ID:    "sec5-1",
+		Title: "Route lifetime: CTE vs hint-free selection",
+		Paper: "hint-aware route selection increases route stability by 4–5×",
+	}
+	// Each successful trial contributed a one-point fragment (lifetime
+	// on x); sorting by lifetime is exactly the CDF ordering, and the
+	// stable sort over trial-ordered points keeps ties deterministic.
+	lifetimes := func(key string, sel vehicular.RouteSelector) (*stats.Accumulator, *stats.Series) {
+		cdf := stats.MergeSeries("route lifetime CDF ("+sel.Name()+")", cfg.seriesCol("life/"+key, ""))
 		acc := &stats.Accumulator{}
 		for i := range cdf.Points {
 			cdf.Points[i].Y = float64(i+1) / float64(len(cdf.Points))
@@ -123,8 +141,8 @@ func Sec5_1(cfg Config) *Report {
 		}
 		return acc, cdf
 	}
-	cteAcc, cteCDF := lifetimes(vehicular.CTESelector{})
-	freeAcc, freeCDF := lifetimes(vehicular.RandomSelector{})
+	cteAcc, cteCDF := lifetimes("cte", vehicular.CTESelector{})
+	freeAcc, freeCDF := lifetimes("free", vehicular.RandomSelector{})
 	r.Series = append(r.Series, cteCDF, freeCDF)
 	cte, free := cteAcc.Values(), freeAcc.Values()
 
@@ -143,32 +161,49 @@ func Sec5_1(cfg Config) *Report {
 	return r
 }
 
+// emitTwoClient records an AP simulation result under a key prefix.
+func emitTwoClient(em *Emitter, prefix string, res ap.TwoClientResult) {
+	for _, p := range res.Client1.Points {
+		em.Point(prefix+"/c1", p.X, p.Y)
+	}
+	for _, p := range res.Client2.Points {
+		em.Point(prefix+"/c2", p.X, p.Y)
+	}
+	em.Add(prefix+"/total1", res.Total1)
+	em.Add(prefix+"/total2", res.Total2)
+	em.Add(prefix+"/prune", res.PruneAt.Seconds())
+}
+
 // Fig5_1 reproduces Figure 5-1 and the §5.2.3 fix: two clients share an
 // AP; client 2 leaves at ~35 s. With the commercial behaviour
 // (frame-level fairness, 10 s prune timeout) the remaining client's
 // throughput collapses for ~10 s; with hint-aware pruning it barely dips.
 func Fig5_1(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig5-1",
-		Title: "Two-client AP throughput; client 2 departs at 35 s",
-		Paper: "remaining client drops precipitously for ~10 s, then recovers to full bandwidth",
-	}
 	base := ap.TwoClientConfig{Policy: ap.FrameFair}
 	hintCfg := base
 	hintCfg.Prune = ap.PruneConfig{Timeout: 10 * time.Second, HintAware: true, ProbeEvery: time.Second}
 	// The two AP simulations are seed-free and independent; run them as
 	// a two-trial fan-out.
-	runs := parallel.Map(cfg.workers(), 2, func(i int) ap.TwoClientResult {
+	cfg.trials("fig5-1", 2, func(i int, em *Emitter) {
 		if i == 0 {
-			return ap.RunTwoClients(base)
+			emitTwoClient(em, "legacy", ap.RunTwoClients(base))
+		} else {
+			emitTwoClient(em, "hint", ap.RunTwoClients(hintCfg))
 		}
-		return ap.RunTwoClients(hintCfg)
 	})
-	legacy, hinted := runs[0], runs[1]
+	if cfg.collecting() {
+		return nil
+	}
 
-	legacy.Client1.Name = "client 1 (legacy AP)"
-	hinted.Client1.Name = "client 1 (hint-aware AP)"
-	r.Series = append(r.Series, legacy.Client1, legacy.Client2, hinted.Client1)
+	r := &Report{
+		ID:    "fig5-1",
+		Title: "Two-client AP throughput; client 2 departs at 35 s",
+		Paper: "remaining client drops precipitously for ~10 s, then recovers to full bandwidth",
+	}
+	legacy1 := cfg.seriesCol("legacy/c1", "client 1 (legacy AP)")
+	legacy2 := cfg.seriesCol("legacy/c2", "client 2 (departs)")
+	hinted1 := cfg.seriesCol("hint/c1", "client 1 (hint-aware AP)")
+	r.Series = append(r.Series, legacy1, legacy2, hinted1)
 
 	// Quantify the collapse: client 1's mean throughput in the windows
 	// before departure, during the open-loop retry interval, and after
@@ -182,10 +217,10 @@ func Fig5_1(cfg Config) *Report {
 		}
 		return stats.Mean(xs)
 	}
-	before := window(legacy.Client1, 20, 34)
-	during := window(legacy.Client1, 36, 44)
-	after := window(legacy.Client1, 48, 58)
-	hintDuring := window(hinted.Client1, 36, 44)
+	before := window(legacy1, 20, 34)
+	during := window(legacy1, 36, 44)
+	after := window(legacy1, 48, 58)
+	hintDuring := window(hinted1, 36, 44)
 
 	r.Columns = []string{"Mbps"}
 	r.Rows = []Row{
@@ -196,7 +231,7 @@ func Fig5_1(cfg Config) *Report {
 	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("legacy AP pruned at %.1fs; hint-aware at %.1fs",
-			legacy.PruneAt.Seconds(), hinted.PruneAt.Seconds()))
+			cfg.val("legacy/prune"), cfg.val("hint/prune")))
 
 	r.AddCheck("collapse-during-retries", during < 0.5*before,
 		"client 1 throughput %.1f → %.1f Mbps while the AP retries open-loop", before, during)
@@ -212,22 +247,6 @@ func Fig5_1(cfg Config) *Report {
 // and mobile-favored scheduling (§5.2.2) increases aggregate delivered
 // traffic when a mobile client will soon depart.
 func Sec5_2(cfg Config) *Report {
-	r := &Report{
-		ID:    "sec5-2",
-		Title: "Adaptive association and packet scheduling",
-		Paper: "heading-aware association predicts longer associations; favoring the mobile client raises aggregate throughput",
-	}
-	score := ap.DefaultAssociationScore()
-
-	// Association: a client walking toward AP-B should pick AP-B even
-	// though AP-A is currently stronger.
-	toward := ap.ClientHints{Moving: true, HeadingDeg: 90, SpeedMps: 1.5, BearingToAPDeg: 90, RSSdB: 12}
-	away := ap.ClientHints{Moving: true, HeadingDeg: 90, SpeedMps: 1.5, BearingToAPDeg: 270, RSSdB: 15}
-	hintPick := ap.BestAP(score, []ap.ClientHints{away, toward})
-	rssPick := ap.BestAPByRSS([]ap.ClientHints{away, toward})
-	r.AddCheck("association-prefers-approach", hintPick == 1 && rssPick == 0,
-		"hint-aware picks the approached AP (idx %d); RSS-only picks the one being left (idx %d)", hintPick, rssPick)
-
 	// Scheduling: client 2 departs at 20 s with a finite backlog; the
 	// static client's batch is finite in time anyway, so dedicating more
 	// of the pre-departure window to the mobile client raises the total.
@@ -240,21 +259,47 @@ func Sec5_2(cfg Config) *Report {
 	}
 	fav := base
 	fav.Policy = ap.MobileFavored
-	sched := parallel.Map(cfg.workers(), 2, func(i int) ap.TwoClientResult {
+	cfg.trials("sec5-2", 2, func(i int, em *Emitter) {
 		if i == 0 {
-			return ap.RunTwoClients(base)
+			res := ap.RunTwoClients(base)
+			em.Add("fair/total1", res.Total1)
+			em.Add("fair/total2", res.Total2)
+		} else {
+			res := ap.RunTwoClients(fav)
+			em.Add("fav/total1", res.Total1)
+			em.Add("fav/total2", res.Total2)
 		}
-		return ap.RunTwoClients(fav)
 	})
-	fair, favored := sched[0], sched[1]
+	if cfg.collecting() {
+		return nil
+	}
 
+	r := &Report{
+		ID:    "sec5-2",
+		Title: "Adaptive association and packet scheduling",
+		Paper: "heading-aware association predicts longer associations; favoring the mobile client raises aggregate throughput",
+	}
+	score := ap.DefaultAssociationScore()
+
+	// Association: a client walking toward AP-B should pick AP-B even
+	// though AP-A is currently stronger (deterministic, so it lives in
+	// the finish phase).
+	toward := ap.ClientHints{Moving: true, HeadingDeg: 90, SpeedMps: 1.5, BearingToAPDeg: 90, RSSdB: 12}
+	away := ap.ClientHints{Moving: true, HeadingDeg: 90, SpeedMps: 1.5, BearingToAPDeg: 270, RSSdB: 15}
+	hintPick := ap.BestAP(score, []ap.ClientHints{away, toward})
+	rssPick := ap.BestAPByRSS([]ap.ClientHints{away, toward})
+	r.AddCheck("association-prefers-approach", hintPick == 1 && rssPick == 0,
+		"hint-aware picks the approached AP (idx %d); RSS-only picks the one being left (idx %d)", hintPick, rssPick)
+
+	fair1, fair2 := cfg.val("fair/total1"), cfg.val("fair/total2")
+	fav1, fav2 := cfg.val("fav/total1"), cfg.val("fav/total2")
 	r.Columns = []string{"client1 Mb", "client2 Mb", "total Mb"}
 	r.Rows = []Row{
-		{Label: "frame-fair", Values: []float64{fair.Total1, fair.Total2, fair.Total1 + fair.Total2}},
-		{Label: "mobile-favored", Values: []float64{favored.Total1, favored.Total2, favored.Total1 + favored.Total2}},
+		{Label: "frame-fair", Values: []float64{fair1, fair2, fair1 + fair2}},
+		{Label: "mobile-favored", Values: []float64{fav1, fav2, fav1 + fav2}},
 	}
-	r.AddCheck("favoring-mobile-raises-client2", favored.Total2 > 1.15*fair.Total2,
-		"mobile client receives %.0f Mb vs %.0f under frame fairness", favored.Total2, fair.Total2)
+	r.AddCheck("favoring-mobile-raises-client2", fav2 > 1.15*fair2,
+		"mobile client receives %.0f Mb vs %.0f under frame fairness", fav2, fair2)
 	return r
 }
 
@@ -263,20 +308,30 @@ func Sec5_2(cfg Config) *Report {
 // the long prefix directly, recovering most of the throughput that ISI
 // destroys, without an empirical search.
 func Sec5_3(cfg Config) *Report {
+	// Deterministic PHY computation, run as one trial so every
+	// execution mode shares the code path.
+	cfg.trials("sec5-3", 1, func(_ int, em *Emitter) {
+		const snr = 21.0
+		indoorDelay := 200 * time.Nanosecond
+		outdoorDelay := 1500 * time.Nanosecond
+		rate := phy.Rate54
+
+		em.Add("stdin", phy.EffectiveThroughputMbps(rate, phy.GI800, snr, indoorDelay, 1000))
+		em.Add("stdout", phy.EffectiveThroughputMbps(rate, phy.GI800, snr, outdoorDelay, 1000))
+		em.Add("hintout", phy.EffectiveThroughputMbps(rate, phy.GuardIntervalForEnvironment(true), snr, outdoorDelay, 1000))
+		em.Add("bestout", phy.EffectiveThroughputMbps(rate, phy.BestGuardInterval(rate, snr, outdoorDelay, 1000), snr, outdoorDelay, 1000))
+	})
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "sec5-3",
 		Title: "Cyclic prefix selection with an outdoor hint",
 		Paper: "802.11a works poorly outdoors with the standard prefix; a hint makes the search unnecessary",
 	}
-	const snr = 21.0
-	indoorDelay := 200 * time.Nanosecond
-	outdoorDelay := 1500 * time.Nanosecond
-	rate := phy.Rate54
-
-	stdIn := phy.EffectiveThroughputMbps(rate, phy.GI800, snr, indoorDelay, 1000)
-	stdOut := phy.EffectiveThroughputMbps(rate, phy.GI800, snr, outdoorDelay, 1000)
-	hintOut := phy.EffectiveThroughputMbps(rate, phy.GuardIntervalForEnvironment(true), snr, outdoorDelay, 1000)
-	bestOut := phy.EffectiveThroughputMbps(rate, phy.BestGuardInterval(rate, snr, outdoorDelay, 1000), snr, outdoorDelay, 1000)
+	stdIn, stdOut := cfg.val("stdin"), cfg.val("stdout")
+	hintOut, bestOut := cfg.val("hintout"), cfg.val("bestout")
 
 	r.Columns = []string{"Mbps"}
 	r.Rows = []Row{
@@ -299,11 +354,6 @@ func Sec5_3(cfg Config) *Report {
 // when scanning is futile and saves most of the scan energy without
 // missing meaningful connectivity.
 func Sec5_4(cfg Config) *Report {
-	r := &Report{
-		ID:    "sec5-4",
-		Title: "Movement-based radio power saving",
-		Paper: "power down when static with no AP, or moving too fast for Wi-Fi; wake on movement hints",
-	}
 	total := 10 * time.Minute
 	// Scenario: 0–3 min parked in a dead spot; 3–5 min walking through
 	// coverage; 5–8 min driving fast (no useful Wi-Fi); 8–10 min walking
@@ -320,19 +370,38 @@ func Sec5_4(cfg Config) *Report {
 			return power.Input{Moving: true, SpeedMps: 1.4, APAvailable: true}
 		}
 	}
-	model := power.DefaultEnergyModel()
-	aware := power.Simulate(power.NewPolicy(true), model, 100*time.Millisecond, total, scenario)
-	naive := power.Simulate(power.NewPolicy(false), model, 100*time.Millisecond, total, scenario)
+	// The two policies are deterministic simulations; run them as a
+	// two-trial fan-out.
+	cfg.trials("sec5-4", 2, func(i int, em *Emitter) {
+		model := power.DefaultEnergyModel()
+		aware := i == 0
+		res := power.Simulate(power.NewPolicy(aware), model, 100*time.Millisecond, total, scenario)
+		key := "naive"
+		if aware {
+			key = "aware"
+		}
+		em.Add(key+"/energy", res.EnergyMJ)
+		em.Add(key+"/missed", res.MissedConnectivity.Seconds())
+		em.Add(key+"/off", res.TimeIn[power.RadioOff].Seconds())
+	})
+	if cfg.collecting() {
+		return nil
+	}
 
+	r := &Report{
+		ID:    "sec5-4",
+		Title: "Movement-based radio power saving",
+		Paper: "power down when static with no AP, or moving too fast for Wi-Fi; wake on movement hints",
+	}
 	r.Columns = []string{"energy mJ", "missed s", "off s"}
 	r.Rows = []Row{
-		{Label: "hint-aware", Values: []float64{aware.EnergyMJ, aware.MissedConnectivity.Seconds(), aware.TimeIn[power.RadioOff].Seconds()}},
-		{Label: "hint-oblivious", Values: []float64{naive.EnergyMJ, naive.MissedConnectivity.Seconds(), naive.TimeIn[power.RadioOff].Seconds()}},
+		{Label: "hint-aware", Values: []float64{cfg.val("aware/energy"), cfg.val("aware/missed"), cfg.val("aware/off")}},
+		{Label: "hint-oblivious", Values: []float64{cfg.val("naive/energy"), cfg.val("naive/missed"), cfg.val("naive/off")}},
 	}
-	saving := 1 - aware.EnergyMJ/naive.EnergyMJ
+	saving := 1 - cfg.val("aware/energy")/cfg.val("naive/energy")
 	r.AddCheck("saves-energy", saving > 0.15,
-		"hint-aware saves %.0f%% energy (%.0f vs %.0f mJ)", 100*saving, aware.EnergyMJ, naive.EnergyMJ)
-	r.AddCheck("no-extra-missed-connectivity", aware.MissedConnectivity <= naive.MissedConnectivity+5*time.Second,
-		"missed connectivity: aware %.0fs vs naive %.0fs", aware.MissedConnectivity.Seconds(), naive.MissedConnectivity.Seconds())
+		"hint-aware saves %.0f%% energy (%.0f vs %.0f mJ)", 100*saving, cfg.val("aware/energy"), cfg.val("naive/energy"))
+	r.AddCheck("no-extra-missed-connectivity", cfg.val("aware/missed") <= cfg.val("naive/missed")+5,
+		"missed connectivity: aware %.0fs vs naive %.0fs", cfg.val("aware/missed"), cfg.val("naive/missed"))
 	return r
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 // TestReportsIdenticalAcrossWorkerCounts asserts the engine's hard
@@ -44,6 +47,72 @@ func TestReportsIdenticalAcrossWorkerCounts(t *testing.T) {
 				if got != base {
 					t.Errorf("report differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
 						w, base, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestReportsIdenticalAcrossShards is the golden shard-parity test: for
+// every registered experiment, splitting the trial space into K shard
+// worker runs, serializing each shard's partial through the wire codec,
+// and merging the deserialized partials must reproduce the
+// single-process report byte for byte — for every K, including shard
+// counts that leave some shards empty. Partials are handed to the
+// coordinator out of order to prove the merge does not depend on worker
+// completion order.
+func TestReportsIdenticalAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	const scale = 0.1
+	shardCounts := []int{1, 2, 3, runtime.NumCPU()}
+	if underRace {
+		// One multi-shard configuration suffices for the detector.
+		shardCounts = []int{3}
+	}
+	seen := map[int]bool{}
+	var counts []int
+	for _, k := range shardCounts {
+		if !seen[k] {
+			seen[k] = true
+			counts = append(counts, k)
+		}
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Scale: scale, Seed: 42}
+			base := exp.Run(cfg).String()
+			for _, k := range counts {
+				parts := make([]*Partial, 0, k)
+				for _, shard := range parallel.NewShardPlan(k).Shards() {
+					p, err := RunShard(exp.ID, cfg, shard)
+					if err != nil {
+						t.Fatalf("RunShard %v: %v", shard, err)
+					}
+					// Round-trip through the wire format: the parity
+					// guarantee must survive serialize → deserialize.
+					var buf bytes.Buffer
+					if err := p.Encode(&buf); err != nil {
+						t.Fatalf("encode shard %v: %v", shard, err)
+					}
+					p2, err := DecodePartial(&buf)
+					if err != nil {
+						t.Fatalf("decode shard %v: %v", shard, err)
+					}
+					// Prepend: the coordinator sees shards in reverse
+					// completion order.
+					parts = append([]*Partial{p2}, parts...)
+				}
+				rep, err := MergeShards(parts, 0)
+				if err != nil {
+					t.Fatalf("MergeShards K=%d: %v", k, err)
+				}
+				if got := rep.String(); got != base {
+					t.Errorf("report differs between in-process and %d-shard merge:\n--- in-process ---\n%s\n--- %d shards ---\n%s",
+						k, base, k, got)
 				}
 			}
 		})

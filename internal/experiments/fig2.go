@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/hints"
 	"repro/internal/sensors"
-	"repro/internal/stats"
 )
 
 func init() {
@@ -18,11 +17,6 @@ func init() {
 // threshold at rest and frequently exceeds it while moving, and the
 // derived movement hint flips within 100 ms of the ground truth.
 func Fig2_2(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig2-2",
-		Title: "Jerk value over time (stationary → moving → stationary)",
-		Paper: "jerk < 3 while stationary, frequently > 3 while moving; detection < 100 ms",
-	}
 	const restA = 20 * time.Second
 	const moveLen = 40 * time.Second
 	const restB = 20 * time.Second
@@ -30,63 +24,88 @@ func Fig2_2(cfg Config) *Report {
 	sched := sensors.Schedule{
 		{Start: restA, End: restA + moveLen, Mode: sensors.Walk},
 	}
-	acc := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), cfg.stream("fig2-2").Seed(0))
-	samples := acc.Generate(sched, total)
-	jerks := hints.JerkSeries(samples, hints.MovementConfig{})
 
-	series := &stats.Series{Name: "jerk"}
-	for i, j := range jerks {
-		// Downsample for the chart: every 25th report (50 ms).
-		if i%25 == 0 {
-			series.Add(samples[i].T.Seconds(), j)
-		}
-	}
-	r.Series = append(r.Series, series)
+	// The whole scenario is one deterministic trial: it derives its seed
+	// from the stream, emits the chart's series and the scalar shape
+	// statistics, and the finish phase renders them.
+	cfg.trials("fig2-2", 1, func(i int, em *Emitter) {
+		acc := sensors.NewAccelerometer(sensors.DefaultAccelConfig(), cfg.stream("fig2-2").Seed(i))
+		samples := acc.Generate(sched, total)
+		jerks := hints.JerkSeries(samples, hints.MovementConfig{})
 
-	// Shape check 1: rest-phase jerk below threshold (allow the warmup
-	// reports and a tiny exceedance tolerance for noise tails).
-	maxRest, maxMove := 0.0, 0.0
-	exceedRest, moveAbove := 0, 0
-	nRest, nMove := 0, 0
-	for i, j := range jerks {
-		t := samples[i].T
-		if sched.MovingAt(t) {
-			nMove++
-			if j > hints.DefaultJerkThreshold {
-				moveAbove++
-			}
-			if j > maxMove {
-				maxMove = j
-			}
-		} else if t > time.Second && (t < restA-time.Second || t > restA+moveLen+time.Second) {
-			nRest++
-			if j > hints.DefaultJerkThreshold {
-				exceedRest++
-			}
-			if j > maxRest {
-				maxRest = j
+		for j, jerk := range jerks {
+			// Downsample for the chart: every 25th report (50 ms).
+			if j%25 == 0 {
+				em.Point("jerk", samples[j].T.Seconds(), jerk)
 			}
 		}
+
+		// Shape statistic 1: rest-phase jerk below threshold (allow the
+		// warmup reports and a tiny exceedance tolerance for noise tails).
+		maxRest, maxMove := 0.0, 0.0
+		exceedRest, moveAbove := 0, 0
+		nRest, nMove := 0, 0
+		for j, jerk := range jerks {
+			t := samples[j].T
+			if sched.MovingAt(t) {
+				nMove++
+				if jerk > hints.DefaultJerkThreshold {
+					moveAbove++
+				}
+				if jerk > maxMove {
+					maxMove = jerk
+				}
+			} else if t > time.Second && (t < restA-time.Second || t > restA+moveLen+time.Second) {
+				nRest++
+				if jerk > hints.DefaultJerkThreshold {
+					exceedRest++
+				}
+				if jerk > maxRest {
+					maxRest = jerk
+				}
+			}
+		}
+		em.Add("maxrest", maxRest)
+		em.Add("maxmove", maxMove)
+		em.Add("restfrac", float64(exceedRest)/float64(nRest))
+		em.Add("movefrac", float64(moveAbove)/float64(nMove))
+
+		// Shape statistic 2: hint detection latency (nanoseconds; −1
+		// encodes "never detected").
+		det := hints.NewMovementDetector(hints.MovementConfig{})
+		var rise, fall time.Duration = -1, -1
+		for _, s := range samples {
+			m := det.Update(s)
+			if m && rise < 0 && s.T >= restA {
+				rise = s.T - restA
+			}
+			if !m && rise >= 0 && fall < 0 && s.T >= restA+moveLen {
+				fall = s.T - (restA + moveLen)
+			}
+		}
+		em.Add("rise", float64(rise))
+		em.Add("fall", float64(fall))
+	})
+	if cfg.collecting() {
+		return nil
 	}
-	restExceedFrac := float64(exceedRest) / float64(nRest)
-	moveFrac := float64(moveAbove) / float64(nMove)
+
+	r := &Report{
+		ID:    "fig2-2",
+		Title: "Jerk value over time (stationary → moving → stationary)",
+		Paper: "jerk < 3 while stationary, frequently > 3 while moving; detection < 100 ms",
+	}
+	r.Series = append(r.Series, cfg.seriesCol("jerk", "jerk"))
+
+	maxRest, maxMove := cfg.val("maxrest"), cfg.val("maxmove")
+	restExceedFrac, moveFrac := cfg.val("restfrac"), cfg.val("movefrac")
+	rise := time.Duration(cfg.val("rise"))
+	fall := time.Duration(cfg.val("fall"))
+
 	r.AddCheck("rest-below-threshold", restExceedFrac < 0.001,
 		"rest jerk max %.2f, %.4f%% of rest reports above 3", maxRest, 100*restExceedFrac)
 	r.AddCheck("move-above-threshold", moveFrac > 0.10,
 		"moving jerk max %.1f, %.1f%% of moving reports above 3", maxMove, 100*moveFrac)
-
-	// Shape check 2: hint detection latency.
-	det := hints.NewMovementDetector(hints.MovementConfig{})
-	var rise, fall time.Duration = -1, -1
-	for _, s := range samples {
-		m := det.Update(s)
-		if m && rise < 0 && s.T >= restA {
-			rise = s.T - restA
-		}
-		if !m && rise >= 0 && fall < 0 && s.T >= restA+moveLen {
-			fall = s.T - (restA + moveLen)
-		}
-	}
 	r.AddCheck("rise-latency", rise >= 0 && rise <= 100*time.Millisecond,
 		"movement detected %v after motion onset", rise)
 	r.AddCheck("fall-detected", fall >= 0 && fall <= 500*time.Millisecond,

@@ -4,11 +4,9 @@ import (
 	"time"
 
 	"repro/internal/channel"
-	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sensors"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 func init() {
@@ -23,50 +21,64 @@ func init() {
 // than static for k < 10 and decays to the unconditional baseline by
 // k ≈ 50, implying a channel coherence time around 8–10 ms.
 func Fig3_1(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig3-1",
-		Title: "Conditional loss probability vs lag k at 54 Mbps",
-		Paper: "mobile P(loss|loss) ≫ static for k < 10; decays to baseline by k ≈ 50 (coherence ≈ 10 ms)",
-	}
 	// ~5000 packets/s at 54 Mbps in the paper → 200 µs spacing.
 	const pktInterval = 200 * time.Microsecond
 	const maxLag = 100
 	total := time.Duration(cfg.scaleInt(60, 10)) * time.Second
 
 	env := channel.Office
-	// The static and mobile packet streams are independent trials.
+	// The static and mobile packet streams are independent trials; each
+	// generates its stream, runs the conditional-loss analysis, and
+	// emits the curve plus the unconditional baseline.
 	ss := cfg.stream("fig3-1")
 	modes := []sensors.MobilityMode{sensors.Static, sensors.Walk}
-	trs := parallel.Map(cfg.workers(), len(modes), func(i int) *trace.PacketTrace {
-		return channel.GeneratePacketStream(env, modes[i], phy.Rate54, pktInterval, total, 1000, ss.Seed(i))
+	labels := []string{"static", "mobile"}
+	cfg.trials("fig3-1", len(modes), func(i int, em *Emitter) {
+		tr := channel.GeneratePacketStream(env, modes[i], phy.Rate54, pktInterval, total, 1000, ss.Seed(i))
+		cond := tr.ConditionalLoss(maxLag)
+		for k := 1; k <= maxLag; k++ {
+			em.Point("cond/"+labels[i], float64(k), cond[k])
+		}
+		em.Add("base/"+labels[i], tr.LossRate())
 	})
-	staticTr, mobileTr := trs[0], trs[1]
-
-	staticCond := staticTr.ConditionalLoss(maxLag)
-	mobileCond := mobileTr.ConditionalLoss(maxLag)
-	staticBase := staticTr.LossRate()
-	mobileBase := mobileTr.LossRate()
-
-	sSt := &stats.Series{Name: "cond loss (static)"}
-	sMo := &stats.Series{Name: "cond loss (mobile)"}
-	for k := 1; k <= maxLag; k++ {
-		sSt.Add(float64(k), staticCond[k])
-		sMo.Add(float64(k), mobileCond[k])
+	if cfg.collecting() {
+		return nil
 	}
+
+	r := &Report{
+		ID:    "fig3-1",
+		Title: "Conditional loss probability vs lag k at 54 Mbps",
+		Paper: "mobile P(loss|loss) ≫ static for k < 10; decays to baseline by k ≈ 50 (coherence ≈ 10 ms)",
+	}
+	sSt := cfg.seriesCol("cond/static", "cond loss (static)")
+	sMo := cfg.seriesCol("cond/mobile", "cond loss (mobile)")
+	staticBase := cfg.val("base/static")
+	mobileBase := cfg.val("base/mobile")
+	// The series carry lags 1..maxLag in order: index k−1 is lag k.
+	at := func(s *stats.Series, k int) float64 {
+		if k-1 < len(s.Points) {
+			return s.Points[k-1].Y
+		}
+		return 0
+	}
+
 	r.Series = append(r.Series, sSt, sMo)
 	r.Columns = []string{"value"}
 	r.Rows = []Row{
 		{Label: "uncond loss (static)", Values: []float64{staticBase}},
 		{Label: "uncond loss (mobile)", Values: []float64{mobileBase}},
-		{Label: "cond loss k=1 (static)", Values: []float64{staticCond[1]}},
-		{Label: "cond loss k=1 (mobile)", Values: []float64{mobileCond[1]}},
-		{Label: "cond loss k=50 (mobile)", Values: []float64{mobileCond[50]}},
+		{Label: "cond loss k=1 (static)", Values: []float64{at(sSt, 1)}},
+		{Label: "cond loss k=1 (mobile)", Values: []float64{at(sMo, 1)}},
+		{Label: "cond loss k=50 (mobile)", Values: []float64{at(sMo, 50)}},
 	}
 
-	avg := func(xs []float64, from, to int) float64 {
+	avg := func(s *stats.Series, from, to int) float64 {
 		sum, n := 0.0, 0
-		for k := from; k <= to && k < len(xs); k++ {
-			sum += xs[k]
+		for k := from; k <= to; k++ {
+			if k-1 >= len(s.Points) {
+				break
+			}
+			sum += s.Points[k-1].Y
 			n++
 		}
 		if n == 0 {
@@ -74,9 +86,9 @@ func Fig3_1(cfg Config) *Report {
 		}
 		return sum / float64(n)
 	}
-	mobShort := avg(mobileCond, 1, 10)
-	stShort := avg(staticCond, 1, 10)
-	mobLong := avg(mobileCond, 50, maxLag)
+	mobShort := avg(sMo, 1, 10)
+	stShort := avg(sSt, 1, 10)
+	mobLong := avg(sMo, 50, maxLag)
 
 	// Use an absolute excess: at high baseline loss the ratio saturates
 	// (conditional probabilities cannot exceed 1).

@@ -5,11 +5,9 @@ import (
 	"time"
 
 	"repro/internal/channel"
-	"repro/internal/parallel"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
 	"repro/internal/sensors"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -69,29 +67,27 @@ func runProto(name string, tr *trace.FateTrace, workload ratesim.Workload, seed 
 	return res.ThroughputMbps
 }
 
-// rateComparison runs the protocol set over several traces per
-// environment and returns per-protocol mean throughput and the 95% CI,
-// normalised to the reference protocol.
+// rateComparisonTrials runs the trial phase of a Chapter 3 comparison:
+// one trial per (environment, trace) pair runs the whole protocol set
+// and emits each protocol's throughput into the "<env>/<protocol>"
+// accumulator. Trials derive their trace and adapter seeds from the
+// experiment's seed stream by global trial index and their emissions
+// absorb in trial order, so the resulting table is bit-identical for
+// any worker count — and for any shard count.
 type rateCell struct {
 	mean, ci float64
 }
 
-func rateComparison(cfg Config, label string, envs []channel.Environment, schedFor func(total time.Duration, rep int) sensors.Schedule,
-	total time.Duration, nTraces int, workload ratesim.Workload) map[string]map[string]rateCell {
+func rateComparisonTrials(cfg Config, label string, envs []channel.Environment, schedFor func(total time.Duration, rep int) sensors.Schedule,
+	total time.Duration, nTraces int, workload ratesim.Workload) {
 
-	// One trial = one (environment, trace) pair run through the whole
-	// protocol set. Trials fan out across the worker pool; each derives
-	// its trace and adapter seeds from the experiment's seed stream by
-	// trial index, and the per-trial throughput maps merge into
-	// accumulators in trial order — so the resulting table is
-	// bit-identical for any worker count.
 	traces := cfg.stream(label + "/traces")
 	adapters := cfg.stream(label + "/adapters")
 	trials := len(envs) * nTraces
 	// Traces are per-trial throwaways; a pool recycles slot buffers
 	// across trials so the fan-out is not throttled by allocation.
 	var pool channel.TracePool
-	perTrial := parallel.Map(cfg.workers(), trials, func(idx int) map[string]float64 {
+	cfg.trials(label, trials, func(idx int, em *Emitter) {
 		ei, rep := idx/nTraces, idx%nTraces
 		tr := pool.Generate(channel.Config{
 			Env:   envs[ei],
@@ -100,26 +96,20 @@ func rateComparison(cfg Config, label string, envs []channel.Environment, schedF
 			Seed:  traces.Seed(idx),
 		})
 		defer pool.Put(tr)
-		res := make(map[string]float64, len(protoSet))
 		for _, p := range protoSet {
-			res[p] = runProto(p, tr, workload, adapters.Seed(idx))
+			em.Add(envs[ei].Name+"/"+p, runProto(p, tr, workload, adapters.Seed(idx)))
 		}
-		return res
 	})
+}
 
+// rateCells reads the merged per-protocol accumulators back into the
+// mean/CI table the report renders.
+func rateCells(cfg Config, envs []channel.Environment) map[string]map[string]rateCell {
 	out := make(map[string]map[string]rateCell)
-	for ei, env := range envs {
-		cell := make(map[string]*stats.Accumulator, len(protoSet))
+	for _, env := range envs {
+		m := make(map[string]rateCell, len(protoSet))
 		for _, p := range protoSet {
-			cell[p] = &stats.Accumulator{}
-		}
-		for rep := 0; rep < nTraces; rep++ {
-			for p, v := range perTrial[ei*nTraces+rep] {
-				cell[p].Add(v)
-			}
-		}
-		m := make(map[string]rateCell, len(cell))
-		for p, acc := range cell {
+			acc := cfg.acc(env.Name + "/" + p)
 			m[p] = rateCell{mean: acc.Mean(), ci: acc.CI95()}
 		}
 		out[env.Name] = m
@@ -159,11 +149,6 @@ func buildRateReport(r *Report, cells map[string]map[string]rateCell, envs []cha
 // TCP, comparing the hint-aware protocol against SampleRate (best
 // post-facto window), RRAA and the SNR-based protocols.
 func Fig3_5(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig3-5",
-		Title: "Mixed-mobility throughput, normalised to hint-aware",
-		Paper: "hint-aware best everywhere: +23–52% vs SampleRate, +17–39% vs RRAA, up to +47% vs RBAR",
-	}
 	envs := channel.Environments()
 	n := cfg.scaleInt(15, 4) // the paper collects 10–20 traces per env
 	sched := func(total time.Duration, rep int) sensors.Schedule {
@@ -172,7 +157,17 @@ func Fig3_5(cfg Config) *Report {
 		// next 10 seconds or the vice versa").
 		return sensors.AlternatingSchedule(total, total/2, sensors.Walk, rep%2 == 1)
 	}
-	cells := rateComparison(cfg, "fig3-5", envs, sched, 20*time.Second, n, ratesim.TCP)
+	rateComparisonTrials(cfg, "fig3-5", envs, sched, 20*time.Second, n, ratesim.TCP)
+	if cfg.collecting() {
+		return nil
+	}
+
+	r := &Report{
+		ID:    "fig3-5",
+		Title: "Mixed-mobility throughput, normalised to hint-aware",
+		Paper: "hint-aware best everywhere: +23–52% vs SampleRate, +17–39% vs RRAA, up to +47% vs RBAR",
+	}
+	cells := rateCells(cfg, envs)
 	buildRateReport(r, cells, envs, "HintAware")
 
 	for _, env := range envs {
@@ -191,17 +186,22 @@ func Fig3_5(cfg Config) *Report {
 // Fig3_6 reproduces Figure 3-6: mobile-only traces. RapidSample should
 // beat every other protocol, by up to ~75% over SampleRate.
 func Fig3_6(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig3-6",
-		Title: "Mobile-only throughput, normalised to RapidSample",
-		Paper: "RapidSample best in every environment; up to +75% vs SampleRate, up to +25% vs others",
-	}
 	envs := channel.Environments()
 	n := cfg.scaleInt(10, 4)
 	sched := func(total time.Duration, rep int) sensors.Schedule {
 		return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}}
 	}
-	cells := rateComparison(cfg, "fig3-6", envs, sched, 20*time.Second, n, ratesim.TCP)
+	rateComparisonTrials(cfg, "fig3-6", envs, sched, 20*time.Second, n, ratesim.TCP)
+	if cfg.collecting() {
+		return nil
+	}
+
+	r := &Report{
+		ID:    "fig3-6",
+		Title: "Mobile-only throughput, normalised to RapidSample",
+		Paper: "RapidSample best in every environment; up to +75% vs SampleRate, up to +25% vs others",
+	}
+	cells := rateCells(cfg, envs)
 	buildRateReport(r, cells, envs, "RapidSample")
 
 	for _, env := range envs {
@@ -218,17 +218,22 @@ func Fig3_6(cfg Config) *Report {
 // Fig3_7 reproduces Figure 3-7: static-only traces. RapidSample should
 // be the worst frame-based protocol and SampleRate the best overall.
 func Fig3_7(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig3-7",
-		Title: "Static-only throughput, normalised to RapidSample",
-		Paper: "RapidSample worst (−12–28% vs SampleRate, up to −18% vs RRAA); SampleRate highest",
-	}
 	envs := channel.Environments()
 	n := cfg.scaleInt(10, 4)
 	sched := func(total time.Duration, rep int) sensors.Schedule {
 		return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Static}}
 	}
-	cells := rateComparison(cfg, "fig3-7", envs, sched, 20*time.Second, n, ratesim.TCP)
+	rateComparisonTrials(cfg, "fig3-7", envs, sched, 20*time.Second, n, ratesim.TCP)
+	if cfg.collecting() {
+		return nil
+	}
+
+	r := &Report{
+		ID:    "fig3-7",
+		Title: "Static-only throughput, normalised to RapidSample",
+		Paper: "RapidSample worst (−12–28% vs SampleRate, up to −18% vs RRAA); SampleRate highest",
+	}
+	cells := rateCells(cfg, envs)
 	buildRateReport(r, cells, envs, "RapidSample")
 
 	for _, env := range envs {
@@ -247,17 +252,22 @@ func Fig3_7(cfg Config) *Report {
 // rates). RapidSample should lead, with roughly +28% over SampleRate and
 // ~2× over the SNR-based protocols.
 func Fig3_8(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig3-8",
-		Title: "Vehicular throughput (UDP), normalised to RapidSample",
-		Paper: "RapidSample ≈ +28% vs SampleRate, +36% vs RRAA, ~2× vs SNR-based",
-	}
 	envs := []channel.Environment{channel.Vehicular}
 	n := cfg.scaleInt(10, 4)
 	sched := func(total time.Duration, rep int) sensors.Schedule {
 		return sensors.Schedule{{Start: 0, End: total, Mode: sensors.Vehicle}}
 	}
-	cells := rateComparison(cfg, "fig3-8", envs, sched, 10*time.Second, n, ratesim.UDP)
+	rateComparisonTrials(cfg, "fig3-8", envs, sched, 10*time.Second, n, ratesim.UDP)
+	if cfg.collecting() {
+		return nil
+	}
+
+	r := &Report{
+		ID:    "fig3-8",
+		Title: "Vehicular throughput (UDP), normalised to RapidSample",
+		Paper: "RapidSample ≈ +28% vs SampleRate, +36% vs RRAA, ~2× vs SNR-based",
+	}
+	cells := rateCells(cfg, envs)
 	buildRateReport(r, cells, envs, "RapidSample")
 
 	c := cells["vehicular"]

@@ -49,6 +49,12 @@ func probingEnv() channel.Environment {
 // probingRates is the sweep of Figures 4-2/4-3 in probes per second.
 var probingRates = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10}
 
+// Collector-key builders shared by the trial phases that emit and the
+// finish phases that read, so the two sides cannot drift apart.
+func errRateKey(label string, rate float64) string { return fmt.Sprintf("fig4-err/%s/%g", label, rate) }
+func trackKey(rate float64) string                 { return fmt.Sprintf("track/%g", rate) }
+func trackErrKey(rate float64) string              { return fmt.Sprintf("trackerr/%g", rate) }
+
 // Fig4_1 reproduces Figure 4-1: packet delivery rate for 6 Mbps packets
 // over time on a trace that alternates static and mobile phases, with
 // the movement hint overlaid. The shape claim: motion makes the
@@ -57,25 +63,16 @@ var probingRates = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10}
 // over several independent traces so the claim does not ride on one
 // realization of the slow shadowing process.
 func Fig4_1(cfg Config) *Report {
-	r := &Report{
-		ID:    "fig4-1",
-		Title: "Delivery rate (6 Mbps) over time and movement",
-		Paper: "delivery ratio fluctuates >20%/s only while the movement hint is raised",
-	}
 	total := time.Duration(cfg.scaleInt(140, 60)) * time.Second
 	sched := sensors.AlternatingSchedule(total, 20*time.Second, sensors.Walk, false)
 	n := cfg.scaleInt(8, 4)
 	traceSeeds := cfg.stream("fig4-1/traces")
 	probeSeeds := cfg.stream("fig4-1/probes")
 
-	type jumpStats struct {
-		perSec               *stats.Series
-		sumStatic, sumMobile float64
-		nStatic, nMobile     int
-		bigStatic, bigMobile int
-	}
+	// Each trial emits its jump statistics; trial 0 additionally emits
+	// the figure's per-second delivery curve.
 	var pool channel.TracePool
-	trials := parallel.Map(cfg.workers(), n, func(rep int) jumpStats {
+	cfg.trials("fig4-1", n, func(rep int, em *Emitter) {
 		tr := pool.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: traceSeeds.Seed(rep)})
 		defer pool.Put(tr)
 		// 200 probes/s reference stream bucketed per second, as the paper
@@ -89,32 +86,51 @@ func Fig4_1(cfg Config) *Report {
 			}
 			raw.Add(p.At.Seconds(), v)
 		}
-		js := jumpStats{perSec: raw.Bucketed(1)}
-		js.perSec.Name = "delivery ratio (1 s buckets)"
+		perSec := raw.Bucketed(1)
+		if rep == 0 {
+			for _, p := range perSec.Points {
+				em.Point("persec", p.X, p.Y)
+			}
+		}
 		// Jumps per phase: |Δ delivery| between adjacent seconds.
-		for i := 1; i < js.perSec.Len(); i++ {
-			t := time.Duration(js.perSec.Points[i].X * float64(time.Second))
-			d := js.perSec.Points[i].Y - js.perSec.Points[i-1].Y
+		var sumStatic, sumMobile float64
+		var nStatic, nMobile, bigStatic, bigMobile int
+		for i := 1; i < perSec.Len(); i++ {
+			t := time.Duration(perSec.Points[i].X * float64(time.Second))
+			d := perSec.Points[i].Y - perSec.Points[i-1].Y
 			if d < 0 {
 				d = -d
 			}
 			if sched.MovingAt(t) && sched.MovingAt(t-time.Second) {
-				js.sumMobile += d
-				js.nMobile++
+				sumMobile += d
+				nMobile++
 				if d > 0.2 {
-					js.bigMobile++
+					bigMobile++
 				}
 			} else if !sched.MovingAt(t) && !sched.MovingAt(t-time.Second) {
-				js.sumStatic += d
-				js.nStatic++
+				sumStatic += d
+				nStatic++
 				if d > 0.2 {
-					js.bigStatic++
+					bigStatic++
 				}
 			}
 		}
-		return js
+		em.Add("sumStatic", sumStatic)
+		em.Add("sumMobile", sumMobile)
+		em.Add("nStatic", float64(nStatic))
+		em.Add("nMobile", float64(nMobile))
+		em.Add("bigStatic", float64(bigStatic))
+		em.Add("bigMobile", float64(bigMobile))
 	})
+	if cfg.collecting() {
+		return nil
+	}
 
+	r := &Report{
+		ID:    "fig4-1",
+		Title: "Delivery rate (6 Mbps) over time and movement",
+		Paper: "delivery ratio fluctuates >20%/s only while the movement hint is raised",
+	}
 	hint := &stats.Series{Name: "movement hint"}
 	for t := time.Duration(0); t < total; t += time.Second {
 		v := 0.0
@@ -123,38 +139,39 @@ func Fig4_1(cfg Config) *Report {
 		}
 		hint.Add(t.Seconds(), v)
 	}
-	r.Series = append(r.Series, trials[0].perSec, hint)
+	r.Series = append(r.Series, cfg.seriesCol("persec", "delivery ratio (1 s buckets)"), hint)
 
-	var agg jumpStats
-	for _, js := range trials {
-		agg.sumStatic += js.sumStatic
-		agg.sumMobile += js.sumMobile
-		agg.nStatic += js.nStatic
-		agg.nMobile += js.nMobile
-		agg.bigStatic += js.bigStatic
-		agg.bigMobile += js.bigMobile
+	// Sum the per-trial statistics in trial order (the accumulators
+	// preserve it), reproducing the serial aggregation exactly.
+	sum := func(name string) float64 {
+		total := 0.0
+		for _, v := range cfg.acc(name).Values() {
+			total += v
+		}
+		return total
 	}
-	meanStatic := agg.sumStatic / float64(agg.nStatic)
-	meanMobile := agg.sumMobile / float64(agg.nMobile)
+	meanStatic := sum("sumStatic") / sum("nStatic")
+	meanMobile := sum("sumMobile") / sum("nMobile")
+	bigStatic, bigMobile := sum("bigStatic"), sum("bigMobile")
 	r.Columns = []string{"value"}
 	r.Rows = []Row{
 		{Label: "mean |Δ|/s static", Values: []float64{meanStatic}},
 		{Label: "mean |Δ|/s mobile", Values: []float64{meanMobile}},
-		{Label: ">20% jumps static", Values: []float64{float64(agg.bigStatic)}},
-		{Label: ">20% jumps mobile", Values: []float64{float64(agg.bigMobile)}},
+		{Label: ">20% jumps static", Values: []float64{bigStatic}},
+		{Label: ">20% jumps mobile", Values: []float64{bigMobile}},
 	}
 	r.AddCheck("mobile-fluctuates-more", meanMobile > 2*meanStatic,
 		"second-to-second jumps: mobile %.3f vs static %.3f (%d traces)", meanMobile, meanStatic, n)
-	r.AddCheck("mobile-20pct-jumps", agg.bigMobile > 3*agg.bigStatic,
-		">20%% jumps: mobile %d vs static %d (%d traces)", agg.bigMobile, agg.bigStatic, n)
+	r.AddCheck("mobile-20pct-jumps", bigMobile > 3*bigStatic,
+		">20%% jumps: mobile %.0f vs static %.0f (%d traces)", bigMobile, bigStatic, n)
 	return r
 }
 
-// errVsRate runs the Figures 4-2/4-3 analysis for one mobility mode over
-// several traces, returning mean error per probing rate. Each trace is
-// one trial of the worker pool: it derives its own trace and probe seeds
-// by trial index, and the per-rate errors merge in trial order.
-func errVsRate(cfg Config, mode sensors.MobilityMode, label string) map[float64]float64 {
+// errVsRateTrials runs the trial phase of the Figures 4-2/4-3 analysis
+// for one mobility mode: each trace is one trial deriving its trace and
+// probe seeds by global trial index and emitting the per-rate estimate
+// errors into "fig4-err/<label>/<rate>" accumulators.
+func errVsRateTrials(cfg Config, mode sensors.MobilityMode, label string) {
 	n := cfg.scaleInt(20, 5) // the paper collects 20 traces per case
 	total := time.Duration(cfg.scaleInt(180, 120)) * time.Second
 	traces := cfg.stream("fig4-err/" + label + "/traces")
@@ -162,25 +179,22 @@ func errVsRate(cfg Config, mode sensors.MobilityMode, label string) map[float64]
 	// Per-trial traces recycle through a pool (they are long: 2–3 min of
 	// slots each) so the fan-out is not throttled by allocation.
 	var pool channel.TracePool
-	perTrial := parallel.Map(cfg.workers(), n, func(rep int) map[float64]float64 {
+	cfg.trials("fig4-err/"+label, n, func(rep int, em *Emitter) {
 		sched := sensors.Schedule{{Start: 0, End: total, Mode: mode}}
 		tr := pool.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total,
 			Seed: traces.Seed(rep)})
 		defer pool.Put(tr)
-		return probing.ErrorVsRate(tr, probingRates, 10, probes.Seed(rep))
-	})
-	agg := make(map[float64]*stats.Accumulator, len(probingRates))
-	for _, rate := range probingRates {
-		agg[rate] = &stats.Accumulator{}
-	}
-	for _, errs := range perTrial {
-		for rate, e := range errs {
-			agg[rate].Add(e)
+		for rate, e := range probing.ErrorVsRate(tr, probingRates, 10, probes.Seed(rep)) {
+			em.Add(errRateKey(label, rate), e)
 		}
-	}
-	out := make(map[float64]float64, len(agg))
-	for rate, acc := range agg {
-		out[rate] = acc.Mean()
+	})
+}
+
+// errVsRateMeans reads the merged per-rate error accumulators back.
+func errVsRateMeans(cfg Config, label string) map[float64]float64 {
+	out := make(map[float64]float64, len(probingRates))
+	for _, rate := range probingRates {
+		out[rate] = cfg.acc(errRateKey(label, rate)).Mean()
 	}
 	return out
 }
@@ -199,12 +213,17 @@ func errReport(r *Report, errs map[float64]float64) *stats.Series {
 // Fig4_2 reproduces Figure 4-2: estimate error versus probing rate for
 // the static case. Paper: even 0.1 probes/s keeps the error near 11%.
 func Fig4_2(cfg Config) *Report {
+	errVsRateTrials(cfg, sensors.Static, "static")
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "fig4-2",
 		Title: "Estimate error vs probing rate (static)",
 		Paper: "error ≈ 11% at 0.1 probes/s; ≤ ~5% by 0.5 probes/s",
 	}
-	errs := errVsRate(cfg, sensors.Static, "static")
+	errs := errVsRateMeans(cfg, "static")
 	errReport(r, errs)
 	r.AddCheck("low-error-at-low-rate", errs[0.1] < 0.15,
 		"error at 0.1 probes/s = %.3f (paper ≈ 0.11)", errs[0.1])
@@ -216,12 +235,19 @@ func Fig4_2(cfg Config) *Report {
 // Fig4_3 reproduces Figure 4-3: the same sweep for the mobile case.
 // Paper: >35% error at 0.5 probes/s, ~10% needs 5 probes/s, 5% needs 10.
 func Fig4_3(cfg Config) *Report {
+	errVsRateTrials(cfg, sensors.Walk, "mobile")
+	// The factor-of-20 headline needs the static sweep too.
+	errVsRateTrials(cfg, sensors.Static, "static")
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "fig4-3",
 		Title: "Estimate error vs probing rate (mobile)",
 		Paper: ">35% error at 0.5 probes/s; ~10% at 5 probes/s; 5% needs 10 probes/s (20× the static rate)",
 	}
-	errs := errVsRate(cfg, sensors.Walk, "mobile")
+	errs := errVsRateMeans(cfg, "mobile")
 	errReport(r, errs)
 	r.AddCheck("high-error-at-low-rate", errs[0.5] > 0.2,
 		"error at 0.5 probes/s = %.3f (paper > 0.35)", errs[0.5])
@@ -230,7 +256,7 @@ func Fig4_3(cfg Config) *Report {
 
 	// The factor-of-20 headline: compare the probing rate each case
 	// needs to reach a 10% error.
-	static := errVsRate(cfg, sensors.Static, "static")
+	static := errVsRateMeans(cfg, "static")
 	needRate := func(errs map[float64]float64, target float64) float64 {
 		for _, rate := range probingRates {
 			if errs[rate] <= target {
@@ -247,96 +273,100 @@ func Fig4_3(cfg Config) *Report {
 	return r
 }
 
-// trackingTimeline builds the Figure 4-4/4-5 timelines: the actual
-// delivery probability and the estimates at 1, 5 and 10 probes/s over a
-// representative 25 s trace.
-func trackingTimeline(cfg Config, mode sensors.MobilityMode, seedOff int64, r *Report) {
-	const total = 25 * time.Second
-	sched := sensors.Schedule{{Start: 0, End: total, Mode: mode}}
-	tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + seedOff})
+// trackRates are the probing rates of the Figure 4-4/4-5 timelines.
+var trackRates = []float64{1, 5, 10}
 
-	actual := &stats.Series{Name: "actual"}
-	for t := time.Duration(0); t < total; t += 250 * time.Millisecond {
-		actual.Add(t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
-	}
-	r.Series = append(r.Series, actual)
+// trackingTrials runs the Figure 4-4/4-5 timeline as one trial: a
+// representative 25 s trace, the actual delivery probability, and the
+// estimates at 1, 5 and 10 probes/s (fanned out in-process).
+func trackingTrials(cfg Config, mode sensors.MobilityMode, seedOff int64, label string) {
+	cfg.trials(label, 1, func(_ int, em *Emitter) {
+		const total = 25 * time.Second
+		sched := sensors.Schedule{{Start: 0, End: total, Mode: mode}}
+		tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + seedOff})
 
-	// The three probing rates are independent runs over the same trace;
-	// fan them out and merge series and errors in rate order.
-	trackRates := []float64{1, 5, 10}
-	runs := parallel.Map(cfg.workers(), len(trackRates), func(i int) probing.RunResult {
-		rate := trackRates[i]
-		return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: rate}, 10, cfg.Seed+seedOff+int64(rate))
-	})
-	meanErr := map[float64]float64{}
-	for i, rate := range trackRates {
-		res := runs[i]
-		s := &stats.Series{Name: fmt.Sprintf("%.0f probe/s", rate)}
-		// Skip the window-fill transient (10 probes).
-		fill := time.Duration(float64(10*time.Second) / rate)
-		var errs []float64
-		for _, smp := range res.Samples {
-			s.Add(smp.At.Seconds(), smp.Observed)
-			if smp.At > fill {
-				errs = append(errs, smp.Error())
-			}
+		for t := time.Duration(0); t < total; t += 250 * time.Millisecond {
+			em.Point("actual", t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
 		}
-		meanErr[rate] = stats.Mean(errs)
-		r.Series = append(r.Series, s)
+
+		// The three probing rates are independent runs over the same
+		// trace; fan them out and emit series and errors in rate order.
+		runs := parallel.Map(cfg.workers(), len(trackRates), func(i int) probing.RunResult {
+			rate := trackRates[i]
+			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: rate}, 10, cfg.Seed+seedOff+int64(rate))
+		})
+		for i, rate := range trackRates {
+			res := runs[i]
+			// Skip the window-fill transient (10 probes).
+			fill := time.Duration(float64(10*time.Second) / rate)
+			var errs []float64
+			for _, smp := range res.Samples {
+				em.Point(trackKey(rate), smp.At.Seconds(), smp.Observed)
+				if smp.At > fill {
+					errs = append(errs, smp.Error())
+				}
+			}
+			em.Add(trackErrKey(rate), stats.Mean(errs))
+		}
+	})
+}
+
+// trackingReport renders the timeline series and the mean-error rows,
+// returning the per-rate errors for the figure-specific checks.
+func trackingReport(cfg Config, r *Report) map[float64]float64 {
+	r.Series = append(r.Series, cfg.seriesCol("actual", "actual"))
+	meanErr := map[float64]float64{}
+	for _, rate := range trackRates {
+		name := fmt.Sprintf("%.0f probe/s", rate)
+		r.Series = append(r.Series, cfg.seriesCol(trackKey(rate), name))
+		meanErr[rate] = cfg.val(trackErrKey(rate))
 	}
 	r.Columns = []string{"mean error"}
-	for _, rate := range []float64{1, 5, 10} {
+	for _, rate := range trackRates {
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("%.0f probe/s", rate), Values: []float64{meanErr[rate]}})
 	}
+	return meanErr
 }
 
 // Fig4_4 reproduces Figure 4-4: in the stationary trace every probing
 // rate tracks the actual delivery probability closely.
 func Fig4_4(cfg Config) *Report {
+	trackingTrials(cfg, sensors.Static, 301, "fig4-4")
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "fig4-4",
 		Title: "Delivery probability by probing rate (stationary 25 s trace)",
 		Paper: "all three probing rates track the actual probability closely",
 	}
-	trackingTimeline(cfg, sensors.Static, 301, r)
-	var one, ten float64
-	for _, row := range r.Rows {
-		if row.Label == "1 probe/s" {
-			one = row.Values[0]
-		}
-		if row.Label == "10 probe/s" {
-			ten = row.Values[0]
-		}
-	}
-	r.AddCheck("static-1ps-tracks", one < 0.12,
-		"mean error at 1 probe/s = %.3f (close tracking)", one)
-	r.AddCheck("static-10ps-tracks", ten < 0.12,
-		"mean error at 10 probes/s = %.3f", ten)
+	meanErr := trackingReport(cfg, r)
+	r.AddCheck("static-1ps-tracks", meanErr[1] < 0.12,
+		"mean error at 1 probe/s = %.3f (close tracking)", meanErr[1])
+	r.AddCheck("static-10ps-tracks", meanErr[10] < 0.12,
+		"mean error at 10 probes/s = %.3f", meanErr[10])
 	return r
 }
 
 // Fig4_5 reproduces Figure 4-5: in the mobile trace only the high
 // probing rates track; 1 probe/s errs substantially in both directions.
 func Fig4_5(cfg Config) *Report {
+	trackingTrials(cfg, sensors.Walk, 401, "fig4-5")
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "fig4-5",
 		Title: "Delivery probability by probing rate (mobile 25 s trace)",
 		Paper: "only 5–10 probes/s track; 1 probe/s errs substantially both ways",
 	}
-	trackingTimeline(cfg, sensors.Walk, 401, r)
-	var one, ten float64
-	for _, row := range r.Rows {
-		if row.Label == "1 probe/s" {
-			one = row.Values[0]
-		}
-		if row.Label == "10 probe/s" {
-			ten = row.Values[0]
-		}
-	}
-	r.AddCheck("mobile-1ps-lags", one > 0.18,
-		"mean error at 1 probe/s = %.3f (substantial)", one)
-	r.AddCheck("mobile-10ps-better", ten < 0.65*one,
-		"mean error: 10 probes/s %.3f ≪ 1 probe/s %.3f", ten, one)
+	meanErr := trackingReport(cfg, r)
+	r.AddCheck("mobile-1ps-lags", meanErr[1] > 0.18,
+		"mean error at 1 probe/s = %.3f (substantial)", meanErr[1])
+	r.AddCheck("mobile-10ps-better", meanErr[10] < 0.65*meanErr[1],
+		"mean error: 10 probes/s %.3f ≪ 1 probe/s %.3f", meanErr[10], meanErr[1])
 	return r
 }
 
@@ -345,75 +375,95 @@ func Fig4_5(cfg Config) *Report {
 // actual delivery probability while the fixed 1 probe/s strategy lags by
 // seconds — at a fraction of the fast scheduler's bandwidth.
 func Fig4_6(cfg Config) *Report {
+	total := time.Duration(cfg.scaleInt(60, 40)) * time.Second
+	sched := sensors.AlternatingSchedule(total, 10*time.Second, sensors.Walk, false)
+
+	// One trial: the trace, the three scheduler strategies over it, and
+	// the mobile-phase error/bandwidth statistics.
+	cfg.trials("fig4-6", 1, func(_ int, em *Emitter) {
+		tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + 501})
+
+		// Three independent scheduler strategies over the same trace.
+		scheds := []func() probing.RunResult{
+			func() probing.RunResult {
+				hintFn := probing.MovementHintFn(tr, 100*time.Millisecond)
+				return probing.RunScheduler(tr, &probing.HintScheduler{MovingFn: hintFn}, 10, cfg.Seed+502)
+			},
+			func() probing.RunResult {
+				return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 1}, 10, cfg.Seed+503)
+			},
+			func() probing.RunResult {
+				return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 10}, 10, cfg.Seed+504)
+			},
+		}
+		runs := parallel.Map(cfg.workers(), len(scheds), func(i int) probing.RunResult { return scheds[i]() })
+		adaptive, fixed, fast := runs[0], runs[1], runs[2]
+
+		for t := time.Duration(0); t < total; t += 500 * time.Millisecond {
+			em.Point("actual", t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
+		}
+		for _, smp := range adaptive.Samples {
+			em.Point("adaptive", smp.At.Seconds(), smp.Observed)
+		}
+		for _, smp := range fixed.Samples {
+			em.Point("fixed", smp.At.Seconds(), smp.Observed)
+		}
+
+		// Errors are compared on the mobile phases, where the strategies
+		// differ; probe counts show the bandwidth saving vs always-fast.
+		mobileErr := func(res probing.RunResult) float64 {
+			var xs []float64
+			for _, smp := range res.Samples {
+				if tr.MovingAt(smp.At) {
+					xs = append(xs, smp.Error())
+				}
+			}
+			return stats.Mean(xs)
+		}
+		em.Add("adErr", mobileErr(adaptive))
+		em.Add("fxErr", mobileErr(fixed))
+		em.Add("fastErr", mobileErr(fast))
+		em.Add("adProbes", float64(adaptive.Probes))
+		em.Add("fxProbes", float64(fixed.Probes))
+		em.Add("fastProbes", float64(fast.Probes))
+	})
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "fig4-6",
 		Title: "Adaptive vs fixed probing on a combined trace",
 		Paper: "adaptive stays accurate through movement; fixed 1 probe/s lags multiple seconds",
 	}
-	total := time.Duration(cfg.scaleInt(60, 40)) * time.Second
-	sched := sensors.AlternatingSchedule(total, 10*time.Second, sensors.Walk, false)
-	tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + 501})
-
-	// Three independent scheduler strategies over the same trace.
-	scheds := []func() probing.RunResult{
-		func() probing.RunResult {
-			hintFn := probing.MovementHintFn(tr, 100*time.Millisecond)
-			return probing.RunScheduler(tr, &probing.HintScheduler{MovingFn: hintFn}, 10, cfg.Seed+502)
-		},
-		func() probing.RunResult {
-			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 1}, 10, cfg.Seed+503)
-		},
-		func() probing.RunResult {
-			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 10}, 10, cfg.Seed+504)
-		},
-	}
-	runs := parallel.Map(cfg.workers(), len(scheds), func(i int) probing.RunResult { return scheds[i]() })
-	adaptive, fixed, fast := runs[0], runs[1], runs[2]
-
-	actual := &stats.Series{Name: "actual"}
 	hint := &stats.Series{Name: "hint"}
 	for t := time.Duration(0); t < total; t += 500 * time.Millisecond {
-		actual.Add(t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
 		v := 0.0
 		if sched.MovingAt(t) {
 			v = 1
 		}
 		hint.Add(t.Seconds(), v)
 	}
-	sAd := &stats.Series{Name: "adaptive"}
-	for _, smp := range adaptive.Samples {
-		sAd.Add(smp.At.Seconds(), smp.Observed)
-	}
-	sFx := &stats.Series{Name: "1 probe/s"}
-	for _, smp := range fixed.Samples {
-		sFx.Add(smp.At.Seconds(), smp.Observed)
-	}
-	r.Series = append(r.Series, actual, sAd, sFx, hint)
+	r.Series = append(r.Series,
+		cfg.seriesCol("actual", "actual"),
+		cfg.seriesCol("adaptive", "adaptive"),
+		cfg.seriesCol("fixed", "1 probe/s"),
+		hint)
 
-	// Errors are compared on the mobile phases, where the strategies
-	// differ; probe counts show the bandwidth saving vs always-fast.
-	mobileErr := func(res probing.RunResult) float64 {
-		var xs []float64
-		for _, smp := range res.Samples {
-			if tr.MovingAt(smp.At) {
-				xs = append(xs, smp.Error())
-			}
-		}
-		return stats.Mean(xs)
-	}
-	adErr, fxErr, fastErr := mobileErr(adaptive), mobileErr(fixed), mobileErr(fast)
+	adErr, fxErr, fastErr := cfg.val("adErr"), cfg.val("fxErr"), cfg.val("fastErr")
+	adProbes, fxProbes, fastProbes := cfg.val("adProbes"), cfg.val("fxProbes"), cfg.val("fastProbes")
 	r.Columns = []string{"mobile err", "probes"}
 	r.Rows = []Row{
-		{Label: "adaptive", Values: []float64{adErr, float64(adaptive.Probes)}},
-		{Label: "fixed 1/s", Values: []float64{fxErr, float64(fixed.Probes)}},
-		{Label: "fixed 10/s", Values: []float64{fastErr, float64(fast.Probes)}},
+		{Label: "adaptive", Values: []float64{adErr, adProbes}},
+		{Label: "fixed 1/s", Values: []float64{fxErr, fxProbes}},
+		{Label: "fixed 10/s", Values: []float64{fastErr, fastProbes}},
 	}
 	r.AddCheck("adaptive-more-accurate", adErr < 0.7*fxErr,
 		"mobile-phase error: adaptive %.3f vs fixed-1/s %.3f", adErr, fxErr)
 	r.AddCheck("adaptive-close-to-fast", adErr < 1.5*fastErr+0.02,
 		"adaptive %.3f ≈ always-fast %.3f", adErr, fastErr)
-	r.AddCheck("adaptive-saves-bandwidth", float64(adaptive.Probes) < 0.75*float64(fast.Probes),
-		"probes: adaptive %d vs always-fast %d", adaptive.Probes, fast.Probes)
+	r.AddCheck("adaptive-saves-bandwidth", adProbes < 0.75*fastProbes,
+		"probes: adaptive %.0f vs always-fast %.0f", adProbes, fastProbes)
 	return r
 }
 
@@ -421,26 +471,48 @@ func Fig4_6(cfg Config) *Report {
 // probability 0.8 and 0.6 and an estimate error of 0.25, ETX can pick
 // the wrong link, costing 5/12 ≈ 42% extra transmissions on that hop.
 func Sec4_2(cfg Config) *Report {
+	// The analysis is deterministic; it still routes through the trial
+	// engine as a single trial so the sharded and in-process runs share
+	// one code path.
+	cfg.trials("sec4-2", 1, func(_ int, em *Emitter) {
+		penalty, overhead, err := mesh.Penalty(0.8, 0.6, 0.25)
+		em.Add("penalty", penalty)
+		em.Add("overhead", overhead)
+		flip := 0.0
+		if err == nil {
+			flip = 1
+		}
+		em.Add("flip", flip)
+		_, _, err2 := mesh.Penalty(0.8, 0.6, 0.05)
+		same := 0.0
+		if err2 == mesh.ErrSamePick {
+			same = 1
+		}
+		em.Add("same", same)
+	})
+	if cfg.collecting() {
+		return nil
+	}
+
 	r := &Report{
 		ID:    "sec4-2",
 		Title: "ETX penalty from erroneous delivery estimates",
 		Paper: "p1=0.8, p2=0.6, δ=0.25 → overhead 5/12 ≈ 42%",
 	}
-	penalty, overhead, err := mesh.Penalty(0.8, 0.6, 0.25)
+	penalty, overhead := cfg.val("penalty"), cfg.val("overhead")
 	r.Columns = []string{"value"}
 	r.Rows = []Row{
 		{Label: "penalty (extra tx)", Values: []float64{penalty}},
 		{Label: "overhead", Values: []float64{overhead}},
 	}
-	r.AddCheck("pick-can-flip", err == nil, "δ=0.25 flips the ETX choice: %v", err == nil)
+	r.AddCheck("pick-can-flip", cfg.val("flip") == 1, "δ=0.25 flips the ETX choice: %v", cfg.val("flip") == 1)
 	// The paper quotes 5/12 ≈ 42%%; that value is the penalty
 	// 1/p2 − 1/p1 (the overhead ratio p1/p2 − 1 evaluates to 1/3).
 	r.AddCheck("penalty-5-12", penalty > 0.416 && penalty < 0.417,
 		"penalty %.4f extra transmissions (paper 5/12 ≈ 0.4167)", penalty)
 
 	// A δ too small to flip the decision must return ErrSamePick.
-	_, _, err2 := mesh.Penalty(0.8, 0.6, 0.05)
-	r.AddCheck("small-error-no-flip", err2 == mesh.ErrSamePick,
+	r.AddCheck("small-error-no-flip", cfg.val("same") == 1,
 		"δ=0.05 cannot flip the choice")
 	return r
 }

@@ -29,6 +29,12 @@ type Config struct {
 	// index (see Config.stream) and per-trial results merge in trial
 	// order, never in completion order.
 	Workers int
+
+	// sh is the shard-aware trial engine state (see exec.go). The
+	// register wrapper installs the in-process engine when a caller
+	// leaves it nil; RunShard and MergeShards install the worker and
+	// coordinator engines.
+	sh *shardExec
 }
 
 // workers returns the effective worker count.
@@ -150,7 +156,10 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Runner is a named experiment entry point.
+// Runner is a named experiment entry point. Run returns the finished
+// report — or nil when the Config carries a shard-worker engine
+// (RunShard is the only caller that sets one up and it discards the
+// nil).
 type Runner struct {
 	ID   string
 	Run  func(Config) *Report
@@ -160,9 +169,18 @@ type Runner struct {
 var registry []Runner
 
 // register adds an experiment to the global registry (called from each
-// experiment file's init).
+// experiment file's init). The wrapper installs the in-process trial
+// engine when the caller did not set one up, so plain Runner.Run keeps
+// working unchanged while RunShard/MergeShards can substitute the
+// worker and coordinator engines.
 func register(id, desc string, run func(Config) *Report) {
-	registry = append(registry, Runner{ID: id, Run: run, Desc: desc})
+	wrapped := func(cfg Config) *Report {
+		if cfg.sh == nil {
+			cfg.sh = newExec(modeRun)
+		}
+		return run(cfg)
+	}
+	registry = append(registry, Runner{ID: id, Run: wrapped, Desc: desc})
 }
 
 // All returns every registered experiment sorted by id.

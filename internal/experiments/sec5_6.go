@@ -5,12 +5,10 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/hints"
-	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
 	"repro/internal/sensors"
-	"repro/internal/stats"
 )
 
 func init() {
@@ -28,6 +26,9 @@ func (p pinned) PickRate(now time.Duration) phy.Rate { return p.inner.PickRate(n
 func (p pinned) Observe(fb rate.Feedback)            { p.inner.Observe(fb) }
 func (p pinned) Reset()                              { p.inner.Reset() }
 
+// sec56Protocols names the strategies §5.6 compares.
+var sec56Protocols = []string{"NoiseHintAware", "RapidSample", "MovementHintAware", "SampleRate"}
+
 // Sec5_6 evaluates the §5.6 microphone hint. A *static* node surrounded
 // by activity (pedestrians, cars) sees channel dynamics like a moving
 // node's — but its accelerometer is quiet, so the movement hint stays
@@ -37,37 +38,31 @@ func (p pinned) Reset()                              { p.inner.Reset() }
 // microphone detects the condition because ambient noise variation
 // correlates with nearby activity.
 func Sec5_6(cfg Config) *Report {
-	r := &Report{
-		ID:    "sec5-6",
-		Title: "Static node, dynamic environment: the microphone hint",
-		Paper: "RapidSample beats SampleRate when the surroundings move; microphone noise variation detects the condition",
-	}
-
-	// Detection: quiet then busy surroundings.
-	mic := sensors.NewMicrophone(sensors.DefaultMicConfig(), cfg.stream("sec5-6/mic").Seed(0))
-	activity := func(at time.Duration) float64 {
-		if at >= 20*time.Second {
-			return 1
+	// Detection: quiet then busy surroundings, one deterministic trial.
+	cfg.trials("sec5-6/mic", 1, func(i int, em *Emitter) {
+		mic := sensors.NewMicrophone(sensors.DefaultMicConfig(), cfg.stream("sec5-6/mic").Seed(i))
+		activity := func(at time.Duration) float64 {
+			if at >= 20*time.Second {
+				return 1
+			}
+			return 0
 		}
-		return 0
-	}
-	micSamples := mic.Generate(activity, 40*time.Second)
-	det := hints.NewNoiseDetector()
-	var rose time.Duration = -1
-	falseBusy := 0
-	for _, s := range micSamples {
-		d := det.Update(s)
-		if d && s.T < 20*time.Second {
-			falseBusy++
+		micSamples := mic.Generate(activity, 40*time.Second)
+		det := hints.NewNoiseDetector()
+		var rose time.Duration = -1
+		falseBusy := 0
+		for _, s := range micSamples {
+			d := det.Update(s)
+			if d && s.T < 20*time.Second {
+				falseBusy++
+			}
+			if d && rose < 0 && s.T >= 20*time.Second {
+				rose = s.T - 20*time.Second
+			}
 		}
-		if d && rose < 0 && s.T >= 20*time.Second {
-			rose = s.T - 20*time.Second
-		}
-	}
-	r.AddCheck("mic-detects-activity", rose >= 0 && rose < 10*time.Second,
-		"dynamic-environment hint rose %v after the corridor got busy", rose)
-	r.AddCheck("mic-quiet-clean", falseBusy <= 2,
-		"%d false dynamic reports while quiet", falseBusy)
+		em.Add("rose", float64(rose))
+		em.Add("falsebusy", float64(falseBusy))
+	})
 
 	// Throughput: the device is stationary, but the surroundings induce
 	// mobility-grade fading. The trace is generated with mobile-channel
@@ -77,13 +72,12 @@ func Sec5_6(cfg Config) *Report {
 	envSched := sensors.Schedule{{Start: 0, End: total, Mode: sensors.Walk}} // surroundings churn
 	n := cfg.scaleInt(10, 4)
 	// One trial per trace; each derives adapter and MAC seeds from the
-	// stream by trial index and returns the four protocols' throughputs.
+	// stream by trial index and emits the four protocols' throughputs.
 	traces := cfg.stream("sec5-6/traces")
 	adapters := cfg.stream("sec5-6/adapters")
 	macs := cfg.stream("sec5-6/macs")
-	names := []string{"NoiseHintAware", "RapidSample", "MovementHintAware", "SampleRate"}
 	var pool channel.TracePool
-	perTrial := parallel.Map(cfg.workers(), n, func(rep int) map[string]float64 {
+	cfg.trials("sec5-6/tput", n, func(rep int, em *Emitter) {
 		seed := adapters.Seed(rep)
 		tr := pool.Generate(channel.Config{Env: channel.Office, Sched: envSched, Total: total, Seed: traces.Seed(rep)})
 		defer pool.Put(tr)
@@ -95,41 +89,46 @@ func Sec5_6(cfg Config) *Report {
 			res := ratesim.Run(ratesim.Config{Trace: tr, Adapter: a, Workload: ratesim.TCP, Seed: macs.Seed(rep)})
 			return res.ThroughputMbps
 		}
-		out := map[string]float64{}
 		sr := rate.NewSampleRate(seed)
 		sr.Window = time.Second // even the mobile-friendliest window
-		out["SampleRate"] = run(sr)
-		out["RapidSample"] = run(rate.NewRapidSample())
+		em.Add("SampleRate", run(sr))
+		em.Add("RapidSample", run(rate.NewRapidSample()))
 
 		// Movement-hint-aware: the harness drives SetMoving from the
 		// (always false) ground truth → it stays on SampleRate.
-		out["MovementHintAware"] = run(rate.NewHintAware(seed))
+		em.Add("MovementHintAware", run(rate.NewHintAware(seed)))
 
 		// Noise-hint-aware: the microphone hint (dynamic throughout this
 		// trace) selects RapidSample; pinned so the harness cannot
 		// override it with the movement ground truth.
 		na := rate.NewHintAware(seed)
 		na.SetMoving(true)
-		out["NoiseHintAware"] = run(pinned{inner: na})
-		return out
+		em.Add("NoiseHintAware", run(pinned{inner: na}))
 	})
-	tputs := map[string]*stats.Accumulator{}
-	for _, name := range names {
-		tputs[name] = &stats.Accumulator{}
+	if cfg.collecting() {
+		return nil
 	}
-	for _, res := range perTrial {
-		for name, v := range res {
-			tputs[name].Add(v)
-		}
+
+	r := &Report{
+		ID:    "sec5-6",
+		Title: "Static node, dynamic environment: the microphone hint",
+		Paper: "RapidSample beats SampleRate when the surroundings move; microphone noise variation detects the condition",
 	}
+	rose := time.Duration(cfg.val("rose"))
+	falseBusy := int(cfg.val("falsebusy"))
+	r.AddCheck("mic-detects-activity", rose >= 0 && rose < 10*time.Second,
+		"dynamic-environment hint rose %v after the corridor got busy", rose)
+	r.AddCheck("mic-quiet-clean", falseBusy <= 2,
+		"%d false dynamic reports while quiet", falseBusy)
+
 	r.Columns = []string{"Mbps"}
-	for _, name := range names {
-		r.Rows = append(r.Rows, Row{Label: name, Values: []float64{tputs[name].Mean()}})
+	for _, name := range sec56Protocols {
+		r.Rows = append(r.Rows, Row{Label: name, Values: []float64{cfg.acc(name).Mean()}})
 	}
-	rs := tputs["RapidSample"].Mean()
-	sr := tputs["SampleRate"].Mean()
-	na := tputs["NoiseHintAware"].Mean()
-	mh := tputs["MovementHintAware"].Mean()
+	rs := cfg.acc("RapidSample").Mean()
+	sr := cfg.acc("SampleRate").Mean()
+	na := cfg.acc("NoiseHintAware").Mean()
+	mh := cfg.acc("MovementHintAware").Mean()
 	r.AddCheck("rapidsample-beats-samplerate", rs > sr,
 		"RapidSample %.2f vs SampleRate %.2f in a dynamic environment", rs, sr)
 	r.AddCheck("noise-hint-recovers-rapidsample", na > 0.9*rs,

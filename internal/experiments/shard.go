@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// This file defines the cross-process wire format for sharded
+// experiment execution and the two entry points around it:
+//
+//	RunShard    — worker side: run one shard's slice of every trial
+//	              range and return the partial, unmerged per-trial
+//	              collector state.
+//	MergeShards — coordinator side: validate K partials, absorb their
+//	              trials in global trial-index order, and run the
+//	              experiment's finish phase over the merged collectors.
+//
+// The envelope is JSON for inspectability (cmd/hintshard writes one
+// Partial per worker); the per-collector payloads inside it are the
+// bit-exact binary codecs from internal/stats, base64-wrapped by
+// encoding/json. A report produced by MergeShards is byte-identical to
+// the single-process report for any shard count — the golden test in
+// determinism_test.go enforces this for every registered experiment.
+
+// PartialVersion tags the shard wire format; a coordinator refuses
+// partials of any other version.
+const PartialVersion = 1
+
+// Partial is one shard's contribution to an experiment: the emissions
+// of every trial the shard executed, keyed by trial loop, exactly as
+// recorded — nothing is pre-merged.
+type Partial struct {
+	Version    int    `json:"version"`
+	Experiment string `json:"experiment"`
+	// Shard / Shards identify the slice: shard Shard of Shards.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Seed and Scale echo the worker's Config; a coordinator refuses
+	// to merge partials whose configurations disagree.
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	// Loops holds one record per cfg.trials loop, in execution order.
+	Loops []*LoopPartial `json:"loops"`
+}
+
+// LoopPartial is one trial loop's shard slice.
+type LoopPartial struct {
+	// Label names the loop (unique within the experiment).
+	Label string `json:"label"`
+	// N is the full trial-range size; every shard of a run must agree.
+	N int `json:"n"`
+	// Lo is the first global trial index of this shard's slice; the
+	// slice is [Lo, Lo+len(Trials)).
+	Lo int `json:"lo"`
+	// Trials holds the per-trial emissions in ascending global trial
+	// index order.
+	Trials []TrialPartial `json:"trials"`
+}
+
+// TrialPartial is the serialized emissions of a single trial. Map
+// values are internal/stats binary codec payloads (base64 in JSON).
+// Trials that emitted nothing serialize as empty objects.
+type TrialPartial struct {
+	Accs   map[string][]byte `json:"accs,omitempty"`
+	Hists  map[string][]byte `json:"hists,omitempty"`
+	Series map[string][]byte `json:"series,omitempty"`
+}
+
+// encodeLoop serializes one loop's per-trial emitters.
+func encodeLoop(label string, n, lo int, ems []*Emitter) *LoopPartial {
+	out := &LoopPartial{Label: label, N: n, Lo: lo, Trials: make([]TrialPartial, len(ems))}
+	for i, em := range ems {
+		out.Trials[i] = encodeTrial(em)
+	}
+	return out
+}
+
+func encodeTrial(em *Emitter) TrialPartial {
+	var tp TrialPartial
+	if len(em.accs) > 0 {
+		tp.Accs = make(map[string][]byte, len(em.accs))
+		for name, xs := range em.accs {
+			var a stats.Accumulator
+			a.Add(xs...)
+			tp.Accs[name] = mustMarshal(a.MarshalBinary())
+		}
+	}
+	if len(em.hists) > 0 {
+		tp.Hists = make(map[string][]byte, len(em.hists))
+		for name, h := range em.hists {
+			tp.Hists[name] = mustMarshal(h.MarshalBinary())
+		}
+	}
+	if len(em.series) > 0 {
+		tp.Series = make(map[string][]byte, len(em.series))
+		for name, pts := range em.series {
+			s := &stats.Series{Name: name, Points: pts}
+			tp.Series[name] = mustMarshal(s.MarshalBinary())
+		}
+	}
+	return tp
+}
+
+// mustMarshal panics on encode errors: the binary codecs only fail on
+// structurally impossible inputs (a series name over 4 GiB).
+func mustMarshal(b []byte, err error) []byte {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: encoding shard partial: %v", err))
+	}
+	return b
+}
+
+// decodeTrial rebuilds a trial's emitter from the wire form.
+func decodeTrial(tp TrialPartial) (*Emitter, error) {
+	em := newEmitter()
+	for name, blob := range tp.Accs {
+		var a stats.Accumulator
+		if err := a.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("accumulator %q: %w", name, err)
+		}
+		em.Add(name, a.Values()...)
+	}
+	for name, blob := range tp.Hists {
+		var h stats.Histogram
+		if err := h.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("histogram %q: %w", name, err)
+		}
+		if em.hists == nil {
+			em.hists = map[string]*stats.Histogram{}
+		}
+		em.hists[name] = &h
+	}
+	for name, blob := range tp.Series {
+		var s stats.Series
+		if err := s.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("series %q: %w", name, err)
+		}
+		for _, p := range s.Points {
+			em.Point(name, p.X, p.Y)
+		}
+	}
+	return em, nil
+}
+
+// Encode writes the partial as JSON.
+func (p *Partial) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// DecodePartial reads one JSON partial and checks its envelope: known
+// version, well-formed shard coordinates, well-formed loop slices.
+// Collector payloads are validated later, when MergeShards decodes
+// them.
+func DecodePartial(r io.Reader) (*Partial, error) {
+	var p Partial
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("experiments: decoding partial: %w", err)
+	}
+	if p.Version != PartialVersion {
+		return nil, fmt.Errorf("experiments: partial version %d, want %d", p.Version, PartialVersion)
+	}
+	sh := parallel.Shard{Index: p.Shard, Count: p.Shards}
+	if !sh.Valid() {
+		return nil, fmt.Errorf("experiments: partial has invalid shard %d/%d", p.Shard, p.Shards)
+	}
+	if p.Experiment == "" {
+		return nil, fmt.Errorf("experiments: partial names no experiment")
+	}
+	for _, loop := range p.Loops {
+		if loop == nil {
+			return nil, fmt.Errorf("experiments: null loop record")
+		}
+		lo, hi := sh.Range(loop.N)
+		if loop.Lo != lo || len(loop.Trials) != hi-lo {
+			return nil, fmt.Errorf("experiments: loop %q carries trials [%d,%d), shard %v of %d trials owns [%d,%d)",
+				loop.Label, loop.Lo, loop.Lo+len(loop.Trials), sh, loop.N, lo, hi)
+		}
+	}
+	return &p, nil
+}
+
+// RunShard executes one shard of the experiment's trial space: every
+// cfg.trials loop runs only the shard's contiguous slice (trial seeds
+// still derive from the global trial index, so each trial computes
+// exactly what it would in a single-process run) and the finish phase
+// is skipped. The returned Partial carries the unmerged per-trial
+// emissions for MergeShards. Shard {0, 1} collects the whole trial
+// space.
+func RunShard(id string, cfg Config, shard parallel.Shard) (*Partial, error) {
+	r, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	if !shard.Valid() {
+		return nil, fmt.Errorf("experiments: invalid shard %v", shard)
+	}
+	sh := newExec(modeCollect)
+	sh.shard = shard
+	cfg.sh = sh
+	r.Run(cfg)
+	return &Partial{
+		Version:    PartialVersion,
+		Experiment: id,
+		Shard:      shard.Index,
+		Shards:     shard.Count,
+		Seed:       cfg.Seed,
+		Scale:      cfg.Scale,
+		Loops:      sh.rec,
+	}, nil
+}
+
+// MergeShards merges a complete set of shard partials and builds the
+// finished report. The partials may arrive in any order; they must
+// form exactly the shard set {0, …, K−1} of one (experiment, seed,
+// scale) run and agree on every trial loop. Trials are absorbed in
+// global trial-index order — the same absorb sequence as a
+// single-process run — so the report is byte-identical to it. workers
+// bounds the finish phase's in-process parallelism (most finish phases
+// are serial; 0 means one per CPU).
+func MergeShards(parts []*Partial, workers int) (*Report, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("experiments: no partials to merge")
+	}
+	ordered := append([]*Partial(nil), parts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Shard < ordered[j].Shard })
+	first := ordered[0]
+	k := len(ordered)
+	for i, p := range ordered {
+		if p.Version != PartialVersion {
+			return nil, fmt.Errorf("experiments: partial version %d, want %d", p.Version, PartialVersion)
+		}
+		if p.Shards != k || p.Shard != i {
+			return nil, fmt.Errorf("experiments: partials do not form shards 0..%d/%d (got %d/%d)",
+				k-1, k, p.Shard, p.Shards)
+		}
+		if p.Experiment != first.Experiment || p.Seed != first.Seed || p.Scale != first.Scale {
+			return nil, fmt.Errorf("experiments: partial %d/%d is from run (%s seed=%d scale=%g), first is (%s seed=%d scale=%g)",
+				p.Shard, p.Shards, p.Experiment, p.Seed, p.Scale, first.Experiment, first.Seed, first.Scale)
+		}
+		if len(p.Loops) != len(first.Loops) {
+			return nil, fmt.Errorf("experiments: partial %d/%d records %d trial loops, first records %d",
+				p.Shard, p.Shards, len(p.Loops), len(first.Loops))
+		}
+	}
+	r, ok := ByID(first.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", first.Experiment)
+	}
+
+	sh := newExec(modeReplay)
+	for li, ref := range first.Loops {
+		want := parallel.ShardPlan{Count: k}
+		covered := 0
+		for _, p := range ordered {
+			loop := p.Loops[li]
+			if loop.Label != ref.Label || loop.N != ref.N {
+				return nil, fmt.Errorf("experiments: partial %d/%d loop %d is %q (%d trials), first is %q (%d trials)",
+					p.Shard, p.Shards, li, loop.Label, loop.N, ref.Label, ref.N)
+			}
+			lo, hi := want.Range(loop.N, p.Shard)
+			if loop.Lo != lo || len(loop.Trials) != hi-lo {
+				return nil, fmt.Errorf("experiments: loop %q shard %d/%d carries [%d,%d), plan assigns [%d,%d)",
+					loop.Label, p.Shard, p.Shards, loop.Lo, loop.Lo+len(loop.Trials), lo, hi)
+			}
+			// Shards sort ascending and ranges are contiguous, so this
+			// absorbs trials in exactly global trial-index order.
+			for ti := range loop.Trials {
+				em, err := decodeTrial(loop.Trials[ti])
+				if err != nil {
+					return nil, fmt.Errorf("experiments: loop %q trial %d: %w", loop.Label, lo+ti, err)
+				}
+				for _, name := range em.names() {
+					if prev, ok := sh.owner[name]; ok && prev != ref.Label {
+						return nil, fmt.Errorf("experiments: collector %q written by loops %q and %q", name, prev, ref.Label)
+					}
+					sh.owner[name] = ref.Label
+				}
+				sh.cols.absorb(em)
+				covered++
+			}
+		}
+		if covered != ref.N {
+			return nil, fmt.Errorf("experiments: loop %q merged %d of %d trials", ref.Label, covered, ref.N)
+		}
+		sh.loops[ref.Label] = ref.N
+	}
+
+	cfg := Config{Scale: first.Scale, Seed: first.Seed, Workers: workers, sh: sh}
+	rep, err := replayRun(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("experiments: %s produced no report on replay", first.Experiment)
+	}
+	for label := range sh.loops {
+		if !sh.replayed[label] {
+			return nil, fmt.Errorf("experiments: partials carry trial loop %q that %s never runs (stale partials from a different build?)",
+				label, first.Experiment)
+		}
+	}
+	return rep, nil
+}
+
+// replayMismatch tags the replay-engine panics that mean "these
+// partials describe a different build of the experiment", so replayRun
+// can convert exactly those into errors while letting genuine bugs
+// crash loudly.
+type replayMismatch string
+
+// replayRun executes the experiment's finish phase over merged
+// collectors, converting structural-mismatch panics into errors: a
+// coordinator fed stale partial files must fail cleanly, not crash.
+func replayRun(r Runner, cfg Config) (rep *Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if m, ok := v.(replayMismatch); ok {
+				err = fmt.Errorf("experiments: partials do not match %s's trial structure: %s (stale partials from a different build?)",
+					r.ID, string(m))
+				return
+			}
+			panic(v)
+		}
+	}()
+	return r.Run(cfg), nil
+}

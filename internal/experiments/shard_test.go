@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// shardFixture collects the partials of a fast experiment split K ways.
+func shardFixture(t *testing.T, k int) []*Partial {
+	t.Helper()
+	cfg := Config{Scale: 0.1, Seed: 7}
+	parts := make([]*Partial, 0, k)
+	for _, shard := range parallel.NewShardPlan(k).Shards() {
+		p, err := RunShard("sec5-3", cfg, shard)
+		if err != nil {
+			t.Fatalf("RunShard %v: %v", shard, err)
+		}
+		parts = append(parts, p)
+	}
+	return parts
+}
+
+func TestRunShardRejectsBadInput(t *testing.T) {
+	if _, err := RunShard("no-such-experiment", Config{}, parallel.Shard{Index: 0, Count: 1}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := RunShard("sec5-3", Config{}, parallel.Shard{Index: 3, Count: 2}); err == nil {
+		t.Error("invalid shard accepted")
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	parts := shardFixture(t, 3)
+
+	if _, err := MergeShards(nil, 0); err == nil {
+		t.Error("empty partial set accepted")
+	}
+	if _, err := MergeShards(parts[:2], 0); err == nil {
+		t.Error("incomplete shard set accepted")
+	}
+	if _, err := MergeShards([]*Partial{parts[0], parts[1], parts[1]}, 0); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+
+	seedMismatch := shardFixture(t, 3)
+	seedMismatch[1].Seed = 99
+	if _, err := MergeShards(seedMismatch, 0); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("seed mismatch accepted (err=%v)", err)
+	}
+
+	versionMismatch := shardFixture(t, 3)
+	versionMismatch[2].Version = PartialVersion + 1
+	if _, err := MergeShards(versionMismatch, 0); err == nil {
+		t.Error("version mismatch accepted")
+	}
+
+	corrupt := shardFixture(t, 1)
+	for name := range corrupt[0].Loops[0].Trials[0].Accs {
+		corrupt[0].Loops[0].Trials[0].Accs[name] = []byte{0xff, 0xff}
+	}
+	if _, err := MergeShards(corrupt, 0); err == nil {
+		t.Error("corrupted collector payload accepted")
+	}
+
+	renamed := shardFixture(t, 1)
+	renamed[0].Experiment = "no-such-experiment"
+	if _, err := MergeShards(renamed, 0); err == nil {
+		t.Error("unknown experiment accepted at merge")
+	}
+
+	// Partials whose loop structure matches no current build of the
+	// experiment (e.g. recorded by an older binary) must fail with an
+	// error, not crash the coordinator.
+	stale := shardFixture(t, 1)
+	stale[0].Loops[0].Label = "sec5-3/renamed-by-old-build"
+	if _, err := MergeShards(stale, 0); err == nil || !strings.Contains(err.Error(), "stale partials") {
+		t.Errorf("stale loop structure accepted (err=%v)", err)
+	}
+}
+
+func TestDecodePartialValidation(t *testing.T) {
+	parts := shardFixture(t, 2)
+	var buf bytes.Buffer
+	if err := parts[1].Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	good := buf.String()
+
+	if _, err := DecodePartial(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid partial rejected: %v", err)
+	}
+	for name, text := range map[string]string{
+		"not json":      "{",
+		"wrong version": strings.Replace(good, `"version":1`, `"version":7`, 1),
+		"bad shard":     strings.Replace(good, `"shard":1`, `"shard":5`, 1),
+		"no experiment": strings.Replace(good, `"experiment":"sec5-3"`, `"experiment":""`, 1),
+	} {
+		if _, err := DecodePartial(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: malformed partial accepted", name)
+		}
+	}
+}
+
+// TestShardWorkerSkipsFinish asserts the worker contract: a collect-mode
+// run returns no report (the partial is the product) and records one
+// loop per cfg.trials call with the plan's slice of each.
+func TestShardWorkerSkipsFinish(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 7}
+	p, err := RunShard("fig3-1", cfg, parallel.Shard{Index: 1, Count: 2})
+	if err != nil {
+		t.Fatalf("RunShard: %v", err)
+	}
+	if len(p.Loops) != 1 {
+		t.Fatalf("recorded %d loops, want 1", len(p.Loops))
+	}
+	loop := p.Loops[0]
+	if loop.Label != "fig3-1" || loop.N != 2 || loop.Lo != 1 || len(loop.Trials) != 1 {
+		t.Errorf("loop = %q n=%d lo=%d trials=%d, want fig3-1 n=2 lo=1 trials=1",
+			loop.Label, loop.N, loop.Lo, len(loop.Trials))
+	}
+}

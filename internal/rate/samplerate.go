@@ -34,10 +34,15 @@ type SampleRate struct {
 
 	started bool
 	count   int
-	// events is a FIFO of attempts inside the window; agg holds the
-	// matching per-rate running totals so rate selection is O(1).
+	// events is a ring buffer of the attempts inside the window; agg
+	// holds the matching per-rate running totals so rate selection is
+	// O(1). The ring is sized once per (window, frame length) — the
+	// window divided by the fastest possible frame exchange bounds the
+	// attempts a window can hold — so a run never grows it: see
+	// TestSampleRateSweepAllocations in internal/ratesim.
 	events []srEvent
-	head   int
+	head   int // index of the oldest live event
+	live   int // number of live events
 	agg    [phy.NumRates]srAgg
 	// consFail counts consecutive failures per rate (4+ disqualifies the
 	// rate until it succeeds again or the count goes stale).
@@ -78,12 +83,13 @@ func (sr *SampleRate) Name() string {
 	return "SampleRate"
 }
 
-// Reset implements Adapter.
+// Reset implements Adapter. The ring buffer keeps its capacity: a
+// reset adapter replays with zero event-storage allocations.
 func (sr *SampleRate) Reset() {
 	sr.started = false
 	sr.count = 0
-	sr.events = sr.events[:0]
 	sr.head = 0
+	sr.live = 0
 	sr.agg = [phy.NumRates]srAgg{}
 	sr.consFail = [phy.NumRates]int{}
 	sr.lastAttempt = [phy.NumRates]time.Duration{}
@@ -154,7 +160,7 @@ func (sr *SampleRate) Observe(fb Feedback) {
 		sr.consFail[fb.Rate]++
 	}
 	sr.lastAttempt[fb.Rate] = fb.At
-	sr.events = append(sr.events, srEvent{at: fb.At, rate: fb.Rate, txTime: tx, success: fb.Acked})
+	sr.push(srEvent{at: fb.At, rate: fb.Rate, txTime: tx, success: fb.Acked})
 	a := &sr.agg[fb.Rate]
 	a.totalTx += tx
 	a.n++
@@ -164,12 +170,56 @@ func (sr *SampleRate) Observe(fb Feedback) {
 	sr.expire(fb.At)
 }
 
+// ringCapacity bounds the events a window can ever hold: the MAC clock
+// advances by at least the fastest frame exchange per attempt, so the
+// window divided by the cheapest airtime (plus slack for the attempt
+// entering as the oldest leaves) is a hard ceiling. Sizing the ring
+// once from this bound is what keeps a replay allocation-free.
+func (sr *SampleRate) ringCapacity() int {
+	if sr.airt == nil || sr.airt.Bytes != sr.bytes() {
+		sr.airt = phy.AirtimesFor(sr.bytes())
+	}
+	min := sr.airt.Frame[0]
+	for _, arr := range [2]*[phy.NumRates]time.Duration{&sr.airt.Frame, &sr.airt.Failed} {
+		for _, d := range arr {
+			if d > 0 && d < min {
+				min = d
+			}
+		}
+	}
+	if min <= 0 {
+		return 1024
+	}
+	return int(sr.window()/min) + 64
+}
+
+// push appends an event to the ring, growing only in the (unreachable
+// by construction) case of overflow.
+func (sr *SampleRate) push(e srEvent) {
+	if len(sr.events) == 0 {
+		sr.events = make([]srEvent, sr.ringCapacity())
+	}
+	if sr.live == len(sr.events) {
+		// Defensive: a workload attempting faster than any frame
+		// exchange would violate the capacity bound; double rather than
+		// silently dropping window history.
+		grown := make([]srEvent, 2*len(sr.events))
+		for i := 0; i < sr.live; i++ {
+			grown[i] = sr.events[(sr.head+i)%len(sr.events)]
+		}
+		sr.events = grown
+		sr.head = 0
+	}
+	sr.events[(sr.head+sr.live)%len(sr.events)] = e
+	sr.live++
+}
+
 // expire drops events older than the window, keeping the aggregates in
-// step. The FIFO advances a head index and compacts occasionally to
-// bound memory.
+// step. The ring advances its head in place; memory stays at the
+// capacity fixed by ringCapacity for the life of the adapter.
 func (sr *SampleRate) expire(now time.Duration) {
 	cut := now - sr.window()
-	for sr.head < len(sr.events) && sr.events[sr.head].at < cut {
+	for sr.live > 0 && sr.events[sr.head].at < cut {
 		e := sr.events[sr.head]
 		a := &sr.agg[e.rate]
 		a.totalTx -= e.txTime
@@ -178,10 +228,10 @@ func (sr *SampleRate) expire(now time.Duration) {
 			a.succ--
 		}
 		sr.head++
-	}
-	if sr.head > 4096 && sr.head*2 > len(sr.events) {
-		sr.events = append(sr.events[:0], sr.events[sr.head:]...)
-		sr.head = 0
+		if sr.head == len(sr.events) {
+			sr.head = 0
+		}
+		sr.live--
 	}
 }
 

@@ -1,0 +1,58 @@
+package ratesim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/rate"
+	"repro/internal/sensors"
+)
+
+// sampleRateWindows mirrors the Chapter 3 post-facto best-window sweep
+// (internal/experiments), the hottest SampleRate path in the suite.
+var sampleRateWindows = []time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second}
+
+// TestSampleRateSweepAllocations guards the ROADMAP follow-up that
+// replaced SampleRate's growing windowed FIFO with a ring buffer sized
+// once per (window, frame length): a full TCP window sweep with fresh
+// adapters must stay within a fixed, small allocation budget — one ring
+// plus adapter/RNG setup per window, nothing per attempt. The growing
+// FIFO this replaced cost a doubling-and-copy cascade per adapter (its
+// event slice grew to the window population during every run).
+func TestSampleRateSweepAllocations(t *testing.T) {
+	sched := sensors.AlternatingSchedule(4*time.Second, 2*time.Second, sensors.Walk, false)
+	tr := channel.Generate(channel.Config{Env: channel.Office, Sched: sched, Total: 4 * time.Second, Seed: 21})
+	sweep := func() {
+		for _, w := range sampleRateWindows {
+			sr := rate.NewSampleRate(33)
+			sr.Window = w
+			Run(Config{Trace: tr, Adapter: sr, Workload: TCP, Seed: 34})
+		}
+	}
+	sweep() // warm the airtime/error LUT caches
+	allocs := testing.AllocsPerRun(10, sweep)
+	// Budget: per window ≈ adapter struct + math/rand source + one
+	// ring allocation. 6 per window (24 total) leaves headroom without
+	// letting per-attempt or growth allocations back in.
+	if allocs > 24 {
+		t.Errorf("TCP window sweep allocates %.0f times, want ≤ 24 (ring regressed to a growing FIFO?)", allocs)
+	}
+}
+
+// TestSampleRateReplayAllocationFree pins the reused-adapter path: once
+// the ring exists, Reset keeps its capacity and a full TCP replay
+// performs no event-storage allocation at all.
+func TestSampleRateReplayAllocationFree(t *testing.T) {
+	sched := sensors.AlternatingSchedule(4*time.Second, 2*time.Second, sensors.Walk, false)
+	tr := channel.Generate(channel.Config{Env: channel.Office, Sched: sched, Total: 4 * time.Second, Seed: 21})
+	sr := rate.NewSampleRate(33)
+	sr.Window = 2 * time.Second
+	Run(Config{Trace: tr, Adapter: sr, Workload: TCP, Seed: 34}) // allocate the ring
+	allocs := testing.AllocsPerRun(5, func() {
+		Run(Config{Trace: tr, Adapter: sr, Workload: TCP, Seed: 34})
+	})
+	if allocs != 0 {
+		t.Errorf("reused SampleRate replay allocates %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,346 @@
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the serialization half of the cross-process merge
+// contract: stable, version-tagged binary codecs for the mergeable
+// accumulators, exact to the bit. Floats travel as raw IEEE-754 bits
+// (math.Float64bits), so every value — including -0, ±Inf, NaN
+// payloads and denormals — survives a round trip unchanged; a shard's
+// partial accumulator deserializes into exactly the state it had in the
+// worker process. Decoding arbitrary bytes never panics: every length
+// is checked against the remaining input before it is trusted (fuzzed
+// by FuzzAccumulatorCodec / FuzzHistogramCodec / FuzzSeriesCodec).
+//
+// Wire layout (all integers little-endian):
+//
+//	header:      tag byte ('A'/'H'/'S'), version byte (1)
+//	Accumulator: u64 count, then count × f64 bits in insertion order
+//	Histogram:   f64 width bits, f64 sum bits, u64 n,
+//	             u64 buckets, then buckets × (i64 bucket, i64 count)
+//	             in ascending bucket order (canonical: two equal
+//	             histograms encode to equal bytes)
+//	Series:      u32 name length, name bytes, u64 points,
+//	             then points × (f64 x bits, f64 y bits) in order
+
+// Codec tags and version.
+const (
+	codecVersion = 1
+
+	tagAccumulator = 'A'
+	tagHistogram   = 'H'
+	tagSeries      = 'S'
+)
+
+// ErrCodec wraps every decode failure so callers can distinguish
+// malformed input from other errors.
+var ErrCodec = errors.New("stats: malformed codec input")
+
+func codecErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCodec, fmt.Sprintf(format, args...))
+}
+
+// reader is a bounds-checked cursor over an encoded payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, codecErr("need %d bytes, have %d", n, r.remaining())
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) f64() (float64, error) {
+	u, err := r.u64()
+	return math.Float64frombits(u), err
+}
+
+// count reads a u64 element count and validates it against the bytes
+// each element occupies, so a forged count cannot force a huge
+// allocation before the shortfall is noticed.
+func (r *reader) count(elemBytes int) (int, error) {
+	n, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining())/uint64(elemBytes) {
+		return 0, codecErr("count %d exceeds remaining input (%d bytes)", n, r.remaining())
+	}
+	return int(n), nil
+}
+
+func (r *reader) header(tag byte) error {
+	b, err := r.bytes(2)
+	if err != nil {
+		return err
+	}
+	if b[0] != tag {
+		return codecErr("tag %q, want %q", b[0], tag)
+	}
+	if b[1] != codecVersion {
+		return codecErr("version %d, want %d", b[1], codecVersion)
+	}
+	return nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+// MarshalBinary encodes the accumulator's samples in insertion order.
+func (a *Accumulator) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 2+8+8*len(a.xs))
+	out = append(out, tagAccumulator, codecVersion)
+	out = appendU64(out, uint64(len(a.xs)))
+	for _, x := range a.xs {
+		out = appendF64(out, x)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary replaces the accumulator's contents with the encoded
+// samples. Malformed input returns an error wrapping ErrCodec and
+// leaves the accumulator unchanged.
+func (a *Accumulator) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if err := r.header(tagAccumulator); err != nil {
+		return err
+	}
+	n, err := r.count(8)
+	if err != nil {
+		return err
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		if xs[i], err = r.f64(); err != nil {
+			return err
+		}
+	}
+	if r.remaining() != 0 {
+		return codecErr("%d trailing bytes", r.remaining())
+	}
+	a.xs = xs
+	return nil
+}
+
+// MarshalBinary encodes the histogram with buckets in ascending index
+// order, so equal histograms encode to equal bytes.
+func (h *Histogram) MarshalBinary() ([]byte, error) {
+	bs := h.buckets()
+	out := make([]byte, 0, 2+8*3+8+16*len(bs))
+	out = append(out, tagHistogram, codecVersion)
+	out = appendF64(out, h.Width)
+	out = appendF64(out, h.sum)
+	out = appendU64(out, uint64(h.n))
+	out = appendU64(out, uint64(len(bs)))
+	for _, b := range bs {
+		out = appendU64(out, uint64(int64(b)))
+		out = appendU64(out, uint64(h.counts[b]))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary replaces the histogram's contents. The width must be
+// positive and finite (the invariant NewHistogram enforces), bucket
+// counts must be positive, buckets strictly ascending, and the total
+// must equal the stored n — so a decoded histogram is always safe to
+// Merge. Malformed input returns an error wrapping ErrCodec.
+func (h *Histogram) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if err := r.header(tagHistogram); err != nil {
+		return err
+	}
+	width, err := r.f64()
+	if err != nil {
+		return err
+	}
+	if !(width > 0) || math.IsInf(width, 1) {
+		return codecErr("non-positive or non-finite width %g", width)
+	}
+	sum, err := r.f64()
+	if err != nil {
+		return err
+	}
+	nu, err := r.u64()
+	if err != nil {
+		return err
+	}
+	n := int64(nu)
+	if n < 0 {
+		return codecErr("negative sample count %d", n)
+	}
+	buckets, err := r.count(16)
+	if err != nil {
+		return err
+	}
+	counts := make(map[int]int64, buckets)
+	var total int64
+	prev := int64(math.MinInt64)
+	first := true
+	for i := 0; i < buckets; i++ {
+		bu, err := r.u64()
+		if err != nil {
+			return err
+		}
+		cu, err := r.u64()
+		if err != nil {
+			return err
+		}
+		b, c := int64(bu), int64(cu)
+		if !first && b <= prev {
+			return codecErr("bucket %d out of order after %d", b, prev)
+		}
+		if b != int64(int(b)) {
+			return codecErr("bucket %d overflows int", b)
+		}
+		if c <= 0 {
+			return codecErr("non-positive count %d in bucket %d", c, b)
+		}
+		if total > math.MaxInt64-c {
+			return codecErr("bucket counts overflow")
+		}
+		total += c
+		counts[int(b)] = c
+		prev, first = b, false
+	}
+	if total != n {
+		return codecErr("bucket counts sum to %d, header says %d", total, n)
+	}
+	if r.remaining() != 0 {
+		return codecErr("%d trailing bytes", r.remaining())
+	}
+	h.Width = width
+	h.sum = sum
+	h.n = n
+	h.counts = counts
+	return nil
+}
+
+// MarshalBinary encodes the series name and points in order.
+func (s *Series) MarshalBinary() ([]byte, error) {
+	if len(s.Name) > math.MaxUint32 {
+		return nil, fmt.Errorf("stats: series name of %d bytes exceeds the wire format", len(s.Name))
+	}
+	out := make([]byte, 0, 2+4+len(s.Name)+8+16*len(s.Points))
+	out = append(out, tagSeries, codecVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Name)))
+	out = append(out, s.Name...)
+	out = appendU64(out, uint64(len(s.Points)))
+	for _, p := range s.Points {
+		out = appendF64(out, p.X)
+		out = appendF64(out, p.Y)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary replaces the series' contents. Malformed input
+// returns an error wrapping ErrCodec and leaves the series unchanged.
+func (s *Series) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if err := r.header(tagSeries); err != nil {
+		return err
+	}
+	nameLen, err := r.u32()
+	if err != nil {
+		return err
+	}
+	name, err := r.bytes(int(nameLen))
+	if err != nil {
+		return err
+	}
+	n, err := r.count(16)
+	if err != nil {
+		return err
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		if pts[i].X, err = r.f64(); err != nil {
+			return err
+		}
+		if pts[i].Y, err = r.f64(); err != nil {
+			return err
+		}
+	}
+	if r.remaining() != 0 {
+		return codecErr("%d trailing bytes", r.remaining())
+	}
+	s.Name = string(name)
+	s.Points = pts
+	return nil
+}
+
+// Equal reports whether two accumulators hold bit-identical sample
+// sequences (NaNs compare by bit pattern, so a round-tripped
+// accumulator always equals its source).
+func (a *Accumulator) Equal(o *Accumulator) bool {
+	if len(a.xs) != len(o.xs) {
+		return false
+	}
+	for i, x := range a.xs {
+		if math.Float64bits(x) != math.Float64bits(o.xs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two histograms hold bit-identical state.
+func (h *Histogram) Equal(o *Histogram) bool {
+	if math.Float64bits(h.Width) != math.Float64bits(o.Width) ||
+		math.Float64bits(h.sum) != math.Float64bits(o.sum) ||
+		h.n != o.n || len(h.counts) != len(o.counts) {
+		return false
+	}
+	for b, c := range h.counts {
+		if o.counts[b] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two series hold bit-identical names and points.
+func (s *Series) Equal(o *Series) bool {
+	if s.Name != o.Name || len(s.Points) != len(o.Points) {
+		return false
+	}
+	for i, p := range s.Points {
+		if math.Float64bits(p.X) != math.Float64bits(o.Points[i].X) ||
+			math.Float64bits(p.Y) != math.Float64bits(o.Points[i].Y) {
+			return false
+		}
+	}
+	return true
+}

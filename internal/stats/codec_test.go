@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// awkwardFloats exercises every bit pattern class the codec must carry
+// exactly: negative zero, infinities, quiet NaN, a NaN with a payload,
+// denormals, and extreme magnitudes.
+var awkwardFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.1, -1e-308, 5e-324, math.MaxFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.Float64frombits(0x7ff8000000000abc), // NaN with payload
+}
+
+func TestAccumulatorCodecRoundTrip(t *testing.T) {
+	var a Accumulator
+	a.Add(awkwardFloats...)
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var b Accumulator
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !a.Equal(&b) {
+		t.Fatalf("round trip changed samples: %v -> %v", a.Values(), b.Values())
+	}
+
+	var empty, emptyBack Accumulator
+	data, _ = empty.MarshalBinary()
+	if err := emptyBack.UnmarshalBinary(data); err != nil || emptyBack.N() != 0 {
+		t.Fatalf("empty round trip: err=%v n=%d", err, emptyBack.N())
+	}
+}
+
+func TestHistogramCodecRoundTrip(t *testing.T) {
+	h := NewHistogram(0.25)
+	for _, x := range []float64{-3, -0.1, 0, 0.1, 0.24, 7.5, 1e6} {
+		h.Add(x)
+	}
+	h.AddN(2.5, 41)
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var g Histogram
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !h.Equal(&g) {
+		t.Fatalf("round trip changed histogram: %v -> %v", h, &g)
+	}
+	// A decoded histogram must be mergeable (its map must be live).
+	g.Add(1)
+	if g.Count() != h.Count()+1 {
+		t.Fatalf("decoded histogram not usable: count %d", g.Count())
+	}
+
+	// Canonical: equal histograms encode to equal bytes.
+	data2, _ := h.MarshalBinary()
+	if string(data) != string(data2) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestSeriesCodecRoundTrip(t *testing.T) {
+	s := &Series{Name: "curve α"}
+	for i, x := range awkwardFloats {
+		s.Add(x, awkwardFloats[len(awkwardFloats)-1-i])
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var g Series
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !s.Equal(&g) {
+		t.Fatalf("round trip changed series")
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	var a Accumulator
+	a.Add(1, 2, 3)
+	good, _ := a.MarshalBinary()
+
+	cases := map[string][]byte{
+		"empty":         {},
+		"tag only":      {tagAccumulator},
+		"wrong tag":     append([]byte{tagSeries}, good[1:]...),
+		"wrong version": append([]byte{tagAccumulator, 99}, good[2:]...),
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte{}, good...), 0),
+		"huge count": append([]byte{tagAccumulator, codecVersion},
+			binary.LittleEndian.AppendUint64(nil, math.MaxUint64)...),
+	}
+	for name, data := range cases {
+		var b Accumulator
+		if err := b.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		} else if !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: error %v does not wrap ErrCodec", name, err)
+		}
+		if b.N() != 0 {
+			t.Errorf("%s: failed decode mutated the accumulator", name)
+		}
+	}
+
+	// Histogram-specific corruption: zero width, count mismatch,
+	// unordered buckets.
+	h := NewHistogram(1)
+	h.Add(1)
+	h.Add(5)
+	hb, _ := h.MarshalBinary()
+	zeroWidth := append([]byte{}, hb...)
+	binary.LittleEndian.PutUint64(zeroWidth[2:], math.Float64bits(0))
+	badN := append([]byte{}, hb...)
+	binary.LittleEndian.PutUint64(badN[18:], 7) // header n != bucket total
+	for name, data := range map[string][]byte{"zero width": zeroWidth, "count mismatch": badN} {
+		var g Histogram
+		if err := g.UnmarshalBinary(data); err == nil {
+			t.Errorf("histogram %s: decode accepted malformed input", name)
+		}
+	}
+}
+
+// FuzzAccumulatorCodec asserts the two codec invariants on arbitrary
+// input: (1) decoding never panics — it either fails cleanly or yields
+// a value whose re-encoding is stable; (2) an accumulator built from
+// the input's float64s round-trips bit-exactly.
+func FuzzAccumulatorCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{tagAccumulator, codecVersion})
+	var seedAcc Accumulator
+	seedAcc.Add(awkwardFloats...)
+	seed, _ := seedAcc.MarshalBinary()
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// (1) Arbitrary bytes: must not panic; success implies a stable
+		// re-encode.
+		var a Accumulator
+		if err := a.UnmarshalBinary(data); err == nil {
+			out, err := a.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-encode of decoded value failed: %v", err)
+			}
+			var b Accumulator
+			if err := b.UnmarshalBinary(out); err != nil || !a.Equal(&b) {
+				t.Fatalf("re-decode mismatch (err=%v)", err)
+			}
+		}
+
+		// (2) Interpret the input as samples: exact round trip.
+		var src Accumulator
+		for i := 0; i+8 <= len(data); i += 8 {
+			src.Add(math.Float64frombits(binary.LittleEndian.Uint64(data[i:])))
+		}
+		enc, err := src.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Accumulator
+		if err := back.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("unmarshal of own encoding: %v", err)
+		}
+		if !src.Equal(&back) {
+			t.Fatal("round trip not exact")
+		}
+	})
+}
+
+// FuzzHistogramCodec mirrors FuzzAccumulatorCodec for histograms: no
+// panic on arbitrary input, and exact round trips for histograms built
+// from the input.
+func FuzzHistogramCodec(f *testing.F) {
+	f.Add([]byte{})
+	h := NewHistogram(0.5)
+	h.Add(1)
+	h.AddN(-3, 9)
+	seed, _ := h.MarshalBinary()
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Histogram
+		if err := g.UnmarshalBinary(data); err == nil {
+			out, err := g.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-encode of decoded value failed: %v", err)
+			}
+			var g2 Histogram
+			if err := g2.UnmarshalBinary(out); err != nil || !g.Equal(&g2) {
+				t.Fatalf("re-decode mismatch (err=%v)", err)
+			}
+			// Decoded histograms must uphold the Merge invariant
+			// (positive width), or Merge could panic later.
+			if !(g.Width > 0) {
+				t.Fatalf("decoded histogram has invalid width %g", g.Width)
+			}
+		}
+
+		// Build a histogram from the fuzz input: first 8 bytes pick the
+		// width, the rest are samples. Skip widths the API itself
+		// rejects (NewHistogram panics on non-positive).
+		if len(data) < 8 {
+			return
+		}
+		width := math.Abs(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		if !(width > 0) || math.IsInf(width, 1) {
+			return
+		}
+		src := NewHistogram(width)
+		for i := 8; i+8 <= len(data); i += 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:]))
+			if math.IsNaN(x) || math.Abs(x/width) > 1e15 {
+				continue // bucket index would be meaningless/overflow int
+			}
+			src.Add(x)
+		}
+		enc, err := src.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back := NewHistogram(width)
+		if err := back.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("unmarshal of own encoding: %v", err)
+		}
+		if !src.Equal(back) {
+			t.Fatal("round trip not exact")
+		}
+	})
+}
+
+// FuzzSeriesCodec: no panic on arbitrary input; series built from the
+// input round-trip exactly.
+func FuzzSeriesCodec(f *testing.F) {
+	f.Add([]byte{})
+	s := &Series{Name: "seed"}
+	s.Add(1, 2)
+	seed, _ := s.MarshalBinary()
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Series
+		if err := g.UnmarshalBinary(data); err == nil {
+			out, err := g.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-encode of decoded value failed: %v", err)
+			}
+			var g2 Series
+			if err := g2.UnmarshalBinary(out); err != nil || !g.Equal(&g2) {
+				t.Fatalf("re-decode mismatch (err=%v)", err)
+			}
+		}
+
+		nameLen := 0
+		if len(data) > 0 {
+			nameLen = int(data[0]) % 16
+		}
+		if len(data) < 1+nameLen {
+			return
+		}
+		src := &Series{Name: string(data[1 : 1+nameLen])}
+		for i := 1 + nameLen; i+16 <= len(data); i += 16 {
+			src.Add(math.Float64frombits(binary.LittleEndian.Uint64(data[i:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(data[i+8:])))
+		}
+		enc, err := src.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Series
+		if err := back.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("unmarshal of own encoding: %v", err)
+		}
+		if !src.Equal(&back) {
+			t.Fatal("round trip not exact")
+		}
+	})
+}

@@ -182,6 +182,124 @@ func TestConditionalLossNoLosses(t *testing.T) {
 	}
 }
 
+// TestConditionalLossEdgeCases pins the packed-bitset implementation on
+// the boundaries the differential test only samples: empty and
+// single-packet traces, all-lost traces, lags at or past the stream
+// end, and loss patterns confined to the trailing partial word of the
+// bitset (where the final word's mask and the shifted read past the
+// data end are the code paths under test). Expectations here are exact,
+// not differential.
+func TestConditionalLossEdgeCases(t *testing.T) {
+	allZero := func(t *testing.T, cond []float64, wantLen int) {
+		t.Helper()
+		if len(cond) != wantLen {
+			t.Fatalf("len = %d, want %d", len(cond), wantLen)
+		}
+		for k, v := range cond {
+			if v != 0 {
+				t.Errorf("cond[%d] = %v, want 0", k, v)
+			}
+		}
+	}
+
+	t.Run("empty trace", func(t *testing.T) {
+		pt := &PacketTrace{}
+		allZero(t, pt.ConditionalLoss(5), 6)
+		allZero(t, pt.ConditionalLoss(0), 1)
+	})
+
+	t.Run("single packet", func(t *testing.T) {
+		// One packet has no (i, i+k) pair at any lag — even when it is
+		// itself lost.
+		allZero(t, (&PacketTrace{Lost: []bool{false}}).ConditionalLoss(3), 4)
+		allZero(t, (&PacketTrace{Lost: []bool{true}}).ConditionalLoss(3), 4)
+	})
+
+	t.Run("all lost", func(t *testing.T) {
+		// Every conditioning packet's successor is lost: exactly 1 for
+		// each lag with a pair in range, 0 once k ≥ n.
+		for _, n := range []int{2, 63, 64, 65, 130} {
+			lost := make([]bool, n)
+			for i := range lost {
+				lost[i] = true
+			}
+			cond := (&PacketTrace{Lost: lost}).ConditionalLoss(n + 10)
+			for k := 1; k <= n+10; k++ {
+				want := 0.0
+				if k < n {
+					want = 1
+				}
+				if cond[k] != want {
+					t.Fatalf("n=%d: cond[%d] = %v, want %v", n, k, cond[k], want)
+				}
+			}
+		}
+	})
+
+	t.Run("lag past stream end", func(t *testing.T) {
+		pt := &PacketTrace{Lost: []bool{true, true, true}}
+		cond := pt.ConditionalLoss(64)
+		if cond[1] != 1 || cond[2] != 1 {
+			t.Errorf("in-range lags = %v %v, want 1 1", cond[1], cond[2])
+		}
+		for k := 3; k <= 64; k++ {
+			if cond[k] != 0 {
+				t.Errorf("cond[%d] = %v past the stream end, want 0", k, cond[k])
+			}
+		}
+	})
+
+	t.Run("trailing partial word", func(t *testing.T) {
+		// 70 packets: one full 64-bit word plus a 6-bit tail. Put the
+		// only losses in the tail (indices 65 and 68, lag 3 apart) so
+		// both the conditioning mask and the shifted join run entirely
+		// in the partial word.
+		lost := make([]bool, 70)
+		lost[65], lost[68] = true, true
+		cond := (&PacketTrace{Lost: lost}).ConditionalLoss(10)
+		// Lag 3: conditioning packets are [0, 67): only index 65 is
+		// lost, and 65+3 = 68 is lost → exactly 1.
+		if cond[3] != 1 {
+			t.Errorf("cond[3] = %v, want 1", cond[3])
+		}
+		// Lag 5: conditioning packets are [0, 65): no losses at all →
+		// defined as 0.
+		if cond[5] != 0 {
+			t.Errorf("cond[5] = %v, want 0 (no conditioning losses)", cond[5])
+		}
+		// Lag 2: 65 is conditioning, 67 is delivered → 0; 68 is outside
+		// the conditioning range [0, 68) boundary check: 68 < 68 is
+		// false, so it must not condition on itself.
+		if cond[2] != 0 {
+			t.Errorf("cond[2] = %v, want 0", cond[2])
+		}
+
+		// A loss on the very last packet must count as a successor but
+		// never as a conditioner at positive lags beyond its reach.
+		lost2 := make([]bool, 65)
+		lost2[0], lost2[64] = true, true
+		cond2 := (&PacketTrace{Lost: lost2}).ConditionalLoss(64)
+		if cond2[64] != 1 {
+			t.Errorf("cond[64] = %v, want 1 (0 → 64 joint loss)", cond2[64])
+		}
+		if cond2[1] != 0 {
+			t.Errorf("cond[1] = %v, want 0", cond2[1])
+		}
+	})
+
+	t.Run("word-boundary conditioning cutoff", func(t *testing.T) {
+		// n−k landing exactly on a word boundary exercises the lr == 0
+		// early break: with n = 65 and k = 1 the conditioning range is
+		// [0, 64) — one full word, nothing from the partial word.
+		lost := make([]bool, 65)
+		lost[63], lost[64] = true, true
+		cond := (&PacketTrace{Lost: lost}).ConditionalLoss(1)
+		if cond[1] != 1 {
+			t.Errorf("cond[1] = %v, want 1 (63 → 64)", cond[1])
+		}
+	})
+}
+
 // TestConditionalLossMatchesNaive cross-checks the bitset implementation
 // against the straightforward per-packet scan on random streams,
 // including lengths around word boundaries and lags past the stream end.
