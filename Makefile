@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench ci shard-smoke cover fuzz
+.PHONY: all build fmt vet test race bench ci shard-smoke cluster-smoke cover fuzz
 
 all: build
 
@@ -48,18 +48,50 @@ shard-smoke:
 	diff $$tmp/single.out $$tmp/sharded.out && \
 	echo "shard-smoke: 3-shard report is bit-identical to the single-process run"
 
+# Work-stealing cluster smoke: a real TCP-loopback coordinator with a
+# 6-shard queue and 3 connecting worker processes, one of which is
+# deliberately killed mid-shard (it receives an assignment and exits
+# without answering, forcing a re-dispatch). The merged report must be
+# byte-identical to the single-process hintbench output; the surviving
+# workers must exit 0 (they are stopped cleanly, even when they lose a
+# speculative race). The registry-wide version of this check (every
+# experiment × {inproc, subprocess, tcp} × several worker counts) is
+# internal/cluster's determinism tests.
+cluster-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/hintshard ./cmd/hintshard || exit 1; \
+	$(GO) build -o $$tmp/hintbench ./cmd/hintbench || exit 1; \
+	( timeout 240 $$tmp/hintshard -run fig3-1 -shards 6 -listen 127.0.0.1:0 \
+		-addr-file $$tmp/addr -scale 0.2 -seed 42 > $$tmp/cluster.out 2> $$tmp/coord.err ) & \
+	coord=$$!; \
+	for i in $$(seq 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "coordinator never published its address"; cat $$tmp/coord.err; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/hintshard -connect $$addr -die-after-assign 1 2>/dev/null; \
+	[ $$? -eq 3 ] || { echo "fault-injected worker did not die with code 3"; exit 1; }; \
+	( timeout 240 $$tmp/hintshard -connect $$addr 2> $$tmp/w2.err ) & w2=$$!; \
+	( timeout 240 $$tmp/hintshard -connect $$addr 2> $$tmp/w3.err ) & w3=$$!; \
+	wait $$coord || { echo "coordinator failed"; cat $$tmp/coord.err; exit 1; }; \
+	wait $$w2 || { echo "worker 2 exited non-zero"; cat $$tmp/w2.err; exit 1; }; \
+	wait $$w3 || { echo "worker 3 exited non-zero"; cat $$tmp/w3.err; exit 1; }; \
+	$$tmp/hintbench -scale 0.2 -seed 42 fig3-1 > $$tmp/single.out || exit 1; \
+	diff $$tmp/single.out $$tmp/cluster.out || exit 1; \
+	echo "cluster-smoke: TCP run with a killed worker is bit-identical to the single-process run"
+
 # Coverage summary for the packages that carry the serialization and
 # sharding contracts.
 cover:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
-	$(GO) test -coverprofile=$$tmp/cover.out ./internal/stats/... ./internal/parallel/... && \
+	$(GO) test -coverprofile=$$tmp/cover.out ./internal/stats/... ./internal/parallel/... ./internal/cluster/... && \
 	$(GO) tool cover -func=$$tmp/cover.out | tail -n 1
 
-# Short fuzz pass over the stats codecs (each target runs alone, as
-# `go test -fuzz` requires).
+# Short fuzz pass over the stats codecs and the cluster wire layer
+# (each target runs alone, as `go test -fuzz` requires).
 fuzz:
 	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime 30s ./internal/stats/
 	$(GO) test -fuzz FuzzHistogramCodec -fuzztime 30s ./internal/stats/
 	$(GO) test -fuzz FuzzSeriesCodec -fuzztime 30s ./internal/stats/
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/stats/
+	$(GO) test -fuzz FuzzDecodeMessage -fuzztime 30s ./internal/cluster/
 
-ci: build vet shard-smoke race
+ci: build vet shard-smoke cluster-smoke race

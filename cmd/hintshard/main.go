@@ -1,208 +1,490 @@
-// Command hintshard runs one experiment sharded across processes and
+// Command hintshard runs one experiment sharded across workers and
 // merges the partial results into a report that is bit-identical to the
-// single-process hintbench output for any shard count.
+// single-process hintbench output — for any shard count, worker count,
+// transport, assignment order, or worker failure. It is a thin front
+// end over the work-stealing cluster runtime in internal/cluster.
 //
-// It runs in three modes:
+// Modes (exactly one per invocation):
 //
-//	coordinator (spawn): split the trial space into K shards, run each
-//	as a worker process (this binary re-executed with -shard k/K),
-//	collect the partial-result files and merge them in shard order.
+//	coordinator: split the trial space into K shards (a queue, not a
+//	static assignment), hand shards to workers as they free up, steal
+//	from stragglers, re-dispatch shards lost to dead workers, merge.
+//	The -transport flag picks where the workers live: "subprocess"
+//	(default; -procs worker processes of this binary on this machine),
+//	"inproc" (-procs goroutine workers in this process), or "tcp"
+//	(workers connect to -listen over the network).
 //
-//	    hintshard -run fig3-5 -shards 4 [-scale S] [-seed N] [-workers W]
+//	    hintshard -run fig3-5 -shards 8 [-procs 3] [-scale S] [-seed N]
+//	    hintshard -run fig3-5 -shards 8 -listen :7432 [-addr-file F]
 //
-//	worker: run one shard's slice of every trial range and write the
-//	partial (unmerged per-trial accumulators) as JSON to -o or stdout.
+//	TCP worker: connect to a coordinator and pull shards until stopped.
+//
+//	    hintshard -connect host:7432 [-workers W]
+//
+//	one-shot worker: run one fixed shard's slice of every trial range
+//	and write the partial (unmerged per-trial accumulators) as JSON to
+//	-o or stdout — the building block for file-based, multi-machine
+//	runs without a live coordinator.
 //
 //	    hintshard -run fig3-5 -shard 2/4 -o part2.json [-scale S] [-seed N]
 //
-//	merge: consume partial files produced by workers anywhere (any
-//	order; the shard set must be complete and agree on seed/scale) and
-//	print the merged report.
+//	merge: consume partial files produced by one-shot workers anywhere
+//	(any order; the shard set must be complete and agree on seed/scale)
+//	and print the merged report.
 //
 //	    hintshard -merge part0.json part1.json part2.json part3.json
 //
+//	stdio worker (internal): speak the cluster frame protocol on
+//	stdin/stdout; the subprocess transport spawns this.
+//
+//	    hintshard -serve-stdio
+//
 // The determinism contract (internal/parallel/README.md) extends across
-// the process boundary: per-trial seeds derive from the root seed by
-// global trial index, shards own contiguous trial ranges, and the
-// coordinator absorbs per-trial results in global trial order — so
-// -shards, like -workers, only changes how fast the report appears.
+// process and machine boundaries: per-trial seeds derive from the root
+// seed by global trial index, shards own contiguous trial ranges, and
+// the coordinator absorbs per-trial results in global trial order — so
+// -shards, -procs, and -transport, like -workers, only change how fast
+// the report appears. -worker-die-after and -die-after-assign inject
+// worker death for the failure-path smoke tests.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
-	"path/filepath"
 	"runtime"
-	"sync"
+	"strconv"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
 
 func main() {
-	os.Exit(realMain())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func realMain() int {
-	run := flag.String("run", "", "experiment id (see 'hintshard -list')")
-	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper scale, smaller = faster)")
-	seed := flag.Int64("seed", 42, "random seed for deterministic runs")
-	workers := flag.Int("workers", 0, "worker goroutines per process (0 = one per CPU)")
-	shardSpec := flag.String("shard", "", "run as a worker for shard `k/K` and emit a partial result")
-	shards := flag.Int("shards", 0, "run as coordinator: spawn `K` worker processes and merge their partials")
-	merge := flag.Bool("merge", false, "merge partial-result files given as arguments and print the report")
-	out := flag.String("o", "", "worker mode: write the partial to `file` instead of stdout")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+// options carries the parsed flag set; methods on it implement the
+// modes.
+type options struct {
+	run       string
+	scale     float64
+	seed      int64
+	workers   int
+	shardSpec string
+	shards    int
+	procs     int
+	transport string
+	listen    string
+	addrFile  string
+	connect   string
+	serveStd  bool
+	merge     bool
+	out       string
+	list      bool
+	retries   int
+	noSteal   bool
+	verbose   bool
+	dieAfter  int
+	workerDie int
 
-	if *list {
+	stdout, stderr io.Writer
+}
+
+// run parses args and dispatches to the selected mode; it is main minus
+// os.Exit, so the CLI tests can drive it directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hintshard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{stdout: stdout, stderr: stderr}
+	fs.StringVar(&o.run, "run", "", "experiment id (see 'hintshard -list')")
+	fs.Float64Var(&o.scale, "scale", 1.0, "experiment scale (1.0 = paper scale, smaller = faster)")
+	fs.Int64Var(&o.seed, "seed", 42, "random seed for deterministic runs")
+	fs.IntVar(&o.workers, "workers", 0, "goroutines per worker for one shard's trials (0 = one per CPU, split across -procs for local transports)")
+	fs.StringVar(&o.shardSpec, "shard", "", "one-shot worker: run shard `k/K` and emit a partial result")
+	fs.IntVar(&o.shards, "shards", 0, "coordinator: split the trial space into `K` queued shards")
+	fs.IntVar(&o.procs, "procs", 0, "coordinator: number of local workers (subprocess/inproc transports; default K)")
+	fs.StringVar(&o.transport, "transport", "", "coordinator transport: subprocess, inproc, or tcp (default subprocess; tcp implied by -listen)")
+	fs.StringVar(&o.listen, "listen", "", "coordinator: accept TCP workers on `addr` (e.g. :7432, 127.0.0.1:0)")
+	fs.StringVar(&o.addrFile, "addr-file", "", "coordinator: write the resolved -listen address to `file` (for scripts using port 0)")
+	fs.StringVar(&o.connect, "connect", "", "worker: pull shards from the coordinator at `addr` until stopped")
+	fs.BoolVar(&o.serveStd, "serve-stdio", false, "worker: speak the cluster protocol on stdin/stdout (spawned by the subprocess transport)")
+	fs.BoolVar(&o.merge, "merge", false, "merge partial-result files given as arguments and print the report")
+	fs.StringVar(&o.out, "o", "", "one-shot worker: write the partial to `file` instead of stdout")
+	fs.BoolVar(&o.list, "list", false, "list experiments and exit")
+	fs.IntVar(&o.retries, "retries", 3, "coordinator: per-shard failure budget before aborting")
+	fs.BoolVar(&o.noSteal, "no-steal", false, "coordinator: disable speculative re-dispatch of in-flight shards")
+	fs.BoolVar(&o.verbose, "v", false, "log dispatches, steals, and worker deaths to stderr")
+	fs.IntVar(&o.dieAfter, "die-after-assign", 0, "worker fault injection: exit abruptly on receiving the `n`-th assignment")
+	fs.IntVar(&o.workerDie, "worker-die-after", 0, "coordinator fault injection (subprocess transport): pass -die-after-assign `n` to the first spawned worker")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if o.list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+			fmt.Fprintf(o.stdout, "%-10s %s\n", e.ID, e.Desc)
 		}
 		return 0
 	}
 
-	switch {
-	case *merge:
-		return mergeFiles(flag.Args(), *workers)
-	case *shardSpec != "":
-		return worker(*run, experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}, *shardSpec, *out)
-	case *shards > 0:
-		return coordinate(*run, *scale, *seed, *workers, *shards)
+	mode, err := o.mode(explicit)
+	if err != nil {
+		fmt.Fprintln(o.stderr, err)
+		usage(o.stderr)
+		return 2
 	}
-	fmt.Fprintln(os.Stderr, "usage: hintshard -run <id> -shards K   (coordinator)")
-	fmt.Fprintln(os.Stderr, "       hintshard -run <id> -shard k/K  (worker)")
-	fmt.Fprintln(os.Stderr, "       hintshard -merge part.json...   (merge worker output)")
+	switch mode {
+	case "merge":
+		return o.mergeFiles(fs.Args())
+	case "one-shot":
+		return o.oneShot()
+	case "connect":
+		return o.tcpWorker()
+	case "serve-stdio":
+		return o.stdioWorker()
+	case "coordinator":
+		return o.coordinate()
+	}
+	usage(o.stderr)
 	return 2
 }
 
-// worker runs one shard and writes the partial result.
-func worker(id string, cfg experiments.Config, shardSpec, out string) int {
-	shard, err := parallel.ParseShard(shardSpec)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: hintshard -run <id> -shards K [-procs N | -listen addr]   (coordinator)")
+	fmt.Fprintln(w, "       hintshard -connect addr                                    (TCP worker)")
+	fmt.Fprintln(w, "       hintshard -run <id> -shard k/K [-o file]                   (one-shot worker)")
+	fmt.Fprintln(w, "       hintshard -merge part.json...                              (merge partials)")
+	fmt.Fprintln(w, "run 'hintshard -list' for experiment ids")
+}
+
+// mode validates flag combinations and names the selected mode.
+// Contradictory selectors are rejected rather than silently prioritized,
+// and coordinator-only tuning flags are rejected in the worker and merge
+// modes (explicit holds the flags actually set on the command line): a
+// run that quietly ignored half its flags would do something the
+// operator did not ask for.
+func (o *options) mode(explicit map[string]bool) (string, error) {
+	rejectCoordFlags := func(mode string) error {
+		for _, f := range []string{"transport", "procs", "addr-file", "retries", "no-steal", "worker-die-after"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s is a coordinator flag; it does not apply to %s", f, mode)
+			}
+		}
+		return nil
+	}
+	var modes []string
+	if o.merge {
+		modes = append(modes, "-merge")
+	}
+	if o.shardSpec != "" {
+		modes = append(modes, "-shard")
+	}
+	if o.shards > 0 {
+		modes = append(modes, "-shards")
+	}
+	if o.connect != "" {
+		modes = append(modes, "-connect")
+	}
+	if o.serveStd {
+		modes = append(modes, "-serve-stdio")
+	}
+	if len(modes) == 0 {
+		if o.listen != "" {
+			return "", fmt.Errorf("-listen needs -shards K")
+		}
+		return "", fmt.Errorf("no mode selected")
+	}
+	if len(modes) > 1 {
+		return "", fmt.Errorf("flags %v select contradictory modes; pick one", modes)
+	}
+	switch modes[0] {
+	case "-merge":
+		if o.run != "" || o.listen != "" || o.out != "" {
+			return "", fmt.Errorf("-merge takes only partial files (remove -run/-listen/-o)")
+		}
+		if err := rejectCoordFlags("-merge"); err != nil {
+			return "", err
+		}
+		return "merge", nil
+	case "-shard":
+		if o.run == "" {
+			return "", fmt.Errorf("-shard needs -run <experiment-id>")
+		}
+		if o.listen != "" || o.transport != "" {
+			return "", fmt.Errorf("-shard is a one-shot worker; it takes no -listen/-transport")
+		}
+		if o.dieAfter > 0 {
+			return "", fmt.Errorf("-die-after-assign applies to protocol workers (-connect/-serve-stdio)")
+		}
+		if err := rejectCoordFlags("a one-shot worker"); err != nil {
+			return "", err
+		}
+		return "one-shot", nil
+	case "-connect":
+		if o.run != "" || o.shards > 0 || o.listen != "" || o.out != "" {
+			return "", fmt.Errorf("-connect workers take their assignments from the coordinator (remove -run/-shards/-listen/-o)")
+		}
+		if err := rejectCoordFlags("a -connect worker"); err != nil {
+			return "", err
+		}
+		return "connect", nil
+	case "-serve-stdio":
+		if o.run != "" || o.listen != "" || o.out != "" {
+			return "", fmt.Errorf("-serve-stdio workers take their assignments from the coordinator (remove -run/-listen/-o)")
+		}
+		if err := rejectCoordFlags("a -serve-stdio worker"); err != nil {
+			return "", err
+		}
+		return "serve-stdio", nil
+	default: // -shards
+		if o.run == "" {
+			return "", fmt.Errorf("coordinator needs -run <experiment-id>")
+		}
+		if o.dieAfter > 0 {
+			return "", fmt.Errorf("-die-after-assign is a worker flag; coordinators inject faults with -worker-die-after")
+		}
+		tr := o.transport
+		if tr == "" {
+			if o.listen != "" {
+				tr = "tcp"
+			} else {
+				tr = "subprocess"
+			}
+			o.transport = tr
+		}
+		switch tr {
+		case "tcp":
+			if o.listen == "" {
+				return "", fmt.Errorf("-transport tcp needs -listen addr")
+			}
+			if o.procs > 0 {
+				return "", fmt.Errorf("-procs applies to local transports; TCP workers join via -connect")
+			}
+		case "subprocess", "inproc":
+			if o.listen != "" {
+				return "", fmt.Errorf("-listen implies -transport tcp, not %s", tr)
+			}
+			if o.addrFile != "" {
+				return "", fmt.Errorf("-addr-file publishes a -listen address; it needs -transport tcp")
+			}
+		default:
+			return "", fmt.Errorf("unknown -transport %q (want subprocess, inproc, or tcp)", tr)
+		}
+		if o.workerDie > 0 && tr != "subprocess" {
+			return "", fmt.Errorf("-worker-die-after needs -transport subprocess (TCP workers inject their own faults with -die-after-assign)")
+		}
+		return "coordinator", nil
+	}
+}
+
+func (o *options) logf() func(string, ...any) {
+	if !o.verbose {
+		return nil
+	}
+	return func(format string, args ...any) {
+		fmt.Fprintf(o.stderr, format+"\n", args...)
+	}
+}
+
+// serveOpts builds the worker-side options, including the
+// fault-injection hook behind -die-after-assign.
+func (o *options) serveOpts(name string) cluster.ServeOptions {
+	so := cluster.ServeOptions{Name: name, Workers: o.workers}
+	if n := o.dieAfter; n > 0 {
+		seen := 0
+		so.OnAssign = func(cluster.Assign) error {
+			seen++
+			if seen >= n {
+				// Abrupt mid-shard death: the assignment was received
+				// and will never be answered.
+				fmt.Fprintf(o.stderr, "%s: dying after assignment %d (fault injection)\n", name, seen)
+				os.Exit(3)
+			}
+			return nil
+		}
+	}
+	return so
+}
+
+// oneShot runs one fixed shard and writes the partial result.
+func (o *options) oneShot() int {
+	shard, err := parallel.ParseShard(o.shardSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(o.stderr, err)
 		return 2
 	}
-	p, err := experiments.RunShard(id, cfg, shard)
+	cfg := experiments.Config{Scale: o.scale, Seed: o.seed, Workers: o.workers}
+	p, err := experiments.RunShard(o.run, cfg, shard)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(o.stderr, err)
 		return 1
 	}
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	w := o.stdout
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(o.stderr, err)
 			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := p.Encode(w); err != nil {
-		fmt.Fprintf(os.Stderr, "writing partial: %v\n", err)
+		fmt.Fprintf(o.stderr, "writing partial: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-// coordinate spawns one worker process per shard, waits for all of
-// them, and merges their partial files. Workers run concurrently;
-// completion order cannot matter because the merge orders partials by
-// shard index.
-func coordinate(id string, scale float64, seed int64, workers, k int) int {
-	if id == "" {
-		fmt.Fprintln(os.Stderr, "coordinator needs -run <experiment-id>")
-		return 2
-	}
-	self, err := os.Executable()
+// tcpWorker pulls shards from a remote coordinator until stopped.
+func (o *options) tcpWorker() int {
+	conn, err := cluster.DialTCP(o.connect)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "locating own binary: %v\n", err)
+		fmt.Fprintln(o.stderr, err)
 		return 1
 	}
-	// All K workers run on this machine at once; the "one goroutine per
-	// CPU" default would oversubscribe it K-fold, so split the CPUs
-	// across the workers instead. An explicit -workers value passes
-	// through untouched (useful when the shards are I/O-bound or the
-	// invocation is being rehearsed for a multi-machine run).
-	perWorker := workers
-	if perWorker == 0 {
-		perWorker = runtime.NumCPU() / k
+	host, _ := os.Hostname()
+	name := fmt.Sprintf("%s/%d", host, os.Getpid())
+	if err := cluster.Serve(conn, o.serveOpts(name)); err != nil {
+		fmt.Fprintln(o.stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// stdioWorker serves the protocol on stdin/stdout for the subprocess
+// transport.
+func (o *options) stdioWorker() int {
+	if err := cluster.ServeStdio(o.serveOpts(fmt.Sprintf("proc/%d", os.Getpid()))); err != nil {
+		fmt.Fprintln(o.stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// coordinate runs the work-stealing coordinator over the selected
+// transport and prints the merged report.
+func (o *options) coordinate() int {
+	procs := o.procs
+	if procs <= 0 {
+		procs = o.shards
+	}
+	// Local transports run every worker on this machine at once; the
+	// "one goroutine per CPU" default would oversubscribe it procs-fold,
+	// so split the CPUs instead. An explicit -workers value passes
+	// through untouched. TCP workers are (usually) other machines: the
+	// default leaves the fan-out to each worker.
+	perWorker := o.workers
+	if perWorker == 0 && o.transport != "tcp" {
+		perWorker = runtime.NumCPU() / procs
 		if perWorker < 1 {
 			perWorker = 1
 		}
 	}
-	dir, err := os.MkdirTemp("", "hintshard-*")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	defer os.RemoveAll(dir)
 
-	files := make([]string, k)
-	errs := make([]error, k)
-	var wg sync.WaitGroup
-	for _, shard := range parallel.NewShardPlan(k).Shards() {
-		shard := shard
-		files[shard.Index] = filepath.Join(dir, fmt.Sprintf("part%d.json", shard.Index))
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cmd := exec.Command(self,
-				"-run", id,
-				"-shard", shard.String(),
-				"-scale", fmt.Sprintf("%g", scale),
-				"-seed", fmt.Sprintf("%d", seed),
-				"-workers", fmt.Sprintf("%d", perWorker),
-				"-o", files[shard.Index],
-			)
-			cmd.Stderr = os.Stderr
-			if err := cmd.Run(); err != nil {
-				errs[shard.Index] = fmt.Errorf("worker %v: %w", shard, err)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	var t cluster.Transport
+	switch o.transport {
+	case "inproc":
+		t = cluster.NewInProcess(procs, func(i int, c cluster.Conn) {
+			so := o.serveOpts(fmt.Sprintf("inproc-%d", i))
+			cluster.Serve(c, so)
+		})
+	case "subprocess":
+		self, err := os.Executable()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(o.stderr, "locating own binary: %v\n", err)
 			return 1
 		}
+		t = cluster.NewSubprocess(procs, func(i int) *exec.Cmd {
+			args := []string{"-serve-stdio", "-workers", strconv.Itoa(perWorker)}
+			if o.workerDie > 0 && i == 0 {
+				args = append(args, "-die-after-assign", strconv.Itoa(o.workerDie))
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stderr = o.stderr
+			return cmd
+		})
+	case "tcp":
+		lt, err := cluster.ListenTCP(o.listen)
+		if err != nil {
+			fmt.Fprintln(o.stderr, err)
+			return 1
+		}
+		if o.addrFile != "" {
+			if err := os.WriteFile(o.addrFile, []byte(lt.Addr()), 0o644); err != nil {
+				fmt.Fprintln(o.stderr, err)
+				lt.Close()
+				return 1
+			}
+		}
+		fmt.Fprintf(o.stderr, "hintshard: listening on %s\n", lt.Addr())
+		t = lt
 	}
-	return mergeFiles(files, workers)
+
+	rep, _, err := cluster.Run(t, cluster.Options{
+		Experiment:   o.run,
+		Seed:         o.seed,
+		Scale:        o.scale,
+		Shards:       o.shards,
+		ShardWorkers: perWorker,
+		MergeWorkers: o.workers,
+		Retries:      o.retries,
+		NoSteal:      o.noSteal,
+		Logf:         o.logf(),
+	})
+	if err != nil {
+		fmt.Fprintln(o.stderr, err)
+		var we *cluster.WorkerExitError
+		if errors.As(err, &we) {
+			return we.Code
+		}
+		return 1
+	}
+	return o.printReport(rep)
 }
 
-// mergeFiles decodes worker partials, merges them, and prints the
-// report. Like hintbench, the exit code reflects the shape checks.
-func mergeFiles(paths []string, workers int) int {
+// mergeFiles decodes one-shot worker partials, merges them, and prints
+// the report.
+func (o *options) mergeFiles(paths []string) int {
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "no partial files to merge")
+		fmt.Fprintln(o.stderr, "no partial files to merge")
 		return 2
 	}
 	parts := make([]*experiments.Partial, 0, len(paths))
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(o.stderr, err)
 			return 1
 		}
 		p, err := experiments.DecodePartial(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			fmt.Fprintf(o.stderr, "%s: %v\n", path, err)
 			return 1
 		}
 		parts = append(parts, p)
 	}
-	rep, err := experiments.MergeShards(parts, workers)
+	rep, err := experiments.MergeShards(parts, o.workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(o.stderr, err)
 		return 1
 	}
-	fmt.Println(rep)
+	return o.printReport(rep)
+}
+
+// printReport renders the report exactly as hintbench does (the smoke
+// tests diff the two) and folds shape-check failures into the exit code.
+func (o *options) printReport(rep *experiments.Report) int {
+	fmt.Fprintln(o.stdout, rep)
 	if failed := rep.Failed(); len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", len(failed))
+		fmt.Fprintf(o.stderr, "%d shape check(s) failed\n", len(failed))
 		return 1
 	}
 	return 0

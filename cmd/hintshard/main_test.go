@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// TestFlagValidation is the table-driven CLI contract: contradictory
+// mode selectors are rejected with a usage message and exit code 2,
+// never silently prioritized, and each mode insists on the flags it
+// needs.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"no mode", []string{}, "no mode selected"},
+		{"merge and shard", []string{"-merge", "-shard", "0/2", "-run", "fig2-2"}, "contradictory modes"},
+		{"merge and shards", []string{"-merge", "-shards", "3"}, "contradictory modes"},
+		{"connect and shards", []string{"-connect", "h:1", "-shards", "2"}, "contradictory modes"},
+		{"connect and serve-stdio", []string{"-connect", "h:1", "-serve-stdio"}, "contradictory modes"},
+		{"shard and shards", []string{"-run", "x", "-shard", "0/2", "-shards", "2"}, "contradictory modes"},
+		{"listen without shards", []string{"-run", "fig2-2", "-listen", ":0"}, "-listen needs -shards"},
+		{"coordinator without run", []string{"-shards", "3"}, "coordinator needs -run"},
+		{"worker without run", []string{"-shard", "0/2"}, "-shard needs -run"},
+		{"merge with run", []string{"-merge", "-run", "fig2-2"}, "takes only partial files"},
+		{"connect with run", []string{"-connect", "h:1", "-run", "fig2-2"}, "assignments from the coordinator"},
+		{"serve-stdio with output", []string{"-serve-stdio", "-o", "f.json"}, "assignments from the coordinator"},
+		{"shard with listen", []string{"-run", "x", "-shard", "0/2", "-listen", ":0"}, "one-shot worker"},
+		{"unknown transport", []string{"-run", "x", "-shards", "2", "-transport", "smoke-signals"}, "unknown -transport"},
+		{"tcp transport without listen", []string{"-run", "x", "-shards", "2", "-transport", "tcp"}, "needs -listen"},
+		{"procs with tcp", []string{"-run", "x", "-shards", "2", "-listen", ":0", "-procs", "3"}, "-procs applies to local transports"},
+		{"listen with subprocess transport", []string{"-run", "x", "-shards", "2", "-listen", ":0", "-transport", "subprocess"}, "-listen implies -transport tcp"},
+		{"die-after-assign on coordinator", []string{"-run", "x", "-shards", "2", "-die-after-assign", "1"}, "-die-after-assign is a worker flag"},
+		{"die-after-assign on one-shot", []string{"-run", "x", "-shard", "0/2", "-die-after-assign", "1"}, "applies to protocol workers"},
+		{"worker-die-after without subprocess", []string{"-run", "x", "-shards", "2", "-transport", "inproc", "-worker-die-after", "1"}, "-worker-die-after needs -transport subprocess"},
+		{"addr-file without tcp", []string{"-run", "x", "-shards", "2", "-addr-file", "/tmp/a"}, "-addr-file publishes a -listen address"},
+		{"coordinator flag on connect worker", []string{"-connect", "h:1", "-addr-file", "/tmp/a"}, "coordinator flag"},
+		{"coordinator flag on stdio worker", []string{"-serve-stdio", "-retries", "5"}, "coordinator flag"},
+		{"coordinator flag on merge", []string{"-merge", "-no-steal"}, "coordinator flag"},
+		{"coordinator flag on one-shot", []string{"-run", "x", "-shard", "0/2", "-procs", "3"}, "coordinator flag"},
+		{"bad flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(c.args, &stdout, &stderr)
+			if code != 2 {
+				t.Errorf("exit code %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), c.want)
+			}
+		})
+	}
+}
+
+func TestListMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fig3-1") {
+		t.Errorf("-list output lacks experiments:\n%s", stdout.String())
+	}
+}
+
+func TestOneShotWorkerErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "fig2-2", "-shard", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed shard spec: exit %d, want 2", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-run", "no-such", "-shard", "0/2"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown experiment: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+// TestInprocCoordinatorMatchesDirectRun drives the full coordinator
+// pipeline through the CLI entry point (inproc transport) and compares
+// against the equivalent of hintbench's output for the same experiment.
+func TestInprocCoordinatorMatchesDirectRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment")
+	}
+	exp, ok := experiments.ByID("fig2-2")
+	if !ok {
+		t.Fatal("fig2-2 not registered")
+	}
+	want := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String() + "\n"
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "fig2-2", "-shards", "5", "-transport", "inproc", "-procs", "2", "-scale", "0.1", "-seed", "42"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.String() != want {
+		t.Errorf("coordinator output differs from direct run:\n--- direct ---\n%s\n--- cli ---\n%s", want, stdout.String())
+	}
+}
+
+// TestOneShotAndMergePipeline exercises the file-based worker/merge path
+// end to end through the CLI.
+func TestOneShotAndMergePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment")
+	}
+	dir := t.TempDir()
+	var files []string
+	for _, sh := range parallel.NewShardPlan(3).Shards() {
+		f := filepath.Join(dir, sh.String()[:1]+".json")
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-run", "fig2-2", "-shard", sh.String(), "-scale", "0.1", "-seed", "42", "-o", f}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("worker %v: exit %d, stderr %s", sh, code, stderr.String())
+		}
+		files = append(files, f)
+	}
+	exp, _ := experiments.ByID("fig2-2")
+	want := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String() + "\n"
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-merge"}, files...), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("merge: exit %d, stderr %s", code, stderr.String())
+	}
+	if stdout.String() != want {
+		t.Errorf("merged report differs from direct run")
+	}
+	// A missing file fails cleanly.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-merge", filepath.Join(dir, "missing.json")}, &stdout, &stderr); code != 1 {
+		t.Errorf("merge of missing file: exit %d, want 1", code)
+	}
+	_ = os.Remove(files[0])
+}

@@ -339,6 +339,7 @@ func GenerateInto(cfg Config, tr *trace.FateTrace) {
 	} else {
 		tr.Slots = make([]trace.Slot, n)
 	}
+	tr.Prepare()
 	var dp [phy.NumRates]float64
 	for i := 0; i < n; i++ {
 		at := time.Duration(i) * slotDur
@@ -411,7 +412,11 @@ func modeLabel(s sensors.Schedule, total time.Duration) string {
 // GeneratePacketStream produces a per-packet fate trace of back-to-back
 // packets at one rate, for the conditional-loss analysis of Figure 3-1.
 // The SNR process is sampled at the packet interval, so loss correlation
-// directly reflects the channel coherence time.
+// directly reflects the channel coherence time. Fates are emitted
+// straight into the trace's packed bitset — the form ConditionalLoss
+// consumes — with no per-packet bool intermediate; the RNG draw sequence
+// is unchanged, so streams are bit-identical to the unpacked
+// implementation (asserted by TestGeneratePacketStreamMatchesBoolPath).
 func GeneratePacketStream(env Environment, mode sensors.MobilityMode, r phy.Rate, interval, total time.Duration, bytes int, seed int64) *trace.PacketTrace {
 	if bytes <= 0 {
 		bytes = 1000
@@ -422,11 +427,13 @@ func GeneratePacketStream(env Environment, mode sensors.MobilityMode, r phy.Rate
 	extraScale := 1 - env.ExtraLossProb
 	moving := mode.Moving()
 	n := int(total / interval)
-	pt := &trace.PacketTrace{Rate: r, Interval: interval, Lost: make([]bool, n)}
+	pt := trace.NewPacketTrace(r, interval, n)
 	for i := 0; i < n; i++ {
 		snr := proc.step(interval, moving)
 		p := et.DeliveryProb(r, snr) * extraScale
-		pt.Lost[i] = rng.Float64() >= p
+		if rng.Float64() >= p {
+			pt.SetLost(i, true)
+		}
 	}
 	return pt
 }

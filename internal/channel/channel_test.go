@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sensors"
 	"repro/internal/stats"
@@ -267,8 +268,8 @@ func TestPacketStreamDeterminism(t *testing.T) {
 	b := GeneratePacketStream(Outdoor, sensors.Walk, phy.Rate24, time.Millisecond, time.Second, 7_000, 7)
 	_ = b
 	c := GeneratePacketStream(Outdoor, sensors.Walk, phy.Rate24, time.Millisecond, time.Second, 1000, 7)
-	for i := range a.Lost {
-		if a.Lost[i] != c.Lost[i] {
+	for i := 0; i < a.Len(); i++ {
+		if a.Lost(i) != c.Lost(i) {
 			t.Fatal("same-seed packet streams differ")
 		}
 	}
@@ -304,5 +305,64 @@ func TestWalkShadowOnlyWhileMoving(t *testing.T) {
 	// Static: walk shadow frozen at zero, so variance stays small.
 	if stats.StdDev(snrs) > env.ShadowSigma*2 {
 		t.Errorf("static trace shows walk shadow: std %.2f", stats.StdDev(snrs))
+	}
+}
+
+// TestGeneratePacketStreamMatchesBoolPath is the differential test for
+// the packed-bitset emission: the former implementation materialized a
+// []bool and the analysis repacked it; the current one writes packed
+// words directly. The RNG draw sequence is identical, so every packet
+// fate — and everything derived from them — must match the bool
+// reference bit for bit.
+func TestGeneratePacketStreamMatchesBoolPath(t *testing.T) {
+	// The old implementation, verbatim except for emitting into []bool.
+	boolPath := func(env Environment, mode sensors.MobilityMode, r phy.Rate, interval, total time.Duration, bytes int, seed int64) []bool {
+		if bytes <= 0 {
+			bytes = 1000
+		}
+		rng := parallel.NewRNG(seed)
+		proc := newSNRProcess(env, &rng)
+		et := phy.ErrorTableFor(bytes)
+		extraScale := 1 - env.ExtraLossProb
+		moving := mode.Moving()
+		n := int(total / interval)
+		lost := make([]bool, n)
+		for i := 0; i < n; i++ {
+			snr := proc.step(interval, moving)
+			p := et.DeliveryProb(r, snr) * extraScale
+			lost[i] = rng.Float64() >= p
+		}
+		return lost
+	}
+	for _, env := range []Environment{Office, Hallway, Outdoor} {
+		for _, mode := range []sensors.MobilityMode{sensors.Static, sensors.Walk} {
+			for _, rate := range []phy.Rate{phy.Rate6, phy.Rate54} {
+				seed := int64(1000*int(rate) + 10*int(mode))
+				got := GeneratePacketStream(env, mode, rate, 200*time.Microsecond, 2*time.Second, 1000, seed)
+				want := boolPath(env, mode, rate, 200*time.Microsecond, 2*time.Second, 1000, seed)
+				if got.Len() != len(want) {
+					t.Fatalf("%s/%v/%v: Len = %d, want %d", env.Name, mode, rate, got.Len(), len(want))
+				}
+				for i, w := range want {
+					if got.Lost(i) != w {
+						t.Fatalf("%s/%v/%v: packet %d fate %v, bool path %v", env.Name, mode, rate, i, got.Lost(i), w)
+					}
+				}
+				// LossRate over the packed words must equal the bool count.
+				lost := 0
+				for _, l := range want {
+					if l {
+						lost++
+					}
+				}
+				wantRate := 0.0
+				if len(want) > 0 {
+					wantRate = float64(lost) / float64(len(want))
+				}
+				if got.LossRate() != wantRate {
+					t.Fatalf("%s/%v/%v: LossRate %v, want %v", env.Name, mode, rate, got.LossRate(), wantRate)
+				}
+			}
+		}
 	}
 }

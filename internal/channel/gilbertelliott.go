@@ -41,7 +41,7 @@ func DefaultGilbertElliott() GilbertElliott {
 func (g GilbertElliott) GeneratePacketStream(interval, total time.Duration, seed int64) *trace.PacketTrace {
 	rng := rand.New(rand.NewSource(seed))
 	n := int(total / interval)
-	pt := &trace.PacketTrace{Interval: interval, Lost: make([]bool, n)}
+	pt := trace.NewPacketTrace(0, interval, n)
 	bad := false
 	// Per-step transition probabilities from the dwell times.
 	pEnterBad := float64(interval) / float64(g.MeanGood)
@@ -58,7 +58,9 @@ func (g GilbertElliott) GeneratePacketStream(interval, total time.Duration, seed
 		if bad {
 			p = g.PBad
 		}
-		pt.Lost[i] = rng.Float64() < p
+		if rng.Float64() < p {
+			pt.SetLost(i, true)
+		}
 	}
 	return pt
 }

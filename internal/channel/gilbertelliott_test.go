@@ -35,8 +35,8 @@ func TestGilbertElliottDeterminism(t *testing.T) {
 	g := DefaultGilbertElliott()
 	a := g.GeneratePacketStream(time.Millisecond, time.Second, 3)
 	b := g.GeneratePacketStream(time.Millisecond, time.Second, 3)
-	for i := range a.Lost {
-		if a.Lost[i] != b.Lost[i] {
+	for i := 0; i < a.Len(); i++ {
+		if a.Lost(i) != b.Lost(i) {
 			t.Fatal("same-seed streams differ")
 		}
 	}

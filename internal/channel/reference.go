@@ -143,5 +143,6 @@ func GenerateReference(cfg Config) *trace.FateTrace {
 		}
 	}
 	tr.Mode = modeLabel(cfg.Sched, total)
+	tr.Prepare()
 	return tr
 }

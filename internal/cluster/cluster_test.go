@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestStdioWorkerHelper is not a test: it is the subprocess-transport
+// worker body the cluster tests spawn (the test binary re-executed with
+// CLUSTER_STDIO_WORKER set). It exits the process directly so the test
+// framework's "PASS" never reaches the protocol stream.
+func TestStdioWorkerHelper(t *testing.T) {
+	if os.Getenv("CLUSTER_STDIO_WORKER") == "" {
+		t.Skip("subprocess worker helper; spawned by the cluster tests")
+	}
+	so := ServeOptions{Name: fmt.Sprintf("helper/%d", os.Getpid()), Workers: 1}
+	if v := os.Getenv("CLUSTER_DIE_AFTER"); v != "" {
+		n, _ := strconv.Atoi(v)
+		seen := 0
+		so.OnAssign = func(Assign) error {
+			seen++
+			if seen >= n {
+				os.Exit(3) // abrupt mid-shard death
+			}
+			return nil
+		}
+	}
+	if err := ServeStdio(so); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// helperCommand builds the subprocess worker invocation; killFirst makes
+// worker 0 die abruptly on its first assignment.
+func helperCommand(killFirst bool) func(i int) *exec.Cmd {
+	return func(i int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=TestStdioWorkerHelper$")
+		cmd.Env = append(os.Environ(), "CLUSTER_STDIO_WORKER=1")
+		if killFirst && i == 0 {
+			cmd.Env = append(cmd.Env, "CLUSTER_DIE_AFTER=1")
+		}
+		return cmd
+	}
+}
+
+// testServeOpts builds worker options; with killFirst, worker 0 drops
+// its connection on its first assignment (the in-process analogue of a
+// killed worker: the shard is assigned and never answered).
+func testServeOpts(i int, killFirst bool) ServeOptions {
+	so := ServeOptions{Name: fmt.Sprintf("w%d", i), Workers: 1}
+	if killFirst && i == 0 {
+		fired := false
+		so.OnAssign = func(Assign) error {
+			if !fired {
+				fired = true
+				return errors.New("injected worker death")
+			}
+			return nil
+		}
+	}
+	return so
+}
+
+// startTransport builds one of the three transports with the given
+// worker count for the experiment runs in these tests.
+func startTransport(t *testing.T, kind string, workers int, killFirst bool) Transport {
+	t.Helper()
+	switch kind {
+	case "inproc":
+		return NewInProcess(workers, func(i int, c Conn) {
+			Serve(c, testServeOpts(i, killFirst))
+		})
+	case "subprocess":
+		return NewSubprocess(workers, helperCommand(killFirst))
+	case "tcp":
+		lt, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		for i := 0; i < workers; i++ {
+			go func(i int) {
+				c, err := DialTCP(lt.Addr())
+				if err != nil {
+					return
+				}
+				Serve(c, testServeOpts(i, killFirst))
+			}(i)
+		}
+		return lt
+	}
+	t.Fatalf("unknown transport %q", kind)
+	return nil
+}
+
+func clusterRun(t *testing.T, kind, id string, workers, shards int, killFirst bool) (*experiments.Report, RunStats) {
+	t.Helper()
+	tr := startTransport(t, kind, workers, killFirst)
+	rep, stats, err := Run(tr, Options{
+		Experiment:   id,
+		Seed:         42,
+		Scale:        0.1,
+		Shards:       shards,
+		ShardWorkers: 1,
+		Retries:      3,
+	})
+	if err != nil {
+		t.Fatalf("cluster.Run(%s, %s, workers=%d, shards=%d, kill=%v): %v", kind, id, workers, shards, killFirst, err)
+	}
+	return rep, stats
+}
+
+// TestKilledWorkerProcessShardRedispatched kills a real worker process
+// mid-shard (it receives the assignment and exits 3 without answering)
+// and requires the coordinator to re-dispatch the orphaned shard and
+// still produce the byte-identical report.
+func TestKilledWorkerProcessShardRedispatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exp, _ := experiments.ByID("fig2-2")
+	base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+	rep, stats := clusterRun(t, "subprocess", "fig2-2", 2, 3, true)
+	if got := rep.String(); got != base {
+		t.Errorf("report differs after mid-shard worker kill:\n--- base ---\n%s\n--- cluster ---\n%s", base, got)
+	}
+	// The killed worker's shard is recovered either by a post-death
+	// requeue or by a steal that raced ahead of the death notice.
+	if stats.Requeued+stats.Stolen < 1 {
+		t.Errorf("killed worker's shard neither requeued nor stolen (stats %+v)", stats)
+	}
+	if stats.Workers < 1 {
+		t.Errorf("stats.Workers = %d", stats.Workers)
+	}
+}
+
+// TestWorkerErrorExhaustsRetryBudget drives a shard that fails
+// deterministically (unknown experiment id) into the retry budget and
+// expects a clean abort carrying the worker's error.
+func TestWorkerErrorExhaustsRetryBudget(t *testing.T) {
+	tr := startTransport(t, "inproc", 1, false)
+	_, _, err := Run(tr, Options{
+		Experiment: "no-such-experiment",
+		Seed:       42,
+		Scale:      0.1,
+		Shards:     2,
+		Retries:    1,
+	})
+	if err == nil {
+		t.Fatal("run of unknown experiment succeeded")
+	}
+	if !strings.Contains(err.Error(), "unknown experiment") || !strings.Contains(err.Error(), "failed 2 times") {
+		t.Errorf("error %q does not describe the exhausted retry budget", err)
+	}
+}
+
+// TestWorkerExitCodePropagation: when the run fails because worker
+// processes died, the coordinator's error carries the worker's exit
+// code for cmd/hintshard to propagate.
+func TestWorkerExitCodePropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	tr := NewSubprocess(1, helperCommand(true))
+	_, _, err := Run(tr, Options{
+		Experiment: "fig2-2",
+		Seed:       42,
+		Scale:      0.1,
+		Shards:     2,
+		Retries:    0,
+	})
+	if err == nil {
+		t.Fatal("run with only a dying worker succeeded")
+	}
+	var we *WorkerExitError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %v does not carry a WorkerExitError", err)
+	}
+	if we.Code != 3 {
+		t.Errorf("propagated exit code %d, want 3", we.Code)
+	}
+}
+
+// TestAllWorkersGoneAborts: with a generous retry budget but no workers
+// left (and none able to arrive), the coordinator must abort rather
+// than wait forever.
+func TestAllWorkersGoneAborts(t *testing.T) {
+	tr := NewInProcess(1, func(i int, c Conn) {
+		so := ServeOptions{Name: "dying", Workers: 1}
+		so.OnAssign = func(Assign) error { return errors.New("always dies") }
+		Serve(c, so)
+	})
+	_, _, err := Run(tr, Options{
+		Experiment: "fig2-2",
+		Seed:       42,
+		Scale:      0.1,
+		Shards:     2,
+		Retries:    100,
+	})
+	if err == nil {
+		t.Fatal("run with no surviving workers succeeded")
+	}
+	if !strings.Contains(err.Error(), "all workers gone") && !strings.Contains(err.Error(), "shards incomplete") {
+		t.Errorf("error %q does not describe the stall", err)
+	}
+}
+
+// TestProtocolViolatorDroppedRunCompletes: a worker answering with the
+// wrong shard id is dropped, its shard is salvaged, and the run
+// completes byte-identically on the remaining worker.
+func TestProtocolViolatorDroppedRunCompletes(t *testing.T) {
+	exp, _ := experiments.ByID("fig2-2")
+	base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+	tr := NewInProcess(2, func(i int, c Conn) {
+		if i == 0 {
+			// Liar: claims completion of a shard it was never assigned.
+			c.Send(&Hello{Version: ProtoVersion, Name: "liar"})
+			if m, err := c.Recv(); err == nil {
+				if a, ok := m.(*Assign); ok {
+					c.Send(&ShardDone{Shard: a.Shard + 1})
+				}
+			}
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}
+		Serve(c, ServeOptions{Name: "honest", Workers: 1})
+	})
+	rep, stats, err := Run(tr, Options{
+		Experiment: "fig2-2",
+		Seed:       42,
+		Scale:      0.1,
+		Shards:     3,
+		Retries:    3,
+	})
+	if err != nil {
+		t.Fatalf("run with a protocol violator: %v", err)
+	}
+	if got := rep.String(); got != base {
+		t.Errorf("report differs after dropping the violator:\n%s\nvs\n%s", base, got)
+	}
+	if stats.Requeued < 1 {
+		t.Errorf("violator's shard not requeued (Requeued = %d)", stats.Requeued)
+	}
+}
+
+// TestRunValidatesOptions covers the coordinator's own input checks.
+func TestRunValidatesOptions(t *testing.T) {
+	if _, _, err := Run(NewInProcess(0, nil), Options{Shards: 1}); err == nil {
+		t.Error("empty experiment accepted")
+	}
+	if _, _, err := Run(NewInProcess(0, nil), Options{Experiment: "x"}); err == nil {
+		t.Error("zero shard count accepted")
+	}
+}
+
+// TestSpeculativeCopyCoversDyingWorker: once a shard has been stolen,
+// the original holder's death must not charge the failure budget — the
+// live copy completes the shard even with -retries 0. The hello/assign/
+// steal/death order is forced by channels, so the scenario is exact,
+// not probabilistic.
+func TestSpeculativeCopyCoversDyingWorker(t *testing.T) {
+	exp, _ := experiments.ByID("fig2-2")
+	base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+	w0assigned := make(chan struct{})
+	stolen := make(chan struct{})
+	tr := NewInProcess(2, func(i int, c Conn) {
+		if i == 0 {
+			// Takes the only shard, then dies — but only after worker 1
+			// has stolen a copy of it.
+			c.Send(&Hello{Version: ProtoVersion, Name: "doomed"})
+			if m, err := c.Recv(); err != nil {
+				t.Errorf("doomed worker: %v", err)
+				return
+			} else if _, ok := m.(*Assign); !ok {
+				t.Errorf("doomed worker got %T, want assign", m)
+				return
+			}
+			close(w0assigned)
+			<-stolen
+			return // connection drops mid-shard
+		}
+		// Joins only after the shard is held, so its first assignment is
+		// necessarily a stolen copy.
+		<-w0assigned
+		so := ServeOptions{Name: "thief", Workers: 1}
+		fired := false
+		so.OnAssign = func(Assign) error {
+			if !fired {
+				fired = true
+				close(stolen)
+			}
+			return nil
+		}
+		Serve(c, so)
+	})
+	rep, stats, err := Run(tr, Options{
+		Experiment: "fig2-2",
+		Seed:       42,
+		Scale:      0.1,
+		Shards:     1,
+		Retries:    0, // any charged failure would abort
+	})
+	if err != nil {
+		t.Fatalf("run failed although a live copy covered the death: %v", err)
+	}
+	if got := rep.String(); got != base {
+		t.Errorf("report differs:\n%s\nvs\n%s", base, got)
+	}
+	if stats.Stolen < 1 {
+		t.Errorf("stats.Stolen = %d, want ≥ 1", stats.Stolen)
+	}
+	if stats.Requeued != 0 {
+		t.Errorf("stats.Requeued = %d, want 0 (death was covered by the copy)", stats.Requeued)
+	}
+}
+
+// TestHungStragglerCutOffAfterDrainTimeout: a worker that hangs forever
+// on a shard another worker already completed must not block the run —
+// the drain deadline cuts it off and Run returns the merged report.
+func TestHungStragglerCutOffAfterDrainTimeout(t *testing.T) {
+	exp, _ := experiments.ByID("fig2-2")
+	base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+	w0assigned := make(chan struct{})
+	hang := make(chan struct{})
+	defer close(hang)
+	tr := NewInProcess(2, func(i int, c Conn) {
+		if i == 0 {
+			c.Send(&Hello{Version: ProtoVersion, Name: "hung"})
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+			close(w0assigned)
+			<-hang // never answers, never dies
+			return
+		}
+		<-w0assigned
+		Serve(c, ServeOptions{Name: "worker", Workers: 1})
+	})
+	done := make(chan struct{})
+	var rep *experiments.Report
+	var runErr error
+	go func() {
+		defer close(done)
+		rep, _, runErr = Run(tr, Options{
+			Experiment:   "fig2-2",
+			Seed:         42,
+			Scale:        0.1,
+			Shards:       1,
+			Retries:      0,
+			DrainTimeout: 200 * time.Millisecond,
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run blocked on a hung straggler")
+	}
+	if runErr != nil {
+		t.Fatalf("run failed: %v", runErr)
+	}
+	if got := rep.String(); got != base {
+		t.Errorf("report differs:\n%s\nvs\n%s", base, got)
+	}
+}
+
+// TestAcceptFailureSurfacesInStallError: when the transport cannot
+// produce workers at all (e.g. the worker binary fails to spawn), the
+// abort error must carry the transport's failure, not just the generic
+// stall.
+func TestAcceptFailureSurfacesInStallError(t *testing.T) {
+	tr := NewSubprocess(1, func(i int) *exec.Cmd {
+		return exec.Command("/definitely/not/a/binary")
+	})
+	_, _, err := Run(tr, Options{
+		Experiment: "fig2-2",
+		Seed:       42,
+		Scale:      0.1,
+		Shards:     1,
+	})
+	if err == nil {
+		t.Fatal("run with an unspawnable worker succeeded")
+	}
+	if !strings.Contains(err.Error(), "starting worker") {
+		t.Errorf("stall error %q does not surface the spawn failure", err)
+	}
+}

@@ -1,0 +1,560 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// Options configures one coordinated run.
+type Options struct {
+	// Experiment, Seed, Scale identify the run; every assignment carries
+	// them, so any worker's shard k/K output is interchangeable with any
+	// other worker's.
+	Experiment string
+	Seed       int64
+	Scale      float64
+	// Shards is the queue length K. Keep it a few times the worker count
+	// so a straggler holds back one small shard, not 1/workers of the
+	// run; the report is byte-identical for every K ≥ 1.
+	Shards int
+	// ShardWorkers bounds the goroutines each assignment fans across
+	// inside its worker (0 = the worker decides).
+	ShardWorkers int
+	// MergeWorkers bounds the merged finish phase's in-process
+	// parallelism (0 = one per CPU).
+	MergeWorkers int
+	// Retries is the failure budget per shard: a shard abandoned by a
+	// dying worker or reported failed re-dispatches up to Retries times
+	// before the run aborts. Negative means no retries.
+	Retries int
+	// NoSteal disables speculative re-dispatch of in-flight shards to
+	// idle workers. Stealing is on by default: a duplicate costs only
+	// wasted cycles (bytes are identical either way and the first result
+	// wins) and caps straggler latency.
+	NoSteal bool
+	// DrainTimeout bounds how long the coordinator waits, after the last
+	// shard completes, for speculative losers to finish their shard and
+	// exit the protocol cleanly; a worker still busy past the deadline
+	// is cut off (its result was already discarded). 0 means a minute.
+	DrainTimeout time.Duration
+	// Logf, if set, receives progress lines (dispatches, steals, worker
+	// deaths).
+	Logf func(format string, args ...any)
+}
+
+// RunStats summarizes the dispatch history of one run.
+type RunStats struct {
+	// Workers counts connections that completed the hello handshake.
+	Workers int
+	// Assigned counts ordinary dispatches; Stolen counts speculative
+	// re-dispatches of in-flight shards; Requeued counts failures
+	// charged to shards by worker death or error; Discarded counts
+	// shard results that lost a speculation race and were thrown away.
+	Assigned, Stolen, Requeued, Discarded int
+}
+
+// WorkerExitError reports that the run failed after a worker process
+// exited abnormally; cmd/hintshard propagates the code so the operator
+// sees the worker's exit status, not a generic failure.
+type WorkerExitError struct {
+	Code int
+	Err  error
+}
+
+func (e *WorkerExitError) Error() string { return e.Err.Error() }
+func (e *WorkerExitError) Unwrap() error { return e.Err }
+
+// exitCoder is implemented by connections that can report how their
+// worker process exited (the subprocess transport).
+type exitCoder interface{ ExitCode() int }
+
+// workerState is the coordinator's view of one connection. All fields
+// are owned by the coordinator loop; the sender and reader goroutines
+// touch only conn and out.
+type workerState struct {
+	conn Conn
+	id   int
+	name string
+	// cur is the in-flight shard index, -1 when idle.
+	cur   int
+	loops []*experiments.LoopPartial
+	// out feeds the connection's sender goroutine; closed on teardown.
+	// The sender closes conn after draining, so a Stop queued before
+	// teardown still reaches the worker.
+	out     chan Message
+	helloed bool
+	stopped bool
+	dead    bool
+}
+
+// event is one input to the coordinator's single-threaded state
+// machine: a new connection (msg and err nil), a message, a dead
+// connection (err set), or the end of the accept loop (w nil).
+type event struct {
+	w   *workerState
+	msg Message
+	err error
+}
+
+// Run executes one experiment over the transport's workers and returns
+// the merged report. The shard queue holds Options.Shards shards; each
+// worker pulls the next shard when it goes idle, shards lost to dying
+// workers re-dispatch within the retry budget, and idle workers steal
+// in-flight shards from stragglers. Because every shard's partial is a
+// pure function of (experiment, seed, scale, k/K) and the completed
+// shard set feeds experiments.MergeShards unchanged, the report is
+// byte-identical to the single-process run whatever the transport,
+// worker count, assignment order, or failure history.
+func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
+	var stats RunStats
+	if o.Experiment == "" {
+		return nil, stats, errors.New("cluster: no experiment to run")
+	}
+	if o.Shards < 1 {
+		return nil, stats, fmt.Errorf("cluster: invalid shard count %d", o.Shards)
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	retries := o.Retries
+	if retries < 0 {
+		retries = 0
+	}
+
+	queue := parallel.NewShardQueue(o.Shards)
+	partials := make([]*experiments.Partial, o.Shards)
+	failures := make([]int, o.Shards)
+	events := make(chan event, 256)
+	var workers []*workerState
+	var idle []*workerState
+	acceptDone := false
+	var acceptErr error
+	var lastExit *WorkerExitError
+
+	// Every producer goroutine (accept loop, per-connection reader and
+	// sender) registers here; the drain phase at the end keeps consuming
+	// events until all of them have exited, so none leaks blocked on the
+	// channel.
+	var producers sync.WaitGroup
+	spawn := func(fn func()) {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			fn()
+		}()
+	}
+
+	spawn(func() {
+		id := 0
+		for {
+			c, err := t.Accept()
+			if err != nil {
+				events <- event{err: err}
+				return
+			}
+			w := &workerState{conn: c, id: id, cur: -1, out: make(chan Message, 4)}
+			id++
+			events <- event{w: w}
+		}
+	})
+
+	startWorker := func(w *workerState) {
+		workers = append(workers, w)
+		spawn(func() { // sender: owns the conn's write side and final close
+			defer w.conn.Close()
+			for m := range w.out {
+				if err := w.conn.Send(m); err != nil {
+					events <- event{w: w, err: err}
+					return
+				}
+			}
+		})
+		spawn(func() { // reader
+			for {
+				m, err := w.conn.Recv()
+				if err != nil {
+					events <- event{w: w, err: err}
+					return
+				}
+				events <- event{w: w, msg: m}
+			}
+		})
+	}
+
+	// teardown removes a worker from service. Graceful teardown lets the
+	// sender flush queued messages (the Stop) before it closes the
+	// connection; abrupt teardown closes immediately — off the event
+	// loop, because closing a live subprocess worker waits out a stop
+	// grace before killing it, and dispatch must not stall behind that.
+	teardown := func(w *workerState, graceful bool) {
+		if w.dead {
+			return
+		}
+		w.dead = true
+		close(w.out)
+		if !graceful {
+			go w.conn.Close()
+		}
+		for i, iw := range idle {
+			if iw == w {
+				idle = append(idle[:i], idle[i+1:]...)
+				break
+			}
+		}
+	}
+
+	alive := func() int {
+		n := 0
+		for _, w := range workers {
+			if !w.dead {
+				n++
+			}
+		}
+		return n
+	}
+
+	send := func(w *workerState, m Message) {
+		if !w.dead {
+			w.out <- m
+		}
+	}
+
+	var abortErr error
+	abort := func(err error) {
+		if abortErr == nil {
+			abortErr = err
+		}
+	}
+
+	// The merge starts the moment the last shard completes, overlapping
+	// the drain of speculative stragglers (workers still computing a
+	// copy that already lost the race): they exit the protocol cleanly
+	// while the finish phase runs, instead of serializing behind it.
+	type mergeResult struct {
+		rep *experiments.Report
+		err error
+	}
+	mergeCh := make(chan mergeResult, 1)
+	mergeStarted := false
+	startMerge := func() {
+		if mergeStarted {
+			return
+		}
+		mergeStarted = true
+		parts := make([]*experiments.Partial, 0, o.Shards)
+		for k, p := range partials {
+			if p == nil {
+				mergeCh <- mergeResult{err: fmt.Errorf("cluster: internal error: shard %d/%d completed without a partial", k, o.Shards)}
+				return
+			}
+			parts = append(parts, p)
+		}
+		go func() {
+			rep, err := experiments.MergeShards(parts, o.MergeWorkers)
+			mergeCh <- mergeResult{rep: rep, err: err}
+		}()
+	}
+
+	// fail returns one lost dispatch of shard k to the queue. The
+	// failure budget is charged — and, when exhausted, the run aborted —
+	// only when no speculative copy of the shard is still computing: a
+	// loss that stealing already covers is not a loss of progress.
+	fail := func(k int, cause error) {
+		// The dispatch always comes back, even for a completed shard —
+		// Requeue on a done shard only fixes the live-copy accounting.
+		live := queue.Requeue(k)
+		if queue.Completed(k) {
+			return
+		}
+		if live > 0 {
+			logf("cluster: a copy of shard %d/%d failed, %d live copies remain: %v", k, o.Shards, live, cause)
+			return
+		}
+		failures[k]++
+		stats.Requeued++
+		if failures[k] > retries {
+			abort(fmt.Errorf("cluster: shard %d/%d failed %d times, last: %w", k, o.Shards, failures[k], cause))
+			return
+		}
+		logf("cluster: requeueing shard %d/%d after failure %d/%d: %v", k, o.Shards, failures[k], retries, cause)
+	}
+
+	stopWorker := func(w *workerState) {
+		if !w.stopped && !w.dead {
+			w.stopped = true
+			send(w, &Stop{})
+		}
+	}
+
+	// dispatch hands the next shard to a free worker — from the queue
+	// first, then by stealing from a straggler — or parks it idle.
+	dispatch := func(w *workerState) {
+		if w.dead || w.stopped || abortErr != nil {
+			return
+		}
+		if queue.Done() {
+			stopWorker(w)
+			return
+		}
+		shard, ok := queue.Next()
+		stolen := false
+		if !ok && !o.NoSteal {
+			shard, ok = queue.Steal()
+			stolen = ok
+		}
+		if !ok {
+			idle = append(idle, w)
+			return
+		}
+		w.cur = shard.Index
+		w.loops = nil
+		if stolen {
+			stats.Stolen++
+			logf("cluster: worker %s stealing in-flight shard %v", w.name, shard)
+		} else {
+			stats.Assigned++
+		}
+		send(w, &Assign{
+			Experiment: o.Experiment,
+			Seed:       o.Seed,
+			Scale:      o.Scale,
+			Workers:    o.ShardWorkers,
+			Shard:      shard.Index,
+			Shards:     shard.Count,
+		})
+	}
+
+	// pump re-dispatches parked workers after the queue refills.
+	pump := func() {
+		for len(idle) > 0 {
+			w := idle[0]
+			idle = idle[1:]
+			before := len(idle)
+			dispatch(w)
+			if len(idle) > before {
+				return // parked again: nothing left to hand out
+			}
+		}
+	}
+
+	// recordExit captures a dead worker process's exit code for error
+	// propagation.
+	recordExit := func(w *workerState) {
+		if ec, ok := w.conn.(exitCoder); ok {
+			if code := ec.ExitCode(); code > 0 {
+				lastExit = &WorkerExitError{Code: code}
+			}
+		}
+	}
+
+	// violation drops a worker that broke the protocol and salvages its
+	// shard.
+	violation := func(w *workerState, why string) {
+		logf("cluster: dropping worker %s: %s", w.name, why)
+		cur := w.cur
+		w.cur = -1
+		teardown(w, false)
+		if cur >= 0 {
+			fail(cur, fmt.Errorf("worker %s dropped: %s", w.name, why))
+			pump()
+		}
+	}
+
+	// finished reports run completion: every shard merged and no live
+	// worker still computing (speculative stragglers drain out cleanly
+	// rather than seeing their connection vanish mid-shard).
+	finished := func() bool {
+		if !queue.Done() {
+			return false
+		}
+		for _, w := range workers {
+			if !w.dead && w.cur >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// The drain deadline arms when the last shard completes: speculative
+	// losers get that long to finish cleanly; a hung straggler cannot
+	// hold the (already merged) run hostage.
+	var drainDeadline <-chan time.Time
+	armDrainDeadline := func() {
+		if drainDeadline != nil {
+			return
+		}
+		d := o.DrainTimeout
+		if d <= 0 {
+			d = time.Minute
+		}
+		drainDeadline = time.NewTimer(d).C
+	}
+
+	for abortErr == nil && !finished() {
+		var ev event
+		select {
+		case ev = <-events:
+		case <-drainDeadline:
+			for _, w := range workers {
+				if !w.dead && w.cur >= 0 {
+					logf("cluster: cutting off straggler %s still computing discarded shard %d/%d after drain timeout", w.name, w.cur, o.Shards)
+					queue.Requeue(w.cur) // completed shard: only returns the live copy
+					w.cur = -1
+					teardown(w, false)
+				}
+			}
+			continue
+		}
+		switch {
+		case ev.w == nil:
+			// Accept loop ended. A fixed-size pool exhausting itself
+			// (io.EOF) or the final transport Close are expected; a real
+			// accept or spawn failure is kept for the stall diagnosis —
+			// it is the root cause when no worker ever appears.
+			acceptDone = true
+			if ev.err != nil && ev.err != io.EOF && !errors.Is(ev.err, net.ErrClosed) {
+				acceptErr = ev.err
+				logf("cluster: transport stopped accepting workers: %v", ev.err)
+			}
+		case ev.err != nil:
+			if ev.w.dead {
+				break
+			}
+			cur := ev.w.cur
+			ev.w.cur = -1
+			teardown(ev.w, false)
+			recordExit(ev.w)
+			if cur >= 0 {
+				logf("cluster: worker %s died holding shard %d/%d: %v", ev.w.name, cur, o.Shards, ev.err)
+				fail(cur, fmt.Errorf("worker %s died: %w", ev.w.name, ev.err))
+				pump()
+			} else {
+				logf("cluster: worker %s disconnected: %v", ev.w.name, ev.err)
+			}
+		case ev.msg == nil:
+			startWorker(ev.w)
+		default:
+			w := ev.w
+			if w.dead {
+				break
+			}
+			switch m := ev.msg.(type) {
+			case *Hello:
+				if w.helloed {
+					violation(w, "second hello")
+					break
+				}
+				w.helloed = true
+				w.name = m.Name
+				stats.Workers++
+				logf("cluster: worker %s connected", w.name)
+				dispatch(w)
+			case *LoopResult:
+				if !w.helloed || m.Shard != w.cur {
+					violation(w, fmt.Sprintf("loop result for shard %d while holding %d", m.Shard, w.cur))
+					break
+				}
+				w.loops = append(w.loops, m.Loop)
+			case *ShardDone:
+				if !w.helloed || m.Shard != w.cur {
+					violation(w, fmt.Sprintf("done for shard %d while holding %d", m.Shard, w.cur))
+					break
+				}
+				loops := w.loops
+				w.cur = -1
+				w.loops = nil
+				if queue.Complete(m.Shard) {
+					partials[m.Shard] = &experiments.Partial{
+						Version:    experiments.PartialVersion,
+						Experiment: o.Experiment,
+						Shard:      m.Shard,
+						Shards:     o.Shards,
+						Seed:       o.Seed,
+						Scale:      o.Scale,
+						Loops:      loops,
+					}
+				} else {
+					stats.Discarded++
+					logf("cluster: discarding duplicate result for shard %d/%d from %s", m.Shard, o.Shards, w.name)
+				}
+				if queue.Done() {
+					startMerge()
+					armDrainDeadline()
+					// Release everyone who is not still draining a
+					// speculative copy.
+					for _, ww := range workers {
+						if !ww.dead && ww.cur < 0 && ww != w {
+							stopWorker(ww)
+						}
+					}
+				}
+				dispatch(w)
+			case *ShardError:
+				if !w.helloed || m.Shard != w.cur {
+					violation(w, fmt.Sprintf("error for shard %d while holding %d", m.Shard, w.cur))
+					break
+				}
+				w.cur = -1
+				fail(m.Shard, fmt.Errorf("worker %s: %s", w.name, m.Msg))
+				pump()
+				dispatch(w)
+			default:
+				violation(w, fmt.Sprintf("unexpected %T", ev.msg))
+			}
+		}
+		// Stall check: no shard can ever complete if every worker is
+		// gone and no more can arrive.
+		if abortErr == nil && acceptDone && alive() == 0 && !queue.Done() {
+			pend, inflight, completed := queue.Counts()
+			stall := fmt.Errorf("cluster: all workers gone with %d of %d shards incomplete (%d queued, %d in flight)",
+				o.Shards-completed, o.Shards, pend, inflight)
+			if acceptErr != nil {
+				stall = fmt.Errorf("%w; transport stopped accepting workers: %w", stall, acceptErr)
+			}
+			abort(stall)
+		}
+	}
+
+	graceful := abortErr == nil
+	for _, w := range workers {
+		stopWorker(w)
+		teardown(w, graceful)
+	}
+	t.Close()
+	// Drain events until every producer goroutine has exited, so none
+	// stays blocked on the channel.
+	allDone := make(chan struct{})
+	go func() {
+		producers.Wait()
+		close(allDone)
+	}()
+	for draining := true; draining; {
+		select {
+		case <-events:
+		case <-allDone:
+			draining = false
+		}
+	}
+
+	if abortErr != nil {
+		if lastExit != nil {
+			lastExit.Err = abortErr
+			return nil, stats, lastExit
+		}
+		return nil, stats, abortErr
+	}
+	startMerge() // defensive: normally started by the final ShardDone
+	m := <-mergeCh
+	if m.err != nil {
+		return nil, stats, m.err
+	}
+	return m.rep, stats, nil
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestReportsIdenticalAcrossTransportsAndWorkers is the cluster
+// runtime's golden test, extending the engine's determinism contract to
+// its final form: for every registered experiment, running through the
+// work-stealing coordinator must reproduce the single-process report
+// byte for byte across every transport {in-process, subprocess, TCP} ×
+// worker count {1, 2, 3, NumCPU} — with the shard queue deliberately
+// longer than the worker pool so assignment order, steal decisions, and
+// speculative duplicates all vary run to run. Nothing but wall-clock
+// may depend on any of it.
+func TestReportsIdenticalAcrossTransportsAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	transports := []string{"inproc", "subprocess", "tcp"}
+	workerCounts := []int{1, 2, 3, runtime.NumCPU()}
+	if underRace {
+		// One concurrent configuration per transport suffices for the
+		// detector.
+		workerCounts = []int{2}
+	}
+	seen := map[int]bool{}
+	var counts []int
+	for _, w := range workerCounts {
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	for _, exp := range experiments.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+			for _, workers := range counts {
+				// More shards than workers: the queue is always deep
+				// enough that work-stealing and dynamic assignment have
+				// room to happen.
+				shards := 2*workers + 1
+				for _, transport := range transports {
+					rep, _ := clusterRun(t, transport, exp.ID, workers, shards, false)
+					if got := rep.String(); got != base {
+						t.Errorf("report differs from single-process run via %s with %d workers, %d shards:\n--- single ---\n%s\n--- cluster ---\n%s",
+							transport, workers, shards, base, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReportsIdenticalWithWorkerKilledMidShard completes the golden
+// matrix's failure leg: one worker dies mid-shard (assignment received,
+// never answered) on every transport, its shard is stolen back and
+// re-dispatched, and the report still must not drift by a byte.
+func TestReportsIdenticalWithWorkerKilledMidShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	transports := []string{"inproc", "subprocess", "tcp"}
+	if underRace {
+		transports = []string{"inproc"}
+	}
+	for _, exp := range experiments.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+			for _, transport := range transports {
+				rep, stats := clusterRun(t, transport, exp.ID, 2, 5, true)
+				if got := rep.String(); got != base {
+					t.Errorf("report differs after mid-shard kill via %s:\n--- single ---\n%s\n--- cluster ---\n%s",
+						transport, base, got)
+				}
+				// The orphaned shard is recovered one of two ways: requeued
+				// after the death is observed, or already stolen by a
+				// worker that drained the queue first.
+				if stats.Requeued+stats.Stolen < 1 {
+					t.Errorf("%s: killed worker's shard was neither requeued nor stolen (stats %+v)", transport, stats)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,176 @@
+// Package cluster is the transport-abstracted, work-stealing execution
+// runtime for sharded experiments. A coordinator (Run) owns a dynamic
+// shard queue (parallel.ShardQueue) over one experiment's trial space
+// and a set of worker connections delivered by a Transport; workers
+// (Serve) run shards through experiments.RunShardStream and stream the
+// per-loop partial records back. Three transports exist — in-process
+// goroutines, subprocess pipes, and TCP — and the final report is
+// byte-identical across all of them, for any worker count, assignment
+// order, speculative duplication, or worker death, because every shard's
+// content is a pure function of (experiment, seed, scale, shard k/K) and
+// the coordinator feeds the completed shard set through the
+// experiments.MergeShards contract unchanged.
+//
+// The wire protocol is a small typed message set carried in the
+// length-prefixed frames of internal/stats: one kind byte, then a JSON
+// body whose collector payloads are the bit-exact binary codecs
+// (base64-wrapped by encoding/json). Decoding arbitrary bytes returns
+// errors, never panics (FuzzDecodeMessage).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// ProtoVersion tags the message set; a coordinator refuses workers
+// speaking any other version.
+const ProtoVersion = 1
+
+// Message kinds (the first payload byte of every frame).
+const (
+	kindHello     = 'H' // worker → coordinator: version + name, sent once on connect
+	kindAssign    = 'A' // coordinator → worker: run shard k/K of an experiment
+	kindLoop      = 'L' // worker → coordinator: one completed trial loop of the current shard
+	kindShardDone = 'D' // worker → coordinator: current shard finished, all loops streamed
+	kindShardErr  = 'E' // worker → coordinator: current shard failed
+	kindStop      = 'S' // coordinator → worker: no more work, disconnect
+)
+
+// Message is one protocol message; the concrete types below are the
+// complete set.
+type Message interface {
+	kind() byte
+}
+
+// Hello is the first message on every worker connection.
+type Hello struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+}
+
+// Assign hands one shard to a worker. Workers bounds the goroutines the
+// worker fans the shard's trials across (0 = worker's choice).
+type Assign struct {
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Workers    int     `json:"workers"`
+	Shard      int     `json:"shard"`
+	Shards     int     `json:"shards"`
+}
+
+// LoopResult streams one completed trial loop of the shard a worker is
+// executing; loops arrive in execution order and ShardDone follows the
+// last one.
+type LoopResult struct {
+	Shard int                      `json:"shard"`
+	Loop  *experiments.LoopPartial `json:"loop"`
+}
+
+// ShardDone reports the current shard complete (every loop streamed).
+type ShardDone struct {
+	Shard int `json:"shard"`
+}
+
+// ShardError reports the current shard failed; the coordinator decides
+// whether to retry it elsewhere.
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Msg   string `json:"msg"`
+}
+
+// Stop tells a worker the run is over.
+type Stop struct{}
+
+func (*Hello) kind() byte      { return kindHello }
+func (*Assign) kind() byte     { return kindAssign }
+func (*LoopResult) kind() byte { return kindLoop }
+func (*ShardDone) kind() byte  { return kindShardDone }
+func (*ShardError) kind() byte { return kindShardErr }
+func (*Stop) kind() byte       { return kindStop }
+
+// EncodeMessage serializes a message to a frame payload (kind byte +
+// JSON body).
+func EncodeMessage(m Message) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding %T: %w", m, err)
+	}
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, m.kind())
+	return append(out, body...), nil
+}
+
+// DecodeMessage parses a frame payload. Malformed input — unknown kind,
+// broken JSON, structurally invalid fields — returns an error; decoding
+// never panics, whatever the bytes.
+func DecodeMessage(payload []byte) (Message, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("cluster: empty message")
+	}
+	body := payload[1:]
+	switch payload[0] {
+	case kindHello:
+		var m Hello
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding hello: %w", err)
+		}
+		if m.Version != ProtoVersion {
+			return nil, fmt.Errorf("cluster: protocol version %d, want %d", m.Version, ProtoVersion)
+		}
+		return &m, nil
+	case kindAssign:
+		var m Assign
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding assign: %w", err)
+		}
+		if m.Experiment == "" {
+			return nil, fmt.Errorf("cluster: assign names no experiment")
+		}
+		if sh := (parallel.Shard{Index: m.Shard, Count: m.Shards}); !sh.Valid() {
+			return nil, fmt.Errorf("cluster: assign carries invalid shard %d/%d", m.Shard, m.Shards)
+		}
+		return &m, nil
+	case kindLoop:
+		var m LoopResult
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding loop result: %w", err)
+		}
+		if m.Shard < 0 {
+			return nil, fmt.Errorf("cluster: loop result for negative shard %d", m.Shard)
+		}
+		if m.Loop == nil {
+			return nil, fmt.Errorf("cluster: loop result carries no loop")
+		}
+		return &m, nil
+	case kindShardDone:
+		var m ShardDone
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding shard done: %w", err)
+		}
+		if m.Shard < 0 {
+			return nil, fmt.Errorf("cluster: done for negative shard %d", m.Shard)
+		}
+		return &m, nil
+	case kindShardErr:
+		var m ShardError
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding shard error: %w", err)
+		}
+		if m.Shard < 0 {
+			return nil, fmt.Errorf("cluster: error for negative shard %d", m.Shard)
+		}
+		return &m, nil
+	case kindStop:
+		var m Stop
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding stop: %w", err)
+		}
+		return &m, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown message kind %q", payload[0])
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Hello{Version: ProtoVersion, Name: "w0"},
+		&Assign{Experiment: "fig3-1", Seed: 42, Scale: 0.5, Workers: 2, Shard: 3, Shards: 7},
+		&LoopResult{Shard: 3, Loop: &experiments.LoopPartial{Label: "x", N: 10, Lo: 4}},
+		&ShardDone{Shard: 3},
+		&ShardError{Shard: 3, Msg: "boom"},
+		&Stop{},
+	}
+	for _, m := range msgs {
+		b, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := DecodeMessage(b)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %T: got %+v, want %+v", m, got, m)
+		}
+	}
+}
+
+func TestDecodeMessageRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty", nil, "empty"},
+		{"unknown kind", []byte("Z{}"), "unknown message kind"},
+		{"broken json", []byte("H{not json"), "decoding hello"},
+		{"wrong version", []byte(`H{"version":99,"name":"w"}`), "protocol version"},
+		{"assign no experiment", []byte(`A{"seed":1,"shard":0,"shards":1}`), "names no experiment"},
+		{"assign bad shard", []byte(`A{"experiment":"x","shard":5,"shards":2}`), "invalid shard"},
+		{"loop without body", []byte(`L{"shard":1}`), "no loop"},
+		{"loop negative shard", []byte(`L{"shard":-1,"loop":{}}`), "negative shard"},
+		{"done negative shard", []byte(`D{"shard":-2}`), "negative shard"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := DecodeMessage(c.in)
+			if err == nil {
+				t.Fatalf("decoded %+v from malformed input", m)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// FuzzDecodeMessage asserts the decoder's safety contract: arbitrary
+// frame payloads never panic, and anything accepted re-encodes and
+// decodes to the same message.
+func FuzzDecodeMessage(f *testing.F) {
+	seedMsgs := []Message{
+		&Hello{Version: ProtoVersion, Name: "w"},
+		&Assign{Experiment: "fig3-1", Shard: 0, Shards: 1},
+		&LoopResult{Shard: 0, Loop: &experiments.LoopPartial{Label: "l", N: 1}},
+		&ShardDone{}, &ShardError{Msg: "x"}, &Stop{},
+	}
+	for _, m := range seedMsgs {
+		b, _ := EncodeMessage(m)
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("A"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		b, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("re-encoding accepted message: %v", err)
+		}
+		m2, err := DecodeMessage(b)
+		if err != nil || !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip mismatch: %v", err)
+		}
+	})
+}
+
+// TestConnRejectsGarbageStream feeds raw garbage — not valid frames, or
+// valid frames holding invalid messages — to a connection's Recv and
+// expects errors, never panics or hangs: the satellite failure-path
+// contract that a malformed peer cannot take the coordinator down.
+func TestConnRejectsGarbageStream(t *testing.T) {
+	cases := [][]byte{
+		[]byte("not a frame at all"),
+		{0xff, 0xff, 0xff, 0x7f, 'x'},         // forged 2 GiB length
+		{5, 0, 0, 0, 'Z', '{', '}', 'x', 'y'}, // frame holding unknown kind
+		{1, 0, 0, 0},                          // truncated payload
+		{3, 0, 0, 0, 'H', '{', 'b'},           // frame holding broken JSON
+	}
+	for i, in := range cases {
+		a, b := net.Pipe()
+		conn := newStreamConn(b, b, b.Close)
+		go func(data []byte) {
+			a.Write(data)
+			a.Close()
+		}(in)
+		done := make(chan error, 1)
+		go func() {
+			_, err := conn.Recv()
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("case %d: garbage accepted", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("case %d: Recv hung on garbage", i)
+		}
+		conn.Close()
+	}
+}
+
+// TestConnFrameRoundTrip pushes a large message through a stream
+// connection to cover multi-chunk frame reads end to end.
+func TestConnFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca := newStreamConn(a, a, a.Close)
+	cb := newStreamConn(b, b, b.Close)
+	defer ca.Close()
+	defer cb.Close()
+	big := &ShardError{Shard: 1, Msg: strings.Repeat("x", 200_000)}
+	go func() {
+		if err := ca.Send(big); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}()
+	m, err := cb.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	got, ok := m.(*ShardError)
+	if !ok || !bytes.Equal([]byte(got.Msg), []byte(big.Msg)) {
+		t.Fatalf("round trip mismatch: %T", m)
+	}
+}

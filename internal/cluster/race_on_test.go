@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// underRace lets the registry-wide determinism matrix shrink when the
+// race detector (≈10× slowdown) is on: the interleavings the detector
+// needs happen at any scale.
+const underRace = true

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// subprocessTransport spawns worker processes on this machine and talks
+// frames over their stdin/stdout pipes — the successor of the original
+// hintshard spawn path, reframed: instead of one process per shard fixed
+// up front, each process is a long-lived worker that pulls shards from
+// the coordinator's queue until the run completes.
+type subprocessTransport struct {
+	n       int
+	command func(i int) *exec.Cmd
+
+	mu      sync.Mutex
+	spawned int
+	procs   []*procConn
+	closed  bool
+}
+
+// NewSubprocess returns a transport of n worker processes; command
+// builds the i-th worker invocation (typically this binary re-executed
+// in its stdio-worker mode, with Stderr already wired through).
+// Processes spawn lazily, one per Accept; after n accepts, Accept
+// returns io.EOF.
+func NewSubprocess(n int, command func(i int) *exec.Cmd) Transport {
+	return &subprocessTransport{n: n, command: command}
+}
+
+func (t *subprocessTransport) Accept() (Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.spawned >= t.n {
+		return nil, io.EOF
+	}
+	i := t.spawned
+	t.spawned++
+	cmd := t.command(i)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %d stdin: %w", i, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %d stdout: %w", i, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: starting worker %d: %w", i, err)
+	}
+	p := &procConn{cmd: cmd, stdin: stdin}
+	p.streamConn = newStreamConn(stdout, stdin, p.shutdown)
+	t.procs = append(t.procs, p)
+	return p, nil
+}
+
+func (t *subprocessTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	// Close in parallel: each close may wait out the stop grace of a
+	// still-live worker, and those waits must not serialize.
+	var wg sync.WaitGroup
+	for _, p := range t.procs {
+		wg.Add(1)
+		go func(p *procConn) {
+			defer wg.Done()
+			p.Close()
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+// procConn is a subprocess-backed connection. Closing it reaps the
+// process; ExitCode then reports how it died, so a coordinator can
+// propagate a failed worker's exit status.
+type procConn struct {
+	*streamConn
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+
+	waitOnce sync.Once
+	exit     int
+}
+
+// stopGrace is how long a worker gets to exit on its own after its
+// stdin closes before it is killed. A stopped worker exits immediately
+// (it has already read the Stop frame, or sees the stdin EOF on its
+// next Recv); the grace only runs out on a hung one.
+const stopGrace = 3 * time.Second
+
+// shutdown closes the worker's stdin (its cue to exit if it is still
+// alive and well-behaved), waits briefly for a clean exit, kills it if
+// that does not happen, and reaps it.
+func (p *procConn) shutdown() error {
+	p.waitOnce.Do(func() {
+		p.stdin.Close()
+		done := make(chan struct{})
+		go func() {
+			p.cmd.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(stopGrace):
+			if p.cmd.Process != nil {
+				p.cmd.Process.Kill()
+			}
+			<-done
+		}
+		p.exit = p.cmd.ProcessState.ExitCode()
+	})
+	return nil
+}
+
+// ExitCode returns the worker process's exit code, reaping it first if
+// needed (-1 while unstarted or when killed by signal).
+func (p *procConn) ExitCode() int {
+	p.shutdown()
+	return p.exit
+}

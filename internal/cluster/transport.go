@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"bufio"
+	"io"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// maxFrame bounds one protocol message on the wire, deferring to the
+// frame layer's own limit as the single source of truth. Loop records
+// carry per-trial collector payloads, so they can reach megabytes at
+// paper scale; a gigabyte means a corrupted length prefix, not a bigger
+// experiment.
+const maxFrame = stats.MaxFrame
+
+// Conn is one bidirectional, ordered protocol stream between a
+// coordinator and a worker. Send and Recv are each safe for one
+// concurrent caller (the runtime uses one sender and one reader per
+// connection); Close unblocks both.
+type Conn interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// Transport delivers worker connections to a coordinator.
+type Transport interface {
+	// Accept blocks until the next worker connects. It returns io.EOF
+	// when no further workers can ever arrive (a fixed-size local or
+	// subprocess pool is exhausted, or the transport was closed).
+	Accept() (Conn, error)
+	// Close releases the transport (listeners, spawned processes).
+	// Connections already accepted stay open until individually closed.
+	Close() error
+}
+
+// streamConn frames messages over any ordered byte stream — a TCP
+// connection, a subprocess pipe pair, stdio. Every transport routes
+// through it, so the frame and message codecs are exercised identically
+// everywhere.
+type streamConn struct {
+	r  *bufio.Reader
+	w  *bufio.Writer
+	wg sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+	close     func() error
+}
+
+// newStreamConn wraps a read stream, a write stream, and a close
+// function (which must unblock pending reads) into a Conn.
+func newStreamConn(r io.Reader, w io.Writer, close func() error) *streamConn {
+	return &streamConn{r: bufio.NewReader(r), w: bufio.NewWriter(w), close: close}
+}
+
+func (c *streamConn) Send(m Message) error {
+	payload, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	c.wg.Lock()
+	defer c.wg.Unlock()
+	if err := stats.WriteFrame(c.w, payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *streamConn) Recv() (Message, error) {
+	payload, err := stats.ReadFrame(c.r, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMessage(payload)
+}
+
+func (c *streamConn) Close() error {
+	c.closeOnce.Do(func() {
+		if c.close != nil {
+			c.closeErr = c.close()
+		}
+	})
+	return c.closeErr
+}

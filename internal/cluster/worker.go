@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// ServeOptions configures one worker.
+type ServeOptions struct {
+	// Name identifies the worker to the coordinator (logs only).
+	Name string
+	// Workers bounds the goroutines a shard's trials fan across when the
+	// coordinator's Assign leaves the choice to the worker (0 = one per
+	// CPU).
+	Workers int
+	// OnAssign, if set, runs before each assignment executes. Returning
+	// an error abandons the connection without touching the shard —
+	// fault injection for the failure-path tests (a subprocess worker's
+	// hook can exit the process outright, a goroutine worker's can drop
+	// the connection, both leaving the shard assigned but never
+	// finished).
+	OnAssign func(Assign) error
+}
+
+// Serve runs the worker side of the protocol on conn until the
+// coordinator sends Stop (returning nil) or the connection breaks
+// (returning the error). Each Assign executes through
+// experiments.RunShardStream, forwarding every completed trial loop as
+// it finishes; an experiment error is reported with ShardError and the
+// worker stays available for other shards.
+func Serve(conn Conn, o ServeOptions) error {
+	defer conn.Close()
+	name := o.Name
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if err := conn.Send(&Hello{Version: ProtoVersion, Name: name}); err != nil {
+		return err
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("cluster: worker %s: coordinator connection: %w", name, err)
+		}
+		switch a := m.(type) {
+		case *Stop:
+			return nil
+		case *Assign:
+			if o.OnAssign != nil {
+				if err := o.OnAssign(*a); err != nil {
+					return err
+				}
+			}
+			workers := a.Workers
+			if workers <= 0 {
+				workers = o.Workers
+			}
+			cfg := experiments.Config{Scale: a.Scale, Seed: a.Seed, Workers: workers}
+			shard := parallel.Shard{Index: a.Shard, Count: a.Shards}
+			var sinkErr error
+			runErr := experiments.RunShardStream(a.Experiment, cfg, shard, func(lp *experiments.LoopPartial) error {
+				if err := conn.Send(&LoopResult{Shard: a.Shard, Loop: lp}); err != nil {
+					sinkErr = err
+					return err
+				}
+				return nil
+			})
+			if sinkErr != nil {
+				// The connection is gone; nothing can be reported.
+				return sinkErr
+			}
+			if runErr != nil {
+				if err := conn.Send(&ShardError{Shard: a.Shard, Msg: runErr.Error()}); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := conn.Send(&ShardDone{Shard: a.Shard}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: worker %s: unexpected %T from coordinator", name, m)
+		}
+	}
+}
+
+// ServeStdio runs a worker over this process's stdin/stdout — the mode
+// the subprocess transport spawns. The caller must not write anything
+// else to stdout.
+func ServeStdio(o ServeOptions) error {
+	return Serve(newStreamConn(os.Stdin, os.Stdout, nil), o)
+}

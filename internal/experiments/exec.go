@@ -63,9 +63,14 @@ type shardExec struct {
 	mode  shardMode
 	shard parallel.Shard
 	cols  colSet
-	// rec collects the per-loop partial records in loop execution
-	// order (modeCollect).
-	rec []*LoopPartial
+	// emit receives each completed loop record in execution order
+	// (modeCollect): a cluster worker sends it to the coordinator while
+	// later loops still run, RunShard's own sink collects into a
+	// Partial. Records are handed off, never retained here, so a
+	// streaming worker holds one loop at a time. An emit error aborts
+	// the run via an emitAbort panic that RunShardStream converts back
+	// into an error.
+	emit func(*LoopPartial) error
 	// loops maps loop label → declared trial count, for validating
 	// that replayed partials match the experiment's structure and that
 	// no label is used twice.
@@ -259,7 +264,9 @@ func (c Config) trials(label string, n int, fn func(i int, em *Emitter)) {
 			return em
 		})
 		sh.claim(label, n, ems)
-		sh.rec = append(sh.rec, encodeLoop(label, n, lo, ems))
+		if err := sh.emit(encodeLoop(label, n, lo, ems)); err != nil {
+			panic(emitAbort{err})
+		}
 	default:
 		ems := parallel.Map(c.workers(), n, func(i int) *Emitter {
 			em := newEmitter()

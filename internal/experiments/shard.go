@@ -194,17 +194,14 @@ func DecodePartial(r io.Reader) (*Partial, error) {
 // emissions for MergeShards. Shard {0, 1} collects the whole trial
 // space.
 func RunShard(id string, cfg Config, shard parallel.Shard) (*Partial, error) {
-	r, ok := ByID(id)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	var loops []*LoopPartial
+	err := RunShardStream(id, cfg, shard, func(lp *LoopPartial) error {
+		loops = append(loops, lp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if !shard.Valid() {
-		return nil, fmt.Errorf("experiments: invalid shard %v", shard)
-	}
-	sh := newExec(modeCollect)
-	sh.shard = shard
-	cfg.sh = sh
-	r.Run(cfg)
 	return &Partial{
 		Version:    PartialVersion,
 		Experiment: id,
@@ -212,8 +209,49 @@ func RunShard(id string, cfg Config, shard parallel.Shard) (*Partial, error) {
 		Shards:     shard.Count,
 		Seed:       cfg.Seed,
 		Scale:      cfg.Scale,
-		Loops:      sh.rec,
+		Loops:      loops,
 	}, nil
+}
+
+// emitAbort carries a streaming-sink error out of the trial engine; the
+// experiment run is abandoned at the loop boundary where the sink broke
+// (there is no point computing trials nobody can receive).
+type emitAbort struct{ err error }
+
+// RunShardStream is the streaming form of RunShard: emit receives each
+// trial loop's partial record as soon as the loop finishes, while later
+// loops are still running — a cluster worker forwards them to its
+// coordinator so the merge absorbs results incrementally, holding one
+// loop in memory at a time instead of the whole shard. The engine hands
+// records off and does not retain them; RunShard is this function with
+// a collecting sink. If emit returns an error, the run stops at that
+// loop boundary and the error is returned.
+func RunShardStream(id string, cfg Config, shard parallel.Shard, emit func(*LoopPartial) error) (err error) {
+	if emit == nil {
+		return fmt.Errorf("experiments: RunShardStream needs a sink")
+	}
+	r, ok := ByID(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	if !shard.Valid() {
+		return fmt.Errorf("experiments: invalid shard %v", shard)
+	}
+	sh := newExec(modeCollect)
+	sh.shard = shard
+	sh.emit = emit
+	cfg.sh = sh
+	defer func() {
+		if v := recover(); v != nil {
+			ab, ok := v.(emitAbort)
+			if !ok {
+				panic(v)
+			}
+			err = fmt.Errorf("experiments: streaming shard %v of %s: %w", shard, id, ab.err)
+		}
+	}()
+	r.Run(cfg)
+	return nil
 }
 
 // MergeShards merges a complete set of shard partials and builds the

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/parallel"
 )
+
+var errSinkClosed = errors.New("sink closed")
 
 // shardFixture collects the partials of a fast experiment split K ways.
 func shardFixture(t *testing.T, k int) []*Partial {
@@ -120,5 +123,73 @@ func TestShardWorkerSkipsFinish(t *testing.T) {
 	if loop.Label != "fig3-1" || loop.N != 2 || loop.Lo != 1 || len(loop.Trials) != 1 {
 		t.Errorf("loop = %q n=%d lo=%d trials=%d, want fig3-1 n=2 lo=1 trials=1",
 			loop.Label, loop.N, loop.Lo, len(loop.Trials))
+	}
+}
+
+// TestRunShardStreamDeliversLoopsIncrementally asserts the streaming
+// contract: the sink receives the shard's loop records in execution
+// order, and a Partial assembled from the streamed records (the
+// coordinator's job) is byte-identical to RunShard's.
+func TestRunShardStreamDeliversLoopsIncrementally(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 7}
+	shard := parallel.Shard{Index: 0, Count: 2}
+	var streamed []*LoopPartial
+	err := RunShardStream("sec5-3", cfg, shard, func(lp *LoopPartial) error {
+		streamed = append(streamed, lp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunShardStream: %v", err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("sink never called")
+	}
+	assembled := &Partial{
+		Version:    PartialVersion,
+		Experiment: "sec5-3",
+		Shard:      shard.Index,
+		Shards:     shard.Count,
+		Seed:       cfg.Seed,
+		Scale:      cfg.Scale,
+		Loops:      streamed,
+	}
+	direct, err := RunShard("sec5-3", cfg, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := assembled.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("streamed partial differs from RunShard partial")
+	}
+}
+
+// TestRunShardStreamSinkErrorAborts asserts that a broken sink stops the
+// run at the loop boundary and surfaces the sink's error instead of
+// computing trials nobody can receive; a missing sink is refused.
+func TestRunShardStreamSinkErrorAborts(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 7}
+	shard := parallel.Shard{Index: 0, Count: 1}
+	calls := 0
+	err := RunShardStream("sec5-3", cfg, shard, func(*LoopPartial) error {
+		calls++
+		return errSinkClosed
+	})
+	if err == nil {
+		t.Fatal("RunShardStream with a failing sink succeeded")
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times after failing, want 1", calls)
+	}
+	if !strings.Contains(err.Error(), errSinkClosed.Error()) {
+		t.Fatalf("error %q does not carry the sink error", err)
+	}
+	if err := RunShardStream("sec5-3", cfg, shard, nil); err == nil {
+		t.Fatal("nil sink accepted")
 	}
 }

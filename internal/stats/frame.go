@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// This file is the stream-framing half of the wire contract: the binary
+// codecs above serialize one collector to bytes, and frames carry those
+// byte payloads over any ordered byte stream (a TCP connection, a
+// subprocess pipe) with explicit boundaries. The cluster runtime
+// (internal/cluster) speaks length-prefixed frames of protocol messages
+// whose collector payloads are the bit-exact codecs, so the cross-process
+// merge guarantee survives the network unchanged.
+//
+// Frame layout: u32 little-endian payload length, then payload bytes.
+// Reading is defensive to the same standard as the codecs: a forged or
+// corrupted length cannot trigger an oversized allocation (the payload
+// buffer grows only as bytes actually arrive, and lengths above the
+// caller's limit are rejected up front), and malformed input returns an
+// error wrapping ErrCodec instead of panicking (FuzzReadFrame).
+
+// frameHeaderLen is the byte length of the frame length prefix.
+const frameHeaderLen = 4
+
+// MaxFrame is the largest payload WriteFrame will emit and the largest
+// length a reader can opt into; readers normally pass a tighter limit.
+const MaxFrame = 1 << 30
+
+// WriteFrame writes one length-prefixed frame. The payload may be empty;
+// payloads above MaxFrame are refused (the length prefix could encode
+// them, but no peer would accept the frame).
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("stats: frame payload of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame and returns its payload. max bounds the
+// payload length this reader accepts (values out of (0, MaxFrame] are
+// clamped to MaxFrame); longer frames return an error wrapping ErrCodec.
+// A truncated stream returns io.ErrUnexpectedEOF (or io.EOF when the
+// stream ends cleanly before the header), and allocation is bounded by
+// the bytes that actually arrive — a forged length on a short stream
+// cannot balloon memory.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 || max > MaxFrame {
+		max = MaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, codecErr("frame of %d bytes exceeds limit %d", n, max)
+	}
+	// Grow the buffer chunk by chunk rather than trusting the header:
+	// allocation tracks delivered bytes, so truncation costs at most one
+	// chunk of slack.
+	const chunk = 64 << 10
+	payload := make([]byte, 0, min(int(n), chunk))
+	for len(payload) < int(n) {
+		step := int(n) - len(payload)
+		if step > chunk {
+			step = chunk
+		}
+		off := len(payload)
+		payload = slices.Grow(payload, step)[:off+step]
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return payload, nil
+}

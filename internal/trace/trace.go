@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"time"
 
@@ -51,6 +52,48 @@ type FateTrace struct {
 	// per-slot channel fates. Slot probabilities already include it.
 	ExtraLoss float64
 	Slots     []Slot
+
+	// invSlot/invMax implement SlotIndex's division-free fast path (see
+	// Prepare); both zero means "divide". They are derived state, so gob
+	// skips them (unexported) and Read recomputes them after decoding.
+	invSlot uint64
+	invMax  int64
+}
+
+// Prepare precomputes the fixed-point reciprocal that lets SlotIndex
+// map a time to its slot with a multiply instead of a 64-bit division —
+// the last division in the MAC simulator's per-attempt path (ratesim.Run
+// calls At twice per attempt). The channel generator and the trace
+// reader call it on every trace they produce; hand-assembled traces work
+// without it, on the dividing path.
+//
+// The fast path computes floor(at/d) as the high 64 bits of
+// at · m where m = floor(2⁶⁴/d)+1. Writing e = m·d − 2⁶⁴ (so
+// 0 ≤ e ≤ d), the product is at/d + at·e/(d·2⁶⁴); the error term stays
+// below 1/d — too small to cross the next multiple of d — whenever
+// at·e < 2⁶⁴. invMax is the largest such at: below it the multiply is
+// exactly the division (proven over the whole range by
+// TestSlotIndexReciprocalExact), and beyond it (traces longer than
+// ~2⁶⁴/d ns, about an hour at the 5 ms slot) SlotIndex falls back to
+// dividing.
+func (t *FateTrace) Prepare() {
+	t.invSlot, t.invMax = 0, 0
+	if t.SlotDur < 2 {
+		// d = 1 ns would need m = 2⁶⁴+1; the plain division is a no-op
+		// for such traces anyway.
+		return
+	}
+	d := uint64(t.SlotDur)
+	m := ^uint64(0)/d + 1 // floor(2⁶⁴/d) + 1 (exactly 2⁶⁴/d when d is a power of two)
+	e := m * d            // wraps to m·d − 2⁶⁴ = e, 0 ≤ e ≤ d
+	max := int64(math.MaxInt64)
+	if e != 0 {
+		if lim := ^uint64(0) / e; lim < uint64(max) {
+			max = int64(lim)
+		}
+	}
+	t.invSlot = m
+	t.invMax = max
 }
 
 // Duration returns the trace length.
@@ -59,12 +102,21 @@ func (t *FateTrace) Duration() time.Duration {
 }
 
 // SlotIndex returns the slot index covering time at, clamped to the
-// trace bounds.
+// trace bounds. On a Prepared trace the index comes from one 128-bit
+// multiply by the precomputed reciprocal — bit-identical to the
+// division for every at below invMax (about an hour at the default
+// slot width).
 func (t *FateTrace) SlotIndex(at time.Duration) int {
 	if at < 0 {
 		return 0
 	}
-	i := int(at / t.SlotDur)
+	var i int
+	if t.invSlot != 0 && int64(at) <= t.invMax {
+		hi, _ := bits.Mul64(uint64(at), t.invSlot)
+		i = int(hi)
+	} else {
+		i = int(at / t.SlotDur)
+	}
 	if i >= len(t.Slots) {
 		i = len(t.Slots) - 1
 	}
@@ -135,44 +187,82 @@ func Read(r io.Reader) (*FateTrace, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	t.Prepare()
 	return &t, nil
 }
 
 // PacketTrace is a fine-grained per-packet fate record used by the
 // conditional-loss analysis (Figure 3-1), where back-to-back packets at
-// one rate are sent far faster than the 5 ms slot width.
+// one rate are sent far faster than the 5 ms slot width. Packet fates
+// live in a packed bitset — the form the analysis consumes — so
+// generators emit words directly (8× smaller than the former []bool and
+// no repacking pass per analysis); NewPacketTrace sizes it and
+// SetLost/Lost address single packets.
 type PacketTrace struct {
 	Rate phy.Rate
 	// Interval is the inter-packet spacing.
 	Interval time.Duration
-	// Lost[i] is true when packet i was not delivered.
-	Lost []bool
+	// n is the packet count; words holds one bit per packet (1 = lost),
+	// packet i at words[i/64] bit i%64. Bits at n and above stay zero.
+	n     int
+	words []uint64
+}
+
+// NewPacketTrace returns a trace of n packets, all initially delivered.
+func NewPacketTrace(rate phy.Rate, interval time.Duration, n int) *PacketTrace {
+	if n < 0 {
+		n = 0
+	}
+	return &PacketTrace{Rate: rate, Interval: interval, n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of packets in the trace.
+func (p *PacketTrace) Len() int { return p.n }
+
+// Lost reports whether packet i was lost; out-of-range indices read as
+// delivered.
+func (p *PacketTrace) Lost(i int) bool {
+	if i < 0 || i >= p.n {
+		return false
+	}
+	return p.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// SetLost records packet i's fate.
+func (p *PacketTrace) SetLost(i int, lost bool) {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("trace: packet %d out of range [0,%d)", i, p.n))
+	}
+	if lost {
+		p.words[i>>6] |= 1 << (i & 63)
+	} else {
+		p.words[i>>6] &^= 1 << (i & 63)
+	}
 }
 
 // LossRate returns the unconditional packet loss probability.
 func (p *PacketTrace) LossRate() float64 {
-	if len(p.Lost) == 0 {
+	if p.n == 0 {
 		return 0
 	}
-	n := 0
-	for _, l := range p.Lost {
-		if l {
-			n++
-		}
+	lost := 0
+	for _, w := range p.words {
+		lost += bits.OnesCount64(w)
 	}
-	return float64(n) / float64(len(p.Lost))
+	return float64(lost) / float64(p.n)
 }
 
 // ConditionalLoss returns P(packet i+k lost | packet i lost) for each lag
 // k in 1..maxLag — the quantity plotted in Figure 3-1.
 //
 // The computation is the dominant analysis cost on multi-minute packet
-// streams (100 lags × ~10⁵ packets), so it runs on a packed loss bitset:
-// for each lag the joint-loss count is popcount(bits & bits>>k) taken
-// word at a time, 64 packets per step, rather than a per-packet scan.
+// streams (100 lags × ~10⁵ packets), so it runs directly on the packed
+// loss bitset: for each lag the joint-loss count is
+// popcount(bits & bits>>k) taken word at a time, 64 packets per step,
+// rather than a per-packet scan.
 func (p *PacketTrace) ConditionalLoss(maxLag int) []float64 {
 	out := make([]float64, maxLag+1)
-	n := len(p.Lost)
+	n := p.n
 	if n == 0 {
 		return out
 	}
@@ -180,11 +270,7 @@ func (p *PacketTrace) ConditionalLoss(maxLag int) []float64 {
 	// Pad with zero words so the shifted reads below never go out of
 	// range (they read up to maxLag bits past the end).
 	packed := make([]uint64, words+maxLag/64+2)
-	for i, l := range p.Lost {
-		if l {
-			packed[i>>6] |= 1 << (i & 63)
-		}
-	}
+	copy(packed, p.words)
 	// prefix[w] = set bits in words [0, w), for O(1) "losses before
 	// index m" queries.
 	prefix := make([]int, words+1)

@@ -132,8 +132,21 @@ func TestReadRejectsInvalid(t *testing.T) {
 	}
 }
 
+// fromBools packs a []bool fixture into a PacketTrace, keeping the
+// table-style test cases readable now that the trace itself is a packed
+// bitset.
+func fromBools(lost []bool) *PacketTrace {
+	pt := NewPacketTrace(0, 0, len(lost))
+	for i, l := range lost {
+		if l {
+			pt.SetLost(i, true)
+		}
+	}
+	return pt
+}
+
 func TestPacketTraceLossRate(t *testing.T) {
-	pt := &PacketTrace{Lost: []bool{true, false, true, false}}
+	pt := fromBools([]bool{true, false, true, false})
 	if pt.LossRate() != 0.5 {
 		t.Errorf("loss rate = %v", pt.LossRate())
 	}
@@ -149,7 +162,7 @@ func TestConditionalLossBursty(t *testing.T) {
 	for i := 0; i < 400; i += 10 {
 		lost[i], lost[i+1] = true, true
 	}
-	pt := &PacketTrace{Lost: lost}
+	pt := fromBools(lost)
 	cond := pt.ConditionalLoss(10)
 	if math.Abs(cond[1]-0.5) > 0.05 {
 		t.Errorf("cond[1] = %v, want ≈ 0.5", cond[1])
@@ -166,7 +179,7 @@ func TestConditionalLossIndependent(t *testing.T) {
 	for i := 0; i < 100; i += 2 {
 		lost[i] = true
 	}
-	pt := &PacketTrace{Lost: lost}
+	pt := fromBools(lost)
 	cond := pt.ConditionalLoss(4)
 	if cond[1] != 0 || cond[2] != 1 {
 		t.Errorf("cond = %v", cond[:3])
@@ -174,7 +187,7 @@ func TestConditionalLossIndependent(t *testing.T) {
 }
 
 func TestConditionalLossNoLosses(t *testing.T) {
-	pt := &PacketTrace{Lost: make([]bool, 50)}
+	pt := NewPacketTrace(0, 0, 50)
 	for k, v := range pt.ConditionalLoss(5) {
 		if v != 0 {
 			t.Errorf("cond[%d] = %v with no losses", k, v)
@@ -211,8 +224,8 @@ func TestConditionalLossEdgeCases(t *testing.T) {
 	t.Run("single packet", func(t *testing.T) {
 		// One packet has no (i, i+k) pair at any lag — even when it is
 		// itself lost.
-		allZero(t, (&PacketTrace{Lost: []bool{false}}).ConditionalLoss(3), 4)
-		allZero(t, (&PacketTrace{Lost: []bool{true}}).ConditionalLoss(3), 4)
+		allZero(t, fromBools([]bool{false}).ConditionalLoss(3), 4)
+		allZero(t, fromBools([]bool{true}).ConditionalLoss(3), 4)
 	})
 
 	t.Run("all lost", func(t *testing.T) {
@@ -223,7 +236,7 @@ func TestConditionalLossEdgeCases(t *testing.T) {
 			for i := range lost {
 				lost[i] = true
 			}
-			cond := (&PacketTrace{Lost: lost}).ConditionalLoss(n + 10)
+			cond := fromBools(lost).ConditionalLoss(n + 10)
 			for k := 1; k <= n+10; k++ {
 				want := 0.0
 				if k < n {
@@ -237,7 +250,7 @@ func TestConditionalLossEdgeCases(t *testing.T) {
 	})
 
 	t.Run("lag past stream end", func(t *testing.T) {
-		pt := &PacketTrace{Lost: []bool{true, true, true}}
+		pt := fromBools([]bool{true, true, true})
 		cond := pt.ConditionalLoss(64)
 		if cond[1] != 1 || cond[2] != 1 {
 			t.Errorf("in-range lags = %v %v, want 1 1", cond[1], cond[2])
@@ -256,7 +269,7 @@ func TestConditionalLossEdgeCases(t *testing.T) {
 		// in the partial word.
 		lost := make([]bool, 70)
 		lost[65], lost[68] = true, true
-		cond := (&PacketTrace{Lost: lost}).ConditionalLoss(10)
+		cond := fromBools(lost).ConditionalLoss(10)
 		// Lag 3: conditioning packets are [0, 67): only index 65 is
 		// lost, and 65+3 = 68 is lost → exactly 1.
 		if cond[3] != 1 {
@@ -278,7 +291,7 @@ func TestConditionalLossEdgeCases(t *testing.T) {
 		// never as a conditioner at positive lags beyond its reach.
 		lost2 := make([]bool, 65)
 		lost2[0], lost2[64] = true, true
-		cond2 := (&PacketTrace{Lost: lost2}).ConditionalLoss(64)
+		cond2 := fromBools(lost2).ConditionalLoss(64)
 		if cond2[64] != 1 {
 			t.Errorf("cond[64] = %v, want 1 (0 → 64 joint loss)", cond2[64])
 		}
@@ -293,7 +306,7 @@ func TestConditionalLossEdgeCases(t *testing.T) {
 		// [0, 64) — one full word, nothing from the partial word.
 		lost := make([]bool, 65)
 		lost[63], lost[64] = true, true
-		cond := (&PacketTrace{Lost: lost}).ConditionalLoss(1)
+		cond := fromBools(lost).ConditionalLoss(1)
 		if cond[1] != 1 {
 			t.Errorf("cond[1] = %v, want 1 (63 → 64)", cond[1])
 		}
@@ -329,7 +342,7 @@ func TestConditionalLossMatchesNaive(t *testing.T) {
 			for i := range lost {
 				lost[i] = rng.Float64() < density
 			}
-			pt := &PacketTrace{Lost: lost}
+			pt := fromBools(lost)
 			maxLag := 130
 			got := pt.ConditionalLoss(maxLag)
 			want := naive(lost, maxLag)
@@ -340,4 +353,89 @@ func TestConditionalLossMatchesNaive(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSlotIndexReciprocalExact is the bit-identity check for the
+// division-free SlotIndex: over adversarial slot widths (powers of two,
+// primes, the default) and times — every slot boundary ±1 plus random
+// draws across the trace and far past its end — the prepared fast path
+// must agree with the plain 64-bit division everywhere.
+func TestSlotIndexReciprocalExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	durs := []time.Duration{
+		2, 3, 7, 1000, 4096, 5*time.Millisecond - 1, 5 * time.Millisecond,
+		5*time.Millisecond + 1, 8 * time.Millisecond, 1 << 20, 333333333, time.Second,
+	}
+	for _, d := range durs {
+		n := 1000
+		fast := &FateTrace{SlotDur: d, Slots: make([]Slot, n)}
+		fast.Prepare()
+		if fast.invSlot == 0 {
+			t.Fatalf("SlotDur %d: fast path not armed", d)
+		}
+		slow := &FateTrace{SlotDur: d, Slots: make([]Slot, n)} // unprepared: divides
+		check := func(at time.Duration) {
+			t.Helper()
+			if got, want := fast.SlotIndex(at), slow.SlotIndex(at); got != want {
+				t.Fatalf("SlotDur %d at %d: fast %d, divide %d", d, at, got, want)
+			}
+		}
+		for k := 0; k <= n+2; k++ {
+			at := time.Duration(k) * d
+			check(at - 1)
+			check(at)
+			check(at + 1)
+		}
+		span := time.Duration(n) * d
+		for i := 0; i < 2000; i++ {
+			check(time.Duration(rng.Int63n(int64(3*span) + 1)))
+		}
+		check(-time.Second)
+		check(fast.Duration() * 1000)
+	}
+}
+
+// TestSlotIndexFallbackBeyondReciprocalRange pins the guard: times past
+// invMax take the dividing path and still agree.
+func TestSlotIndexFallbackBeyondReciprocalRange(t *testing.T) {
+	tr := &FateTrace{SlotDur: 5 * time.Millisecond, Slots: make([]Slot, 10)}
+	tr.Prepare()
+	huge := time.Duration(tr.invMax) + time.Hour
+	if got := tr.SlotIndex(huge); got != 9 {
+		t.Fatalf("SlotIndex far past the end = %d, want clamp to 9", got)
+	}
+	// A 1 ns slot width declines the fast path entirely.
+	tiny := &FateTrace{SlotDur: 1, Slots: make([]Slot, 4)}
+	tiny.Prepare()
+	if tiny.invSlot != 0 {
+		t.Fatal("1 ns slot width armed the reciprocal")
+	}
+	if got := tiny.SlotIndex(3); got != 3 {
+		t.Fatalf("SlotIndex(3) = %d, want 3", got)
+	}
+}
+
+// BenchmarkSlotIndex measures the division-free lookup against the
+// dividing baseline (the same trace, unprepared) — the last 64-bit
+// division in ratesim.Run's per-attempt path.
+func BenchmarkSlotIndex(b *testing.B) {
+	mk := func(prepare bool) *FateTrace {
+		tr := &FateTrace{SlotDur: DefaultSlot, Slots: make([]Slot, 4000)}
+		if prepare {
+			tr.Prepare()
+		}
+		return tr
+	}
+	span := int64(4000 * DefaultSlot)
+	bench := func(b *testing.B, tr *FateTrace) {
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += tr.SlotIndex(time.Duration((int64(i) * 2654435761) % span))
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
+		}
+	}
+	b.Run("reciprocal", func(b *testing.B) { bench(b, mk(true)) })
+	b.Run("divide", func(b *testing.B) { bench(b, mk(false)) })
 }
