@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench ci shard-smoke cluster-smoke cover fuzz
+.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke cover fuzz
 
 all: build
 
@@ -26,12 +26,18 @@ race:
 # Figure-level and hot-path benchmarks, recorded to BENCH_hotpath.json
 # (ns/op plus workers-vs-serial and LUT-vs-analytic speedups) so the
 # perf trajectory is tracked in-repo. `make bench-all` additionally runs
-# the ablation benchmarks without writing the JSON.
+# the ablation benchmarks without writing the JSON; `make bench-check`
+# is the regression gate — it re-runs the hot-path micro-benchmarks,
+# writes a fresh BENCH_current.json snapshot (the recorded trajectory is
+# left untouched), and fails if any entry regressed more than 25%.
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 
 bench-all:
 	$(GO) test -bench=. -benchtime=1x .
+
+bench-check:
+	$(GO) run ./cmd/benchjson -check BENCH_hotpath.json -out BENCH_current.json
 
 # Cross-process shard parity smoke: run one experiment through
 # cmd/hintshard as a 3-shard coordinator (spawning real worker
@@ -41,11 +47,11 @@ bench-all:
 # shard counts, in-process) is TestReportsIdenticalAcrossShards.
 shard-smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
-	$(GO) build -o $$tmp/hintshard ./cmd/hintshard && \
-	$(GO) build -o $$tmp/hintbench ./cmd/hintbench && \
-	$$tmp/hintshard -run fig3-1 -shards 3 -scale 0.2 -seed 42 > $$tmp/sharded.out && \
-	$$tmp/hintbench -scale 0.2 -seed 42 fig3-1 > $$tmp/single.out && \
-	diff $$tmp/single.out $$tmp/sharded.out && \
+	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard && \
+	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench && \
+	"$$tmp/hintshard" -run fig3-1 -shards 3 -scale 0.2 -seed 42 > "$$tmp/sharded.out" && \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig3-1 > "$$tmp/single.out" && \
+	diff "$$tmp/single.out" "$$tmp/sharded.out" && \
 	echo "shard-smoke: 3-shard report is bit-identical to the single-process run"
 
 # Work-stealing cluster smoke: a real TCP-loopback coordinator with a
@@ -54,44 +60,110 @@ shard-smoke:
 # without answering, forcing a re-dispatch). The merged report must be
 # byte-identical to the single-process hintbench output; the surviving
 # workers must exit 0 (they are stopped cleanly, even when they lose a
-# speculative race). The registry-wide version of this check (every
-# experiment × {inproc, subprocess, tcp} × several worker counts) is
+# speculative race). The addr-file wait loop fails fast with the
+# coordinator's stderr if the coordinator dies before publishing its
+# address. The registry-wide version of this check (every experiment ×
+# {inproc, subprocess, tcp} × several worker counts) is
 # internal/cluster's determinism tests.
 cluster-smoke:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) build -o $$tmp/hintshard ./cmd/hintshard || exit 1; \
-	$(GO) build -o $$tmp/hintbench ./cmd/hintbench || exit 1; \
-	( timeout 240 $$tmp/hintshard -run fig3-1 -shards 6 -listen 127.0.0.1:0 \
-		-addr-file $$tmp/addr -scale 0.2 -seed 42 > $$tmp/cluster.out 2> $$tmp/coord.err ) & \
+	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard || exit 1; \
+	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench || exit 1; \
+	( timeout 240 "$$tmp/hintshard" -run fig3-1 -shards 6 -listen 127.0.0.1:0 \
+		-addr-file "$$tmp/addr" -scale 0.2 -seed 42 > "$$tmp/cluster.out" 2> "$$tmp/coord.err" ) & \
 	coord=$$!; \
-	for i in $$(seq 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
-	[ -s $$tmp/addr ] || { echo "coordinator never published its address"; cat $$tmp/coord.err; exit 1; }; \
-	addr=$$(cat $$tmp/addr); \
-	$$tmp/hintshard -connect $$addr -die-after-assign 1 2>/dev/null; \
+	for i in $$(seq 100); do \
+		[ -s "$$tmp/addr" ] && break; \
+		kill -0 $$coord 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	[ -s "$$tmp/addr" ] || { echo "coordinator never published its address:"; cat "$$tmp/coord.err"; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	"$$tmp/hintshard" -connect "$$addr" -die-after-assign 1 2>/dev/null; \
 	[ $$? -eq 3 ] || { echo "fault-injected worker did not die with code 3"; exit 1; }; \
-	( timeout 240 $$tmp/hintshard -connect $$addr 2> $$tmp/w2.err ) & w2=$$!; \
-	( timeout 240 $$tmp/hintshard -connect $$addr 2> $$tmp/w3.err ) & w3=$$!; \
-	wait $$coord || { echo "coordinator failed"; cat $$tmp/coord.err; exit 1; }; \
-	wait $$w2 || { echo "worker 2 exited non-zero"; cat $$tmp/w2.err; exit 1; }; \
-	wait $$w3 || { echo "worker 3 exited non-zero"; cat $$tmp/w3.err; exit 1; }; \
-	$$tmp/hintbench -scale 0.2 -seed 42 fig3-1 > $$tmp/single.out || exit 1; \
-	diff $$tmp/single.out $$tmp/cluster.out || exit 1; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w2.err" ) & w2=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w3.err" ) & w3=$$!; \
+	wait $$coord || { echo "coordinator failed:"; cat "$$tmp/coord.err"; exit 1; }; \
+	wait $$w2 || { echo "worker 2 exited non-zero:"; cat "$$tmp/w2.err"; exit 1; }; \
+	wait $$w3 || { echo "worker 3 exited non-zero:"; cat "$$tmp/w3.err"; exit 1; }; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig3-1 > "$$tmp/single.out" || exit 1; \
+	diff "$$tmp/single.out" "$$tmp/cluster.out" || exit 1; \
 	echo "cluster-smoke: TCP run with a killed worker is bit-identical to the single-process run"
 
-# Coverage summary for the packages that carry the serialization and
-# sharding contracts.
+# Campaign smoke: a real TCP-loopback fleet runs a 3-experiment campaign
+# through one warm coordinator, with verification sampling on and one
+# worker killed mid-campaign (it completes its first assignment, then
+# dies holding its second, forcing a re-dispatch while later jobs are
+# already queued). Each report — written by -report-dir in submission
+# order — must be byte-identical to the standalone hintbench output of
+# the same (experiment, scale, seed). The registry-level version of this
+# check is internal/campaign's determinism tests.
+campaign-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard || exit 1; \
+	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench || exit 1; \
+	( timeout 240 "$$tmp/hintshard" -campaign -shards 5 -scale 0.2 -seed 42 \
+		-listen 127.0.0.1:0 -addr-file "$$tmp/addr" -verify 0.4 -report-dir "$$tmp/reports" \
+		fig2-2 fig3-1 fig5-1:seed=7 > "$$tmp/campaign.out" 2> "$$tmp/coord.err" ) & \
+	coord=$$!; \
+	for i in $$(seq 100); do \
+		[ -s "$$tmp/addr" ] && break; \
+		kill -0 $$coord 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	[ -s "$$tmp/addr" ] || { echo "campaign coordinator never published its address:"; cat "$$tmp/coord.err"; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	"$$tmp/hintshard" -connect "$$addr" -die-after-assign 2 2>/dev/null; \
+	[ $$? -eq 3 ] || { echo "fault-injected worker did not die with code 3"; exit 1; }; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w2.err" ) & w2=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w3.err" ) & w3=$$!; \
+	wait $$coord || { echo "campaign coordinator failed:"; cat "$$tmp/coord.err"; exit 1; }; \
+	wait $$w2 || { echo "worker 2 exited non-zero:"; cat "$$tmp/w2.err"; exit 1; }; \
+	wait $$w3 || { echo "worker 3 exited non-zero:"; cat "$$tmp/w3.err"; exit 1; }; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig2-2 > "$$tmp/single1.out" || exit 1; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig3-1 > "$$tmp/single2.out" || exit 1; \
+	"$$tmp/hintbench" -scale 0.2 -seed 7 fig5-1 > "$$tmp/single3.out" || exit 1; \
+	diff "$$tmp/single1.out" "$$tmp/reports/job1-fig2-2.out" || exit 1; \
+	diff "$$tmp/single2.out" "$$tmp/reports/job2-fig3-1.out" || exit 1; \
+	diff "$$tmp/single3.out" "$$tmp/reports/job3-fig5-1.out" || exit 1; \
+	echo "campaign-smoke: 3-experiment TCP campaign with a killed worker: every report bit-identical to hintbench"
+
+# Coverage floors for the packages that carry the serialization,
+# sharding, scheduling, and campaign contracts — roughly five points
+# under the measured totals (stats 88.1, parallel 96.8, cluster 81.3,
+# campaign 91.8 at the time of recording), so genuine coverage loss
+# fails while run-to-run scheduling variance does not. Raise a floor
+# when its package's coverage rises for good.
+COVER_FLOORS = stats:83 parallel:92 cluster:72 campaign:85
+
+# Per-package coverage summary for the contract-bearing packages,
+# enforced against COVER_FLOORS.
 cover:
-	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
-	$(GO) test -coverprofile=$$tmp/cover.out ./internal/stats/... ./internal/parallel/... ./internal/cluster/... && \
-	$(GO) tool cover -func=$$tmp/cover.out | tail -n 1
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -cover ./internal/stats/ ./internal/parallel/ ./internal/cluster/ ./internal/campaign/ > "$$tmp/cover.txt" || { cat "$$tmp/cover.txt"; exit 1; }; \
+	cat "$$tmp/cover.txt"; \
+	status=0; \
+	for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$(awk -v p="repro/internal/$$pkg" '$$1 == "ok" && $$2 == p { for (i = 3; i <= NF; i++) if ($$i == "coverage:") { gsub(/%/, "", $$(i+1)); print $$(i+1) } }' "$$tmp/cover.txt"); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for internal/$$pkg"; status=1; continue; fi; \
+		if awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit !(p >= f) }'; then \
+			echo "cover: internal/$$pkg $$pct% (floor $$floor%)"; \
+		else \
+			echo "cover: internal/$$pkg $$pct% is BELOW the $$floor% floor"; status=1; \
+		fi; \
+	done; \
+	exit $$status
 
 # Short fuzz pass over the stats codecs and the cluster wire layer
-# (each target runs alone, as `go test -fuzz` requires).
+# (each target runs alone, as `go test -fuzz` requires). CI runs the
+# same targets at a reduced FUZZTIME.
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime 30s ./internal/stats/
-	$(GO) test -fuzz FuzzHistogramCodec -fuzztime 30s ./internal/stats/
-	$(GO) test -fuzz FuzzSeriesCodec -fuzztime 30s ./internal/stats/
-	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/stats/
-	$(GO) test -fuzz FuzzDecodeMessage -fuzztime 30s ./internal/cluster/
+	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime $(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz FuzzHistogramCodec -fuzztime $(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz FuzzSeriesCodec -fuzztime $(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/cluster/
 
-ci: build vet shard-smoke cluster-smoke race
+ci: build vet shard-smoke cluster-smoke campaign-smoke race

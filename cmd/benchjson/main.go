@@ -4,6 +4,7 @@
 // rather than lost in terminal scrollback.
 //
 //	benchjson [-out BENCH_hotpath.json] [-bench <regex>] [-benchtime 1x]
+//	benchjson -check BENCH_hotpath.json [-out BENCH_current.json]
 //
 // It shells out to `go test -bench`, echoes the raw output, then parses
 // ns/op (and B/op / allocs/op when present) into a result list plus two
@@ -13,6 +14,14 @@
 //     against their workers=1 serial baseline, and
 //   - table-driven fast paths (lut sub-benchmarks) against their
 //     analytic/reference twins.
+//
+// -check is the bench regression gate: it re-runs only the hot-path
+// micro-benchmarks (the stable, iteration-counted pass), compares each
+// entry's ns/op against the recorded trajectory, writes the fresh
+// snapshot to -out (default BENCH_current.json, so the record itself is
+// not clobbered), and exits 1 when any entry regressed by more than 25%
+// — noise-tolerant enough for CI hardware variance while catching real
+// hot-path regressions.
 package main
 
 import (
@@ -68,39 +77,23 @@ var (
 	}
 )
 
-func main() {
-	out := flag.String("out", "BENCH_hotpath.json", "output JSON `file`")
-	bench := flag.String("bench", "Fig|Table|Sec|Parallel",
-		"figure-level benchmark regex, run once per experiment (-benchtime)")
-	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime for the figure benchmarks")
-	micro := flag.String("microbench", "DeliveryProb|Generate|RatesimRun",
-		"hot-path micro-benchmark regex, run with -microtime for stable ns/op")
-	microtime := flag.String("microtime", "200ms", "value passed to -benchtime for the micro-benchmarks")
-	flag.Parse()
-
-	// Two passes: experiments are one-shot (each iteration is a full
-	// reproduction), micro-benchmarks need real iteration counts.
-	var raw []byte
-	for _, pass := range [][2]string{{*bench, *benchtime}, {*micro, *microtime}} {
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", pass[0], "-benchtime", pass[1], ".")
-		cmd.Stderr = os.Stderr
-		got, err := cmd.Output()
-		os.Stdout.Write(got)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
-			os.Exit(1)
-		}
-		raw = append(raw, got...)
+// runPass shells out one `go test -bench` invocation and returns the
+// raw output (also echoed to stdout).
+func runPass(bench, benchtime string) []byte {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	got, err := cmd.Output()
+	os.Stdout.Write(got)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+		os.Exit(1)
 	}
+	return got
+}
 
-	rep := Report{
-		GeneratedAt: time.Now().UTC(),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		BenchRegex:  *bench + "|" + *micro,
-		BenchTime:   *benchtime + "/" + *microtime,
-	}
-	byName := map[string]Result{}
+// parseResults extracts the benchmark lines of raw output.
+func parseResults(raw []byte) []Result {
+	var out []Result
 	for _, line := range strings.Split(string(raw), "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -116,7 +109,128 @@ func main() {
 		if am := allocsCol.FindStringSubmatch(m[4]); am != nil {
 			r.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
 		}
-		rep.Results = append(rep.Results, r)
+		out = append(out, r)
+	}
+	return out
+}
+
+// writeReport marshals the report to path.
+func writeReport(rep Report, path string) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// maxRegression is the gate: a hot-path entry may be up to this much
+// slower than the recorded trajectory before -check fails.
+const maxRegression = 1.25
+
+// check re-runs the micro-benchmarks and compares ns/op against the
+// recorded report; returns the exit code.
+func check(recordPath, outPath, micro, microtime string) int {
+	data, err := os.ReadFile(recordPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var rec Report
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", recordPath, err)
+		return 1
+	}
+	recBy := map[string]Result{}
+	for _, r := range rec.Results {
+		recBy[r.Name] = r
+	}
+
+	fresh := Report{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		BenchRegex:  micro,
+		BenchTime:   microtime,
+		Results:     parseResults(runPass(micro, microtime)),
+	}
+	writeReport(fresh, outPath)
+
+	var regressions []string
+	compared := 0
+	for _, r := range fresh.Results {
+		base, ok := recBy[r.Name]
+		if !ok || base.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := r.NsPerOp / base.NsPerOp
+		verdict := "ok"
+		if ratio > maxRegression {
+			verdict = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f ns/op vs recorded %.1f ns/op (%.2fx)", r.Name, r.NsPerOp, base.NsPerOp, ratio))
+		}
+		fmt.Printf("check %-40s recorded %10.1f ns/op  current %10.1f ns/op  %.2fx  %s\n",
+			r.Name, base.NsPerOp, r.NsPerOp, ratio, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no hot-path entries of %s overlap the current benchmarks (stale record?)\n", recordPath)
+		return 1
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d hot-path entr%s regressed more than %d%%:\n",
+			len(regressions), map[bool]string{true: "y", false: "ies"}[len(regressions) == 1], int(maxRegression*100)-100)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("benchjson: %d hot-path entries within %d%% of the recorded trajectory\n", compared, int(maxRegression*100)-100)
+	return 0
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON `file` (default BENCH_hotpath.json, or BENCH_current.json with -check)")
+	bench := flag.String("bench", "Fig|Table|Sec|Parallel",
+		"figure-level benchmark regex, run once per experiment (-benchtime)")
+	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime for the figure benchmarks")
+	micro := flag.String("microbench", "DeliveryProb|Generate|RatesimRun",
+		"hot-path micro-benchmark regex, run with -microtime for stable ns/op")
+	microtime := flag.String("microtime", "200ms", "value passed to -benchtime for the micro-benchmarks")
+	checkPath := flag.String("check", "", "recorded JSON `file` to gate against: re-run the micro-benchmarks and fail on >25% ns/op regression")
+	flag.Parse()
+
+	if *checkPath != "" {
+		if *out == "" {
+			*out = "BENCH_current.json"
+		}
+		os.Exit(check(*checkPath, *out, *micro, *microtime))
+	}
+	if *out == "" {
+		*out = "BENCH_hotpath.json"
+	}
+
+	// Two passes: experiments are one-shot (each iteration is a full
+	// reproduction), micro-benchmarks need real iteration counts.
+	var raw []byte
+	for _, pass := range [][2]string{{*bench, *benchtime}, {*micro, *microtime}} {
+		raw = append(raw, runPass(pass[0], pass[1])...)
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		BenchRegex:  *bench + "|" + *micro,
+		BenchTime:   *benchtime + "/" + *microtime,
+		Results:     parseResults(raw),
+	}
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
 		byName[r.Name] = r
 	}
 
@@ -150,15 +264,6 @@ func main() {
 		})
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	writeReport(rep, *out)
 	fmt.Printf("wrote %s (%d results, %d speedups)\n", *out, len(rep.Results), len(rep.Speedups))
 }

@@ -1,8 +1,10 @@
-// Command hintshard runs one experiment sharded across workers and
-// merges the partial results into a report that is bit-identical to the
-// single-process hintbench output — for any shard count, worker count,
-// transport, assignment order, or worker failure. It is a thin front
-// end over the work-stealing cluster runtime in internal/cluster.
+// Command hintshard runs one experiment — or a whole campaign of them —
+// sharded across workers and merges the partial results into reports
+// that are bit-identical to the single-process hintbench output — for
+// any shard count, worker count, transport, assignment order, or worker
+// failure. It is a thin front end over the work-stealing cluster
+// runtime in internal/cluster and the campaign scheduler in
+// internal/campaign.
 //
 // Modes (exactly one per invocation):
 //
@@ -16,6 +18,22 @@
 //
 //	    hintshard -run fig3-5 -shards 8 [-procs 3] [-scale S] [-seed N]
 //	    hintshard -run fig3-5 -shards 8 -listen :7432 [-addr-file F]
+//
+//	campaign: queue several experiments through one warm fleet. Jobs
+//	are specs ("id[:scale=S][:seed=N][:shards=K]", defaults from the
+//	flags) or "@file" job files (one spec per line, #-comments);
+//	workers stay connected across assignments with their phy tables
+//	pre-built (the prepare step), shards of consecutive jobs
+//	interleave so stragglers overlap the next job's start, and each
+//	report prints in submission order the moment its last shard
+//	merges — byte-identical to the standalone hintbench output.
+//	-verify F re-executes a deterministic sample of shards (fraction
+//	F of each job, at least one) on a second worker and byte-compares
+//	the partials: any divergence is a hard fault. -report-dir also
+//	writes each report to jobN-<id>.out for scripted diffing.
+//
+//	    hintshard -campaign -shards 6 [-scale S] [-seed N] fig2-2 fig3-1:scale=0.5
+//	    hintshard -campaign -listen :7432 [-verify 0.2] @jobs.txt
 //
 //	TCP worker: connect to a coordinator and pull shards until stopped.
 //
@@ -55,9 +73,12 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
@@ -90,6 +111,10 @@ type options struct {
 	verbose   bool
 	dieAfter  int
 	workerDie int
+	camp      bool
+	verify    float64
+	reportDir string
+	noWarm    bool
 
 	stdout, stderr io.Writer
 }
@@ -120,6 +145,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.verbose, "v", false, "log dispatches, steals, and worker deaths to stderr")
 	fs.IntVar(&o.dieAfter, "die-after-assign", 0, "worker fault injection: exit abruptly on receiving the `n`-th assignment")
 	fs.IntVar(&o.workerDie, "worker-die-after", 0, "coordinator fault injection (subprocess transport): pass -die-after-assign `n` to the first spawned worker")
+	fs.BoolVar(&o.camp, "campaign", false, "run a campaign: queue the job specs (or @file) given as arguments through one fleet")
+	fs.Float64Var(&o.verify, "verify", 0, "campaign: re-execute this `fraction` of each job's shards on a second worker and byte-compare (0 = off)")
+	fs.StringVar(&o.reportDir, "report-dir", "", "campaign: also write each report to `dir`/jobN-<id>.out for scripted diffing")
+	fs.BoolVar(&o.noWarm, "no-warm", false, "campaign: skip the warm-worker prepare step (workers build LUTs lazily)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -150,6 +179,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return o.stdioWorker()
 	case "coordinator":
 		return o.coordinate()
+	case "campaign":
+		return o.runCampaign(fs.Args())
 	}
 	usage(o.stderr)
 	return 2
@@ -157,10 +188,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: hintshard -run <id> -shards K [-procs N | -listen addr]   (coordinator)")
+	fmt.Fprintln(w, "       hintshard -campaign [-shards K] <job-spec|@file>...        (campaign)")
 	fmt.Fprintln(w, "       hintshard -connect addr                                    (TCP worker)")
 	fmt.Fprintln(w, "       hintshard -run <id> -shard k/K [-o file]                   (one-shot worker)")
 	fmt.Fprintln(w, "       hintshard -merge part.json...                              (merge partials)")
-	fmt.Fprintln(w, "run 'hintshard -list' for experiment ids")
+	fmt.Fprintln(w, "job specs are id[:scale=S][:seed=N][:shards=K]; run 'hintshard -list' for ids")
 }
 
 // mode validates flag combinations and names the selected mode.
@@ -178,6 +210,13 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 		}
 		return nil
 	}
+	if !o.camp {
+		for _, f := range []string{"verify", "report-dir", "no-warm"} {
+			if explicit[f] {
+				return "", fmt.Errorf("-%s is a campaign flag; it needs -campaign", f)
+			}
+		}
+	}
 	var modes []string
 	if o.merge {
 		modes = append(modes, "-merge")
@@ -185,8 +224,13 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 	if o.shardSpec != "" {
 		modes = append(modes, "-shard")
 	}
-	if o.shards > 0 {
+	if o.shards > 0 && !o.camp {
+		// With -campaign, -shards is the default shard count per job,
+		// not a mode selector.
 		modes = append(modes, "-shards")
+	}
+	if o.camp {
+		modes = append(modes, "-campaign")
 	}
 	if o.connect != "" {
 		modes = append(modes, "-connect")
@@ -196,7 +240,7 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 	}
 	if len(modes) == 0 {
 		if o.listen != "" {
-			return "", fmt.Errorf("-listen needs -shards K")
+			return "", fmt.Errorf("-listen needs -shards K (or -campaign)")
 		}
 		return "", fmt.Errorf("no mode selected")
 	}
@@ -242,6 +286,25 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 			return "", err
 		}
 		return "serve-stdio", nil
+	case "-campaign":
+		if o.run != "" {
+			return "", fmt.Errorf("campaign jobs are given as job specs, not -run")
+		}
+		if o.out != "" {
+			return "", fmt.Errorf("-o is a one-shot worker flag; campaigns write reports with -report-dir")
+		}
+		if o.dieAfter > 0 {
+			return "", fmt.Errorf("-die-after-assign is a worker flag; coordinators inject faults with -worker-die-after")
+		}
+		// Negated form so NaN (for which every comparison is false) is
+		// rejected too.
+		if !(o.verify >= 0 && o.verify <= 1) {
+			return "", fmt.Errorf("-verify %g outside [0, 1]", o.verify)
+		}
+		if err := o.validateTransport(); err != nil {
+			return "", err
+		}
+		return "campaign", nil
 	default: // -shards
 		if o.run == "" {
 			return "", fmt.Errorf("coordinator needs -run <experiment-id>")
@@ -249,38 +312,48 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 		if o.dieAfter > 0 {
 			return "", fmt.Errorf("-die-after-assign is a worker flag; coordinators inject faults with -worker-die-after")
 		}
-		tr := o.transport
-		if tr == "" {
-			if o.listen != "" {
-				tr = "tcp"
-			} else {
-				tr = "subprocess"
-			}
-			o.transport = tr
-		}
-		switch tr {
-		case "tcp":
-			if o.listen == "" {
-				return "", fmt.Errorf("-transport tcp needs -listen addr")
-			}
-			if o.procs > 0 {
-				return "", fmt.Errorf("-procs applies to local transports; TCP workers join via -connect")
-			}
-		case "subprocess", "inproc":
-			if o.listen != "" {
-				return "", fmt.Errorf("-listen implies -transport tcp, not %s", tr)
-			}
-			if o.addrFile != "" {
-				return "", fmt.Errorf("-addr-file publishes a -listen address; it needs -transport tcp")
-			}
-		default:
-			return "", fmt.Errorf("unknown -transport %q (want subprocess, inproc, or tcp)", tr)
-		}
-		if o.workerDie > 0 && tr != "subprocess" {
-			return "", fmt.Errorf("-worker-die-after needs -transport subprocess (TCP workers inject their own faults with -die-after-assign)")
+		if err := o.validateTransport(); err != nil {
+			return "", err
 		}
 		return "coordinator", nil
 	}
+}
+
+// validateTransport resolves and checks the transport selection shared
+// by the coordinator and campaign modes (-transport defaults to
+// subprocess, or tcp when -listen is given).
+func (o *options) validateTransport() error {
+	tr := o.transport
+	if tr == "" {
+		if o.listen != "" {
+			tr = "tcp"
+		} else {
+			tr = "subprocess"
+		}
+		o.transport = tr
+	}
+	switch tr {
+	case "tcp":
+		if o.listen == "" {
+			return fmt.Errorf("-transport tcp needs -listen addr")
+		}
+		if o.procs > 0 {
+			return fmt.Errorf("-procs applies to local transports; TCP workers join via -connect")
+		}
+	case "subprocess", "inproc":
+		if o.listen != "" {
+			return fmt.Errorf("-listen implies -transport tcp, not %s", tr)
+		}
+		if o.addrFile != "" {
+			return fmt.Errorf("-addr-file publishes a -listen address; it needs -transport tcp")
+		}
+	default:
+		return fmt.Errorf("unknown -transport %q (want subprocess, inproc, or tcp)", tr)
+	}
+	if o.workerDie > 0 && tr != "subprocess" {
+		return fmt.Errorf("-worker-die-after needs -transport subprocess (TCP workers inject their own faults with -die-after-assign)")
+	}
+	return nil
 }
 
 func (o *options) logf() func(string, ...any) {
@@ -368,18 +441,13 @@ func (o *options) stdioWorker() int {
 	return 0
 }
 
-// coordinate runs the work-stealing coordinator over the selected
-// transport and prints the merged report.
-func (o *options) coordinate() int {
-	procs := o.procs
-	if procs <= 0 {
-		procs = o.shards
-	}
-	// Local transports run every worker on this machine at once; the
-	// "one goroutine per CPU" default would oversubscribe it procs-fold,
-	// so split the CPUs instead. An explicit -workers value passes
-	// through untouched. TCP workers are (usually) other machines: the
-	// default leaves the fan-out to each worker.
+// perWorkerFanout picks how many goroutines each worker fans a shard's
+// trials across. Local transports run every worker on this machine at
+// once; the "one goroutine per CPU" default would oversubscribe it
+// procs-fold, so split the CPUs instead. An explicit -workers value
+// passes through untouched. TCP workers are (usually) other machines:
+// the default leaves the fan-out to each worker.
+func (o *options) perWorkerFanout(procs int) int {
 	perWorker := o.workers
 	if perWorker == 0 && o.transport != "tcp" {
 		perWorker = runtime.NumCPU() / procs
@@ -387,21 +455,25 @@ func (o *options) coordinate() int {
 			perWorker = 1
 		}
 	}
+	return perWorker
+}
 
-	var t cluster.Transport
+// buildTransport constructs the validated transport selection with
+// procs local workers (ignored by tcp), each fanning shards across
+// perWorker goroutines.
+func (o *options) buildTransport(procs, perWorker int) (cluster.Transport, error) {
 	switch o.transport {
 	case "inproc":
-		t = cluster.NewInProcess(procs, func(i int, c cluster.Conn) {
+		return cluster.NewInProcess(procs, func(i int, c cluster.Conn) {
 			so := o.serveOpts(fmt.Sprintf("inproc-%d", i))
 			cluster.Serve(c, so)
-		})
+		}), nil
 	case "subprocess":
 		self, err := os.Executable()
 		if err != nil {
-			fmt.Fprintf(o.stderr, "locating own binary: %v\n", err)
-			return 1
+			return nil, fmt.Errorf("locating own binary: %v", err)
 		}
-		t = cluster.NewSubprocess(procs, func(i int) *exec.Cmd {
+		return cluster.NewSubprocess(procs, func(i int) *exec.Cmd {
 			args := []string{"-serve-stdio", "-workers", strconv.Itoa(perWorker)}
 			if o.workerDie > 0 && i == 0 {
 				args = append(args, "-die-after-assign", strconv.Itoa(o.workerDie))
@@ -409,22 +481,36 @@ func (o *options) coordinate() int {
 			cmd := exec.Command(self, args...)
 			cmd.Stderr = o.stderr
 			return cmd
-		})
+		}), nil
 	case "tcp":
 		lt, err := cluster.ListenTCP(o.listen)
 		if err != nil {
-			fmt.Fprintln(o.stderr, err)
-			return 1
+			return nil, err
 		}
 		if o.addrFile != "" {
 			if err := os.WriteFile(o.addrFile, []byte(lt.Addr()), 0o644); err != nil {
-				fmt.Fprintln(o.stderr, err)
 				lt.Close()
-				return 1
+				return nil, err
 			}
 		}
 		fmt.Fprintf(o.stderr, "hintshard: listening on %s\n", lt.Addr())
-		t = lt
+		return lt, nil
+	}
+	return nil, fmt.Errorf("unknown transport %q", o.transport)
+}
+
+// coordinate runs the work-stealing coordinator over the selected
+// transport and prints the merged report.
+func (o *options) coordinate() int {
+	procs := o.procs
+	if procs <= 0 {
+		procs = o.shards
+	}
+	perWorker := o.perWorkerFanout(procs)
+	t, err := o.buildTransport(procs, perWorker)
+	if err != nil {
+		fmt.Fprintln(o.stderr, err)
+		return 1
 	}
 
 	rep, _, err := cluster.Run(t, cluster.Options{
@@ -447,6 +533,105 @@ func (o *options) coordinate() int {
 		return 1
 	}
 	return o.printReport(rep)
+}
+
+// runCampaign parses the job specs (or @file job files), runs the
+// campaign over the selected transport, and prints each report in
+// submission order as it becomes ready — exactly as hintbench would
+// print the same experiment, so the outputs diff byte for byte.
+func (o *options) runCampaign(specs []string) int {
+	if len(specs) == 0 {
+		fmt.Fprintln(o.stderr, "no campaign jobs given (want job specs or @file arguments)")
+		usage(o.stderr)
+		return 2
+	}
+	def := campaign.Job{Scale: o.scale, Seed: o.seed, Shards: o.shards}
+	var jobs []campaign.Job
+	for _, spec := range specs {
+		if name, ok := strings.CutPrefix(spec, "@"); ok {
+			f, err := os.Open(name)
+			if err != nil {
+				fmt.Fprintln(o.stderr, err)
+				return 2
+			}
+			js, err := campaign.ReadJobs(f, def)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(o.stderr, "%s: %v\n", name, err)
+				return 2
+			}
+			jobs = append(jobs, js...)
+			continue
+		}
+		j, err := campaign.ParseJob(spec, def)
+		if err != nil {
+			fmt.Fprintln(o.stderr, err)
+			return 2
+		}
+		jobs = append(jobs, j)
+	}
+
+	// Default local fleet size: enough workers to saturate the widest
+	// job, as the coordinator mode defaults to its shard count.
+	procs := o.procs
+	if procs <= 0 {
+		for _, j := range jobs {
+			if j.Shards > procs {
+				procs = j.Shards
+			}
+		}
+	}
+	perWorker := o.perWorkerFanout(procs)
+	if o.reportDir != "" {
+		if err := os.MkdirAll(o.reportDir, 0o755); err != nil {
+			fmt.Fprintln(o.stderr, err)
+			return 1
+		}
+	}
+	t, err := o.buildTransport(procs, perWorker)
+	if err != nil {
+		fmt.Fprintln(o.stderr, err)
+		return 1
+	}
+
+	failed := 0
+	_, stats, err := campaign.Run(t, jobs, campaign.Options{
+		ShardWorkers: perWorker,
+		MergeWorkers: o.workers,
+		Retries:      o.retries,
+		NoSteal:      o.noSteal,
+		NoWarm:       o.noWarm,
+		Verify:       o.verify,
+		Logf:         o.logf(),
+		Emit: func(ji int, rep *experiments.Report) error {
+			if o.reportDir != "" {
+				path := filepath.Join(o.reportDir, fmt.Sprintf("job%d-%s.out", ji+1, jobs[ji].Experiment))
+				if err := os.WriteFile(path, []byte(rep.String()+"\n"), 0o644); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(o.stdout, rep)
+			failed += len(rep.Failed())
+			return nil
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(o.stderr, err)
+		var we *cluster.WorkerExitError
+		if errors.As(err, &we) {
+			return we.Code
+		}
+		return 1
+	}
+	if o.verbose {
+		fmt.Fprintf(o.stderr, "campaign: %d jobs done (workers=%d assigned=%d stolen=%d requeued=%d discarded=%d verified=%d)\n",
+			len(jobs), stats.Workers, stats.Assigned, stats.Stolen, stats.Requeued, stats.Discarded, stats.Verified)
+	}
+	if failed > 0 {
+		fmt.Fprintf(o.stderr, "%d shape check(s) failed\n", failed)
+		return 1
+	}
+	return 0
 }
 
 // mergeFiles decodes one-shot worker partials, merges them, and prints

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +47,20 @@ func TestFlagValidation(t *testing.T) {
 		{"coordinator flag on stdio worker", []string{"-serve-stdio", "-retries", "5"}, "coordinator flag"},
 		{"coordinator flag on merge", []string{"-merge", "-no-steal"}, "coordinator flag"},
 		{"coordinator flag on one-shot", []string{"-run", "x", "-shard", "0/2", "-procs", "3"}, "coordinator flag"},
+		{"campaign and merge", []string{"-campaign", "-merge", "fig2-2"}, "contradictory modes"},
+		{"campaign and connect", []string{"-campaign", "-connect", "h:1"}, "contradictory modes"},
+		{"campaign with run", []string{"-campaign", "-run", "fig2-2"}, "job specs, not -run"},
+		{"campaign with one-shot output", []string{"-campaign", "-o", "f.json", "fig2-2"}, "one-shot worker flag"},
+		{"campaign without jobs", []string{"-campaign", "-shards", "2"}, "no campaign jobs"},
+		{"campaign bad verify", []string{"-campaign", "-verify", "1.5", "fig2-2"}, "outside [0, 1]"},
+		{"campaign bad spec", []string{"-campaign", "-shards", "2", "fig2-2:flux=1"}, "unknown option"},
+		{"campaign spec without shards", []string{"-campaign", "fig2-2"}, "no shard count"},
+		{"campaign missing job file", []string{"-campaign", "-shards", "2", "@/definitely/not/a/file"}, "no such file"},
+		{"campaign with die-after-assign", []string{"-campaign", "-die-after-assign", "1", "fig2-2"}, "-die-after-assign is a worker flag"},
+		{"campaign listen with inproc", []string{"-campaign", "-transport", "inproc", "-listen", ":0", "fig2-2"}, "-listen implies -transport tcp"},
+		{"verify without campaign", []string{"-run", "x", "-shards", "2", "-verify", "0.5"}, "campaign flag"},
+		{"report-dir without campaign", []string{"-run", "x", "-shards", "2", "-report-dir", "/tmp/r"}, "campaign flag"},
+		{"no-warm without campaign", []string{"-connect", "h:1", "-no-warm"}, "campaign flag"},
 		{"bad flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
 	}
 	for _, c := range cases {
@@ -106,6 +121,58 @@ func TestInprocCoordinatorMatchesDirectRun(t *testing.T) {
 	}
 	if stdout.String() != want {
 		t.Errorf("coordinator output differs from direct run:\n--- direct ---\n%s\n--- cli ---\n%s", want, stdout.String())
+	}
+}
+
+// TestInprocCampaignMatchesDirectRuns drives the campaign pipeline
+// through the CLI entry point (inproc transport, jobs from both a spec
+// argument and an @file, verification on) and requires every report —
+// on stdout, in submission order, and in -report-dir — to match the
+// direct runs byte for byte.
+func TestInprocCampaignMatchesDirectRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	dir := t.TempDir()
+	jobFile := filepath.Join(dir, "jobs.txt")
+	if err := os.WriteFile(jobFile, []byte("# tail of the campaign\nfig3-1:scale=0.1\nfig2-2:seed=7:shards=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repDir := filepath.Join(dir, "reports")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-campaign", "-transport", "inproc", "-procs", "2", "-shards", "3",
+		"-scale", "0.1", "-seed", "42", "-verify", "1", "-report-dir", repDir,
+		"fig2-2", "@" + jobFile}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	type jobCfg struct {
+		id    string
+		scale float64
+		seed  int64
+	}
+	jobs := []jobCfg{{"fig2-2", 0.1, 42}, {"fig3-1", 0.1, 42}, {"fig2-2", 0.1, 7}}
+	var want strings.Builder
+	for ji, jc := range jobs {
+		exp, ok := experiments.ByID(jc.id)
+		if !ok {
+			t.Fatalf("%s not registered", jc.id)
+		}
+		rep := exp.Run(experiments.Config{Scale: jc.scale, Seed: jc.seed, Workers: 1}).String() + "\n"
+		want.WriteString(rep)
+		path := filepath.Join(repDir, fmt.Sprintf("job%d-%s.out", ji+1, jc.id))
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("report file: %v", err)
+			continue
+		}
+		if string(got) != rep {
+			t.Errorf("job %d report file differs from the direct run", ji)
+		}
+	}
+	if stdout.String() != want.String() {
+		t.Errorf("campaign stdout differs from the concatenated direct runs:\n--- direct ---\n%s\n--- campaign ---\n%s",
+			want.String(), stdout.String())
 	}
 }
 

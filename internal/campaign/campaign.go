@@ -1,0 +1,183 @@
+// Package campaign is the experiment-level scheduler: it queues a whole
+// evaluation campaign — an ordered list of (experiment, scale, seed,
+// shards) jobs — through one warm cluster fleet, instead of paying
+// worker startup and LUT construction once per experiment. Jobs run
+// through cluster.RunCampaign's multi-queue (one parallel.ShardQueue
+// per job), so the stragglers of one experiment overlap the start of
+// the next, workers stay connected across assignments with their phy
+// tables cached (the warm-worker prepare step), and every report is
+// emitted in submission order the moment its last shard merges — each
+// byte-identical to the standalone single-process run of the same
+// (experiment, scale, seed).
+//
+// The package adds two policies on top of the cluster runtime: the job
+// spec format (ParseJob/ReadJobs — what cmd/hintshard -campaign
+// accepts) and the deterministic verification sample (VerifySample —
+// which shards get re-executed on a second worker and byte-compared
+// when verification is on).
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// Job is one campaign entry: reproduce Experiment at Scale with Seed,
+// split into Shards queued shards.
+type Job struct {
+	Experiment string
+	Scale      float64
+	Seed       int64
+	Shards     int
+}
+
+// String renders the job in the spec form ParseJob accepts.
+func (j Job) String() string {
+	return fmt.Sprintf("%s:scale=%g:seed=%d:shards=%d", j.Experiment, j.Scale, j.Seed, j.Shards)
+}
+
+// Options configures one campaign run.
+type Options struct {
+	// ShardWorkers bounds the goroutines each assignment fans across
+	// inside its worker (0 = the worker decides); MergeWorkers bounds
+	// each merged finish phase's in-process parallelism (0 = one per
+	// CPU).
+	ShardWorkers int
+	MergeWorkers int
+	// Retries is the failure budget per shard before the campaign
+	// aborts; NoSteal disables speculative re-dispatch of in-flight
+	// shards.
+	Retries int
+	NoSteal bool
+	// NoWarm skips the warm-worker prepare step (sent by default: one
+	// tiny message per worker that pre-builds the phy tables every
+	// assignment of the campaign will read). WarmFrames overrides the
+	// frame lengths it names (nil = the phy default).
+	NoWarm     bool
+	WarmFrames []int
+	// Verify is the verification sampling fraction: 0 (the default)
+	// trusts worker results like a plain cluster run; any positive
+	// fraction re-executes a deterministic sample of at least one shard
+	// per job — VerifySample — on a second worker and byte-compares the
+	// partials. A divergence aborts the campaign with a hard fault
+	// (*cluster.VerifyError): under the determinism contract it can
+	// only mean a corrupt worker or corrupt hardware.
+	Verify float64
+	// DrainTimeout bounds the post-completion drain of speculative
+	// stragglers (0 = one minute).
+	DrainTimeout time.Duration
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+	// Emit, if set, receives each report in submission order the moment
+	// it is ready — while later jobs are still executing. Returning an
+	// error aborts the campaign. Reports are also collected into the
+	// Results that Run returns.
+	Emit func(job int, rep *experiments.Report) error
+}
+
+// Result pairs one job with its merged report.
+type Result struct {
+	Job    Job
+	Report *experiments.Report
+}
+
+// Run executes the campaign over the transport's workers and returns
+// one result per job, in submission order. Every report is
+// byte-identical to the standalone single-process run of its job; see
+// cluster.RunCampaign for the scheduling and failure story.
+func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats, error) {
+	var stats cluster.RunStats
+	if len(jobs) == 0 {
+		return nil, stats, errors.New("campaign: no jobs")
+	}
+	// Negated form so NaN (for which every comparison is false) is
+	// rejected too.
+	if !(o.Verify >= 0 && o.Verify <= 1) {
+		return nil, stats, fmt.Errorf("campaign: verification fraction %g outside [0, 1]", o.Verify)
+	}
+	cjobs := make([]cluster.Job, len(jobs))
+	for ji, j := range jobs {
+		if _, ok := experiments.ByID(j.Experiment); !ok {
+			return nil, stats, fmt.Errorf("campaign: job %d names unknown experiment %q", ji, j.Experiment)
+		}
+		if j.Shards < 1 {
+			return nil, stats, fmt.Errorf("campaign: job %d (%s) has no shard count", ji, j.Experiment)
+		}
+		cjobs[ji] = cluster.Job{
+			Experiment: j.Experiment,
+			Seed:       j.Seed,
+			Scale:      j.Scale,
+			Shards:     j.Shards,
+		}
+	}
+	results := make([]Result, len(jobs))
+	for ji, j := range jobs {
+		results[ji].Job = j
+	}
+	co := cluster.CampaignOptions{
+		ShardWorkers: o.ShardWorkers,
+		MergeWorkers: o.MergeWorkers,
+		Retries:      o.Retries,
+		NoSteal:      o.NoSteal,
+		DrainTimeout: o.DrainTimeout,
+		Logf:         o.Logf,
+		Warm:         !o.NoWarm,
+		WarmFrames:   o.WarmFrames,
+		OnReport: func(ji int, rep *experiments.Report) error {
+			results[ji].Report = rep
+			if o.Emit != nil {
+				return o.Emit(ji, rep)
+			}
+			return nil
+		},
+	}
+	if o.Verify > 0 {
+		co.VerifyShards = func(ji, shards int) []int {
+			return VerifySample(jobs[ji], ji, o.Verify)
+		}
+	}
+	stats, err := cluster.RunCampaign(t, cjobs, co)
+	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// VerifySample picks the shard indices of one job that verification
+// re-executes: a pure function of (job, index, fraction), so the
+// coordinator, logs, and tests always agree on the sample and reruns of
+// the same campaign verify the same shards. Each shard is included
+// with probability fraction (drawn from the job's own seed stream,
+// decorrelated from every trial seed by the derivation label); a
+// positive fraction always verifies at least one shard, so opting in
+// can never silently verify nothing.
+func VerifySample(job Job, index int, fraction float64) []int {
+	if fraction <= 0 || job.Shards < 1 {
+		return nil
+	}
+	if fraction >= 1 {
+		out := make([]int, job.Shards)
+		for k := range out {
+			out[k] = k
+		}
+		return out
+	}
+	stream := parallel.NewSeedStream(job.Seed).Derive(fmt.Sprintf("campaign-verify/%d/%s", index, job.Experiment))
+	var out []int
+	for k := 0; k < job.Shards; k++ {
+		// Top 53 bits of the derived seed as a uniform draw in [0, 1).
+		u := float64(uint64(stream.Seed(k))>>11) / (1 << 53)
+		if u < fraction {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, int(uint64(stream.Seed(job.Shards))%uint64(job.Shards)))
+	}
+	return out
+}

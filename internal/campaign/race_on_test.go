@@ -1,0 +1,8 @@
+//go:build race
+
+package campaign
+
+// underRace lets the campaign determinism matrix shrink when the race
+// detector (≈10× slowdown) is on: the interleavings the detector needs
+// happen at any scale.
+const underRace = true

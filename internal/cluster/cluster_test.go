@@ -375,6 +375,70 @@ func TestHungStragglerCutOffAfterDrainTimeout(t *testing.T) {
 	}
 }
 
+// TestHungVerifierSpeculativelyCovered: a worker that receives a
+// verification re-run and hangs forever must not stall the campaign —
+// the re-run is speculatively duplicated to another worker (the verify
+// analogue of stealing) and the hung straggler is cut off at the drain
+// deadline. The hello/assign/verify-dispatch order is forced by
+// channels, so the scenario is exact.
+func TestHungVerifierSpeculativelyCovered(t *testing.T) {
+	exp, _ := experiments.ByID("fig2-2")
+	base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+	w0assigned := make(chan struct{})
+	w1helloed := make(chan struct{})
+	hang := make(chan struct{})
+	defer close(hang)
+	tr := NewInProcess(2, func(i int, c Conn) {
+		if i == 1 {
+			// Joins only after w0 holds the only fresh shard; its first
+			// assignment is therefore the verification re-run (fresh
+			// queue empty, stealing disabled), which it never answers.
+			<-w0assigned
+			if err := c.Send(&Hello{Version: ProtoVersion, Name: "hung-verifier"}); err != nil {
+				return
+			}
+			close(w1helloed)
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+			<-hang
+			return
+		}
+		so := ServeOptions{Name: "honest", Workers: 1}
+		fired := false
+		so.OnAssign = func(Assign) error {
+			if !fired {
+				fired = true
+				close(w0assigned)
+				// Hold the shard until the hung verifier is enrolled, so
+				// its hello is enqueued before this shard's completion.
+				<-w1helloed
+			}
+			return nil
+		}
+		Serve(c, so)
+	})
+	stats, err := RunCampaign(tr, []Job{{Experiment: "fig2-2", Seed: 42, Scale: 0.1, Shards: 1}}, CampaignOptions{
+		ShardWorkers: 1,
+		Retries:      0, // any charged failure would abort
+		NoSteal:      true,
+		DrainTimeout: 300 * time.Millisecond,
+		VerifyShards: func(job, shards int) []int { return []int{0} },
+		OnReport: func(_ int, r *experiments.Report) error {
+			if got := r.String(); got != base {
+				t.Errorf("report differs:\n%s\nvs\n%s", base, got)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("campaign with a hung verifier: %v", err)
+	}
+	if stats.Verified != 1 {
+		t.Errorf("stats.Verified = %d, want 1", stats.Verified)
+	}
+}
+
 // TestAcceptFailureSurfacesInStallError: when the transport cannot
 // produce workers at all (e.g. the worker binary fails to spawn), the
 // abort error must carry the transport's failure, not just the generic

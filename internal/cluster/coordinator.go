@@ -1,18 +1,38 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/phy"
 )
 
-// Options configures one coordinated run.
+// Job is one entry of a campaign: reproduce Experiment at Scale with
+// Seed, its trial space split into Shards queued shards. Jobs run in
+// submission order in the sense that fresh shards of job i always
+// dispatch before fresh shards of job i+1 — but the moment job i's
+// queue drains, idle workers flow into job i+1, so one job's stragglers
+// overlap the next job's start instead of idling the fleet.
+type Job struct {
+	Experiment string
+	Seed       int64
+	Scale      float64
+	// Shards is this job's queue length K. Keep it a few times the
+	// worker count; the report is byte-identical for every K ≥ 1.
+	Shards int
+}
+
+// Options configures one single-experiment coordinated run (Run); a
+// campaign of several experiments through one fleet goes through
+// RunCampaign.
 type Options struct {
 	// Experiment, Seed, Scale identify the run; every assignment carries
 	// them, so any worker's shard k/K output is interchangeable with any
@@ -49,6 +69,39 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
+// CampaignOptions configures one RunCampaign: the per-fleet knobs of
+// Options plus the campaign-only hooks (report delivery, warm-worker
+// preparation, result verification).
+type CampaignOptions struct {
+	// ShardWorkers, MergeWorkers, Retries, NoSteal, DrainTimeout and
+	// Logf mean exactly what they mean on Options, applied to every job.
+	ShardWorkers int
+	MergeWorkers int
+	Retries      int
+	NoSteal      bool
+	DrainTimeout time.Duration
+	Logf         func(format string, args ...any)
+	// Warm sends each worker a Prepare message right after its hello,
+	// naming the frame lengths of WarmFrames (the phy default when nil),
+	// so the worker builds its SNR/airtime tables once — before the
+	// first assignment's trial fan-out would race to build them — and
+	// keeps them cached across every assignment of the campaign.
+	Warm       bool
+	WarmFrames []int
+	// VerifyShards, if set, selects for each job a sample of shard
+	// indices whose results are re-executed (preferably on a different
+	// worker) and byte-compared against the first result through
+	// experiments.CanonicalLoops. The determinism contract makes any
+	// divergence a hard fault: the run aborts with a *VerifyError.
+	VerifyShards func(job, shards int) []int
+	// OnReport receives each job's merged report in submission order: a
+	// report is delivered the moment its last shard has merged (and its
+	// verification sample, if any, confirmed), gated only behind the
+	// delivery of every earlier job's report. Returning an error aborts
+	// the campaign.
+	OnReport func(job int, rep *experiments.Report) error
+}
+
 // RunStats summarizes the dispatch history of one run.
 type RunStats struct {
 	// Workers counts connections that completed the hello handshake.
@@ -58,6 +111,9 @@ type RunStats struct {
 	// charged to shards by worker death or error; Discarded counts
 	// shard results that lost a speculation race and were thrown away.
 	Assigned, Stolen, Requeued, Discarded int
+	// Verified counts verification re-runs that byte-matched the first
+	// result (a mismatch aborts the run, so it never counts here).
+	Verified int
 }
 
 // WorkerExitError reports that the run failed after a worker process
@@ -71,6 +127,24 @@ type WorkerExitError struct {
 func (e *WorkerExitError) Error() string { return e.Err.Error() }
 func (e *WorkerExitError) Unwrap() error { return e.Err }
 
+// VerifyError is the hard fault of the verification mode: a shard was
+// executed twice and the two canonical partial encodings differ. Under
+// the determinism contract that can only mean corruption — a broken
+// worker build, bad hardware, or a tampering peer — so the campaign
+// aborts instead of publishing a report built from either copy.
+type VerifyError struct {
+	Job           int
+	Experiment    string
+	Shard, Shards int
+	// First and Second name the workers whose results disagree.
+	First, Second string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("cluster: verification failed: job %d (%s) shard %d/%d diverges between workers %s and %s (determinism contract broken: corrupt worker or hardware)",
+		e.Job, e.Experiment, e.Shard, e.Shards, e.First, e.Second)
+}
+
 // exitCoder is implemented by connections that can report how their
 // worker process exited (the subprocess transport).
 type exitCoder interface{ ExitCode() int }
@@ -82,9 +156,12 @@ type workerState struct {
 	conn Conn
 	id   int
 	name string
-	// cur is the in-flight shard index, -1 when idle.
-	cur   int
-	loops []*experiments.LoopPartial
+	// curJob/curShard are the in-flight assignment, -1 when idle;
+	// curVerify marks it as a verification re-run of a completed shard.
+	curJob    int
+	curShard  int
+	curVerify bool
+	loops     []*experiments.LoopPartial
 	// out feeds the connection's sender goroutine; closed on teardown.
 	// The sender closes conn after draining, so a Stop queued before
 	// teardown still reaches the worker.
@@ -94,31 +171,125 @@ type workerState struct {
 	dead    bool
 }
 
-// event is one input to the coordinator's single-threaded state
-// machine: a new connection (msg and err nil), a message, a dead
-// connection (err set), or the end of the accept loop (w nil).
-type event struct {
-	w   *workerState
-	msg Message
+// verifyState tracks one sampled shard's verification: the canonical
+// encoding of the first completed result, who produced it, and the
+// dispatch state of the re-run.
+type verifyState struct {
+	first     []byte
+	firstID   int
+	firstName string
+	// inFlight counts live re-run dispatches (speculation allows two);
+	// resolved marks the verification confirmed.
+	inFlight int
+	resolved bool
+	// skipped marks that the preferred-different-worker rule already
+	// passed the task over once; after that any worker may take it, so
+	// a fleet that shrank to the original worker still makes progress.
+	skipped bool
+}
+
+// jobState is the per-job half of the coordinator state: the dynamic
+// shard queue, the completed partials, the failure ledger, and the
+// verification sample.
+type jobState struct {
+	job      Job
+	queue    *parallel.ShardQueue
+	partials []*experiments.Partial
+	failures []int
+	// verify maps sampled shard index → verification state; sampled
+	// lists the sampled indices in ascending order (the deterministic
+	// iteration order for speculative re-dispatch); verifyLeft counts
+	// samples not yet confirmed, verifyQueue the samples whose first
+	// result arrived and whose re-run awaits a worker.
+	verify       map[int]*verifyState
+	sampled      []int
+	verifyLeft   int
+	verifyQueue  []int
+	merged       *experiments.Report
+	mergeStarted bool
+}
+
+// mergeDone carries one job's finished merge back into the event loop.
+type mergeDone struct {
+	job int
+	rep *experiments.Report
 	err error
 }
 
+// event is one input to the coordinator's single-threaded state
+// machine: a new connection (msg, err and merge nil), a message, a dead
+// connection (err set), the end of the accept loop (w nil), or a
+// completed background merge (merge set).
+type event struct {
+	w     *workerState
+	msg   Message
+	err   error
+	merge *mergeDone
+}
+
 // Run executes one experiment over the transport's workers and returns
-// the merged report. The shard queue holds Options.Shards shards; each
-// worker pulls the next shard when it goes idle, shards lost to dying
-// workers re-dispatch within the retry budget, and idle workers steal
-// in-flight shards from stragglers. Because every shard's partial is a
-// pure function of (experiment, seed, scale, k/K) and the completed
-// shard set feeds experiments.MergeShards unchanged, the report is
-// byte-identical to the single-process run whatever the transport,
-// worker count, assignment order, or failure history.
+// the merged report: a single-job campaign. See RunCampaign for the
+// scheduling, stealing, retry, and determinism story.
 func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
-	var stats RunStats
 	if o.Experiment == "" {
-		return nil, stats, errors.New("cluster: no experiment to run")
+		return nil, RunStats{}, errors.New("cluster: no experiment to run")
 	}
 	if o.Shards < 1 {
-		return nil, stats, fmt.Errorf("cluster: invalid shard count %d", o.Shards)
+		return nil, RunStats{}, fmt.Errorf("cluster: invalid shard count %d", o.Shards)
+	}
+	var rep *experiments.Report
+	stats, err := RunCampaign(t, []Job{{
+		Experiment: o.Experiment,
+		Seed:       o.Seed,
+		Scale:      o.Scale,
+		Shards:     o.Shards,
+	}}, CampaignOptions{
+		ShardWorkers: o.ShardWorkers,
+		MergeWorkers: o.MergeWorkers,
+		Retries:      o.Retries,
+		NoSteal:      o.NoSteal,
+		DrainTimeout: o.DrainTimeout,
+		Logf:         o.Logf,
+		OnReport: func(_ int, r *experiments.Report) error {
+			rep = r
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	if rep == nil {
+		return nil, stats, errors.New("cluster: internal error: campaign finished without delivering the report")
+	}
+	return rep, stats, nil
+}
+
+// RunCampaign executes an ordered set of jobs over one fleet. Every job
+// owns a shard queue; a worker going idle takes the next fresh shard of
+// the earliest incomplete job, then a pending verification re-run, then
+// a speculative copy stolen from a straggler — so shards of different
+// experiments interleave in one multi-queue and the tail of job i
+// overlaps the head of job i+1. Shards lost to dying workers
+// re-dispatch within the per-shard retry budget, the first completion
+// of each shard wins, and each job's completed shard set feeds
+// experiments.MergeShards unchanged — so every report is byte-identical
+// to the single-process run of its job, whatever the transport, worker
+// count, assignment order, interleaving, or failure history. Reports
+// are delivered through o.OnReport in submission order, each the moment
+// its merge (and verification sample) completes and its predecessors
+// are out.
+func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
+	var stats RunStats
+	if len(jobs) == 0 {
+		return stats, errors.New("cluster: empty campaign")
+	}
+	for ji, j := range jobs {
+		if j.Experiment == "" {
+			return stats, fmt.Errorf("cluster: campaign job %d names no experiment", ji)
+		}
+		if j.Shards < 1 {
+			return stats, fmt.Errorf("cluster: campaign job %d (%s) has invalid shard count %d", ji, j.Experiment, j.Shards)
+		}
 	}
 	logf := o.Logf
 	if logf == nil {
@@ -129,20 +300,44 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 		retries = 0
 	}
 
-	queue := parallel.NewShardQueue(o.Shards)
-	partials := make([]*experiments.Partial, o.Shards)
-	failures := make([]int, o.Shards)
+	states := make([]*jobState, len(jobs))
+	for ji, j := range jobs {
+		states[ji] = &jobState{
+			job:      j,
+			queue:    parallel.NewShardQueue(j.Shards),
+			partials: make([]*experiments.Partial, j.Shards),
+			failures: make([]int, j.Shards),
+			verify:   map[int]*verifyState{},
+		}
+	}
+	if o.VerifyShards != nil {
+		for ji, js := range states {
+			for _, k := range o.VerifyShards(ji, js.job.Shards) {
+				if k < 0 || k >= js.job.Shards {
+					return stats, fmt.Errorf("cluster: verification sample names shard %d of job %d (%d shards)", k, ji, js.job.Shards)
+				}
+				if js.verify[k] == nil {
+					js.verify[k] = &verifyState{}
+					js.sampled = append(js.sampled, k)
+					js.verifyLeft++
+				}
+			}
+			sort.Ints(js.sampled)
+		}
+	}
+
 	events := make(chan event, 256)
 	var workers []*workerState
 	var idle []*workerState
 	acceptDone := false
 	var acceptErr error
 	var lastExit *WorkerExitError
+	nextEmit := 0
 
 	// Every producer goroutine (accept loop, per-connection reader and
-	// sender) registers here; the drain phase at the end keeps consuming
-	// events until all of them have exited, so none leaks blocked on the
-	// channel.
+	// sender, background merges) registers here; the drain phase at the
+	// end keeps consuming events until all of them have exited, so none
+	// leaks blocked on the channel.
 	var producers sync.WaitGroup
 	spawn := func(fn func()) {
 		producers.Add(1)
@@ -160,7 +355,7 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 				events <- event{err: err}
 				return
 			}
-			w := &workerState{conn: c, id: id, cur: -1, out: make(chan Message, 4)}
+			w := &workerState{conn: c, id: id, curJob: -1, curShard: -1, out: make(chan Message, 4)}
 			id++
 			events <- event{w: w}
 		}
@@ -234,57 +429,112 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 		}
 	}
 
-	// The merge starts the moment the last shard completes, overlapping
-	// the drain of speculative stragglers (workers still computing a
-	// copy that already lost the race): they exit the protocol cleanly
-	// while the finish phase runs, instead of serializing behind it.
-	type mergeResult struct {
-		rep *experiments.Report
-		err error
+	// allDone reports whether no further worker-side work can exist:
+	// every job's queue is complete and every verification confirmed.
+	// Merges and report delivery may still be outstanding.
+	allDone := func() bool {
+		for _, js := range states {
+			if !js.queue.Done() || js.verifyLeft > 0 {
+				return false
+			}
+		}
+		return true
 	}
-	mergeCh := make(chan mergeResult, 1)
-	mergeStarted := false
-	startMerge := func() {
-		if mergeStarted {
+
+	// tryEmit delivers merged reports in submission order: the head job
+	// goes out the moment it is merged and verified, then the next, so a
+	// late-merging early job is the only thing that can hold a finished
+	// later report back.
+	tryEmit := func() {
+		for nextEmit < len(states) {
+			js := states[nextEmit]
+			if js.merged == nil || js.verifyLeft > 0 {
+				return
+			}
+			if o.OnReport != nil {
+				if err := o.OnReport(nextEmit, js.merged); err != nil {
+					abort(fmt.Errorf("cluster: delivering job %d (%s) report: %w", nextEmit, js.job.Experiment, err))
+					return
+				}
+			}
+			nextEmit++
+		}
+	}
+
+	// Each job's merge starts the moment its last shard completes,
+	// overlapping later jobs' execution and the drain of speculative
+	// stragglers; the result comes back as an event so delivery happens
+	// on the loop, in submission order.
+	startMerge := func(ji int) {
+		js := states[ji]
+		if js.mergeStarted {
 			return
 		}
-		mergeStarted = true
-		parts := make([]*experiments.Partial, 0, o.Shards)
-		for k, p := range partials {
+		js.mergeStarted = true
+		parts := make([]*experiments.Partial, 0, js.job.Shards)
+		for k, p := range js.partials {
 			if p == nil {
-				mergeCh <- mergeResult{err: fmt.Errorf("cluster: internal error: shard %d/%d completed without a partial", k, o.Shards)}
+				abort(fmt.Errorf("cluster: internal error: job %d shard %d/%d completed without a partial", ji, k, js.job.Shards))
 				return
 			}
 			parts = append(parts, p)
 		}
-		go func() {
+		spawn(func() {
 			rep, err := experiments.MergeShards(parts, o.MergeWorkers)
-			mergeCh <- mergeResult{rep: rep, err: err}
-		}()
+			events <- event{merge: &mergeDone{job: ji, rep: rep, err: err}}
+		})
 	}
 
-	// fail returns one lost dispatch of shard k to the queue. The
-	// failure budget is charged — and, when exhausted, the run aborted —
-	// only when no speculative copy of the shard is still computing: a
-	// loss that stealing already covers is not a loss of progress.
-	fail := func(k int, cause error) {
+	// fail returns one lost dispatch of job ji's shard k to its queue.
+	// The failure budget is charged — and, when exhausted, the run
+	// aborted — only when no speculative copy of the shard is still
+	// computing: a loss that stealing already covers is not a loss of
+	// progress.
+	fail := func(ji, k int, cause error) {
+		js := states[ji]
 		// The dispatch always comes back, even for a completed shard —
 		// Requeue on a done shard only fixes the live-copy accounting.
-		live := queue.Requeue(k)
-		if queue.Completed(k) {
+		live := js.queue.Requeue(k)
+		if js.queue.Completed(k) {
 			return
 		}
 		if live > 0 {
-			logf("cluster: a copy of shard %d/%d failed, %d live copies remain: %v", k, o.Shards, live, cause)
+			logf("cluster: a copy of job %d shard %d/%d failed, %d live copies remain: %v", ji, k, js.job.Shards, live, cause)
 			return
 		}
-		failures[k]++
+		js.failures[k]++
 		stats.Requeued++
-		if failures[k] > retries {
-			abort(fmt.Errorf("cluster: shard %d/%d failed %d times, last: %w", k, o.Shards, failures[k], cause))
+		if js.failures[k] > retries {
+			abort(fmt.Errorf("cluster: job %d (%s): shard %d/%d failed %d times, last: %w", ji, js.job.Experiment, k, js.job.Shards, js.failures[k], cause))
 			return
 		}
-		logf("cluster: requeueing shard %d/%d after failure %d/%d: %v", k, o.Shards, failures[k], retries, cause)
+		logf("cluster: requeueing job %d shard %d/%d after failure %d/%d: %v", ji, k, js.job.Shards, js.failures[k], retries, cause)
+	}
+
+	// verifyFail returns a lost verification re-run to the verify queue,
+	// charged against the same per-shard failure budget. Like fail, a
+	// loss that a live speculative copy already covers charges nothing.
+	verifyFail := func(ji, k int, cause error) {
+		js := states[ji]
+		vs := js.verify[k]
+		if vs.inFlight > 0 {
+			vs.inFlight--
+		}
+		if vs.resolved {
+			return
+		}
+		if vs.inFlight > 0 {
+			logf("cluster: a copy of job %d shard %d/%d's verification failed, %d live copies remain: %v", ji, k, js.job.Shards, vs.inFlight, cause)
+			return
+		}
+		js.failures[k]++
+		stats.Requeued++
+		if js.failures[k] > retries {
+			abort(fmt.Errorf("cluster: job %d (%s): verification of shard %d/%d failed %d times, last: %w", ji, js.job.Experiment, k, js.job.Shards, js.failures[k], cause))
+			return
+		}
+		logf("cluster: requeueing verification of job %d shard %d/%d after failure %d/%d: %v", ji, k, js.job.Shards, js.failures[k], retries, cause)
+		js.verifyQueue = append(js.verifyQueue, k)
 	}
 
 	stopWorker := func(w *workerState) {
@@ -294,45 +544,94 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 		}
 	}
 
-	// dispatch hands the next shard to a free worker — from the queue
-	// first, then by stealing from a straggler — or parks it idle.
+	assign := func(w *workerState, ji, k int, verify bool) {
+		js := states[ji]
+		w.curJob, w.curShard, w.curVerify = ji, k, verify
+		w.loops = nil
+		send(w, &Assign{
+			Job:        ji,
+			Experiment: js.job.Experiment,
+			Seed:       js.job.Seed,
+			Scale:      js.job.Scale,
+			Workers:    o.ShardWorkers,
+			Shard:      k,
+			Shards:     js.job.Shards,
+		})
+	}
+
+	// dispatch hands the next unit of work to a free worker — the
+	// earliest incomplete job's next fresh shard, then a pending
+	// verification re-run, then a speculative copy stolen from a
+	// straggler — or parks it idle. Fresh shards of job i always beat
+	// fresh shards of job i+1, so the campaign progresses in submission
+	// order while never idling a worker that job i can no longer feed.
 	dispatch := func(w *workerState) {
 		if w.dead || w.stopped || abortErr != nil {
 			return
 		}
-		if queue.Done() {
+		if allDone() {
 			stopWorker(w)
 			return
 		}
-		shard, ok := queue.Next()
-		stolen := false
-		if !ok && !o.NoSteal {
-			shard, ok = queue.Steal()
-			stolen = ok
+		for ji, js := range states {
+			if shard, ok := js.queue.Next(); ok {
+				stats.Assigned++
+				assign(w, ji, shard.Index, false)
+				return
+			}
+			for qi, k := range js.verifyQueue {
+				vs := js.verify[k]
+				if vs.firstID == w.id && alive() > 1 && !vs.skipped {
+					// Prefer a genuinely second worker; pass over once,
+					// then let anyone take it so a shrunken fleet still
+					// finishes.
+					vs.skipped = true
+					continue
+				}
+				js.verifyQueue = append(js.verifyQueue[:qi], js.verifyQueue[qi+1:]...)
+				vs.inFlight++
+				logf("cluster: worker %s re-executing job %d shard %d/%d for verification (first by %s)", w.name, ji, k, js.job.Shards, vs.firstName)
+				assign(w, ji, k, true)
+				return
+			}
 		}
-		if !ok {
-			idle = append(idle, w)
-			return
+		if !o.NoSteal {
+			for ji, js := range states {
+				if shard, ok := js.queue.Steal(); ok {
+					stats.Stolen++
+					logf("cluster: worker %s stealing in-flight job %d shard %v", w.name, ji, shard)
+					assign(w, ji, shard.Index, false)
+					return
+				}
+			}
 		}
-		w.cur = shard.Index
-		w.loops = nil
-		if stolen {
-			stats.Stolen++
-			logf("cluster: worker %s stealing in-flight shard %v", w.name, shard)
-		} else {
-			stats.Assigned++
+		// Speculative verification copy: with nothing else assignable,
+		// duplicate an in-flight re-run (two live copies max, first
+		// resolution wins) so a hung holder cannot stall the campaign —
+		// the verification analogue of stealing. This is a liveness
+		// mechanism, so it ignores NoSteal; any worker qualifies (the
+		// different-worker preference already had its chance when the
+		// re-run was first dispatched).
+		for ji, js := range states {
+			if js.verifyLeft == 0 {
+				continue
+			}
+			for _, k := range js.sampled {
+				vs := js.verify[k]
+				if vs.resolved || vs.first == nil || vs.inFlight != 1 {
+					continue
+				}
+				vs.inFlight++
+				stats.Stolen++
+				logf("cluster: worker %s speculatively duplicating the verification re-run of job %d shard %d/%d", w.name, ji, k, js.job.Shards)
+				assign(w, ji, k, true)
+				return
+			}
 		}
-		send(w, &Assign{
-			Experiment: o.Experiment,
-			Seed:       o.Seed,
-			Scale:      o.Scale,
-			Workers:    o.ShardWorkers,
-			Shard:      shard.Index,
-			Shards:     shard.Count,
-		})
+		idle = append(idle, w)
 	}
 
-	// pump re-dispatches parked workers after the queue refills.
+	// pump re-dispatches parked workers after a queue refills.
 	pump := func() {
 		for len(idle) > 0 {
 			w := idle[0]
@@ -355,37 +654,60 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 		}
 	}
 
+	// salvage recovers the assignment a worker abandoned (death or
+	// protocol violation): fresh shards go back to their queue,
+	// verification re-runs back to the verify queue.
+	salvage := func(w *workerState, cause error) {
+		ji, k, verify := w.curJob, w.curShard, w.curVerify
+		w.curJob, w.curShard, w.curVerify = -1, -1, false
+		if k < 0 {
+			return
+		}
+		if verify {
+			verifyFail(ji, k, cause)
+		} else {
+			fail(ji, k, cause)
+		}
+		pump()
+	}
+
 	// violation drops a worker that broke the protocol and salvages its
-	// shard.
+	// assignment.
 	violation := func(w *workerState, why string) {
 		logf("cluster: dropping worker %s: %s", w.name, why)
-		cur := w.cur
-		w.cur = -1
 		teardown(w, false)
-		if cur >= 0 {
-			fail(cur, fmt.Errorf("worker %s dropped: %s", w.name, why))
-			pump()
+		salvage(w, fmt.Errorf("worker %s dropped: %s", w.name, why))
+	}
+
+	// release stops every live worker with nothing in flight once no
+	// assignable work remains; stragglers still computing a speculative
+	// copy drain out cleanly (bounded by the drain deadline).
+	release := func() {
+		for _, w := range workers {
+			if !w.dead && w.curShard < 0 {
+				stopWorker(w)
+			}
 		}
 	}
 
-	// finished reports run completion: every shard merged and no live
-	// worker still computing (speculative stragglers drain out cleanly
-	// rather than seeing their connection vanish mid-shard).
+	// finished reports campaign completion: every report delivered and
+	// no live worker still computing (speculative stragglers drain out
+	// cleanly rather than seeing their connection vanish mid-shard).
 	finished := func() bool {
-		if !queue.Done() {
+		if nextEmit < len(states) {
 			return false
 		}
 		for _, w := range workers {
-			if !w.dead && w.cur >= 0 {
+			if !w.dead && w.curShard >= 0 {
 				return false
 			}
 		}
 		return true
 	}
 
-	// The drain deadline arms when the last shard completes: speculative
-	// losers get that long to finish cleanly; a hung straggler cannot
-	// hold the (already merged) run hostage.
+	// The drain deadline arms when the last assignable work completes:
+	// speculative losers get that long to finish cleanly; a hung
+	// straggler cannot hold the (already merged) campaign hostage.
 	var drainDeadline <-chan time.Time
 	armDrainDeadline := func() {
 		if drainDeadline != nil {
@@ -398,22 +720,37 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 		drainDeadline = time.NewTimer(d).C
 	}
 
+	// warmFrames is what Prepare asks workers to pre-build.
+	warmFrames := o.WarmFrames
+	if len(warmFrames) == 0 {
+		warmFrames = []int{phy.DefaultFrameBytes}
+	}
+
 	for abortErr == nil && !finished() {
 		var ev event
 		select {
 		case ev = <-events:
 		case <-drainDeadline:
 			for _, w := range workers {
-				if !w.dead && w.cur >= 0 {
-					logf("cluster: cutting off straggler %s still computing discarded shard %d/%d after drain timeout", w.name, w.cur, o.Shards)
-					queue.Requeue(w.cur) // completed shard: only returns the live copy
-					w.cur = -1
+				if !w.dead && w.curShard >= 0 {
+					logf("cluster: cutting off straggler %s still computing discarded job %d shard %d/%d after drain timeout", w.name, w.curJob, w.curShard, states[w.curJob].job.Shards)
+					if !w.curVerify {
+						states[w.curJob].queue.Requeue(w.curShard) // completed shard: only returns the live copy
+					}
+					w.curJob, w.curShard, w.curVerify = -1, -1, false
 					teardown(w, false)
 				}
 			}
 			continue
 		}
 		switch {
+		case ev.merge != nil:
+			if ev.merge.err != nil {
+				abort(fmt.Errorf("cluster: job %d (%s): %w", ev.merge.job, states[ev.merge.job].job.Experiment, ev.merge.err))
+				break
+			}
+			states[ev.merge.job].merged = ev.merge.rep
+			tryEmit()
 		case ev.w == nil:
 			// Accept loop ended. A fixed-size pool exhausting itself
 			// (io.EOF) or the final transport Close are expected; a real
@@ -428,17 +765,15 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 			if ev.w.dead {
 				break
 			}
-			cur := ev.w.cur
-			ev.w.cur = -1
-			teardown(ev.w, false)
-			recordExit(ev.w)
-			if cur >= 0 {
-				logf("cluster: worker %s died holding shard %d/%d: %v", ev.w.name, cur, o.Shards, ev.err)
-				fail(cur, fmt.Errorf("worker %s died: %w", ev.w.name, ev.err))
-				pump()
+			busy := ev.w.curShard >= 0
+			if busy {
+				logf("cluster: worker %s died holding job %d shard %d/%d: %v", ev.w.name, ev.w.curJob, ev.w.curShard, states[ev.w.curJob].job.Shards, ev.err)
 			} else {
 				logf("cluster: worker %s disconnected: %v", ev.w.name, ev.err)
 			}
+			teardown(ev.w, false)
+			recordExit(ev.w)
+			salvage(ev.w, fmt.Errorf("worker %s died: %w", ev.w.name, ev.err))
 		case ev.msg == nil:
 			startWorker(ev.w)
 		default:
@@ -456,66 +791,120 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 				w.name = m.Name
 				stats.Workers++
 				logf("cluster: worker %s connected", w.name)
+				if o.Warm {
+					send(w, &Prepare{Frames: warmFrames})
+				}
 				dispatch(w)
 			case *LoopResult:
-				if !w.helloed || m.Shard != w.cur {
-					violation(w, fmt.Sprintf("loop result for shard %d while holding %d", m.Shard, w.cur))
+				if !w.helloed || m.Job != w.curJob || m.Shard != w.curShard {
+					violation(w, fmt.Sprintf("loop result for job %d shard %d while holding job %d shard %d", m.Job, m.Shard, w.curJob, w.curShard))
 					break
 				}
 				w.loops = append(w.loops, m.Loop)
 			case *ShardDone:
-				if !w.helloed || m.Shard != w.cur {
-					violation(w, fmt.Sprintf("done for shard %d while holding %d", m.Shard, w.cur))
+				if !w.helloed || m.Job != w.curJob || m.Shard != w.curShard {
+					violation(w, fmt.Sprintf("done for job %d shard %d while holding job %d shard %d", m.Job, m.Shard, w.curJob, w.curShard))
 					break
 				}
+				ji := w.curJob
+				js := states[ji]
 				loops := w.loops
-				w.cur = -1
+				wasVerify := w.curVerify
+				w.curJob, w.curShard, w.curVerify = -1, -1, false
 				w.loops = nil
-				if queue.Complete(m.Shard) {
-					partials[m.Shard] = &experiments.Partial{
+				if wasVerify {
+					vs := js.verify[m.Shard]
+					if vs.inFlight > 0 {
+						vs.inFlight--
+					}
+					enc, err := experiments.CanonicalLoops(loops)
+					if err != nil {
+						abort(fmt.Errorf("cluster: encoding verification re-run of job %d shard %d/%d: %w", ji, m.Shard, js.job.Shards, err))
+						break
+					}
+					if !bytes.Equal(enc, vs.first) {
+						abort(&VerifyError{Job: ji, Experiment: js.job.Experiment, Shard: m.Shard, Shards: js.job.Shards, First: vs.firstName, Second: w.name})
+						break
+					}
+					if vs.resolved {
+						// A speculative duplicate of an already-confirmed
+						// re-run; it matched too, nothing more to record.
+						stats.Discarded++
+						logf("cluster: discarding duplicate verification of job %d shard %d/%d from %s", ji, m.Shard, js.job.Shards, w.name)
+					} else {
+						vs.resolved = true
+						js.verifyLeft--
+						stats.Verified++
+						logf("cluster: job %d shard %d/%d verified: %s matches %s byte for byte", ji, m.Shard, js.job.Shards, w.name, vs.firstName)
+						tryEmit()
+						if allDone() {
+							release()
+							armDrainDeadline()
+						}
+					}
+					dispatch(w)
+					break
+				}
+				if js.queue.Complete(m.Shard) {
+					js.partials[m.Shard] = &experiments.Partial{
 						Version:    experiments.PartialVersion,
-						Experiment: o.Experiment,
+						Job:        ji,
+						Experiment: js.job.Experiment,
 						Shard:      m.Shard,
-						Shards:     o.Shards,
-						Seed:       o.Seed,
-						Scale:      o.Scale,
+						Shards:     js.job.Shards,
+						Seed:       js.job.Seed,
+						Scale:      js.job.Scale,
 						Loops:      loops,
+					}
+					if vs := js.verify[m.Shard]; vs != nil {
+						enc, err := experiments.CanonicalLoops(loops)
+						if err != nil {
+							abort(fmt.Errorf("cluster: encoding job %d shard %d/%d for verification: %w", ji, m.Shard, js.job.Shards, err))
+							break
+						}
+						vs.first = enc
+						vs.firstID = w.id
+						vs.firstName = w.name
+						js.verifyQueue = append(js.verifyQueue, m.Shard)
+						pump() // an idle second worker can start the re-run now
+					}
+					if js.queue.Done() {
+						startMerge(ji)
+					}
+					if allDone() {
+						release()
+						armDrainDeadline()
 					}
 				} else {
 					stats.Discarded++
-					logf("cluster: discarding duplicate result for shard %d/%d from %s", m.Shard, o.Shards, w.name)
-				}
-				if queue.Done() {
-					startMerge()
-					armDrainDeadline()
-					// Release everyone who is not still draining a
-					// speculative copy.
-					for _, ww := range workers {
-						if !ww.dead && ww.cur < 0 && ww != w {
-							stopWorker(ww)
-						}
-					}
+					logf("cluster: discarding duplicate result for job %d shard %d/%d from %s", ji, m.Shard, js.job.Shards, w.name)
 				}
 				dispatch(w)
 			case *ShardError:
-				if !w.helloed || m.Shard != w.cur {
-					violation(w, fmt.Sprintf("error for shard %d while holding %d", m.Shard, w.cur))
+				if !w.helloed || m.Job != w.curJob || m.Shard != w.curShard {
+					violation(w, fmt.Sprintf("error for job %d shard %d while holding job %d shard %d", m.Job, m.Shard, w.curJob, w.curShard))
 					break
 				}
-				w.cur = -1
-				fail(m.Shard, fmt.Errorf("worker %s: %s", w.name, m.Msg))
-				pump()
+				salvage(w, fmt.Errorf("worker %s: %s", w.name, m.Msg))
 				dispatch(w)
 			default:
 				violation(w, fmt.Sprintf("unexpected %T", ev.msg))
 			}
 		}
-		// Stall check: no shard can ever complete if every worker is
-		// gone and no more can arrive.
-		if abortErr == nil && acceptDone && alive() == 0 && !queue.Done() {
-			pend, inflight, completed := queue.Counts()
-			stall := fmt.Errorf("cluster: all workers gone with %d of %d shards incomplete (%d queued, %d in flight)",
-				o.Shards-completed, o.Shards, pend, inflight)
+		// Stall check: no shard or verification can ever complete if
+		// every worker is gone and no more can arrive.
+		if abortErr == nil && acceptDone && alive() == 0 && !allDone() {
+			var pend, inflight, completed, total, verLeft int
+			for _, js := range states {
+				p, i, c := js.queue.Counts()
+				pend += p
+				inflight += i
+				completed += c
+				total += js.job.Shards
+				verLeft += js.verifyLeft
+			}
+			stall := fmt.Errorf("cluster: all workers gone with %d of %d shards incomplete (%d queued, %d in flight, %d verifications outstanding)",
+				total-completed, total, pend, inflight, verLeft)
 			if acceptErr != nil {
 				stall = fmt.Errorf("%w; transport stopped accepting workers: %w", stall, acceptErr)
 			}
@@ -531,15 +920,15 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 	t.Close()
 	// Drain events until every producer goroutine has exited, so none
 	// stays blocked on the channel.
-	allDone := make(chan struct{})
+	allExited := make(chan struct{})
 	go func() {
 		producers.Wait()
-		close(allDone)
+		close(allExited)
 	}()
 	for draining := true; draining; {
 		select {
 		case <-events:
-		case <-allDone:
+		case <-allExited:
 			draining = false
 		}
 	}
@@ -547,14 +936,9 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 	if abortErr != nil {
 		if lastExit != nil {
 			lastExit.Err = abortErr
-			return nil, stats, lastExit
+			return stats, lastExit
 		}
-		return nil, stats, abortErr
+		return stats, abortErr
 	}
-	startMerge() // defensive: normally started by the final ShardDone
-	m := <-mergeCh
-	if m.err != nil {
-		return nil, stats, m.err
-	}
-	return m.rep, stats, nil
+	return stats, nil
 }

@@ -1,14 +1,15 @@
 // Package cluster is the transport-abstracted, work-stealing execution
-// runtime for sharded experiments. A coordinator (Run) owns a dynamic
-// shard queue (parallel.ShardQueue) over one experiment's trial space
-// and a set of worker connections delivered by a Transport; workers
-// (Serve) run shards through experiments.RunShardStream and stream the
-// per-loop partial records back. Three transports exist — in-process
-// goroutines, subprocess pipes, and TCP — and the final report is
-// byte-identical across all of them, for any worker count, assignment
-// order, speculative duplication, or worker death, because every shard's
-// content is a pure function of (experiment, seed, scale, shard k/K) and
-// the coordinator feeds the completed shard set through the
+// runtime for sharded experiments. A coordinator (Run for one
+// experiment, RunCampaign for an ordered sequence of them) owns one
+// dynamic shard queue (parallel.ShardQueue) per job and a set of worker
+// connections delivered by a Transport; workers (Serve) run shards
+// through experiments.RunShardStream and stream the per-loop partial
+// records back. Three transports exist — in-process goroutines,
+// subprocess pipes, and TCP — and every job's report is byte-identical
+// across all of them, for any worker count, assignment order,
+// speculative duplication, or worker death, because every shard's
+// content is a pure function of (experiment, seed, scale, shard k/K)
+// and the coordinator feeds the completed shard set through the
 // experiments.MergeShards contract unchanged.
 //
 // The wire protocol is a small typed message set carried in the
@@ -27,13 +28,16 @@ import (
 )
 
 // ProtoVersion tags the message set; a coordinator refuses workers
-// speaking any other version.
-const ProtoVersion = 1
+// speaking any other version. Version 2 added campaign-aware
+// assignment (the job id on assign and every worker reply) and the
+// warm-worker prepare step.
+const ProtoVersion = 2
 
 // Message kinds (the first payload byte of every frame).
 const (
 	kindHello     = 'H' // worker → coordinator: version + name, sent once on connect
-	kindAssign    = 'A' // coordinator → worker: run shard k/K of an experiment
+	kindPrepare   = 'P' // coordinator → worker: pre-build LUTs before the first assignment
+	kindAssign    = 'A' // coordinator → worker: run shard k/K of a job's experiment
 	kindLoop      = 'L' // worker → coordinator: one completed trial loop of the current shard
 	kindShardDone = 'D' // worker → coordinator: current shard finished, all loops streamed
 	kindShardErr  = 'E' // worker → coordinator: current shard failed
@@ -52,9 +56,26 @@ type Hello struct {
 	Name    string `json:"name"`
 }
 
-// Assign hands one shard to a worker. Workers bounds the goroutines the
-// worker fans the shard's trials across (0 = worker's choice).
+// Prepare is the warm-worker step of a campaign: sent right after the
+// hello, before the first assignment, it names the frame lengths whose
+// phy tables (SNR→PER curves, airtime costs) the worker should build
+// now. The tables live in process-global caches, so one prepare warms
+// every assignment the worker will run in the campaign; without it each
+// first-touch trial pays the LUT construction inside its hot loop.
+// Prepare is advisory — a worker that ignores it is merely slower.
+type Prepare struct {
+	// Frames lists payload lengths in bytes.
+	Frames []int `json:"frames"`
+}
+
+// Assign hands one shard of one job to a worker. Job identifies the
+// campaign job the shard belongs to (0 for single-experiment runs);
+// every reply about the shard echoes it, so one worker can interleave
+// shards of different experiments within a campaign. Workers bounds the
+// goroutines the worker fans the shard's trials across (0 = worker's
+// choice).
 type Assign struct {
+	Job        int     `json:"job"`
 	Experiment string  `json:"experiment"`
 	Seed       int64   `json:"seed"`
 	Scale      float64 `json:"scale"`
@@ -67,18 +88,21 @@ type Assign struct {
 // executing; loops arrive in execution order and ShardDone follows the
 // last one.
 type LoopResult struct {
+	Job   int                      `json:"job"`
 	Shard int                      `json:"shard"`
 	Loop  *experiments.LoopPartial `json:"loop"`
 }
 
 // ShardDone reports the current shard complete (every loop streamed).
 type ShardDone struct {
+	Job   int `json:"job"`
 	Shard int `json:"shard"`
 }
 
 // ShardError reports the current shard failed; the coordinator decides
 // whether to retry it elsewhere.
 type ShardError struct {
+	Job   int    `json:"job"`
 	Shard int    `json:"shard"`
 	Msg   string `json:"msg"`
 }
@@ -87,6 +111,7 @@ type ShardError struct {
 type Stop struct{}
 
 func (*Hello) kind() byte      { return kindHello }
+func (*Prepare) kind() byte    { return kindPrepare }
 func (*Assign) kind() byte     { return kindAssign }
 func (*LoopResult) kind() byte { return kindLoop }
 func (*ShardDone) kind() byte  { return kindShardDone }
@@ -123,6 +148,17 @@ func DecodeMessage(payload []byte) (Message, error) {
 			return nil, fmt.Errorf("cluster: protocol version %d, want %d", m.Version, ProtoVersion)
 		}
 		return &m, nil
+	case kindPrepare:
+		var m Prepare
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding prepare: %w", err)
+		}
+		for _, f := range m.Frames {
+			if f <= 0 {
+				return nil, fmt.Errorf("cluster: prepare names non-positive frame length %d", f)
+			}
+		}
+		return &m, nil
 	case kindAssign:
 		var m Assign
 		if err := json.Unmarshal(body, &m); err != nil {
@@ -130,6 +166,9 @@ func DecodeMessage(payload []byte) (Message, error) {
 		}
 		if m.Experiment == "" {
 			return nil, fmt.Errorf("cluster: assign names no experiment")
+		}
+		if m.Job < 0 {
+			return nil, fmt.Errorf("cluster: assign carries negative job %d", m.Job)
 		}
 		if sh := (parallel.Shard{Index: m.Shard, Count: m.Shards}); !sh.Valid() {
 			return nil, fmt.Errorf("cluster: assign carries invalid shard %d/%d", m.Shard, m.Shards)
@@ -139,6 +178,9 @@ func DecodeMessage(payload []byte) (Message, error) {
 		var m LoopResult
 		if err := json.Unmarshal(body, &m); err != nil {
 			return nil, fmt.Errorf("cluster: decoding loop result: %w", err)
+		}
+		if m.Job < 0 {
+			return nil, fmt.Errorf("cluster: loop result for negative job %d", m.Job)
 		}
 		if m.Shard < 0 {
 			return nil, fmt.Errorf("cluster: loop result for negative shard %d", m.Shard)
@@ -152,6 +194,9 @@ func DecodeMessage(payload []byte) (Message, error) {
 		if err := json.Unmarshal(body, &m); err != nil {
 			return nil, fmt.Errorf("cluster: decoding shard done: %w", err)
 		}
+		if m.Job < 0 {
+			return nil, fmt.Errorf("cluster: done for negative job %d", m.Job)
+		}
 		if m.Shard < 0 {
 			return nil, fmt.Errorf("cluster: done for negative shard %d", m.Shard)
 		}
@@ -160,6 +205,9 @@ func DecodeMessage(payload []byte) (Message, error) {
 		var m ShardError
 		if err := json.Unmarshal(body, &m); err != nil {
 			return nil, fmt.Errorf("cluster: decoding shard error: %w", err)
+		}
+		if m.Job < 0 {
+			return nil, fmt.Errorf("cluster: error for negative job %d", m.Job)
 		}
 		if m.Shard < 0 {
 			return nil, fmt.Errorf("cluster: error for negative shard %d", m.Shard)

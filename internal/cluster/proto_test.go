@@ -14,10 +14,11 @@ import (
 func TestMessageRoundTrip(t *testing.T) {
 	msgs := []Message{
 		&Hello{Version: ProtoVersion, Name: "w0"},
-		&Assign{Experiment: "fig3-1", Seed: 42, Scale: 0.5, Workers: 2, Shard: 3, Shards: 7},
-		&LoopResult{Shard: 3, Loop: &experiments.LoopPartial{Label: "x", N: 10, Lo: 4}},
-		&ShardDone{Shard: 3},
-		&ShardError{Shard: 3, Msg: "boom"},
+		&Prepare{Frames: []int{1000, 1500}},
+		&Assign{Job: 2, Experiment: "fig3-1", Seed: 42, Scale: 0.5, Workers: 2, Shard: 3, Shards: 7},
+		&LoopResult{Job: 2, Shard: 3, Loop: &experiments.LoopPartial{Label: "x", N: 10, Lo: 4}},
+		&ShardDone{Job: 2, Shard: 3},
+		&ShardError{Job: 2, Shard: 3, Msg: "boom"},
 		&Stop{},
 	}
 	for _, m := range msgs {
@@ -47,9 +48,14 @@ func TestDecodeMessageRejectsMalformed(t *testing.T) {
 		{"wrong version", []byte(`H{"version":99,"name":"w"}`), "protocol version"},
 		{"assign no experiment", []byte(`A{"seed":1,"shard":0,"shards":1}`), "names no experiment"},
 		{"assign bad shard", []byte(`A{"experiment":"x","shard":5,"shards":2}`), "invalid shard"},
+		{"assign negative job", []byte(`A{"job":-1,"experiment":"x","shard":0,"shards":1}`), "negative job"},
 		{"loop without body", []byte(`L{"shard":1}`), "no loop"},
 		{"loop negative shard", []byte(`L{"shard":-1,"loop":{}}`), "negative shard"},
+		{"loop negative job", []byte(`L{"job":-3,"shard":1,"loop":{}}`), "negative job"},
 		{"done negative shard", []byte(`D{"shard":-2}`), "negative shard"},
+		{"done negative job", []byte(`D{"job":-1,"shard":0}`), "negative job"},
+		{"error negative job", []byte(`E{"job":-1,"shard":0}`), "negative job"},
+		{"prepare zero frame", []byte(`P{"frames":[1000,0]}`), "non-positive frame"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -70,8 +76,9 @@ func TestDecodeMessageRejectsMalformed(t *testing.T) {
 func FuzzDecodeMessage(f *testing.F) {
 	seedMsgs := []Message{
 		&Hello{Version: ProtoVersion, Name: "w"},
-		&Assign{Experiment: "fig3-1", Shard: 0, Shards: 1},
-		&LoopResult{Shard: 0, Loop: &experiments.LoopPartial{Label: "l", N: 1}},
+		&Prepare{Frames: []int{1000}},
+		&Assign{Job: 1, Experiment: "fig3-1", Shard: 0, Shards: 1},
+		&LoopResult{Job: 1, Shard: 0, Loop: &experiments.LoopPartial{Label: "l", N: 1}},
 		&ShardDone{}, &ShardError{Msg: "x"}, &Stop{},
 	}
 	for _, m := range seedMsgs {

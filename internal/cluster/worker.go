@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/phy"
 )
 
 // ServeOptions configures one worker.
@@ -48,6 +49,11 @@ func Serve(conn Conn, o ServeOptions) error {
 		switch a := m.(type) {
 		case *Stop:
 			return nil
+		case *Prepare:
+			// Warm-worker step: build the named phy tables now, while no
+			// assignment is running, so they are cached for every shard
+			// this connection will execute.
+			phy.Warm(a.Frames...)
 		case *Assign:
 			if o.OnAssign != nil {
 				if err := o.OnAssign(*a); err != nil {
@@ -62,7 +68,7 @@ func Serve(conn Conn, o ServeOptions) error {
 			shard := parallel.Shard{Index: a.Shard, Count: a.Shards}
 			var sinkErr error
 			runErr := experiments.RunShardStream(a.Experiment, cfg, shard, func(lp *experiments.LoopPartial) error {
-				if err := conn.Send(&LoopResult{Shard: a.Shard, Loop: lp}); err != nil {
+				if err := conn.Send(&LoopResult{Job: a.Job, Shard: a.Shard, Loop: lp}); err != nil {
 					sinkErr = err
 					return err
 				}
@@ -73,12 +79,12 @@ func Serve(conn Conn, o ServeOptions) error {
 				return sinkErr
 			}
 			if runErr != nil {
-				if err := conn.Send(&ShardError{Shard: a.Shard, Msg: runErr.Error()}); err != nil {
+				if err := conn.Send(&ShardError{Job: a.Job, Shard: a.Shard, Msg: runErr.Error()}); err != nil {
 					return err
 				}
 				continue
 			}
-			if err := conn.Send(&ShardDone{Shard: a.Shard}); err != nil {
+			if err := conn.Send(&ShardDone{Job: a.Job, Shard: a.Shard}); err != nil {
 				return err
 			}
 		default:

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,7 +36,12 @@ const PartialVersion = 1
 // of every trial the shard executed, keyed by trial loop, exactly as
 // recorded — nothing is pre-merged.
 type Partial struct {
-	Version    int    `json:"version"`
+	Version int `json:"version"`
+	// Job tags the campaign job the shard belongs to (0 outside a
+	// campaign); a coordinator refuses to merge partials whose job tags
+	// disagree, so shards of two interleaved experiments can never be
+	// mixed into one report.
+	Job        int    `json:"job,omitempty"`
 	Experiment string `json:"experiment"`
 	// Shard / Shards identify the slice: shard Shard of Shards.
 	Shard  int `json:"shard"`
@@ -173,6 +179,9 @@ func DecodePartial(r io.Reader) (*Partial, error) {
 	if p.Experiment == "" {
 		return nil, fmt.Errorf("experiments: partial names no experiment")
 	}
+	if p.Job < 0 {
+		return nil, fmt.Errorf("experiments: partial carries negative job tag %d", p.Job)
+	}
 	for _, loop := range p.Loops {
 		if loop == nil {
 			return nil, fmt.Errorf("experiments: null loop record")
@@ -184,6 +193,73 @@ func DecodePartial(r io.Reader) (*Partial, error) {
 		}
 	}
 	return &p, nil
+}
+
+// CanonicalLoops serializes a shard result (the loop records streamed
+// for one shard, in execution order) into a canonical byte string: two
+// results encode to the same bytes iff they carry the same loops in the
+// same order with the same labels, ranges, and bit-identical collector
+// payloads. The campaign verification mode compares a re-executed shard
+// against the first result with it — the determinism contract makes any
+// difference a hard fault, so the encoding must be injective (a
+// tampering worker must not be able to craft a different result with
+// the same bytes) and order-stable. Layout, all fields
+// stats.AppendFrame-framed: the loop count; then per loop its label and
+// a fixed-width header carrying N, Lo, and the trial count; then per
+// trial a kind+name frame and payload frame per collector in sorted
+// name order, closed by an empty frame. The explicit counts pin every
+// frame's role — a decoder always knows whether the next frame is a
+// label, a header, a collector tag, a payload, or a terminator — so no
+// concatenation of one result can alias another.
+func CanonicalLoops(loops []*LoopPartial) ([]byte, error) {
+	var out []byte
+	var ferr error
+	app := func(payload []byte) {
+		if ferr == nil {
+			out, ferr = stats.AppendFrame(out, payload)
+		}
+	}
+	appNamed := func(kind byte, name string, payload []byte) {
+		tag := make([]byte, 0, 1+len(name))
+		app(append(append(tag, kind), name...))
+		app(payload)
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(len(loops)))
+	app(count[:])
+	for _, loop := range loops {
+		app([]byte(loop.Label))
+		var hdr [24]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], uint64(loop.N))
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(loop.Lo))
+		binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(loop.Trials)))
+		app(hdr[:])
+		for _, tp := range loop.Trials {
+			for _, name := range sortedKeys(tp.Accs) {
+				appNamed('a', name, tp.Accs[name])
+			}
+			for _, name := range sortedKeys(tp.Hists) {
+				appNamed('h', name, tp.Hists[name])
+			}
+			for _, name := range sortedKeys(tp.Series) {
+				appNamed('s', name, tp.Series[name])
+			}
+			app(nil) // trial terminator
+		}
+	}
+	return out, ferr
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RunShard executes one shard of the experiment's trial space: every
@@ -281,6 +357,10 @@ func MergeShards(parts []*Partial, workers int) (*Report, error) {
 		if p.Experiment != first.Experiment || p.Seed != first.Seed || p.Scale != first.Scale {
 			return nil, fmt.Errorf("experiments: partial %d/%d is from run (%s seed=%d scale=%g), first is (%s seed=%d scale=%g)",
 				p.Shard, p.Shards, p.Experiment, p.Seed, p.Scale, first.Experiment, first.Seed, first.Scale)
+		}
+		if p.Job != first.Job {
+			return nil, fmt.Errorf("experiments: partial %d/%d is tagged job %d, first is job %d",
+				p.Shard, p.Shards, p.Job, first.Job)
 		}
 		if len(p.Loops) != len(first.Loops) {
 			return nil, fmt.Errorf("experiments: partial %d/%d records %d trial loops, first records %d",

@@ -57,7 +57,7 @@ var errorTables sync.Map // int → *ErrorTable
 // length, building it from the analytic curves on first use.
 func ErrorTableFor(bytes int) *ErrorTable {
 	if bytes <= 0 {
-		bytes = 1000
+		bytes = DefaultFrameBytes
 	}
 	if t, ok := errorTables.Load(bytes); ok {
 		return t.(*ErrorTable)
@@ -171,11 +171,33 @@ type Airtimes struct {
 // airtimes caches one Airtimes per payload size.
 var airtimes sync.Map // int → *Airtimes
 
+// DefaultFrameBytes is the payload length the simulations use unless an
+// experiment says otherwise (the same default ErrorTableFor/AirtimesFor
+// substitute for non-positive sizes). Warm-worker preparation warms it
+// when the caller has no better list.
+const DefaultFrameBytes = 1000
+
+// Warm pre-builds the error and airtime tables for the given payload
+// lengths (DefaultFrameBytes when none are given), so a worker can pay
+// the LUT construction once, before its first assignment's trial
+// fan-out would otherwise race to build the same tables inside the hot
+// loop. The tables land in the process-global caches and stay warm for
+// every later assignment.
+func Warm(bytes ...int) {
+	if len(bytes) == 0 {
+		bytes = []int{DefaultFrameBytes}
+	}
+	for _, b := range bytes {
+		ErrorTableFor(b)
+		AirtimesFor(b)
+	}
+}
+
 // AirtimesFor returns the (cached) airtime table for the given payload
 // size, computing it via the analytic airtime functions on first use.
 func AirtimesFor(bytes int) *Airtimes {
 	if bytes <= 0 {
-		bytes = 1000
+		bytes = DefaultFrameBytes
 	}
 	if t, ok := airtimes.Load(bytes); ok {
 		return t.(*Airtimes)

@@ -48,6 +48,22 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// AppendFrame appends one length-prefixed frame to dst and returns the
+// extended slice — the in-memory form of WriteFrame, for composing
+// canonical byte strings out of codec payloads (the campaign
+// verification fingerprint frames each collector payload this way, so
+// two encodings are byte-equal iff every framed payload is). The same
+// MaxFrame bound applies.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return dst, fmt.Errorf("stats: frame payload of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
 // ReadFrame reads one frame and returns its payload. max bounds the
 // payload length this reader accepts (values out of (0, MaxFrame] are
 // clamped to MaxFrame); longer frames return an error wrapping ErrCodec.
