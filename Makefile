@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke cover fuzz
+.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke hintserve-smoke cover fuzz
 
 all: build
 
@@ -32,12 +32,17 @@ race:
 # left untouched), and fails if any entry regressed more than 25%.
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+	$(GO) run ./cmd/benchjson -out BENCH_hintserve.json \
+		-bench 'HintServeUDP' -benchtime 1x \
+		-microbench 'HintServeBatch' -microtime 200ms
 
 bench-all:
 	$(GO) test -bench=. -benchtime=1x .
 
 bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_hotpath.json -out BENCH_current.json
+	$(GO) run ./cmd/benchjson -check BENCH_hintserve.json -out BENCH_hintserve_current.json \
+		-microbench 'HintServeBatch' -microtime 200ms
 
 # Cross-process shard parity smoke: run one experiment through
 # cmd/hintshard as a 3-shard coordinator (spawning real worker
@@ -165,5 +170,34 @@ fuzz:
 	$(GO) test -fuzz FuzzSeriesCodec -fuzztime $(FUZZTIME) ./internal/stats/
 	$(GO) test -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/stats/
 	$(GO) test -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/cluster/
+	$(GO) test -fuzz FuzzParseTrailer -fuzztime $(FUZZTIME) ./internal/hintproto/
+	$(GO) test -fuzz FuzzParseHintFrame -fuzztime $(FUZZTIME) ./internal/hintproto/
 
-ci: build vet shard-smoke cluster-smoke campaign-smoke race
+# Hint-serving-plane smoke over real UDP: boot a hintnode AP, throw a
+# hintload herd at it, kill the herd mid-run (its ACKs now hit dead
+# sockets), then require a second herd to be served cleanly — the plane
+# must survive vanishing clients and transient write errors. hintload
+# exits non-zero when a run gets no ACKs, so the second run's exit code
+# is the assertion.
+hintserve-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hintnode" ./cmd/hintnode || exit 1; \
+	$(GO) build -o "$$tmp/hintload" ./cmd/hintload || exit 1; \
+	( timeout 180 "$$tmp/hintnode" -listen 127.0.0.1:0 -addr-file "$$tmp/addr" \
+		-stats 0 > "$$tmp/ap.out" 2>&1 ) & \
+	ap=$$!; \
+	for i in $$(seq 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "hintserve-smoke: AP never published its address"; cat "$$tmp/ap.out"; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	( timeout 120 "$$tmp/hintload" -target "$$addr" -clients 400 -packets 200000 \
+		-senders 2 > "$$tmp/load1.out" 2>&1 ) & \
+	herd=$$!; \
+	sleep 1; kill -9 $$herd 2>/dev/null; wait $$herd 2>/dev/null; \
+	timeout 120 "$$tmp/hintload" -target "$$addr" -clients 400 -first-client 1000 \
+		-packets 20000 -corrupt 0.02 -senders 2 > "$$tmp/load2.out" 2>&1 || \
+		{ echo "hintserve-smoke: post-kill herd failed"; cat "$$tmp/load2.out" "$$tmp/ap.out"; exit 1; }; \
+	kill $$ap 2>/dev/null; wait $$ap 2>/dev/null; \
+	cat "$$tmp/load2.out"; \
+	echo "hintserve-smoke: plane survived a herd killed mid-run and kept serving"
+
+ci: build vet shard-smoke cluster-smoke campaign-smoke hintserve-smoke race

@@ -44,6 +44,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric columns (pps, p99-us, ...)
+	// keyed by their unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup is one derived baseline-vs-variant ratio.
@@ -70,6 +73,7 @@ var (
 	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 	bytesCol   = regexp.MustCompile(`([\d.]+) B/op`)
 	allocsCol  = regexp.MustCompile(`([\d.]+) allocs/op`)
+	metricCol  = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
 	lutBenches = []struct{ variant, baseline string }{
 		{"BenchmarkDeliveryProb/lut", "BenchmarkDeliveryProb/analytic"},
 		{"BenchmarkGenerate/lut", "BenchmarkGenerate/reference"},
@@ -108,6 +112,20 @@ func parseResults(raw []byte) []Result {
 		}
 		if am := allocsCol.FindStringSubmatch(m[4]); am != nil {
 			r.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		// Custom b.ReportMetric columns (anything besides the three
+		// standard units) land in Extra keyed by unit.
+		for _, mm := range metricCol.FindAllStringSubmatch(m[4], -1) {
+			unit := mm[2]
+			if unit == "B/op" || unit == "allocs/op" {
+				continue
+			}
+			if v, err := strconv.ParseFloat(mm[1], 64); err == nil {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
 		}
 		out = append(out, r)
 	}

@@ -1,9 +1,14 @@
-// Command hintnode demonstrates the Hint Protocol over real sockets: two
-// processes exchange 802.11-style frames over UDP, one acting as a
-// mobile client whose movement hint (derived live from a synthetic
-// accelerometer via the §2.2.1 jerk algorithm) rides on its data frames,
-// the other as an access point that switches its rate adaptation
-// strategy on the received hints.
+// Command hintnode demonstrates the Hint Protocol over real sockets:
+// processes exchange 802.11-style frames over UDP, one side acting as
+// mobile clients whose movement hints (derived live from a synthetic
+// accelerometer via the §2.2.1 jerk algorithm) ride on their data
+// frames, the other as an access point that switches its rate
+// adaptation strategy on the received hints.
+//
+// The AP side runs on internal/hintserve: a sharded, batched serving
+// plane with a bounded per-client state table and an allocation-free
+// per-packet path, so one AP process scales to thousands of clients
+// (drive it with cmd/hintload for raw load).
 //
 // Run the AP, then the client:
 //
@@ -25,14 +30,15 @@ import (
 	"log"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/hintproto"
 	"repro/internal/hints"
+	"repro/internal/hintserve"
 	"repro/internal/parallel"
-	"repro/internal/rate"
 	"repro/internal/sensors"
 )
 
@@ -41,126 +47,169 @@ func main() {
 	connect := flag.String("connect", "", "run as client, sending to this UDP address")
 	duration := flag.Duration("duration", 10*time.Second, "client run length")
 	workers := flag.Int("workers", 1, "concurrent client streams")
+	shards := flag.Int("shards", 0, "AP serving shards (0 = GOMAXPROCS)")
+	clientsPerShard := flag.Int("clients-per-shard", 0, "AP client-table slots per shard (0 = default)")
+	idle := flag.Duration("idle-timeout", 0, "AP idle client eviction threshold (0 = default)")
+	statsEvery := flag.Duration("stats", 2*time.Second, "AP stats logging interval (0 disables)")
+	addrFile := flag.String("addr-file", "", "write the AP's bound address to this file")
+	logSwitches := flag.Bool("log-switches", false, "log every per-client strategy switch (noisy at scale; default on with -demo)")
 	demo := flag.Bool("demo", false, "run AP and client in one process")
 	flag.Parse()
 
+	// The demo is about watching switches happen, so it logs them unless
+	// the flag says otherwise explicitly.
+	logSwitchesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "log-switches" {
+			logSwitchesSet = true
+		}
+	})
+	cfg := hintserve.Config{
+		Shards:          *shards,
+		ClientsPerShard: *clientsPerShard,
+		IdleTimeout:     *idle,
+	}
+	if *logSwitches || (*demo && !logSwitchesSet) {
+		cfg.OnSwitch = logSwitch(time.Now())
+	}
+
 	switch {
 	case *demo:
-		addr := "127.0.0.1:0"
-		pc, err := net.ListenPacket("udp", addr)
+		srv, err := startAP("127.0.0.1:0", cfg, *statsEvery, *addrFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		go runAP(pc)
-		runClients(pc.LocalAddr().String(), *duration, *workers)
+		ok := runClients(srv.LocalAddr().String(), *duration, *workers)
+		srv.Close()
+		fmt.Println("[ap]", srv.Stats())
+		if !ok {
+			os.Exit(1)
+		}
 	case *listen != "":
-		pc, err := net.ListenPacket("udp", *listen)
+		srv, err := startAP(*listen, cfg, *statsEvery, *addrFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("AP listening on", pc.LocalAddr())
-		runAP(pc)
+		fmt.Println("AP listening on", srv.LocalAddr())
+		if err := srv.serveErr(); err != nil {
+			log.Fatal(err)
+		}
 	case *connect != "":
-		runClients(*connect, *duration, *workers)
+		if !runClients(*connect, *duration, *workers) {
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: hintnode -demo | -listen addr | -connect addr")
 		os.Exit(2)
 	}
 }
 
+// logSwitch renders strategy switches as they happen, per client.
+func logSwitch(start time.Time) func(dot11.Addr, bool) {
+	return func(addr dot11.Addr, moving bool) {
+		state := "static -> SampleRate"
+		if moving {
+			state = "moving -> RapidSample"
+		}
+		fmt.Printf("[ap] %6.2fs hint from %v: %s\n", time.Since(start).Seconds(), addr, state)
+	}
+}
+
+// apHandle pairs a serving plane with its background Serve goroutine.
+type apHandle struct {
+	*hintserve.Server
+	done chan error
+}
+
+// serveErr blocks until Serve returns (socket closed or fatal error).
+func (h *apHandle) serveErr() error { return <-h.done }
+
+// startAP boots the serving plane on addr and starts serving in the
+// background, optionally logging stats and writing the bound address to
+// a file for scripted harnesses.
+func startAP(addr string, cfg hintserve.Config, statsEvery time.Duration, addrFile string) (*apHandle, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	srv := hintserve.New(conn, cfg)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(srv.LocalAddr().String()+"\n"), 0o644); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	h := &apHandle{Server: srv, done: make(chan error, 1)}
+	go func() { h.done <- srv.Serve() }()
+	if statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(statsEvery)
+			defer t.Stop()
+			start := time.Now()
+			for range t.C {
+				fmt.Printf("[ap] %6.2fs %s\n", time.Since(start).Seconds(), srv.Stats())
+			}
+		}()
+	}
+	return h, nil
+}
+
 // runClients drives n concurrent client streams against the AP through
-// a worker pool, so a huge -workers value degrades gracefully instead of
-// opening unbounded sockets at once.
-func runClients(to string, total time.Duration, n int) {
+// a worker pool, so a huge -workers value degrades gracefully instead
+// of opening unbounded sockets at once. A failing stream is logged and
+// the rest keep running; the run as a whole fails only when every
+// stream failed.
+func runClients(to string, total time.Duration, n int) bool {
 	if n < 1 {
 		n = 1
 	}
+	var failed atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
 	pool := parallel.NewPool(min(n, 64))
 	for id := 0; id < n; id++ {
 		id := id
-		if err := pool.Submit(func() { runClient(to, total, id) }); err != nil {
-			log.Fatal(err)
+		if err := pool.Submit(func() {
+			if err := runClient(to, total, id); err != nil {
+				log.Printf("[client %d] stream failed: %v", id, err)
+				failed.Add(1)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}); err != nil {
+			log.Printf("[client %d] submit failed: %v", id, err)
+			failed.Add(1)
 		}
 	}
 	pool.Close()
+	if nf := failed.Load(); nf > 0 {
+		log.Printf("%d/%d client streams failed (first error: %v)", nf, n, firstErr)
+		return nf < int64(n)
+	}
+	return true
 }
 
-// runAP receives frames, ingests their hints into a hint bus, and drives
-// one hint-aware rate adapter per client (the per-destination state a
-// real AP keeps), ACKing every data frame (with the AP's own movement
-// bit — here always clear, the AP is static).
-func runAP(pc net.PacketConn) {
-	bus := core.NewBus()
-	adapters := map[dot11.Addr]*rate.HintAware{}
-	adapterFor := func(addr dot11.Addr) *rate.HintAware {
-		a := adapters[addr]
-		if a == nil {
-			a = rate.NewHintAware(1)
-			adapters[addr] = a
-		}
-		return a
-	}
-	apAddr := dot11.AddrFromInt(1)
-	start := time.Now()
+// maxConsecutiveWriteErrs is how many back-to-back send failures a
+// client stream tolerates before declaring its path dead.
+const maxConsecutiveWriteErrs = 10
 
-	// Strategy switches are logged as they happen, per client.
-	bus.Subscribe(hintproto.HintMovement, func(ev core.Event) {
-		moving := ev.Hint.Value != 0
-		adapter := adapterFor(ev.Source.Addr)
-		if adapter.Moving() != moving {
-			adapter.SetMoving(moving)
-			state := "static -> SampleRate"
-			if moving {
-				state = "moving -> RapidSample"
-			}
-			fmt.Printf("[ap] %6.2fs hint from %v: %s\n",
-				time.Since(start).Seconds(), ev.Source.Addr, state)
-		}
-	})
-
-	buf := make([]byte, 4096)
-	var frames, hintsSeen int
-	for {
-		n, from, err := pc.ReadFrom(buf)
-		if err != nil {
-			return
-		}
-		f, err := dot11.Unmarshal(buf[:n])
-		if err != nil {
-			fmt.Printf("[ap] dropping bad frame from %v: %v\n", from, err)
-			continue
-		}
-		frames++
-		hintsSeen += bus.IngestFrame(f, time.Since(start))
-		if f.Type == dot11.TypeData {
-			// Exercise the client's adapter as a real AP would per packet.
-			adapter := adapterFor(f.Src)
-			r := adapter.PickRate(time.Since(start))
-			adapter.Observe(rate.Feedback{At: time.Since(start), Rate: r, Acked: true, SNR: rate.NoSNR()})
-			ack := dot11.Ack(f, apAddr)
-			hintproto.SetMovementBit(ack, false)
-			b, err := ack.Marshal()
-			if err == nil {
-				if _, err := pc.WriteTo(b, from); err != nil {
-					return
-				}
-			}
-		}
-		if frames%200 == 0 {
-			fmt.Printf("[ap] %6.2fs %d frames, %d hints ingested\n",
-				time.Since(start).Seconds(), frames, hintsSeen)
-		}
-	}
-}
-
-// runClient streams data frames with a live movement hint derived from a
-// synthetic accelerometer: the device rests, walks, and rests again. id
-// distinguishes concurrent streams: each gets its own MAC address and a
-// phase-shifted mobility schedule so the AP sees staggered hints.
-func runClient(to string, total time.Duration, id int) {
+// runClient streams data frames with a live movement hint derived from
+// a synthetic accelerometer: the device rests, walks, and rests again.
+// id distinguishes concurrent streams: each gets its own MAC address
+// and a phase-shifted mobility schedule so the AP sees staggered hints.
+// Errors are returned, not fatal: one bad stream must not kill its
+// siblings.
+func runClient(to string, total time.Duration, id int) error {
 	conn, err := net.Dial("udp", to)
 	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("dial %s: %w", to, err)
 	}
 	defer conn.Close()
 
@@ -190,6 +239,7 @@ func runClient(to string, total time.Duration, id int) {
 	var seq uint16
 	sampleIdx := 0
 	lastHint := false
+	writeErrs := 0
 	ticker := time.NewTicker(20 * time.Millisecond)
 	defer ticker.Stop()
 	for now := range ticker.C {
@@ -216,17 +266,25 @@ func runClient(to string, total time.Duration, id int) {
 			{Type: hintproto.HintMovement, Value: b2f(moving)},
 			{Type: hintproto.HintSpeed, Value: 1.4 * b2f(moving)},
 		}); err != nil {
-			log.Fatal(err)
+			return fmt.Errorf("trailer: %w", err)
 		}
 		b, err := f.Marshal()
 		if err != nil {
-			log.Fatal(err)
+			return fmt.Errorf("marshal: %w", err)
 		}
 		if _, err := conn.Write(b); err != nil {
-			log.Fatal(err)
+			// Transient send errors (e.g. the AP restarting) are
+			// tolerated; a persistently dead path fails the stream.
+			writeErrs++
+			if writeErrs >= maxConsecutiveWriteErrs {
+				return fmt.Errorf("write: %d consecutive failures, last: %w", writeErrs, err)
+			}
+			continue
 		}
+		writeErrs = 0
 	}
 	fmt.Printf("[client %d] sent %d frames over %v\n", id, seq, total)
+	return nil
 }
 
 func b2f(b bool) float64 {

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"slices"
 )
 
 // Addr is a 48-bit MAC address.
@@ -115,10 +116,20 @@ var (
 
 // Marshal serialises the frame, appending the FCS.
 func (f *Frame) Marshal() ([]byte, error) {
+	return f.MarshalAppend(make([]byte, 0, f.WireLen()))
+}
+
+// MarshalAppend serialises the frame (including FCS) onto the end of dst
+// and returns the extended slice. When dst has capacity for the frame,
+// no allocation occurs — this is the serving-plane entry point: an ACK
+// burst marshals into one reusable buffer (see internal/hintserve).
+func (f *Frame) MarshalAppend(dst []byte) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, ErrPayloadTooLarge
 	}
-	buf := make([]byte, headerLen+len(f.Payload)+fcsLen)
+	off := len(dst)
+	dst = slices.Grow(dst, f.WireLen())[:off+f.WireLen()]
+	buf := dst[off:]
 	buf[0] = byte(f.Type)
 	buf[1] = f.Flags
 	binary.BigEndian.PutUint16(buf[2:], f.Seq)
@@ -128,32 +139,42 @@ func (f *Frame) Marshal() ([]byte, error) {
 	copy(buf[headerLen:], f.Payload)
 	fcs := crc32.ChecksumIEEE(buf[:headerLen+len(f.Payload)])
 	binary.BigEndian.PutUint32(buf[headerLen+len(f.Payload):], fcs)
-	return buf, nil
+	return dst, nil
 }
 
 // Unmarshal parses a frame from b, verifying length consistency and the
 // FCS. The returned frame's payload aliases b.
 func Unmarshal(b []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := UnmarshalInto(f, b); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// UnmarshalInto parses a frame from b into f, verifying length
+// consistency and the FCS. f's payload aliases b; nothing is allocated,
+// so a receive loop can reuse one Frame across packets (the payload
+// alias is only valid until the receive buffer is overwritten).
+func UnmarshalInto(f *Frame, b []byte) error {
 	if len(b) < headerLen+fcsLen {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	payLen := int(binary.BigEndian.Uint16(b[16:]))
 	if len(b) != headerLen+payLen+fcsLen {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
 	want := binary.BigEndian.Uint32(b[headerLen+payLen:])
 	if crc32.ChecksumIEEE(b[:headerLen+payLen]) != want {
-		return nil, ErrBadFCS
+		return ErrBadFCS
 	}
-	f := &Frame{
-		Type:  FrameType(b[0]),
-		Flags: b[1],
-		Seq:   binary.BigEndian.Uint16(b[2:]),
-	}
+	f.Type = FrameType(b[0])
+	f.Flags = b[1]
+	f.Seq = binary.BigEndian.Uint16(b[2:])
 	copy(f.Src[:], b[4:10])
 	copy(f.Dst[:], b[10:16])
 	f.Payload = b[headerLen : headerLen+payLen]
-	return f, nil
+	return nil
 }
 
 // WireLen returns the marshalled length of the frame in bytes, used by
@@ -163,5 +184,19 @@ func (f *Frame) WireLen() int { return headerLen + len(f.Payload) + fcsLen }
 // Ack constructs the ACK for a received frame, addressed back to its
 // sender.
 func Ack(of *Frame, from Addr) *Frame {
-	return &Frame{Type: TypeAck, Seq: of.Seq, Src: from, Dst: of.Src}
+	a := &Frame{}
+	AckInto(a, of, from)
+	return a
+}
+
+// AckInto fills ack as the ACK for a received frame, addressed back to
+// its sender, overwriting every field so a serving loop can reuse one
+// Frame for every ACK it emits.
+func AckInto(ack, of *Frame, from Addr) {
+	ack.Type = TypeAck
+	ack.Flags = 0
+	ack.Seq = of.Seq
+	ack.Src = from
+	ack.Dst = of.Src
+	ack.Payload = nil
 }

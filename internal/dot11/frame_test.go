@@ -157,3 +157,90 @@ func TestEmptyPayload(t *testing.T) {
 		t.Errorf("payload = %v, want empty", g.Payload)
 	}
 }
+
+func TestMarshalAppendMatchesMarshal(t *testing.T) {
+	f := &Frame{Type: TypeData, Flags: FlagMovement, Seq: 77,
+		Src: AddrFromInt(5), Dst: AddrFromInt(6), Payload: []byte("append me")}
+	want, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending onto a prefix must leave the prefix intact and produce
+	// the same wire bytes after it.
+	prefix := []byte{0xde, 0xad}
+	got, err := f.MarshalAppend(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], prefix) {
+		t.Errorf("prefix clobbered: %x", got[:2])
+	}
+	if !bytes.Equal(got[2:], want) {
+		t.Errorf("MarshalAppend bytes differ from Marshal:\n %x\n %x", got[2:], want)
+	}
+	// Within capacity, MarshalAppend must not allocate: this is the ACK
+	// burst path of the serving plane.
+	buf := make([]byte, 0, 4*f.WireLen())
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		var err error
+		for i := 0; i < 4; i++ {
+			if buf, err = f.MarshalAppend(buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MarshalAppend within capacity allocates %.0f times, want 0", allocs)
+	}
+	if f2 := (&Frame{Payload: make([]byte, MaxPayload+1)}); true {
+		if _, err := f2.MarshalAppend(nil); err != ErrPayloadTooLarge {
+			t.Errorf("oversized payload: err = %v", err)
+		}
+	}
+}
+
+func TestUnmarshalIntoReuse(t *testing.T) {
+	a := &Frame{Type: TypeData, Seq: 1, Src: AddrFromInt(1), Dst: AddrFromInt(2), Payload: []byte("first")}
+	b, _ := a.Marshal()
+	var f Frame
+	if err := UnmarshalInto(&f, b); err != nil {
+		t.Fatal(err)
+	}
+	if f.Seq != 1 || string(f.Payload) != "first" {
+		t.Errorf("first parse: %+v", f)
+	}
+	// Reusing the same Frame must fully overwrite it, including
+	// truncating the payload alias.
+	c := &Frame{Type: TypeAck, Seq: 2, Src: AddrFromInt(3), Dst: AddrFromInt(4)}
+	cb, _ := c.Marshal()
+	if err := UnmarshalInto(&f, cb); err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeAck || f.Seq != 2 || len(f.Payload) != 0 || f.Src != AddrFromInt(3) {
+		t.Errorf("reused parse: %+v", f)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := UnmarshalInto(&f, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("UnmarshalInto allocates %.0f times, want 0", allocs)
+	}
+	if err := UnmarshalInto(&f, b[:3]); err != ErrShortFrame {
+		t.Errorf("short frame: err = %v", err)
+	}
+}
+
+func TestAckIntoOverwrites(t *testing.T) {
+	data := &Frame{Type: TypeData, Seq: 9, Src: AddrFromInt(7), Dst: AddrFromInt(1), Payload: []byte("x")}
+	want := Ack(data, AddrFromInt(1))
+	// Start from a dirty frame: every field must be overwritten.
+	ack := Frame{Type: TypeBeacon, Flags: 0xff, Seq: 1234, Src: AddrFromInt(42), Dst: AddrFromInt(43), Payload: []byte("junk")}
+	AckInto(&ack, data, AddrFromInt(1))
+	if ack.Type != want.Type || ack.Flags != want.Flags || ack.Seq != want.Seq ||
+		ack.Src != want.Src || ack.Dst != want.Dst || len(ack.Payload) != 0 {
+		t.Errorf("AckInto = %+v, want %+v", ack, *want)
+	}
+}

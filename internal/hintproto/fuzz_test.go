@@ -1,0 +1,120 @@
+package hintproto
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dot11"
+)
+
+// FuzzParseTrailer throws arbitrary payloads at the trailer parser. It
+// must never panic; on success the parse must be internally consistent
+// (re-encoding the stripped payload plus hints and re-parsing yields the
+// same hints and payload — encode∘parse is idempotent), and the
+// allocation-free AppendAll walk must agree with it.
+func FuzzParseTrailer(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x48, 0x21})            // bare magic, no count
+	f.Add([]byte{0, 0x48, 0x21})         // empty trailer, no body
+	f.Add([]byte{1, 2, 200, 0x48, 0x21}) // count larger than payload
+	f.Add([]byte{3, 1, 1, 0x48, 0x21})   // magic-colliding pair bytes
+	f.Add([]byte("payload.H!"))          // magic collision inside text
+	f.Add([]byte{byte(HintHeading), 255, 1, 0x48, 0x21})
+	f.Add([]byte{byte(HintMovement), 1, byte(HintSpeed), 3, 2, 0x48, 0x21})
+	f.Add([]byte{0x48, 0x21, 0x48}) // truncated/rotated magic
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr := &dot11.Frame{Type: dot11.TypeData, Flags: dot11.FlagHintTrailer, Payload: payload}
+		hs, rest, err := ParseTrailer(fr)
+		got := AppendAll(nil, fr)
+		if err != nil {
+			// A corrupt trailer must be dropped, not surfaced, by the
+			// advisory extraction path.
+			if len(got) != 0 {
+				t.Fatalf("ParseTrailer rejects (%v) but AppendAll extracted %v", err, got)
+			}
+			return
+		}
+		if len(got) != len(hs) {
+			t.Fatalf("AppendAll extracted %d hints, ParseTrailer %d", len(got), len(hs))
+		}
+		for i := range hs {
+			if got[i] != hs[i] {
+				t.Fatalf("hint %d: AppendAll %v != ParseTrailer %v", i, got[i], hs[i])
+			}
+		}
+		if len(rest)+trailerFixed+2*len(hs) != len(payload) {
+			t.Fatalf("sizes inconsistent: rest %d + trailer(%d hints) != payload %d", len(rest), len(hs), len(payload))
+		}
+		// Re-encode the parse result and re-parse: hints and payload
+		// must be stable. (Byte-exact reproduction of the input is too
+		// strong: e.g. a movement hint with wire byte 5 decodes to 1 and
+		// canonically re-encodes to 1.)
+		if len(payload) > dot11.MaxPayload {
+			// Parseable but not re-encodable: AppendTrailer enforces the
+			// wire limit, ParseTrailer accepts any in-memory frame.
+			return
+		}
+		re := &dot11.Frame{Type: dot11.TypeData, Payload: rest}
+		if err := AppendTrailer(re, hs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		hs2, rest2, err2 := ParseTrailer(re)
+		if err2 != nil {
+			t.Fatalf("re-parse failed: %v", err2)
+		}
+		if !bytes.Equal(rest2, rest) {
+			t.Fatalf("payload drifted: %x -> %x", rest, rest2)
+		}
+		if len(hs2) != len(hs) {
+			t.Fatalf("hint count drifted: %d -> %d", len(hs), len(hs2))
+		}
+		for i := range hs {
+			if hs2[i] != hs[i] {
+				t.Fatalf("hint %d drifted: %v -> %v", i, hs[i], hs2[i])
+			}
+		}
+	})
+}
+
+// FuzzParseHintFrame throws arbitrary payloads at the standalone hint
+// frame parser: no panics, and successful parses re-encode to the exact
+// input payload.
+func FuzzParseHintFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{5, 1}) // count overruns payload
+	f.Add([]byte{1, byte(HintMovement)})
+	f.Add([]byte{1, byte(HintMovement), 1})
+	f.Add([]byte{2, byte(HintHeading), 255, byte(HintSpeed), 7})
+	f.Add([]byte{255, 0x48, 0x21})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr := &dot11.Frame{Type: dot11.TypeHint, Payload: payload}
+		hs, err := ParseHintFrame(fr)
+		got := AppendAll(nil, fr)
+		if err != nil {
+			if len(got) != 0 {
+				t.Fatalf("ParseHintFrame rejects (%v) but AppendAll extracted %v", err, got)
+			}
+			return
+		}
+		if len(got) != len(hs) {
+			t.Fatalf("AppendAll extracted %d hints, ParseHintFrame %d", len(got), len(hs))
+		}
+		re, err := NewHintFrame(fr.Src, fr.Dst, hs)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		hs2, err2 := ParseHintFrame(re)
+		if err2 != nil {
+			t.Fatalf("re-parse failed: %v", err2)
+		}
+		if len(hs2) != len(hs) {
+			t.Fatalf("hint count drifted: %d -> %d", len(hs), len(hs2))
+		}
+		for i := range hs {
+			if hs2[i] != hs[i] {
+				t.Fatalf("hint %d drifted: %v -> %v", i, hs[i], hs2[i])
+			}
+		}
+	})
+}

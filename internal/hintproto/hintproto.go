@@ -76,14 +76,21 @@ func EncodeValue(t HintType, v float64) byte {
 		return 0
 	case HintHeading:
 		d := math.Mod(v, 360)
+		if math.IsNaN(d) { // NaN input, or Mod of ±Inf
+			return 0
+		}
 		if d < 0 {
 			d += 360
 		}
-		return byte(math.Round(d/360*256)) & 0xff
+		// Quantise in integer space and mask before the byte conversion:
+		// headings within half a step of 360° round to step 256, which
+		// must wrap to step 0. Converting the out-of-range float straight
+		// to byte would hit Go's unspecified out-of-range conversion.
+		return byte(int(math.Round(d/360*256)) & 0xff)
 	case HintSpeed:
 		steps := math.Round(v * 2)
-		if steps < 0 {
-			steps = 0
+		if !(steps > 0) { // negative, zero, or NaN
+			return 0
 		}
 		if steps > 255 {
 			steps = 255
@@ -91,8 +98,8 @@ func EncodeValue(t HintType, v float64) byte {
 		return byte(steps)
 	default:
 		x := math.Round(v)
-		if x < 0 {
-			x = 0
+		if !(x > 0) { // negative, zero, or NaN
+			return 0
 		}
 		if x > 255 {
 			x = 255
@@ -198,7 +205,9 @@ func MovementBit(f *dot11.Frame) bool {
 
 // NewHintFrame builds a standalone hint frame (mechanism 3) carrying the
 // given hints from src to dst. The payload is the bare TLV list: a
-// two-byte count-prefixed sequence identical to the trailer body.
+// one-byte count followed by count (type, value) pairs, the same pairs
+// the trailer carries (the trailer instead writes its count, then the
+// magic, after the pairs — see ParseTrailer).
 func NewHintFrame(src, dst dot11.Addr, hs []Hint) (*dot11.Frame, error) {
 	if len(hs) > 255 {
 		return nil, ErrTooManyHints
@@ -239,26 +248,66 @@ func ParseHintFrame(f *dot11.Frame) ([]Hint, error) {
 // error). The uint16 pair form of §2.3 — a single (hintType, hintVal)
 // field — is representable as a one-element trailer.
 func ExtractAll(f *dot11.Frame) []Hint {
-	var out []Hint
+	return AppendAll(nil, f)
+}
+
+// AppendAll is ExtractAll with caller-owned storage: it appends the
+// frame's hints to dst and returns the extended slice. A serving loop
+// that passes the same slice back (truncated to zero length) extracts
+// hints with no per-frame allocation once the slice has grown to the
+// largest hint count seen — the buffer-reuse discipline of the serve
+// hot path (see internal/hintserve).
+func AppendAll(dst []Hint, f *dot11.Frame) []Hint {
 	// Movement bit is meaningful on every frame type; report it only
 	// when set, since a clear bit on a legacy frame is indistinguishable
 	// from "no hint". Hint-aware peers that want explicit "not moving"
 	// use the trailer.
 	if MovementBit(f) {
-		out = append(out, Hint{Type: HintMovement, Value: 1})
+		dst = append(dst, Hint{Type: HintMovement, Value: 1})
 	}
 	if f.Type == dot11.TypeHint {
-		if hs, err := ParseHintFrame(f); err == nil {
-			out = append(out, hs...)
-		}
-		return out
+		return appendHintFrame(dst, f.Payload)
 	}
 	if f.Flags&dot11.FlagHintTrailer != 0 {
-		if hs, _, err := ParseTrailer(f); err == nil {
-			out = append(out, hs...)
-		}
+		dst = appendTrailer(dst, f.Payload)
 	}
-	return out
+	return dst
+}
+
+// appendTrailer appends the hints of a valid trailer in p to dst; a
+// corrupt trailer appends nothing. Allocation-free within dst's
+// capacity, unlike ParseTrailer's fresh slice.
+func appendTrailer(dst []Hint, p []byte) []Hint {
+	if len(p) < trailerFixed || p[len(p)-2] != trailerMagic[0] || p[len(p)-1] != trailerMagic[1] {
+		return dst
+	}
+	n := int(p[len(p)-3])
+	start := len(p) - trailerFixed - 2*n
+	if start < 0 {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		t := HintType(p[start+2*i])
+		dst = append(dst, Hint{Type: t, Value: DecodeValue(t, p[start+2*i+1])})
+	}
+	return dst
+}
+
+// appendHintFrame appends the hints of a valid standalone hint-frame
+// payload to dst; a corrupt payload appends nothing.
+func appendHintFrame(dst []Hint, p []byte) []Hint {
+	if len(p) < 1 {
+		return dst
+	}
+	n := int(p[0])
+	if len(p) != 1+2*n {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		t := HintType(p[1+2*i])
+		dst = append(dst, Hint{Type: t, Value: DecodeValue(t, p[2+2*i])})
+	}
+	return dst
 }
 
 // pairEncoding provides the compact two-byte (hintType, hintVal) field of

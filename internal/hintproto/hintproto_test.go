@@ -37,6 +37,76 @@ func TestValueRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHeadingEncodeBoundaries pins the wrap behaviour at the top of the
+// heading circle: values within half a step of 360° quantise to step 256,
+// which must wrap to step 0 in integer space. The pre-fix code converted
+// the out-of-range float 256 straight to byte — Go leaves that conversion
+// unspecified, so the result was platform-dependent.
+func TestHeadingEncodeBoundaries(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want byte
+	}{
+		{359.3, 0},   // 255.50… rounds to 256 -> wraps to 0
+		{359.9, 0},   // even closer to the wrap
+		{360, 0},     // exactly one full turn
+		{720, 0},     // two turns
+		{-360, 0},    // negative full turn
+		{-0.1, 0},    // tiny negative: 359.9 after wrap -> step 0
+		{-90, 192},   // 270 after wrap
+		{359.0, 255}, // 255.28… rounds down: last real step
+		{358.6, 255}, // nearest to step 255 centre
+		{0.7, 0},     // rounds down to step 0 without wrapping
+		{0.71, 1},    // first value rounding up to step 1
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := EncodeValue(HintHeading, c.in); got != c.want {
+			t.Errorf("EncodeValue(heading, %v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestHeadingAllStepsRoundTrip proves encode/decode is the identity on
+// the full 256-step wire grid.
+func TestHeadingAllStepsRoundTrip(t *testing.T) {
+	for step := 0; step < 256; step++ {
+		deg := DecodeValue(HintHeading, byte(step))
+		if got := EncodeValue(HintHeading, deg); got != byte(step) {
+			t.Errorf("step %d decodes to %v° but re-encodes to %d", step, deg, got)
+		}
+	}
+}
+
+// TestEncodeValueNaN: quantisation of NaN must not reach Go's
+// unspecified float->byte conversion for any hint type.
+func TestEncodeValueNaN(t *testing.T) {
+	for _, typ := range []HintType{HintMovement, HintHeading, HintSpeed, HintNoise, HintType(99)} {
+		if got := EncodeValue(typ, math.NaN()); typ != HintMovement && got != 0 {
+			t.Errorf("EncodeValue(%v, NaN) = %d, want 0", typ, got)
+		}
+	}
+}
+
+// TestEncodeDecodeStableOnWire: for every hint type, decoding any wire
+// byte and re-encoding it is the identity — the codec is canonical, so
+// a relay can decode and re-emit hints without drift.
+func TestEncodeDecodeStableOnWire(t *testing.T) {
+	for _, typ := range []HintType{HintMovement, HintHeading, HintSpeed, HintNoise, HintType(77)} {
+		for b := 0; b < 256; b++ {
+			if typ == HintMovement && b > 1 {
+				continue // movement collapses all non-zero to 1 by design
+			}
+			v := DecodeValue(typ, byte(b))
+			if got := EncodeValue(typ, v); got != byte(b) {
+				t.Errorf("%v: byte %d -> %v -> %d", typ, b, v, got)
+			}
+		}
+	}
+}
+
 func TestHeadingQuantisationProperty(t *testing.T) {
 	f := func(deg float64) bool {
 		if math.IsNaN(deg) || math.IsInf(deg, 0) {
@@ -227,6 +297,53 @@ func TestExtractAll(t *testing.T) {
 	broken := &dot11.Frame{Type: dot11.TypeData, Flags: dot11.FlagHintTrailer, Payload: []byte("zz")}
 	if hs := ExtractAll(broken); len(hs) != 0 {
 		t.Errorf("corrupt trailer produced hints: %v", hs)
+	}
+}
+
+// TestAppendAllMatchesExtractAll: the caller-owned-storage variant must
+// extract exactly what ExtractAll does, and reuse of the slice must not
+// allocate once capacity is established.
+func TestAppendAllMatchesExtractAll(t *testing.T) {
+	frames := make([]*dot11.Frame, 0, 4)
+
+	bit := &dot11.Frame{Type: dot11.TypeAck}
+	SetMovementBit(bit, true)
+	frames = append(frames, bit)
+
+	tr := &dot11.Frame{Type: dot11.TypeData, Payload: []byte("d")}
+	SetMovementBit(tr, true)
+	if err := AppendTrailer(tr, []Hint{{Type: HintSpeed, Value: 3}, {Type: HintHeading, Value: 90}}); err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, tr)
+
+	hf, _ := NewHintFrame(dot11.AddrFromInt(1), dot11.Broadcast, []Hint{{Type: HintNoise, Value: 9}})
+	frames = append(frames, hf)
+
+	broken := &dot11.Frame{Type: dot11.TypeData, Flags: dot11.FlagHintTrailer, Payload: []byte("zz")}
+	frames = append(frames, broken)
+
+	var buf []Hint
+	for _, f := range frames {
+		want := ExtractAll(f)
+		buf = AppendAll(buf[:0], f)
+		if len(buf) != len(want) {
+			t.Fatalf("AppendAll(%v frame) = %v, ExtractAll = %v", f.Type, buf, want)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Errorf("hint %d: AppendAll %v != ExtractAll %v", i, buf[i], want[i])
+			}
+		}
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range frames {
+			buf = AppendAll(buf[:0], f)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendAll with reused storage allocates %.0f times, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,162 @@
+package hintserve
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/rate"
+)
+
+// The client table is the DPVS static-map idiom scaled up: all state for
+// a shard's clients lives in one array allocated at startup, sized by
+// configuration, and never grows. Lookups are two-choice set-associative
+// — a client hashes to two buckets of `ways` slots each and lives in one
+// of those sixteen slots — so the worst case is a fixed, small scan with
+// no probing cascades and no per-packet map machinery. The table is
+// owned by exactly one shard goroutine: no locks anywhere.
+//
+// Boundedness is a defence, not just an optimisation: a spoofed-address
+// flood can at worst churn table slots, never exhaust memory. A new
+// address is admitted into a free slot, or by evicting the
+// least-recently-seen client in its two buckets if that client has been
+// idle longer than the idle timeout; if all sixteen slots are live and
+// fresh, the packet is dropped and counted as rejected.
+
+// ways is the bucket width: slots scanned per hash choice.
+const ways = 8
+
+// client is one client's serving state: identity, recency, the latest
+// decoded hints, and the per-client hint-aware rate adapter (the
+// per-destination state a real AP keeps).
+type client struct {
+	addr     dot11.Addr
+	live     bool
+	lastSeen time.Duration
+	heading  float64
+	speed    float64
+	noise    float64
+	frames   uint64
+	hints    uint64
+	// adapter is allocated once per slot on first use and reused (after
+	// a Reset) when the slot is recycled to a new client, so admission
+	// churn does not allocate in steady state.
+	adapter *rate.HintAware
+}
+
+// lookupResult describes how lookup resolved an address.
+type lookupResult int
+
+const (
+	lookupFound lookupResult = iota
+	lookupAdmitted
+	lookupEvicted // admitted by recycling an idle client's slot
+	lookupRejected
+)
+
+// clientTable is a shard's preallocated client map.
+type clientTable struct {
+	slots    []client
+	nbuckets int // power of two
+	mask     uint64
+	idle     time.Duration
+	live     int
+}
+
+// newClientTable builds a table with at least capacity slots. idle is
+// the eviction threshold: a client unseen for longer may be replaced.
+func newClientTable(capacity int, idle time.Duration) *clientTable {
+	nbuckets := 1
+	for nbuckets*ways < capacity {
+		nbuckets <<= 1
+	}
+	return &clientTable{
+		slots:    make([]client, nbuckets*ways),
+		nbuckets: nbuckets,
+		mask:     uint64(nbuckets - 1),
+		idle:     idle,
+	}
+}
+
+// capacity returns the table's fixed slot count.
+func (t *clientTable) capacity() int { return len(t.slots) }
+
+// hashAddr mixes a MAC address into 64 well-distributed bits
+// (splitmix64 finalizer over the 48 address bits). The low bits pick
+// the shard, the high bits pick the buckets, so shard routing and
+// bucket placement stay independent.
+func hashAddr(a dot11.Addr) uint64 {
+	x := uint64(binary.BigEndian.Uint32(a[:4]))<<16 | uint64(binary.BigEndian.Uint16(a[4:]))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// buckets returns the two candidate bucket indices for a hash.
+func (t *clientTable) buckets(h uint64) (int, int) {
+	return int((h >> 32) & t.mask), int((h >> 48) & t.mask)
+}
+
+// lookup finds the slot for addr, admitting it if unknown. It returns
+// the slot and how it was resolved; the slot is nil only for
+// lookupRejected. On lookupAdmitted the slot's adapter may be nil (the
+// caller creates it once); on lookupEvicted the recycled adapter has
+// been Reset. lastSeen is refreshed on every call.
+func (t *clientTable) lookup(addr dot11.Addr, now time.Duration) (*client, lookupResult) {
+	h := hashAddr(addr)
+	b1, b2 := t.buckets(h)
+
+	// Find the client, remembering reuse candidates along the way: the
+	// first free slot and the least-recently-seen live slot.
+	var free *client
+	var oldest *client
+	for _, b := range [2]int{b1, b2} {
+		base := b * ways
+		for i := 0; i < ways; i++ {
+			s := &t.slots[base+i]
+			if s.live {
+				if s.addr == addr {
+					s.lastSeen = now
+					return s, lookupFound
+				}
+				if oldest == nil || s.lastSeen < oldest.lastSeen {
+					oldest = s
+				}
+			} else if free == nil {
+				free = s
+			}
+		}
+		if b2 == b1 {
+			break
+		}
+	}
+
+	if free != nil {
+		t.admit(free, addr, now)
+		return free, lookupAdmitted
+	}
+	if oldest != nil && now-oldest.lastSeen > t.idle {
+		t.live-- // admit re-increments
+		t.admit(oldest, addr, now)
+		oldest.adapter.Reset()
+		return oldest, lookupEvicted
+	}
+	return nil, lookupRejected
+}
+
+// admit initialises a slot for a new client, preserving any adapter
+// already allocated for the slot.
+func (t *clientTable) admit(s *client, addr dot11.Addr, now time.Duration) {
+	s.addr = addr
+	s.live = true
+	s.lastSeen = now
+	s.heading = 0
+	s.speed = 0
+	s.noise = 0
+	s.frames = 0
+	s.hints = 0
+	t.live++
+}
