@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke hintserve-smoke cover fuzz
+.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke cover fuzz
 
 all: build
 
@@ -133,13 +133,56 @@ campaign-smoke:
 	diff "$$tmp/single3.out" "$$tmp/reports/job3-fig5-1.out" || exit 1; \
 	echo "campaign-smoke: 3-experiment TCP campaign with a killed worker: every report bit-identical to hintbench"
 
+# Chaos smoke: the hardened transport proven over real TCP under real
+# faults. The coordinator's -chaos-plan drops, duplicates, delays, and
+# hard-partitions its own outbound frames (the first three conns; kills
+# capped so the run converges), and one of the three workers corrupts
+# its outbound frames — so the rolling CRC32C chain, the heartbeat
+# reaper, shard requeue, and worker reconnect are all exercised in one
+# campaign. Worker exit codes are deliberately not gated: a worker whose
+# final Stop was eaten by a fault exits non-zero by design. The
+# coordinator's exit code and the byte-for-byte report diffs against
+# hintbench are the assertions.
+chaos-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard || exit 1; \
+	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench || exit 1; \
+	( timeout 240 "$$tmp/hintshard" -campaign -shards 5 -scale 0.2 -seed 42 \
+		-listen 127.0.0.1:0 -addr-file "$$tmp/addr" -report-dir "$$tmp/reports" \
+		-retries 12 -heartbeat 100ms -heartbeat-misses 20 \
+		-chaos-seed 7 -chaos-plan "drop=0.05,dup=0.05,delay=0.2:2ms,partition=8,conns=6,kills=6" \
+		-v fig2-2 fig3-1 > "$$tmp/campaign.out" 2> "$$tmp/coord.err" ) & \
+	coord=$$!; \
+	for i in $$(seq 100); do \
+		[ -s "$$tmp/addr" ] && break; \
+		kill -0 $$coord 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	[ -s "$$tmp/addr" ] || { echo "chaos coordinator never published its address:"; cat "$$tmp/coord.err"; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" -reconnect 10 \
+		-chaos-seed 99 -chaos-plan "corrupt=0.2,kills=2" -v 2> "$$tmp/w1.err" ) & w1=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" -reconnect 10 -v 2> "$$tmp/w2.err" ) & w2=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" -reconnect 10 -v 2> "$$tmp/w3.err" ) & w3=$$!; \
+	wait $$coord || { echo "chaos campaign coordinator failed:"; \
+		cat "$$tmp/coord.err" "$$tmp/w1.err" "$$tmp/w2.err" "$$tmp/w3.err" 2>/dev/null; exit 1; }; \
+	kill $$w1 $$w2 $$w3 2>/dev/null; wait $$w1 $$w2 $$w3 2>/dev/null; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig2-2 > "$$tmp/single1.out" || exit 1; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig3-1 > "$$tmp/single2.out" || exit 1; \
+	diff "$$tmp/single1.out" "$$tmp/reports/job1-fig2-2.out" || exit 1; \
+	diff "$$tmp/single2.out" "$$tmp/reports/job2-fig3-1.out" || exit 1; \
+	grep -q "reconnecting" "$$tmp/w1.err" "$$tmp/w2.err" "$$tmp/w3.err" || { \
+		echo "chaos-smoke passed but no injected fault forced a reconnect -- the plan is vacuous:"; \
+		cat "$$tmp/coord.err" "$$tmp/w1.err" "$$tmp/w2.err" "$$tmp/w3.err" 2>/dev/null; exit 1; }; \
+	echo "chaos-smoke: campaign under drops, dups, delays, partitions, and a corrupting worker: faults fired, sessions reconnected, every report bit-identical to hintbench"
+
 # Coverage floors for the packages that carry the serialization,
 # sharding, scheduling, and campaign contracts — roughly five points
-# under the measured totals (stats 88.1, parallel 96.8, cluster 81.3,
-# campaign 91.8 at the time of recording), so genuine coverage loss
+# under the measured totals (stats 89.4, parallel 96.8, cluster 88.8,
+# campaign 98.9 at the time of recording), so genuine coverage loss
 # fails while run-to-run scheduling variance does not. Raise a floor
 # when its package's coverage rises for good.
-COVER_FLOORS = stats:83 parallel:92 cluster:72 campaign:85
+COVER_FLOORS = stats:84 parallel:92 cluster:83 campaign:93
 
 # Per-package coverage summary for the contract-bearing packages,
 # enforced against COVER_FLOORS.
@@ -160,16 +203,19 @@ cover:
 	done; \
 	exit $$status
 
-# Short fuzz pass over the stats codecs and the cluster wire layer
-# (each target runs alone, as `go test -fuzz` requires). CI runs the
-# same targets at a reduced FUZZTIME.
+# Short fuzz pass over the stats codecs, the cluster wire layer
+# (framing, message decoding, the session handshake), and the hint
+# protocol parsers (each target runs alone, as `go test -fuzz`
+# requires). CI runs the same targets at a reduced FUZZTIME.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime $(FUZZTIME) ./internal/stats/
 	$(GO) test -fuzz FuzzHistogramCodec -fuzztime $(FUZZTIME) ./internal/stats/
 	$(GO) test -fuzz FuzzSeriesCodec -fuzztime $(FUZZTIME) ./internal/stats/
-	$(GO) test -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz 'FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz FuzzReadFrameSum -fuzztime $(FUZZTIME) ./internal/stats/
 	$(GO) test -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/cluster/
+	$(GO) test -fuzz FuzzHandshake -fuzztime $(FUZZTIME) ./internal/cluster/
 	$(GO) test -fuzz FuzzParseTrailer -fuzztime $(FUZZTIME) ./internal/hintproto/
 	$(GO) test -fuzz FuzzParseHintFrame -fuzztime $(FUZZTIME) ./internal/hintproto/
 
@@ -186,7 +232,11 @@ hintserve-smoke:
 	( timeout 180 "$$tmp/hintnode" -listen 127.0.0.1:0 -addr-file "$$tmp/addr" \
 		-stats 0 > "$$tmp/ap.out" 2>&1 ) & \
 	ap=$$!; \
-	for i in $$(seq 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	for i in $$(seq 100); do \
+		[ -s "$$tmp/addr" ] && break; \
+		kill -0 $$ap 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
 	[ -s "$$tmp/addr" ] || { echo "hintserve-smoke: AP never published its address"; cat "$$tmp/ap.out"; exit 1; }; \
 	addr=$$(cat "$$tmp/addr"); \
 	( timeout 120 "$$tmp/hintload" -target "$$addr" -clients 400 -packets 200000 \
@@ -200,4 +250,4 @@ hintserve-smoke:
 	cat "$$tmp/load2.out"; \
 	echo "hintserve-smoke: plane survived a herd killed mid-run and kept serving"
 
-ci: build vet shard-smoke cluster-smoke campaign-smoke hintserve-smoke race
+ci: build vet shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke race

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/dot11"
 	"repro/internal/hintproto"
 	"repro/internal/hints"
@@ -138,7 +139,9 @@ func startAP(addr string, cfg hintserve.Config, statsEvery time.Duration, addrFi
 	}
 	srv := hintserve.New(conn, cfg)
 	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(srv.LocalAddr().String()+"\n"), 0o644); err != nil {
+		// Atomic write: launch scripts poll for this file, and a torn
+		// read of half an address must be impossible.
+		if err := atomicfile.WriteFile(addrFile, []byte(srv.LocalAddr().String()+"\n"), 0o644); err != nil {
 			conn.Close()
 			return nil, err
 		}

@@ -77,7 +77,9 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -115,6 +117,15 @@ type options struct {
 	verify    float64
 	reportDir string
 	noWarm    bool
+	token     string
+	heartbeat time.Duration
+	hbMisses  int
+	reconnect int
+	chaosSeed int64
+	chaosSpec string
+
+	// plan is the parsed -chaos-plan, nil when chaos is off.
+	plan *cluster.FaultPlan
 
 	stdout, stderr io.Writer
 }
@@ -149,6 +160,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&o.verify, "verify", 0, "campaign: re-execute this `fraction` of each job's shards on a second worker and byte-compare (0 = off)")
 	fs.StringVar(&o.reportDir, "report-dir", "", "campaign: also write each report to `dir`/jobN-<id>.out for scripted diffing")
 	fs.BoolVar(&o.noWarm, "no-warm", false, "campaign: skip the warm-worker prepare step (workers build LUTs lazily)")
+	fs.StringVar(&o.token, "token", "", "shared auth `secret`; the coordinator rejects workers whose hello MAC does not match (empty = trusted LAN)")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "coordinator: ping `interval` for worker liveness (0 = default 2s, negative = disable heartbeats)")
+	fs.IntVar(&o.hbMisses, "heartbeat-misses", 0, "coordinator: reap a worker after this many silent heartbeat intervals (0 = default 15)")
+	fs.IntVar(&o.reconnect, "reconnect", 0, "TCP worker: redial the coordinator up to `n` times with backoff after a lost session (0 = give up on first loss)")
+	fs.Int64Var(&o.chaosSeed, "chaos-seed", 1, "fault injection: root `seed` of the -chaos-plan schedule")
+	fs.StringVar(&o.chaosSpec, "chaos-plan", "", "fault injection `spec` drop=P,dup=P,corrupt=P,delay=P:DUR,partition=N,conns=N,kills=N, applied to this process's outbound frames")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -203,12 +220,37 @@ func usage(w io.Writer) {
 // operator did not ask for.
 func (o *options) mode(explicit map[string]bool) (string, error) {
 	rejectCoordFlags := func(mode string) error {
-		for _, f := range []string{"transport", "procs", "addr-file", "retries", "no-steal", "worker-die-after"} {
+		for _, f := range []string{"transport", "procs", "addr-file", "retries", "no-steal", "worker-die-after", "heartbeat", "heartbeat-misses"} {
 			if explicit[f] {
 				return fmt.Errorf("-%s is a coordinator flag; it does not apply to %s", f, mode)
 			}
 		}
 		return nil
+	}
+	// The session flags only mean something to processes speaking the
+	// cluster protocol; -merge and one-shot workers never open a conn.
+	rejectSessionFlags := func(mode string) error {
+		for _, f := range []string{"token", "chaos-seed", "chaos-plan", "reconnect"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s is a cluster session flag; it does not apply to %s", f, mode)
+			}
+		}
+		return nil
+	}
+	if explicit["reconnect"] && o.connect == "" {
+		return "", fmt.Errorf("-reconnect applies to -connect workers")
+	}
+	if o.reconnect < 0 {
+		return "", fmt.Errorf("-reconnect %d is negative", o.reconnect)
+	}
+	if o.chaosSpec != "" {
+		plan, err := cluster.ParseFaultPlan(o.chaosSpec, o.chaosSeed)
+		if err != nil {
+			return "", err
+		}
+		o.plan = plan
+	} else if explicit["chaos-seed"] {
+		return "", fmt.Errorf("-chaos-seed needs a -chaos-plan to seed")
 	}
 	if !o.camp {
 		for _, f := range []string{"verify", "report-dir", "no-warm"} {
@@ -255,6 +297,9 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 		if err := rejectCoordFlags("-merge"); err != nil {
 			return "", err
 		}
+		if err := rejectSessionFlags("-merge"); err != nil {
+			return "", err
+		}
 		return "merge", nil
 	case "-shard":
 		if o.run == "" {
@@ -267,6 +312,9 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 			return "", fmt.Errorf("-die-after-assign applies to protocol workers (-connect/-serve-stdio)")
 		}
 		if err := rejectCoordFlags("a one-shot worker"); err != nil {
+			return "", err
+		}
+		if err := rejectSessionFlags("a one-shot worker"); err != nil {
 			return "", err
 		}
 		return "one-shot", nil
@@ -284,6 +332,13 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 		}
 		if err := rejectCoordFlags("a -serve-stdio worker"); err != nil {
 			return "", err
+		}
+		// A stdio worker's conn belongs to the coordinator that spawned
+		// it; chaos is injected there, not here.
+		for _, f := range []string{"chaos-seed", "chaos-plan"} {
+			if explicit[f] {
+				return "", fmt.Errorf("-%s on a -serve-stdio worker: inject chaos at the coordinator that spawns it", f)
+			}
 		}
 		return "serve-stdio", nil
 	case "-campaign":
@@ -368,7 +423,7 @@ func (o *options) logf() func(string, ...any) {
 // serveOpts builds the worker-side options, including the
 // fault-injection hook behind -die-after-assign.
 func (o *options) serveOpts(name string) cluster.ServeOptions {
-	so := cluster.ServeOptions{Name: name, Workers: o.workers}
+	so := cluster.ServeOptions{Name: name, Workers: o.workers, Token: o.token}
 	if n := o.dieAfter; n > 0 {
 		seen := 0
 		so.OnAssign = func(cluster.Assign) error {
@@ -415,16 +470,19 @@ func (o *options) oneShot() int {
 	return 0
 }
 
-// tcpWorker pulls shards from a remote coordinator until stopped.
+// tcpWorker pulls shards from a remote coordinator until stopped,
+// redialing lost sessions up to the -reconnect budget.
 func (o *options) tcpWorker() int {
-	conn, err := cluster.DialTCP(o.connect)
-	if err != nil {
-		fmt.Fprintln(o.stderr, err)
-		return 1
-	}
 	host, _ := os.Hostname()
 	name := fmt.Sprintf("%s/%d", host, os.Getpid())
-	if err := cluster.Serve(conn, o.serveOpts(name)); err != nil {
+	do := cluster.DialOptions{Attempts: 1 + o.reconnect, Logf: o.logf()}
+	if o.plan != nil {
+		do.Wrap = func(c cluster.Conn) cluster.Conn {
+			cluster.InjectFaults(c, o.plan.NextConn())
+			return c
+		}
+	}
+	if err := cluster.ServeTCP(o.connect, o.serveOpts(name), do); err != nil {
 		fmt.Fprintln(o.stderr, err)
 		return 1
 	}
@@ -475,6 +533,9 @@ func (o *options) buildTransport(procs, perWorker int) (cluster.Transport, error
 		}
 		return cluster.NewSubprocess(procs, func(i int) *exec.Cmd {
 			args := []string{"-serve-stdio", "-workers", strconv.Itoa(perWorker)}
+			if o.token != "" {
+				args = append(args, "-token", o.token)
+			}
 			if o.workerDie > 0 && i == 0 {
 				args = append(args, "-die-after-assign", strconv.Itoa(o.workerDie))
 			}
@@ -488,7 +549,9 @@ func (o *options) buildTransport(procs, perWorker int) (cluster.Transport, error
 			return nil, err
 		}
 		if o.addrFile != "" {
-			if err := os.WriteFile(o.addrFile, []byte(lt.Addr()), 0o644); err != nil {
+			// Atomic write: workers poll for this file, and a torn read
+			// of half an address made them dial garbage.
+			if err := atomicfile.WriteFile(o.addrFile, []byte(lt.Addr()), 0o644); err != nil {
 				lt.Close()
 				return nil, err
 			}
@@ -497,6 +560,15 @@ func (o *options) buildTransport(procs, perWorker int) (cluster.Transport, error
 		return lt, nil
 	}
 	return nil, fmt.Errorf("unknown transport %q", o.transport)
+}
+
+// withChaos wraps the coordinator transport with the -chaos-plan fault
+// schedule, if one was given.
+func (o *options) withChaos(t cluster.Transport) cluster.Transport {
+	if o.plan == nil {
+		return t
+	}
+	return cluster.WithChaos(t, o.plan)
 }
 
 // coordinate runs the work-stealing coordinator over the selected
@@ -513,16 +585,19 @@ func (o *options) coordinate() int {
 		return 1
 	}
 
-	rep, _, err := cluster.Run(t, cluster.Options{
-		Experiment:   o.run,
-		Seed:         o.seed,
-		Scale:        o.scale,
-		Shards:       o.shards,
-		ShardWorkers: perWorker,
-		MergeWorkers: o.workers,
-		Retries:      o.retries,
-		NoSteal:      o.noSteal,
-		Logf:         o.logf(),
+	rep, _, err := cluster.Run(o.withChaos(t), cluster.Options{
+		Experiment:        o.run,
+		Seed:              o.seed,
+		Scale:             o.scale,
+		Shards:            o.shards,
+		ShardWorkers:      perWorker,
+		MergeWorkers:      o.workers,
+		Retries:           o.retries,
+		NoSteal:           o.noSteal,
+		Token:             o.token,
+		HeartbeatInterval: o.heartbeat,
+		HeartbeatMisses:   o.hbMisses,
+		Logf:              o.logf(),
 	})
 	if err != nil {
 		fmt.Fprintln(o.stderr, err)
@@ -595,14 +670,17 @@ func (o *options) runCampaign(specs []string) int {
 	}
 
 	failed := 0
-	_, stats, err := campaign.Run(t, jobs, campaign.Options{
-		ShardWorkers: perWorker,
-		MergeWorkers: o.workers,
-		Retries:      o.retries,
-		NoSteal:      o.noSteal,
-		NoWarm:       o.noWarm,
-		Verify:       o.verify,
-		Logf:         o.logf(),
+	_, stats, err := campaign.Run(o.withChaos(t), jobs, campaign.Options{
+		ShardWorkers:      perWorker,
+		MergeWorkers:      o.workers,
+		Retries:           o.retries,
+		NoSteal:           o.noSteal,
+		NoWarm:            o.noWarm,
+		Verify:            o.verify,
+		Token:             o.token,
+		HeartbeatInterval: o.heartbeat,
+		HeartbeatMisses:   o.hbMisses,
+		Logf:              o.logf(),
 		Emit: func(ji int, rep *experiments.Report) error {
 			if o.reportDir != "" {
 				path := filepath.Join(o.reportDir, fmt.Sprintf("job%d-%s.out", ji+1, jobs[ji].Experiment))

@@ -61,6 +61,16 @@ func TestFlagValidation(t *testing.T) {
 		{"verify without campaign", []string{"-run", "x", "-shards", "2", "-verify", "0.5"}, "campaign flag"},
 		{"report-dir without campaign", []string{"-run", "x", "-shards", "2", "-report-dir", "/tmp/r"}, "campaign flag"},
 		{"no-warm without campaign", []string{"-connect", "h:1", "-no-warm"}, "campaign flag"},
+		{"heartbeat on connect worker", []string{"-connect", "h:1", "-heartbeat", "1s"}, "coordinator flag"},
+		{"heartbeat-misses on stdio worker", []string{"-serve-stdio", "-heartbeat-misses", "5"}, "coordinator flag"},
+		{"token on merge", []string{"-merge", "-token", "s"}, "cluster session flag"},
+		{"chaos on one-shot", []string{"-run", "x", "-shard", "0/2", "-chaos-plan", "drop=0.1"}, "cluster session flag"},
+		{"chaos on stdio worker", []string{"-serve-stdio", "-chaos-plan", "drop=0.1"}, "inject chaos at the coordinator"},
+		{"chaos-seed without plan", []string{"-run", "x", "-shards", "2", "-chaos-seed", "7"}, "needs a -chaos-plan"},
+		{"bad chaos plan", []string{"-run", "x", "-shards", "2", "-chaos-plan", "drop=2"}, "probability in [0,1]"},
+		{"unknown chaos key", []string{"-connect", "h:1", "-chaos-plan", "teleport=0.5"}, "unknown chaos plan key"},
+		{"reconnect without connect", []string{"-run", "x", "-shards", "2", "-reconnect", "3"}, "-reconnect applies to -connect workers"},
+		{"negative reconnect", []string{"-connect", "h:1", "-reconnect", "-1"}, "is negative"},
 		{"bad flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,49 @@
+// Package atomicfile writes files atomically: content lands in a
+// temporary file in the destination directory and is renamed into
+// place, so a concurrent reader polling for the file either sees
+// nothing or sees the complete content — never a partial write. The
+// coordinator's -addr-file is the motivating user: workers poll for it
+// at startup, and a torn read of half an address made them dial
+// garbage.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically with the given permissions.
+// The temporary file is created in path's directory (rename is only
+// atomic within one filesystem) and removed on any failure.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // close/remove already handled; rename owns the file now
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package atomicfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "addr")
+	want := []byte("127.0.0.1:4242\n")
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content %q, want %q", got, want)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("perm %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "addr")
+	if err := WriteFile(path, []byte("old"), 0o600); err != nil {
+		t.Fatalf("first WriteFile: %v", err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o600); err != nil {
+		t.Fatalf("second WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content %q, want %q", got, "new")
+	}
+}
+
+func TestWriteFileLeavesNoTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	// A destination whose parent does not exist fails at CreateTemp.
+	if err := WriteFile(filepath.Join(dir, "missing", "addr"), []byte("x"), 0o600); err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("stray files left behind: %v", entries)
+	}
+}

@@ -71,6 +71,14 @@ type Options struct {
 	// DrainTimeout bounds the post-completion drain of speculative
 	// stragglers (0 = one minute).
 	DrainTimeout time.Duration
+	// Token is the shared secret workers must prove in the hello
+	// handshake; HeartbeatInterval/HeartbeatMisses set the liveness
+	// cadence and budget (zero = cluster defaults, negative interval
+	// disables). All three pass through to cluster.CampaignOptions
+	// unchanged.
+	Token             string
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
 	// Emit, if set, receives each report in submission order the moment
@@ -120,14 +128,17 @@ func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats
 		results[ji].Job = j
 	}
 	co := cluster.CampaignOptions{
-		ShardWorkers: o.ShardWorkers,
-		MergeWorkers: o.MergeWorkers,
-		Retries:      o.Retries,
-		NoSteal:      o.NoSteal,
-		DrainTimeout: o.DrainTimeout,
-		Logf:         o.Logf,
-		Warm:         !o.NoWarm,
-		WarmFrames:   o.WarmFrames,
+		ShardWorkers:      o.ShardWorkers,
+		MergeWorkers:      o.MergeWorkers,
+		Retries:           o.Retries,
+		NoSteal:           o.NoSteal,
+		DrainTimeout:      o.DrainTimeout,
+		Token:             o.Token,
+		HeartbeatInterval: o.HeartbeatInterval,
+		HeartbeatMisses:   o.HeartbeatMisses,
+		Logf:              o.Logf,
+		Warm:              !o.NoWarm,
+		WarmFrames:        o.WarmFrames,
 		OnReport: func(ji int, rep *experiments.Report) error {
 			results[ji].Report = rep
 			if o.Emit != nil {

@@ -251,7 +251,7 @@ func TestVerificationPassesCleanCampaign(t *testing.T) {
 // expose the divergence as a hard fault. corrupted reports whether the
 // sabotage happened.
 func corruptOnceServe(c cluster.Conn, corrupted *bool) {
-	if err := c.Send(&cluster.Hello{Version: cluster.ProtoVersion, Name: "corrupt"}); err != nil {
+	if err := cluster.Handshake(c, "corrupt", ""); err != nil {
 		return
 	}
 	for {

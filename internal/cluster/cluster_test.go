@@ -223,7 +223,7 @@ func TestProtocolViolatorDroppedRunCompletes(t *testing.T) {
 	tr := NewInProcess(2, func(i int, c Conn) {
 		if i == 0 {
 			// Liar: claims completion of a shard it was never assigned.
-			c.Send(&Hello{Version: ProtoVersion, Name: "liar"})
+			Handshake(c, "liar", "")
 			if m, err := c.Recv(); err == nil {
 				if a, ok := m.(*Assign); ok {
 					c.Send(&ShardDone{Shard: a.Shard + 1})
@@ -279,7 +279,7 @@ func TestSpeculativeCopyCoversDyingWorker(t *testing.T) {
 		if i == 0 {
 			// Takes the only shard, then dies — but only after worker 1
 			// has stolen a copy of it.
-			c.Send(&Hello{Version: ProtoVersion, Name: "doomed"})
+			Handshake(c, "doomed", "")
 			if m, err := c.Recv(); err != nil {
 				t.Errorf("doomed worker: %v", err)
 				return
@@ -337,7 +337,7 @@ func TestHungStragglerCutOffAfterDrainTimeout(t *testing.T) {
 	defer close(hang)
 	tr := NewInProcess(2, func(i int, c Conn) {
 		if i == 0 {
-			c.Send(&Hello{Version: ProtoVersion, Name: "hung"})
+			Handshake(c, "hung", "")
 			if _, err := c.Recv(); err != nil {
 				return
 			}
@@ -394,7 +394,7 @@ func TestHungVerifierSpeculativelyCovered(t *testing.T) {
 			// assignment is therefore the verification re-run (fresh
 			// queue empty, stealing disabled), which it never answers.
 			<-w0assigned
-			if err := c.Send(&Hello{Version: ProtoVersion, Name: "hung-verifier"}); err != nil {
+			if err := Handshake(c, "hung-verifier", ""); err != nil {
 				return
 			}
 			close(w1helloed)

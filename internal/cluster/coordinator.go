@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/phy"
+	istats "repro/internal/stats"
 )
 
 // Job is one entry of a campaign: reproduce Experiment at Scale with
@@ -64,6 +67,17 @@ type Options struct {
 	// exit the protocol cleanly; a worker still busy past the deadline
 	// is cut off (its result was already discarded). 0 means a minute.
 	DrainTimeout time.Duration
+	// Token is the shared secret workers must prove knowledge of in the
+	// hello handshake (HMAC over the per-conn challenge nonce). Empty
+	// admits workers with an empty token — the trusted-LAN default.
+	Token string
+	// HeartbeatInterval is the coordinator→worker ping cadence, and
+	// HeartbeatMisses the budget of intervals a worker may stay silent
+	// (no frame of any kind) before it is declared hung and its shard
+	// requeued. Zero means the defaults (2s × 15); a negative interval
+	// disables heartbeats and liveness cutoffs entirely.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
 	// Logf, if set, receives progress lines (dispatches, steals, worker
 	// deaths).
 	Logf func(format string, args ...any)
@@ -73,14 +87,18 @@ type Options struct {
 // Options plus the campaign-only hooks (report delivery, warm-worker
 // preparation, result verification).
 type CampaignOptions struct {
-	// ShardWorkers, MergeWorkers, Retries, NoSteal, DrainTimeout and
-	// Logf mean exactly what they mean on Options, applied to every job.
-	ShardWorkers int
-	MergeWorkers int
-	Retries      int
-	NoSteal      bool
-	DrainTimeout time.Duration
-	Logf         func(format string, args ...any)
+	// ShardWorkers, MergeWorkers, Retries, NoSteal, DrainTimeout,
+	// Token, HeartbeatInterval, HeartbeatMisses and Logf mean exactly
+	// what they mean on Options, applied to every job.
+	ShardWorkers      int
+	MergeWorkers      int
+	Retries           int
+	NoSteal           bool
+	DrainTimeout      time.Duration
+	Token             string
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	Logf              func(format string, args ...any)
 	// Warm sends each worker a Prepare message right after its hello,
 	// naming the frame lengths of WarmFrames (the phy default when nil),
 	// so the worker builds its SNR/airtime tables once — before the
@@ -114,7 +132,23 @@ type RunStats struct {
 	// Verified counts verification re-runs that byte-matched the first
 	// result (a mismatch aborts the run, so it never counts here).
 	Verified int
+	// Rejected counts connections refused in the handshake (bad or
+	// missing token MAC); Hung counts workers dropped for exhausting the
+	// heartbeat miss budget while holding an open connection; and
+	// CorruptFrames counts connections dropped because a frame failed
+	// the rolling CRC32C check (corruption, loss, or duplication on the
+	// stream).
+	Rejected, Hung, CorruptFrames int
 }
+
+// Heartbeat defaults: generous enough that a worker grinding through a
+// heavy shard on a loaded box never trips them (the worker's reader
+// goroutine answers pings even mid-shard, so only a truly wedged or
+// unreachable worker goes silent for the full budget).
+const (
+	defaultHeartbeatInterval = 2 * time.Second
+	defaultHeartbeatMisses   = 15
+)
 
 // WorkerExitError reports that the run failed after a worker process
 // exited abnormally; cmd/hintshard propagates the code so the operator
@@ -169,6 +203,12 @@ type workerState struct {
 	helloed bool
 	stopped bool
 	dead    bool
+	// nonce is the challenge this conn's hello must MAC; lastSeen the
+	// loop time of the conn's most recent frame (any kind), which the
+	// heartbeat tick compares against the miss budget.
+	nonce    string
+	lastSeen time.Time
+	pingSeq  int
 }
 
 // verifyState tracks one sampled shard's verification: the canonical
@@ -218,13 +258,26 @@ type mergeDone struct {
 
 // event is one input to the coordinator's single-threaded state
 // machine: a new connection (msg, err and merge nil), a message, a dead
-// connection (err set), the end of the accept loop (w nil), or a
-// completed background merge (merge set).
+// connection (err set), the end of the accept loop (w nil), a completed
+// background merge (merge set), or a heartbeat tick (tick set).
 type event struct {
 	w     *workerState
 	msg   Message
 	err   error
 	merge *mergeDone
+	tick  bool
+}
+
+// newNonce draws a fresh challenge nonce. crypto/rand cannot fail on
+// any supported platform; if it somehow does, the nonce degrades to a
+// counter-free constant and auth still requires the token (a replayed
+// MAC would also need the same worker name).
+func newNonce() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "norand"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Run executes one experiment over the transport's workers and returns
@@ -244,12 +297,15 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 		Scale:      o.Scale,
 		Shards:     o.Shards,
 	}}, CampaignOptions{
-		ShardWorkers: o.ShardWorkers,
-		MergeWorkers: o.MergeWorkers,
-		Retries:      o.Retries,
-		NoSteal:      o.NoSteal,
-		DrainTimeout: o.DrainTimeout,
-		Logf:         o.Logf,
+		ShardWorkers:      o.ShardWorkers,
+		MergeWorkers:      o.MergeWorkers,
+		Retries:           o.Retries,
+		NoSteal:           o.NoSteal,
+		DrainTimeout:      o.DrainTimeout,
+		Token:             o.Token,
+		HeartbeatInterval: o.HeartbeatInterval,
+		HeartbeatMisses:   o.HeartbeatMisses,
+		Logf:              o.Logf,
 		OnReport: func(_ int, r *experiments.Report) error {
 			rep = r
 			return nil
@@ -298,6 +354,19 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 	retries := o.Retries
 	if retries < 0 {
 		retries = 0
+	}
+	hbInterval := o.HeartbeatInterval
+	if hbInterval == 0 {
+		hbInterval = defaultHeartbeatInterval
+	}
+	hbMisses := o.HeartbeatMisses
+	if hbMisses <= 0 {
+		hbMisses = defaultHeartbeatMisses
+	}
+	heartbeats := hbInterval > 0
+	var cutoff time.Duration
+	if heartbeats {
+		cutoff = hbInterval * time.Duration(hbMisses)
 	}
 
 	states := make([]*jobState, len(jobs))
@@ -361,14 +430,41 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		}
 	})
 
+	// The heartbeat ticker feeds the loop; loopDone stops it once the
+	// campaign's event loop exits (the drain below consumes any tick
+	// already in flight).
+	loopDone := make(chan struct{})
+	if heartbeats {
+		spawn(func() {
+			tick := time.NewTicker(hbInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					select {
+					case events <- event{tick: true}:
+					case <-loopDone:
+						return
+					}
+				case <-loopDone:
+					return
+				}
+			}
+		})
+	}
+
 	startWorker := func(w *workerState) {
 		workers = append(workers, w)
 		spawn(func() { // sender: owns the conn's write side and final close
 			defer w.conn.Close()
+			failed := false
 			for m := range w.out {
+				if failed {
+					continue // drain so the loop's send() never blocks on a broken conn
+				}
 				if err := w.conn.Send(m); err != nil {
+					failed = true
 					events <- event{w: w, err: err}
-					return
 				}
 			}
 		})
@@ -751,6 +847,30 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			}
 			states[ev.merge.job].merged = ev.merge.rep
 			tryEmit()
+		case ev.tick:
+			now := time.Now()
+			for _, w := range workers {
+				if w.dead {
+					continue
+				}
+				if silent := now.Sub(w.lastSeen); silent > cutoff {
+					if !w.helloed {
+						stats.Rejected++
+						logf("cluster: dropping connection %d: no hello within %v", w.id, cutoff)
+						teardown(w, false)
+						continue
+					}
+					stats.Hung++
+					logf("cluster: worker %s silent for %v (heartbeat budget %d×%v): dropping as hung", w.name, silent, hbMisses, hbInterval)
+					teardown(w, false)
+					salvage(w, fmt.Errorf("worker %s hung: no frames for %v", w.name, silent))
+					continue
+				}
+				if w.helloed && !w.stopped {
+					w.pingSeq++
+					send(w, &Ping{Seq: w.pingSeq})
+				}
+			}
 		case ev.w == nil:
 			// Accept loop ended. A fixed-size pool exhausting itself
 			// (io.EOF) or the final transport Close are expected; a real
@@ -765,6 +885,15 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			if ev.w.dead {
 				break
 			}
+			if errors.Is(ev.err, istats.ErrChecksum) {
+				// The conn's rolling chain broke: a frame was corrupted,
+				// dropped, or duplicated in flight. Resynchronizing is
+				// impossible, so the peer is dropped like any dead worker
+				// and its shard salvaged — the typed count is the audit
+				// trail.
+				stats.CorruptFrames++
+				logf("cluster: integrity failure on worker %s's connection: %v", ev.w.name, ev.err)
+			}
 			busy := ev.w.curShard >= 0
 			if busy {
 				logf("cluster: worker %s died holding job %d shard %d/%d: %v", ev.w.name, ev.w.curJob, ev.w.curShard, states[ev.w.curJob].job.Shards, ev.err)
@@ -775,16 +904,39 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			recordExit(ev.w)
 			salvage(ev.w, fmt.Errorf("worker %s died: %w", ev.w.name, ev.err))
 		case ev.msg == nil:
+			// Fresh connection: arm its per-message deadlines, start its
+			// goroutines, and open the session with the challenge. The
+			// hello must answer before the heartbeat cutoff or the tick
+			// handler reaps the conn.
+			if ts, ok := ev.w.conn.(timeoutSetter); ok && heartbeats {
+				ts.SetTimeouts(2*cutoff, cutoff)
+			}
+			ev.w.nonce = newNonce()
+			ev.w.lastSeen = time.Now()
 			startWorker(ev.w)
+			ch := &Challenge{Version: ProtoVersion, Nonce: ev.w.nonce}
+			if heartbeats {
+				ch.PingMs = int(hbInterval / time.Millisecond)
+				ch.CutoffMs = int(cutoff / time.Millisecond)
+			}
+			send(ev.w, ch)
 		default:
 			w := ev.w
 			if w.dead {
 				break
 			}
+			w.lastSeen = time.Now()
 			switch m := ev.msg.(type) {
 			case *Hello:
 				if w.helloed {
 					violation(w, "second hello")
+					break
+				}
+				if !verifyHello(o.Token, w.nonce, m) {
+					stats.Rejected++
+					logf("cluster: rejecting worker %q: bad or missing token MAC", m.Name)
+					send(w, &Reject{Reason: "authentication failed"})
+					teardown(w, true)
 					break
 				}
 				w.helloed = true
@@ -795,6 +947,8 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 					send(w, &Prepare{Frames: warmFrames})
 				}
 				dispatch(w)
+			case *Pong:
+				// Liveness answer; lastSeen is already refreshed above.
 			case *LoopResult:
 				if !w.helloed || m.Job != w.curJob || m.Shard != w.curShard {
 					violation(w, fmt.Sprintf("loop result for job %d shard %d while holding job %d shard %d", m.Job, m.Shard, w.curJob, w.curShard))
@@ -912,6 +1066,7 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		}
 	}
 
+	close(loopDone)
 	graceful := abortErr == nil
 	for _, w := range workers {
 		stopWorker(w)

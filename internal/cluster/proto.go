@@ -20,6 +20,9 @@
 package cluster
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -30,18 +33,26 @@ import (
 // ProtoVersion tags the message set; a coordinator refuses workers
 // speaking any other version. Version 2 added campaign-aware
 // assignment (the job id on assign and every worker reply) and the
-// warm-worker prepare step.
-const ProtoVersion = 2
+// warm-worker prepare step. Version 3 hardened the session: the
+// coordinator opens with a challenge (nonce + heartbeat parameters),
+// the hello answers it with an HMAC over the shared token, frames carry
+// a rolling CRC32C trailer, and ping/pong heartbeats keep liveness
+// observable between assignments.
+const ProtoVersion = 3
 
 // Message kinds (the first payload byte of every frame).
 const (
-	kindHello     = 'H' // worker → coordinator: version + name, sent once on connect
+	kindChallenge = 'C' // coordinator → worker: version + auth nonce + heartbeat params, first frame of every conn
+	kindHello     = 'H' // worker → coordinator: version + name + challenge MAC, sent once in answer
+	kindReject    = 'R' // coordinator → worker: session refused (bad MAC, handshake timeout); conn closes after
 	kindPrepare   = 'P' // coordinator → worker: pre-build LUTs before the first assignment
 	kindAssign    = 'A' // coordinator → worker: run shard k/K of a job's experiment
 	kindLoop      = 'L' // worker → coordinator: one completed trial loop of the current shard
 	kindShardDone = 'D' // worker → coordinator: current shard finished, all loops streamed
 	kindShardErr  = 'E' // worker → coordinator: current shard failed
 	kindStop      = 'S' // coordinator → worker: no more work, disconnect
+	kindPing      = 'p' // coordinator → worker: liveness probe
+	kindPong      = 'q' // worker → coordinator: liveness answer, echoing the ping's seq
 )
 
 // Message is one protocol message; the concrete types below are the
@@ -50,10 +61,64 @@ type Message interface {
 	kind() byte
 }
 
-// Hello is the first message on every worker connection.
+// Challenge is the coordinator's opening message on every connection:
+// it announces the protocol version, carries the nonce the worker's
+// hello must MAC, and tells the worker the heartbeat cadence so both
+// sides agree on liveness deadlines. PingMs/CutoffMs of 0 mean
+// heartbeats are disabled for the session.
+type Challenge struct {
+	Version  int    `json:"version"`
+	Nonce    string `json:"nonce"`
+	PingMs   int    `json:"ping_ms"`
+	CutoffMs int    `json:"cutoff_ms"`
+}
+
+// Hello answers the challenge: protocol version, the worker's name, and
+// the HMAC-SHA256 of the challenge nonce and the name under the shared
+// token. An empty token on both sides still produces matching MACs, so
+// unauthenticated deployments pay nothing; a token mismatch (or a
+// replayed hello — the nonce is fresh per conn) yields a reject.
 type Hello struct {
 	Version int    `json:"version"`
 	Name    string `json:"name"`
+	MAC     string `json:"mac,omitempty"`
+}
+
+// Reject refuses a session; the coordinator closes the conn after
+// sending it. Reason is human-readable and deliberately vague about
+// auth specifics.
+type Reject struct {
+	Reason string `json:"reason"`
+}
+
+// Ping is the coordinator's liveness probe; a responsive worker answers
+// with a Pong echoing Seq even while a shard is computing (the worker's
+// reader goroutine answers out of band).
+type Ping struct {
+	Seq int `json:"seq"`
+}
+
+// Pong answers a ping.
+type Pong struct {
+	Seq int `json:"seq"`
+}
+
+// helloMAC computes the challenge answer: HMAC-SHA256 over nonce and
+// worker name under the shared token, hex-encoded. The name is bound in
+// so a MAC cannot be replayed for a different identity even within the
+// nonce's lifetime.
+func helloMAC(token, nonce, name string) string {
+	mac := hmac.New(sha256.New, []byte(token))
+	mac.Write([]byte(nonce))
+	mac.Write([]byte{0})
+	mac.Write([]byte(name))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// verifyHello checks a hello's MAC against the nonce this conn was
+// challenged with, in constant time.
+func verifyHello(token, nonce string, h *Hello) bool {
+	return hmac.Equal([]byte(h.MAC), []byte(helloMAC(token, nonce, h.Name)))
 }
 
 // Prepare is the warm-worker step of a campaign: sent right after the
@@ -110,13 +175,17 @@ type ShardError struct {
 // Stop tells a worker the run is over.
 type Stop struct{}
 
+func (*Challenge) kind() byte  { return kindChallenge }
 func (*Hello) kind() byte      { return kindHello }
+func (*Reject) kind() byte     { return kindReject }
 func (*Prepare) kind() byte    { return kindPrepare }
 func (*Assign) kind() byte     { return kindAssign }
 func (*LoopResult) kind() byte { return kindLoop }
 func (*ShardDone) kind() byte  { return kindShardDone }
 func (*ShardError) kind() byte { return kindShardErr }
 func (*Stop) kind() byte       { return kindStop }
+func (*Ping) kind() byte       { return kindPing }
+func (*Pong) kind() byte       { return kindPong }
 
 // EncodeMessage serializes a message to a frame payload (kind byte +
 // JSON body).
@@ -139,6 +208,18 @@ func DecodeMessage(payload []byte) (Message, error) {
 	}
 	body := payload[1:]
 	switch payload[0] {
+	case kindChallenge:
+		var m Challenge
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding challenge: %w", err)
+		}
+		if m.Version != ProtoVersion {
+			return nil, fmt.Errorf("cluster: protocol version %d, want %d", m.Version, ProtoVersion)
+		}
+		if m.PingMs < 0 || m.CutoffMs < 0 {
+			return nil, fmt.Errorf("cluster: challenge carries negative heartbeat params %d/%d", m.PingMs, m.CutoffMs)
+		}
+		return &m, nil
 	case kindHello:
 		var m Hello
 		if err := json.Unmarshal(body, &m); err != nil {
@@ -217,6 +298,24 @@ func DecodeMessage(payload []byte) (Message, error) {
 		var m Stop
 		if err := json.Unmarshal(body, &m); err != nil {
 			return nil, fmt.Errorf("cluster: decoding stop: %w", err)
+		}
+		return &m, nil
+	case kindReject:
+		var m Reject
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding reject: %w", err)
+		}
+		return &m, nil
+	case kindPing:
+		var m Ping
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding ping: %w", err)
+		}
+		return &m, nil
+	case kindPong:
+		var m Pong
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("cluster: decoding pong: %w", err)
 		}
 		return &m, nil
 	}

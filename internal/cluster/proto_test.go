@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"io"
 	"net"
 	"reflect"
 	"strings"
@@ -9,11 +10,17 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
 	msgs := []Message{
+		&Challenge{Version: ProtoVersion, Nonce: "a1b2", PingMs: 2000, CutoffMs: 30000},
 		&Hello{Version: ProtoVersion, Name: "w0"},
+		&Hello{Version: ProtoVersion, Name: "w1", MAC: helloMAC("tok", "a1b2", "w1")},
+		&Reject{Reason: "authentication failed"},
+		&Ping{Seq: 7},
+		&Pong{Seq: 7},
 		&Prepare{Frames: []int{1000, 1500}},
 		&Assign{Job: 2, Experiment: "fig3-1", Seed: 42, Scale: 0.5, Workers: 2, Shard: 3, Shards: 7},
 		&LoopResult{Job: 2, Shard: 3, Loop: &experiments.LoopPartial{Label: "x", N: 10, Lo: 4}},
@@ -46,6 +53,9 @@ func TestDecodeMessageRejectsMalformed(t *testing.T) {
 		{"unknown kind", []byte("Z{}"), "unknown message kind"},
 		{"broken json", []byte("H{not json"), "decoding hello"},
 		{"wrong version", []byte(`H{"version":99,"name":"w"}`), "protocol version"},
+		{"challenge wrong version", []byte(`C{"version":2,"nonce":"n"}`), "protocol version"},
+		{"challenge negative ping", []byte(`C{"version":3,"nonce":"n","ping_ms":-1}`), "negative heartbeat"},
+		{"challenge negative cutoff", []byte(`C{"version":3,"nonce":"n","cutoff_ms":-5}`), "negative heartbeat"},
 		{"assign no experiment", []byte(`A{"seed":1,"shard":0,"shards":1}`), "names no experiment"},
 		{"assign bad shard", []byte(`A{"experiment":"x","shard":5,"shards":2}`), "invalid shard"},
 		{"assign negative job", []byte(`A{"job":-1,"experiment":"x","shard":0,"shards":1}`), "negative job"},
@@ -75,11 +85,14 @@ func TestDecodeMessageRejectsMalformed(t *testing.T) {
 // decodes to the same message.
 func FuzzDecodeMessage(f *testing.F) {
 	seedMsgs := []Message{
-		&Hello{Version: ProtoVersion, Name: "w"},
+		&Challenge{Version: ProtoVersion, Nonce: "n0", PingMs: 2000, CutoffMs: 30000},
+		&Hello{Version: ProtoVersion, Name: "w", MAC: helloMAC("", "n0", "w")},
+		&Reject{Reason: "nope"},
 		&Prepare{Frames: []int{1000}},
 		&Assign{Job: 1, Experiment: "fig3-1", Shard: 0, Shards: 1},
 		&LoopResult{Job: 1, Shard: 0, Loop: &experiments.LoopPartial{Label: "l", N: 1}},
 		&ShardDone{}, &ShardError{Msg: "x"}, &Stop{},
+		&Ping{Seq: 1}, &Pong{Seq: 1},
 	}
 	for _, m := range seedMsgs {
 		b, _ := EncodeMessage(m)
@@ -103,17 +116,37 @@ func FuzzDecodeMessage(f *testing.F) {
 	})
 }
 
-// TestConnRejectsGarbageStream feeds raw garbage — not valid frames, or
-// valid frames holding invalid messages — to a connection's Recv and
-// expects errors, never panics or hangs: the satellite failure-path
-// contract that a malformed peer cannot take the coordinator down.
+// sumFrame builds one valid checksummed frame (chain origin 0) holding
+// the given payload — the shape Recv expects on a fresh conn.
+func sumFrame(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	frame, _, err := stats.AppendFrameSum(nil, payload, 0)
+	if err != nil {
+		t.Fatalf("AppendFrameSum: %v", err)
+	}
+	return frame
+}
+
+// TestConnRejectsGarbageStream feeds raw garbage — not valid frames,
+// frames with broken checksums, or valid frames holding invalid
+// messages — to a connection's Recv and expects errors, never panics or
+// hangs: the satellite failure-path contract that a malformed peer
+// cannot take the coordinator down.
 func TestConnRejectsGarbageStream(t *testing.T) {
+	badTrailer := sumFrame(t, []byte(`S{}`))
+	badTrailer[len(badTrailer)-1] ^= 0x01 // flip a trailer bit
+	badPayload := sumFrame(t, []byte(`S{}`))
+	badPayload[stats.FrameHeaderLen] ^= 0x80 // flip a payload bit
 	cases := [][]byte{
 		[]byte("not a frame at all"),
-		{0xff, 0xff, 0xff, 0x7f, 'x'},         // forged 2 GiB length
-		{5, 0, 0, 0, 'Z', '{', '}', 'x', 'y'}, // frame holding unknown kind
-		{1, 0, 0, 0},                          // truncated payload
-		{3, 0, 0, 0, 'H', '{', 'b'},           // frame holding broken JSON
+		{0xff, 0xff, 0xff, 0x7f, 'x'},          // forged 2 GiB length
+		{5, 0, 0, 0, 'Z', '{', '}', 'x', 'y'},  // frame with no trailer
+		{1, 0, 0, 0},                           // truncated payload
+		sumFrame(t, []byte("Z{}")),             // valid frame, unknown kind
+		sumFrame(t, []byte("H{b")),             // valid frame, broken JSON
+		badTrailer,                             // corrupted checksum trailer
+		badPayload,                             // corrupted payload byte
+		sumFrame(t, []byte(`H{"version":99}`)), // valid frame, wrong version
 	}
 	for i, in := range cases {
 		a, b := net.Pipe()
@@ -161,4 +194,49 @@ func TestConnFrameRoundTrip(t *testing.T) {
 	if !ok || !bytes.Equal([]byte(got.Msg), []byte(big.Msg)) {
 		t.Fatalf("round trip mismatch: %T", m)
 	}
+}
+
+// FuzzHandshake drives the worker-side handshake against an arbitrary
+// first frame from the coordinator. Whatever the frame holds — a valid
+// challenge, a reject, garbage JSON, a non-challenge message — the
+// handshake must return an error or succeed; it must never panic and
+// never wedge on the pipe.
+func FuzzHandshake(f *testing.F) {
+	seed := func(m Message) {
+		b, err := EncodeMessage(m)
+		if err != nil {
+			f.Fatalf("encode seed: %v", err)
+		}
+		f.Add(b)
+	}
+	seed(&Challenge{Version: ProtoVersion, Nonce: "n", PingMs: 100, CutoffMs: 1000})
+	seed(&Challenge{Version: ProtoVersion, Nonce: ""})
+	seed(&Reject{Reason: "no"})
+	seed(&Stop{})
+	f.Add([]byte("C{"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		a, b := net.Pipe()
+		worker := newStreamConn(b, b, b.Close)
+		go func() {
+			frame, _, err := stats.AppendFrameSum(nil, payload, 0)
+			if err != nil {
+				a.Close() // unframeable input: hang up so Recv sees EOF fast
+				return
+			}
+			a.Write(frame)
+			io.Copy(io.Discard, a) // drain the hello so the worker's Send never wedges
+		}()
+		if err := Handshake(worker, "w", "tok"); err == nil {
+			// Accepted: the first frame must have been a well-formed
+			// challenge, or the handshake is not validating its input.
+			if m, derr := DecodeMessage(payload); derr != nil {
+				t.Fatalf("handshake accepted an undecodable challenge frame")
+			} else if _, ok := m.(*Challenge); !ok {
+				t.Fatalf("handshake accepted a %T as a challenge", m)
+			}
+		}
+		worker.Close()
+		a.Close()
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -16,9 +17,10 @@ import (
 const maxFrame = stats.MaxFrame
 
 // Conn is one bidirectional, ordered protocol stream between a
-// coordinator and a worker. Send and Recv are each safe for one
-// concurrent caller (the runtime uses one sender and one reader per
-// connection); Close unblocks both.
+// coordinator and a worker. Send is safe for concurrent callers (the
+// worker's reader goroutine answers pings while the main loop streams
+// results); Recv is safe for one concurrent caller; Close unblocks
+// both.
 type Conn interface {
 	Send(Message) error
 	Recv() (Message, error)
@@ -36,14 +38,51 @@ type Transport interface {
 	Close() error
 }
 
+// readDeadliner / writeDeadliner are satisfied by every underlying
+// stream the transports use: net.Conn (TCP), net.Pipe (in-process), and
+// *os.File pipes (subprocess stdio, pollable on Linux). Streams that
+// lack deadline support — or return os.ErrNoDeadline — simply run
+// without per-message timeouts; the heartbeat layer still bounds how
+// long a silent peer is tolerated.
+type readDeadliner interface {
+	SetReadDeadline(time.Time) error
+}
+
+type writeDeadliner interface {
+	SetWriteDeadline(time.Time) error
+}
+
+// timeoutSetter is the optional Conn capability the coordinator and
+// worker use to arm per-message deadlines; streamConn (and everything
+// embedding it) implements it.
+type timeoutSetter interface {
+	// SetTimeouts arms per-message read/write deadlines (0 disables
+	// either). Must be called before concurrent Send/Recv traffic
+	// starts — in practice, during the handshake.
+	SetTimeouts(read, write time.Duration)
+}
+
 // streamConn frames messages over any ordered byte stream — a TCP
 // connection, a subprocess pipe pair, stdio. Every transport routes
 // through it, so the frame and message codecs are exercised identically
-// everywhere.
+// everywhere. Each direction carries an independent rolling CRC32C
+// chain (stats.WriteFrameSum/ReadFrameSum): rsum/wsum thread the chain
+// state frame to frame, so corruption, drops, duplicates, and reorders
+// on the stream all surface as stats.ErrChecksum at the reader.
 type streamConn struct {
-	r  *bufio.Reader
-	w  *bufio.Writer
-	wg sync.Mutex
+	r    *bufio.Reader
+	w    *bufio.Writer
+	wg   sync.Mutex
+	rsum uint32 // reader-side chain state (single reader, no lock)
+	wsum uint32 // writer-side chain state (guarded by wg)
+
+	rd readDeadliner // non-nil when the read stream supports deadlines
+	wd writeDeadliner
+
+	readTimeout  time.Duration // per-message budgets; 0 = no deadline
+	writeTimeout time.Duration
+
+	faults *ConnFaults // non-nil when fault injection is active (guarded by wg)
 
 	closeOnce sync.Once
 	closeErr  error
@@ -51,9 +90,25 @@ type streamConn struct {
 }
 
 // newStreamConn wraps a read stream, a write stream, and a close
-// function (which must unblock pending reads) into a Conn.
+// function (which must unblock pending reads) into a Conn. Deadline
+// support is detected by interface assertion on the raw streams.
 func newStreamConn(r io.Reader, w io.Writer, close func() error) *streamConn {
-	return &streamConn{r: bufio.NewReader(r), w: bufio.NewWriter(w), close: close}
+	c := &streamConn{r: bufio.NewReader(r), w: bufio.NewWriter(w), close: close}
+	c.rd, _ = r.(readDeadliner)
+	c.wd, _ = w.(writeDeadliner)
+	return c
+}
+
+// stream exposes the underlying streamConn; embedding types (procConn)
+// inherit it, which is how InjectFaults reaches the frame layer of any
+// transport's conns.
+func (c *streamConn) stream() *streamConn { return c }
+
+// SetTimeouts arms per-message deadlines. Not safe concurrently with
+// in-flight Send/Recv; both runtimes call it during the handshake, with
+// one goroutine touching the conn.
+func (c *streamConn) SetTimeouts(read, write time.Duration) {
+	c.readTimeout, c.writeTimeout = read, write
 }
 
 func (c *streamConn) Send(m Message) error {
@@ -63,17 +118,30 @@ func (c *streamConn) Send(m Message) error {
 	}
 	c.wg.Lock()
 	defer c.wg.Unlock()
-	if err := stats.WriteFrame(c.w, payload); err != nil {
+	if c.wd != nil && c.writeTimeout > 0 {
+		c.wd.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+		defer c.wd.SetWriteDeadline(time.Time{})
+	}
+	if c.faults != nil {
+		return c.sendFaulty(payload)
+	}
+	sum, err := stats.WriteFrameSum(c.w, payload, c.wsum)
+	if err != nil {
 		return err
 	}
+	c.wsum = sum
 	return c.w.Flush()
 }
 
 func (c *streamConn) Recv() (Message, error) {
-	payload, err := stats.ReadFrame(c.r, maxFrame)
+	if c.rd != nil && c.readTimeout > 0 {
+		c.rd.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+	payload, sum, err := stats.ReadFrameSum(c.r, maxFrame, c.rsum)
 	if err != nil {
 		return nil, err
 	}
+	c.rsum = sum
 	return DecodeMessage(payload)
 }
 

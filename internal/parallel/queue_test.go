@@ -130,6 +130,87 @@ func TestShardQueueRequeueThenCompleteDropsPendingRetry(t *testing.T) {
 	}
 }
 
+func TestShardQueueStealSkipsCompleted(t *testing.T) {
+	q := NewShardQueue(3)
+	for i := 0; i < 3; i++ {
+		q.Next()
+	}
+	q.Complete(0)
+	q.Complete(2)
+	// Only shard 1 is still in flight; a steal must target it, never a
+	// completed shard.
+	st, ok := q.Steal()
+	if !ok || st.Index != 1 {
+		t.Fatalf("Steal() = %v %v, want shard 1 (the only incomplete one)", st, ok)
+	}
+	q.Complete(1)
+	if _, ok := q.Steal(); ok {
+		t.Fatal("Steal succeeded with every shard complete")
+	}
+	if !q.Done() {
+		t.Fatal("not Done")
+	}
+}
+
+// TestShardQueueDoubleCompleteKeepsCountsExact: when both copies of a
+// speculated shard finish, the loser's completion must neither double
+// count the shard nor corrupt the in-flight accounting.
+func TestShardQueueDoubleCompleteKeepsCountsExact(t *testing.T) {
+	q := NewShardQueue(2)
+	a, _ := q.Next()
+	q.Next()
+	if st, ok := q.Steal(); !ok || st.Index != a.Index {
+		t.Fatalf("Steal() = %v %v, want a copy of shard %d", st, ok, a.Index)
+	}
+	if !q.Complete(a.Index) {
+		t.Fatal("first completion rejected")
+	}
+	if q.Complete(a.Index) {
+		t.Fatal("losing copy's completion accepted")
+	}
+	pend, inflight, completed := q.Counts()
+	if pend != 0 || inflight != 1 || completed != 1 {
+		t.Fatalf("Counts() = %d/%d/%d, want 0 pending, 1 inflight (shard b), 1 completed",
+			pend, inflight, completed)
+	}
+	if q.Done() {
+		t.Fatal("Done with shard b still in flight")
+	}
+}
+
+// TestShardQueueBothCopiesDieThenRedispatch: a speculated shard losing
+// both copies must re-enter the queue exactly once, be redispatched,
+// and complete normally — the path a chaotic transport exercises when
+// a partition takes out the original and the speculative copy together.
+func TestShardQueueBothCopiesDieThenRedispatch(t *testing.T) {
+	q := NewShardQueue(2)
+	a, _ := q.Next()
+	q.Next()
+	q.Steal() // copy 2 of shard a
+	q.Requeue(a.Index)
+	if live := q.Requeue(a.Index); live != 0 {
+		t.Fatalf("second Requeue returned %d live copies, want 0", live)
+	}
+	pend, inflight, _ := q.Counts()
+	if pend != 1 || inflight != 1 {
+		t.Fatalf("Counts() = %d pending/%d inflight, want 1/1 (a queued, b flying)", pend, inflight)
+	}
+	re, ok := q.Next()
+	if !ok || re.Index != a.Index {
+		t.Fatalf("redispatch Next() = %v %v, want shard %d", re, ok, a.Index)
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("shard re-entered the queue more than once")
+	}
+	if !q.Complete(re.Index) {
+		t.Fatal("redispatched copy's completion rejected")
+	}
+	q.Complete(1)
+	if !q.Done() {
+		t.Fatal("not Done after the redispatched copy completed")
+	}
+}
+
 func TestShardQueueConcurrentWorkers(t *testing.T) {
 	// Hammer the queue from many goroutines; every shard must complete
 	// exactly once (first-completion semantics) regardless of schedule.

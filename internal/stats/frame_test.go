@@ -72,9 +72,141 @@ func TestFrameForgedLengthBoundedAllocation(t *testing.T) {
 	}
 }
 
+// TestFrameSumRoundTrip streams several checksummed frames through one
+// rolling chain and reads them back; the chain state must thread
+// identically on both sides.
+func TestFrameSumRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 65536+17),
+	}
+	var buf bytes.Buffer
+	var wsum uint32
+	for _, p := range payloads {
+		var err error
+		if wsum, err = WriteFrameSum(&buf, p, wsum); err != nil {
+			t.Fatalf("WriteFrameSum(%d bytes): %v", len(p), err)
+		}
+	}
+	var rsum uint32
+	for i, p := range payloads {
+		got, sum, err := ReadFrameSum(&buf, 0, rsum)
+		if err != nil {
+			t.Fatalf("ReadFrameSum %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+		rsum = sum
+	}
+	if rsum != wsum {
+		t.Fatalf("chains diverge after a clean stream: read %08x, wrote %08x", rsum, wsum)
+	}
+	if _, _, err := ReadFrameSum(&buf, 0, rsum); err != io.EOF {
+		t.Fatalf("clean end: err = %v, want io.EOF", err)
+	}
+}
+
+// TestAppendFrameSumMatchesWriter: the in-memory form must be
+// byte-identical to the writer form — fault injection depends on it.
+func TestAppendFrameSumMatchesWriter(t *testing.T) {
+	payload := []byte("the same bytes either way")
+	var buf bytes.Buffer
+	wsum, err := WriteFrameSum(&buf, payload, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, asum, err := AppendFrameSum(nil, payload, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsum != asum {
+		t.Errorf("chains diverge: writer %08x, append %08x", wsum, asum)
+	}
+	if !bytes.Equal(buf.Bytes(), frame) {
+		t.Errorf("frames differ:\nwriter %x\nappend %x", buf.Bytes(), frame)
+	}
+	if len(frame) != FrameHeaderLen+len(payload)+FrameTrailerLen {
+		t.Errorf("frame length %d, want header+payload+trailer = %d",
+			len(frame), FrameHeaderLen+len(payload)+FrameTrailerLen)
+	}
+}
+
+// TestFrameSumDetectsCorruption: flipping any single payload or trailer
+// bit must surface as ErrChecksum (which is also an ErrCodec).
+func TestFrameSumDetectsCorruption(t *testing.T) {
+	frame, _, err := AppendFrameSum(nil, []byte("precious payload"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := FrameHeaderLen; off < len(frame); off++ {
+		bad := bytes.Clone(frame)
+		bad[off] ^= 0x01
+		_, _, err := ReadFrameSum(bytes.NewReader(bad), 0, 0)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrChecksum", off, err)
+		}
+		if !errors.Is(err, ErrCodec) {
+			t.Fatalf("flip at %d: ErrChecksum does not wrap ErrCodec", off)
+		}
+	}
+}
+
+// TestFrameSumDetectsDropAndDup: the rolling chain catches stream-level
+// faults that leave every individual frame intact — a missing frame and
+// a replayed frame both break the chain at the next read.
+func TestFrameSumDetectsDropAndDup(t *testing.T) {
+	frames := make([][]byte, 3)
+	var sum uint32
+	for i := range frames {
+		var err error
+		frames[i], sum, err = AppendFrameSum(nil, []byte{'a' + byte(i)}, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop frame 1: frame 2's trailer no longer continues the chain.
+	dropped := bytes.NewReader(append(bytes.Clone(frames[0]), frames[2]...))
+	_, sum0, err := ReadFrameSum(dropped, 0, 0)
+	if err != nil {
+		t.Fatalf("frame 0: %v", err)
+	}
+	if _, _, err := ReadFrameSum(dropped, 0, sum0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("dropped frame: err = %v, want ErrChecksum at the next frame", err)
+	}
+	// Duplicate frame 0: the second copy's trailer restates a chain the
+	// reader has already advanced past.
+	duped := bytes.NewReader(append(bytes.Clone(frames[0]), frames[0]...))
+	_, sum0, err = ReadFrameSum(duped, 0, 0)
+	if err != nil {
+		t.Fatalf("first copy: %v", err)
+	}
+	if _, _, err := ReadFrameSum(duped, 0, sum0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("duplicated frame: err = %v, want ErrChecksum at the second copy", err)
+	}
+}
+
+// TestFrameSumTruncatedTrailer: a frame cut off inside its trailer is a
+// framing error, not a silent success.
+func TestFrameSumTruncatedTrailer(t *testing.T) {
+	frame, _, err := AppendFrameSum(nil, []byte("abc"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(frame) - FrameTrailerLen; cut < len(frame); cut++ {
+		if _, _, err := ReadFrameSum(bytes.NewReader(frame[:cut]), 0, 0); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
 // FuzzReadFrame asserts the decoder's safety contract on arbitrary
 // streams: never panic, never allocate beyond the limit, and round-trip
-// whatever it accepts.
+// whatever it accepts. The checksummed reader is held to the same
+// contract over the same corpus: it must never panic, and anything it
+// accepts must carry a valid chain trailer.
 func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0, 'x'})
@@ -82,7 +214,15 @@ func FuzzReadFrame(f *testing.F) {
 	var seed bytes.Buffer
 	WriteFrame(&seed, []byte("hello"))
 	f.Add(seed.Bytes())
+	var sumSeed bytes.Buffer
+	WriteFrameSum(&sumSeed, []byte("hello"), 0)
+	f.Add(sumSeed.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if sp, sum, err := ReadFrameSum(bytes.NewReader(data), 1<<20, 0); err == nil {
+			if want := ChainSum(0, sp); sum != want {
+				t.Fatalf("accepted frame advances chain to %08x, want %08x", sum, want)
+			}
+		}
 		payload, err := ReadFrame(bytes.NewReader(data), 1<<20)
 		if err != nil {
 			return
@@ -93,6 +233,37 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		got, err := ReadFrame(&buf, 1<<20)
 		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip mismatch: %v", err)
+		}
+	})
+}
+
+// FuzzReadFrameSum fuzzes the checksummed reader with arbitrary chain
+// origins: corruption anywhere must yield ErrChecksum or a framing
+// error — never a panic, never a bogus acceptance.
+func FuzzReadFrameSum(f *testing.F) {
+	frame, _, _ := AppendFrameSum(nil, []byte("seed payload"), 0)
+	f.Add(frame, uint32(0))
+	frame2, _, _ := AppendFrameSum(nil, []byte("chained"), 12345)
+	f.Add(frame2, uint32(12345))
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{3, 0, 0, 0, 'a', 'b', 'c'}, uint32(9))
+	f.Fuzz(func(t *testing.T, data []byte, prev uint32) {
+		payload, sum, err := ReadFrameSum(bytes.NewReader(data), 1<<20, prev)
+		if err != nil {
+			return
+		}
+		if want := ChainSum(prev, payload); sum != want {
+			t.Fatalf("accepted frame advances chain to %08x, want %08x", sum, want)
+		}
+		// Re-emit from the same chain origin and read it back.
+		var buf bytes.Buffer
+		wsum, err := WriteFrameSum(&buf, payload, prev)
+		if err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		got, rsum, err := ReadFrameSum(&buf, 1<<20, prev)
+		if err != nil || !bytes.Equal(got, payload) || rsum != wsum {
 			t.Fatalf("round trip mismatch: %v", err)
 		}
 	})
