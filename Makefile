@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke cover fuzz
+.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke cover fuzz
 
 all: build
 
@@ -176,6 +176,66 @@ chaos-smoke:
 		cat "$$tmp/coord.err" "$$tmp/w1.err" "$$tmp/w2.err" "$$tmp/w3.err" 2>/dev/null; exit 1; }; \
 	echo "chaos-smoke: campaign under drops, dups, delays, partitions, and a corrupting worker: faults fired, sessions reconnected, every report bit-identical to hintbench"
 
+# Control-plane smoke over real TCP, in two deterministic phases.
+# Phase 1, before any worker connects (so no dispatch can race the
+# mutations): scrape /status through the one-shot client, submit one
+# job, submit-then-cancel another, reject a bogus cancel, and check the
+# submitted/cancelled counters on /metrics. Phase 2: connect two
+# workers and poll the live endpoint until a worker row shows nonzero
+# streamed loops — proof the status plane observes the fleet mid-run.
+# The second campaign job is deliberately heavy (fig3-5 at scale 0.5)
+# so that window is wide. Finally every report — including the job
+# submitted over HTTP — must be byte-identical to standalone hintbench,
+# and the cancelled job must have written none.
+status-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard || exit 1; \
+	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench || exit 1; \
+	( timeout 240 "$$tmp/hintshard" -campaign -shards 3 -scale 0.2 -seed 42 \
+		-listen 127.0.0.1:0 -addr-file "$$tmp/addr" \
+		-status-addr 127.0.0.1:0 -status-addr-file "$$tmp/saddr" \
+		-report-dir "$$tmp/reports" \
+		fig2-2 fig3-5:scale=0.5:shards=4 > "$$tmp/campaign.out" 2> "$$tmp/coord.err" ) & \
+	coord=$$!; \
+	for i in $$(seq 100); do \
+		[ -s "$$tmp/addr" ] && [ -s "$$tmp/saddr" ] && break; \
+		kill -0 $$coord 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	[ -s "$$tmp/saddr" ] || { echo "coordinator never published its control-plane address:"; cat "$$tmp/coord.err"; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); saddr=$$(cat "$$tmp/saddr"); \
+	"$$tmp/hintshard" -status "$$saddr" > "$$tmp/st1.out" || { echo "status scrape failed"; cat "$$tmp/coord.err"; exit 1; }; \
+	grep -q "workers: none connected yet" "$$tmp/st1.out" || { echo "expected an empty fleet in phase 1:"; cat "$$tmp/st1.out"; exit 1; }; \
+	"$$tmp/hintshard" -status "$$saddr" -submit fig3-1:seed=7:shards=2 | grep -q '"job": 2' || { echo "submit did not yield job 2"; exit 1; }; \
+	"$$tmp/hintshard" -status "$$saddr" -submit fig2-2:seed=9:shards=2 | grep -q '"job": 3' || { echo "second submit did not yield job 3"; exit 1; }; \
+	"$$tmp/hintshard" -status "$$saddr" -cancel 3 > /dev/null || { echo "cancel of job 3 failed"; exit 1; }; \
+	if "$$tmp/hintshard" -status "$$saddr" -cancel 17 2>/dev/null; then echo "cancel of a nonexistent job succeeded"; exit 1; fi; \
+	"$$tmp/hintshard" -status "$$saddr" > "$$tmp/st2.out" || exit 1; \
+	grep -q "job=3 .*state=cancelled" "$$tmp/st2.out" || { echo "cancelled job not shown cancelled:"; cat "$$tmp/st2.out"; exit 1; }; \
+	"$$tmp/hintshard" -status "$$saddr" -metrics > "$$tmp/metrics.out" || exit 1; \
+	grep -q "hintshard_jobs_submitted_total 2" "$$tmp/metrics.out" || { echo "submitted counter wrong:"; cat "$$tmp/metrics.out"; exit 1; }; \
+	grep -q "hintshard_jobs_cancelled_total 1" "$$tmp/metrics.out" || { echo "cancelled counter wrong:"; cat "$$tmp/metrics.out"; exit 1; }; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w1.err" ) & w1=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w2.err" ) & w2=$$!; \
+	live=0; \
+	for i in $$(seq 400); do \
+		"$$tmp/hintshard" -status "$$saddr" > "$$tmp/live.out" 2>/dev/null || break; \
+		grep -Eq "worker=.* loops=[1-9]" "$$tmp/live.out" && { live=1; break; }; \
+		kill -0 $$coord 2>/dev/null || break; \
+	done; \
+	[ "$$live" = 1 ] || { echo "never observed a worker with nonzero live throughput:"; cat "$$tmp/live.out" "$$tmp/coord.err" 2>/dev/null; exit 1; }; \
+	wait $$coord || { echo "campaign coordinator failed:"; cat "$$tmp/coord.err"; exit 1; }; \
+	wait $$w1 || { echo "worker 1 exited non-zero:"; cat "$$tmp/w1.err"; exit 1; }; \
+	wait $$w2 || { echo "worker 2 exited non-zero:"; cat "$$tmp/w2.err"; exit 1; }; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig2-2 > "$$tmp/single1.out" || exit 1; \
+	"$$tmp/hintbench" -scale 0.5 -seed 42 fig3-5 > "$$tmp/single2.out" || exit 1; \
+	"$$tmp/hintbench" -scale 0.2 -seed 7 fig3-1 > "$$tmp/single3.out" || exit 1; \
+	diff "$$tmp/single1.out" "$$tmp/reports/job1-fig2-2.out" || exit 1; \
+	diff "$$tmp/single2.out" "$$tmp/reports/job2-fig3-5.out" || exit 1; \
+	diff "$$tmp/single3.out" "$$tmp/reports/job3-fig3-1.out" || exit 1; \
+	[ ! -e "$$tmp/reports/job4-fig2-2.out" ] || { echo "cancelled job wrote a report"; exit 1; }; \
+	echo "status-smoke: live scrape, HTTP submit and cancel took effect, reports bit-identical to hintbench"
+
 # Coverage floors for the packages that carry the serialization,
 # sharding, scheduling, and campaign contracts — roughly five points
 # under the measured totals (stats 89.4, parallel 96.8, cluster 88.8,
@@ -250,4 +310,4 @@ hintserve-smoke:
 	cat "$$tmp/load2.out"; \
 	echo "hintserve-smoke: plane survived a herd killed mid-run and kept serving"
 
-ci: build vet shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke race
+ci: build vet shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke race

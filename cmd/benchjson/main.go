@@ -39,11 +39,15 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is a pointer so a measured 0 survives the JSON round
+	// trip: with a plain float64 and omitempty, the recorded zero-alloc
+	// contract of a b.ReportAllocs benchmark silently vanished from the
+	// record — and the gate had nothing to compare.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Extra holds custom b.ReportMetric columns (pps, p99-us, ...)
 	// keyed by their unit string.
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -111,7 +115,9 @@ func parseResults(raw []byte) []Result {
 			r.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
 		}
 		if am := allocsCol.FindStringSubmatch(m[4]); am != nil {
-			r.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+			if v, err := strconv.ParseFloat(am[1], 64); err == nil {
+				r.AllocsPerOp = &v
+			}
 		}
 		// Custom b.ReportMetric columns (anything besides the three
 		// standard units) land in Extra keyed by unit.
@@ -150,6 +156,51 @@ func writeReport(rep Report, path string) {
 // slower than the recorded trajectory before -check fails.
 const maxRegression = 1.25
 
+// compareResults gates fresh results against the recorded ones and
+// returns the per-entry report lines, the regression descriptions, and
+// how many entries overlapped. Two rules per overlapping entry:
+//
+//   - ns/op may grow up to maxRegression (CI hardware variance);
+//   - allocs/op is exact, not noisy: a recorded 0 that turns nonzero
+//     breaks an allocation-budget contract, a nonzero record must not
+//     grow, and a record that stops being measured at all un-gates the
+//     contract silently — all three fail the check.
+func compareResults(recBy map[string]Result, fresh []Result) (compared int, lines, regressions []string) {
+	for _, r := range fresh {
+		base, ok := recBy[r.Name]
+		if !ok || base.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		verdict := "ok"
+		ratio := r.NsPerOp / base.NsPerOp
+		if ratio > maxRegression {
+			verdict = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f ns/op vs recorded %.1f ns/op (%.2fx)", r.Name, r.NsPerOp, base.NsPerOp, ratio))
+		}
+		allocs := ""
+		if base.AllocsPerOp != nil {
+			switch {
+			case r.AllocsPerOp == nil:
+				verdict = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s: allocs/op no longer reported (recorded %g; the allocation gate would go silent)", r.Name, *base.AllocsPerOp))
+			case *base.AllocsPerOp == 0 && *r.AllocsPerOp > 0:
+				verdict = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s: %g allocs/op vs recorded 0 (zero-alloc contract broken)", r.Name, *r.AllocsPerOp))
+			case *r.AllocsPerOp > *base.AllocsPerOp:
+				verdict = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s: %g allocs/op vs recorded %g", r.Name, *r.AllocsPerOp, *base.AllocsPerOp))
+			}
+			if r.AllocsPerOp != nil {
+				allocs = fmt.Sprintf("  %g/%g allocs/op", *r.AllocsPerOp, *base.AllocsPerOp)
+			}
+		}
+		lines = append(lines, fmt.Sprintf("check %-40s recorded %10.1f ns/op  current %10.1f ns/op  %.2fx%s  %s",
+			r.Name, base.NsPerOp, r.NsPerOp, ratio, allocs, verdict))
+	}
+	return compared, lines, regressions
+}
+
 // check re-runs the micro-benchmarks and compares ns/op against the
 // recorded report; returns the exit code.
 func check(recordPath, outPath, micro, microtime string) int {
@@ -178,36 +229,23 @@ func check(recordPath, outPath, micro, microtime string) int {
 	}
 	writeReport(fresh, outPath)
 
-	var regressions []string
-	compared := 0
-	for _, r := range fresh.Results {
-		base, ok := recBy[r.Name]
-		if !ok || base.NsPerOp <= 0 || r.NsPerOp <= 0 {
-			continue
-		}
-		compared++
-		ratio := r.NsPerOp / base.NsPerOp
-		verdict := "ok"
-		if ratio > maxRegression {
-			verdict = "REGRESSED"
-			regressions = append(regressions, fmt.Sprintf("%s: %.1f ns/op vs recorded %.1f ns/op (%.2fx)", r.Name, r.NsPerOp, base.NsPerOp, ratio))
-		}
-		fmt.Printf("check %-40s recorded %10.1f ns/op  current %10.1f ns/op  %.2fx  %s\n",
-			r.Name, base.NsPerOp, r.NsPerOp, ratio, verdict)
+	compared, lines, regressions := compareResults(recBy, fresh.Results)
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	if compared == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no hot-path entries of %s overlap the current benchmarks (stale record?)\n", recordPath)
 		return 1
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d hot-path entr%s regressed more than %d%%:\n",
-			len(regressions), map[bool]string{true: "y", false: "ies"}[len(regressions) == 1], int(maxRegression*100)-100)
+		fmt.Fprintf(os.Stderr, "benchjson: %d hot-path regression%s (ns/op gate %d%%, allocs/op gated exactly):\n",
+			len(regressions), map[bool]string{true: "", false: "s"}[len(regressions) == 1], int(maxRegression*100)-100)
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
 		return 1
 	}
-	fmt.Printf("benchjson: %d hot-path entries within %d%% of the recorded trajectory\n", compared, int(maxRegression*100)-100)
+	fmt.Printf("benchjson: %d hot-path entries within %d%% of the recorded trajectory (allocs/op unchanged)\n", compared, int(maxRegression*100)-100)
 	return 0
 }
 

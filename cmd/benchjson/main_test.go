@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+func rec(rs ...Result) map[string]Result {
+	m := map[string]Result{}
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m
+}
+
+// TestCompareResultsNsGate pins the original ns/op rule: up to 25%
+// slower passes, beyond it fails.
+func TestCompareResultsNsGate(t *testing.T) {
+	base := rec(Result{Name: "BenchmarkX", NsPerOp: 100})
+	if _, _, regs := compareResults(base, []Result{{Name: "BenchmarkX", NsPerOp: 124}}); len(regs) != 0 {
+		t.Errorf("24%% slower flagged: %v", regs)
+	}
+	compared, _, regs := compareResults(base, []Result{{Name: "BenchmarkX", NsPerOp: 126}})
+	if compared != 1 || len(regs) != 1 {
+		t.Errorf("26%% slower not flagged: compared=%d regs=%v", compared, regs)
+	}
+}
+
+// TestCompareResultsAllocGate is the regression test for the silent
+// alloc-gate bug: a recorded allocs/op of 0 turning nonzero must fail
+// the check (it never did — only ns/op was compared), growth of a
+// nonzero record must fail, and equal-or-better allocs must pass.
+func TestCompareResultsAllocGate(t *testing.T) {
+	base := rec(
+		Result{Name: "BenchmarkZeroAlloc", NsPerOp: 100, AllocsPerOp: f(0)},
+		Result{Name: "BenchmarkSomeAllocs", NsPerOp: 100, AllocsPerOp: f(2)},
+	)
+
+	// The injected regression: 0 allocs/op recorded, 1 measured. ns/op
+	// is identical, so only the alloc rule can catch it.
+	_, _, regs := compareResults(base, []Result{{Name: "BenchmarkZeroAlloc", NsPerOp: 100, AllocsPerOp: f(1)}})
+	if len(regs) != 1 || !strings.Contains(regs[0], "zero-alloc contract") {
+		t.Errorf("0 -> 1 allocs/op not flagged: %v", regs)
+	}
+
+	// Growth of a nonzero record fails; staying equal or shrinking
+	// passes.
+	_, _, regs = compareResults(base, []Result{{Name: "BenchmarkSomeAllocs", NsPerOp: 100, AllocsPerOp: f(3)}})
+	if len(regs) != 1 {
+		t.Errorf("2 -> 3 allocs/op not flagged: %v", regs)
+	}
+	_, _, regs = compareResults(base, []Result{
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 100, AllocsPerOp: f(0)},
+		{Name: "BenchmarkSomeAllocs", NsPerOp: 100, AllocsPerOp: f(1)},
+	})
+	if len(regs) != 0 {
+		t.Errorf("unchanged/improved allocs flagged: %v", regs)
+	}
+
+	// A benchmark that stops reporting allocs would un-gate the
+	// contract silently — that is itself a failure.
+	_, _, regs = compareResults(base, []Result{{Name: "BenchmarkZeroAlloc", NsPerOp: 100}})
+	if len(regs) != 1 || !strings.Contains(regs[0], "no longer reported") {
+		t.Errorf("lost allocs column not flagged: %v", regs)
+	}
+
+	// No recorded allocs: no alloc gate, whatever fresh reports.
+	loose := rec(Result{Name: "BenchmarkY", NsPerOp: 100})
+	if _, _, regs := compareResults(loose, []Result{{Name: "BenchmarkY", NsPerOp: 100, AllocsPerOp: f(7)}}); len(regs) != 0 {
+		t.Errorf("ungated benchmark flagged on allocs: %v", regs)
+	}
+}
+
+// TestParseResultsAllocs proves the parse → record → reload round trip
+// preserves a measured 0 allocs/op: the omitempty float64 form dropped
+// it, which is how the recorded contract went missing.
+func TestParseResultsAllocs(t *testing.T) {
+	raw := "BenchmarkHot-4   1000   125 ns/op   0 B/op   0 allocs/op\n" +
+		"BenchmarkNoAllocs-4   500   90 ns/op\n"
+	rs := parseResults([]byte(raw))
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rs))
+	}
+	if rs[0].AllocsPerOp == nil || *rs[0].AllocsPerOp != 0 {
+		t.Fatalf("measured 0 allocs/op parsed as %v", rs[0].AllocsPerOp)
+	}
+	if rs[1].AllocsPerOp != nil {
+		t.Fatalf("unmeasured allocs parsed as %v", *rs[1].AllocsPerOp)
+	}
+	data, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"allocs_per_op":0`) {
+		t.Fatalf("measured 0 allocs/op dropped from the record: %s", data)
+	}
+	var back []Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].AllocsPerOp == nil || *back[0].AllocsPerOp != 0 {
+		t.Fatalf("0 allocs/op lost in round trip: %v", back[0].AllocsPerOp)
+	}
+}

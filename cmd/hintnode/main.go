@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/atomicfile"
+	"repro/internal/ctlplane"
 	"repro/internal/dot11"
 	"repro/internal/hintproto"
 	"repro/internal/hints"
@@ -53,6 +54,8 @@ func main() {
 	idle := flag.Duration("idle-timeout", 0, "AP idle client eviction threshold (0 = default)")
 	statsEvery := flag.Duration("stats", 2*time.Second, "AP stats logging interval (0 disables)")
 	addrFile := flag.String("addr-file", "", "write the AP's bound address to this file")
+	statusAddr := flag.String("status-addr", "", "AP: serve the HTTP control plane (/status, /metrics) on this address")
+	statusAddrFile := flag.String("status-addr-file", "", "write the resolved -status-addr address to this file")
 	logSwitches := flag.Bool("log-switches", false, "log every per-client strategy switch (noisy at scale; default on with -demo)")
 	demo := flag.Bool("demo", false, "run AP and client in one process")
 	flag.Parse()
@@ -74,13 +77,22 @@ func main() {
 		cfg.OnSwitch = logSwitch(time.Now())
 	}
 
+	if *statusAddrFile != "" && *statusAddr == "" {
+		fmt.Fprintln(os.Stderr, "-status-addr-file publishes a -status-addr address; it needs -status-addr")
+		os.Exit(2)
+	}
 	switch {
 	case *demo:
 		srv, err := startAP("127.0.0.1:0", cfg, *statsEvery, *addrFile)
 		if err != nil {
 			log.Fatal(err)
 		}
+		stopStatus, err := startStatus(*statusAddr, *statusAddrFile, srv)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ok := runClients(srv.LocalAddr().String(), *duration, *workers)
+		stopStatus()
 		srv.Close()
 		fmt.Println("[ap]", srv.Stats())
 		if !ok {
@@ -89,6 +101,9 @@ func main() {
 	case *listen != "":
 		srv, err := startAP(*listen, cfg, *statsEvery, *addrFile)
 		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := startStatus(*statusAddr, *statusAddrFile, srv); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("AP listening on", srv.LocalAddr())
@@ -114,6 +129,29 @@ func logSwitch(start time.Time) func(dot11.Addr, bool) {
 		}
 		fmt.Printf("[ap] %6.2fs hint from %v: %s\n", time.Since(start).Seconds(), addr, state)
 	}
+}
+
+// startStatus serves the AP's counters on the shared control-plane
+// endpoint shape (/status, /metrics) when -status-addr is given; the
+// returned stop function closes the endpoint. Reads go through
+// hintserve's consistent per-shard stats collection, so scraping never
+// touches the packet path.
+func startStatus(addr, addrFile string, srv *apHandle) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	cp, err := ctlplane.Start(addr, ctlplane.Config{Service: "hintnode", ServeStats: srv.Stats})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("AP control plane on", cp.Addr())
+	if addrFile != "" {
+		if err := atomicfile.WriteFile(addrFile, []byte(cp.Addr()+"\n"), 0o644); err != nil {
+			cp.Close()
+			return nil, err
+		}
+	}
+	return func() { cp.Close() }, nil
 }
 
 // apHandle pairs a serving plane with its background Serve goroutine.

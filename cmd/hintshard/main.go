@@ -35,6 +35,18 @@
 //	    hintshard -campaign -shards 6 [-scale S] [-seed N] fig2-2 fig3-1:scale=0.5
 //	    hintshard -campaign -listen :7432 [-verify 0.2] @jobs.txt
 //
+//	Either coordinator flavor also serves a live HTTP control plane
+//	with -status-addr (resolved address published via
+//	-status-addr-file): GET /status is the full scheduler state as
+//	JSON, GET /metrics the same counters in Prometheus text form, and
+//	campaigns accept POST /jobs (a job spec) and POST /jobs/{n}/cancel
+//	to mutate the running schedule. "hintshard -status <addr>" is the
+//	matching one-shot client:
+//
+//	    hintshard -status 127.0.0.1:7500
+//	    hintshard -status 127.0.0.1:7500 -submit fig2-2:seed=7:shards=2
+//	    hintshard -status 127.0.0.1:7500 -cancel 3
+//
 //	TCP worker: connect to a coordinator and pull shards until stopped.
 //
 //	    hintshard -connect host:7432 [-workers W]
@@ -82,6 +94,7 @@ import (
 	"repro/internal/atomicfile"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
+	"repro/internal/ctlplane"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
@@ -117,6 +130,12 @@ type options struct {
 	verify    float64
 	reportDir string
 	noWarm    bool
+	statAddr  string
+	statFile  string
+	statQuery string
+	submit    string
+	cancel    int
+	metrics   bool
 	token     string
 	heartbeat time.Duration
 	hbMisses  int
@@ -160,6 +179,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&o.verify, "verify", 0, "campaign: re-execute this `fraction` of each job's shards on a second worker and byte-compare (0 = off)")
 	fs.StringVar(&o.reportDir, "report-dir", "", "campaign: also write each report to `dir`/jobN-<id>.out for scripted diffing")
 	fs.BoolVar(&o.noWarm, "no-warm", false, "campaign: skip the warm-worker prepare step (workers build LUTs lazily)")
+	fs.StringVar(&o.statAddr, "status-addr", "", "coordinator/campaign: serve the HTTP control plane (/status, /metrics, POST /jobs) on `addr` (e.g. 127.0.0.1:0)")
+	fs.StringVar(&o.statFile, "status-addr-file", "", "write the resolved -status-addr address to `file` (for scripts using port 0)")
+	fs.StringVar(&o.statQuery, "status", "", "client: query the control plane at `addr` and print a status summary")
+	fs.StringVar(&o.submit, "submit", "", "with -status: submit one job `spec` to the running campaign and print its index")
+	fs.IntVar(&o.cancel, "cancel", -1, "with -status: cancel the job with this `index` (as shown in the status output)")
+	fs.BoolVar(&o.metrics, "metrics", false, "with -status: print the raw Prometheus metrics text instead of the summary")
 	fs.StringVar(&o.token, "token", "", "shared auth `secret`; the coordinator rejects workers whose hello MAC does not match (empty = trusted LAN)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "coordinator: ping `interval` for worker liveness (0 = default 2s, negative = disable heartbeats)")
 	fs.IntVar(&o.hbMisses, "heartbeat-misses", 0, "coordinator: reap a worker after this many silent heartbeat intervals (0 = default 15)")
@@ -198,6 +223,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return o.coordinate()
 	case "campaign":
 		return o.runCampaign(fs.Args())
+	case "status":
+		return o.statusClient()
 	}
 	usage(o.stderr)
 	return 2
@@ -209,6 +236,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       hintshard -connect addr                                    (TCP worker)")
 	fmt.Fprintln(w, "       hintshard -run <id> -shard k/K [-o file]                   (one-shot worker)")
 	fmt.Fprintln(w, "       hintshard -merge part.json...                              (merge partials)")
+	fmt.Fprintln(w, "       hintshard -status addr [-submit spec | -cancel N | -metrics]  (control-plane client)")
 	fmt.Fprintln(w, "job specs are id[:scale=S][:seed=N][:shards=K]; run 'hintshard -list' for ids")
 }
 
@@ -220,7 +248,7 @@ func usage(w io.Writer) {
 // operator did not ask for.
 func (o *options) mode(explicit map[string]bool) (string, error) {
 	rejectCoordFlags := func(mode string) error {
-		for _, f := range []string{"transport", "procs", "addr-file", "retries", "no-steal", "worker-die-after", "heartbeat", "heartbeat-misses"} {
+		for _, f := range []string{"transport", "procs", "addr-file", "retries", "no-steal", "worker-die-after", "heartbeat", "heartbeat-misses", "status-addr", "status-addr-file"} {
 			if explicit[f] {
 				return fmt.Errorf("-%s is a coordinator flag; it does not apply to %s", f, mode)
 			}
@@ -259,6 +287,16 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 			}
 		}
 	}
+	if o.statQuery == "" {
+		for _, f := range []string{"submit", "cancel", "metrics"} {
+			if explicit[f] {
+				return "", fmt.Errorf("-%s is a status-client flag; it needs -status addr", f)
+			}
+		}
+	}
+	if o.statFile != "" && o.statAddr == "" {
+		return "", fmt.Errorf("-status-addr-file publishes a -status-addr address; it needs -status-addr")
+	}
 	var modes []string
 	if o.merge {
 		modes = append(modes, "-merge")
@@ -279,6 +317,9 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 	}
 	if o.serveStd {
 		modes = append(modes, "-serve-stdio")
+	}
+	if o.statQuery != "" {
+		modes = append(modes, "-status")
 	}
 	if len(modes) == 0 {
 		if o.listen != "" {
@@ -341,6 +382,29 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 			}
 		}
 		return "serve-stdio", nil
+	case "-status":
+		if o.run != "" || o.listen != "" || o.out != "" {
+			return "", fmt.Errorf("-status is a read/mutate client for a running coordinator (remove -run/-listen/-o)")
+		}
+		if err := rejectCoordFlags("the -status client"); err != nil {
+			return "", err
+		}
+		if err := rejectSessionFlags("the -status client"); err != nil {
+			return "", err
+		}
+		set := 0
+		for _, on := range []bool{o.submit != "", o.cancel >= 0, o.metrics} {
+			if on {
+				set++
+			}
+		}
+		if set > 1 {
+			return "", fmt.Errorf("pick one of -submit, -cancel, -metrics per -status invocation")
+		}
+		if explicit["cancel"] && o.cancel < 0 {
+			return "", fmt.Errorf("-cancel %d is not a job index", o.cancel)
+		}
+		return "status", nil
 	case "-campaign":
 		if o.run != "" {
 			return "", fmt.Errorf("campaign jobs are given as job specs, not -run")
@@ -585,7 +649,29 @@ func (o *options) coordinate() int {
 		return 1
 	}
 
+	// Single-run coordinators serve status and metrics read-only: there
+	// is no campaign to submit more jobs to, so the mutation hooks stay
+	// unset and POST answers 403.
+	var control *cluster.Control
+	if o.statAddr != "" {
+		control = cluster.NewControl()
+		ctl, err := ctlplane.Start(o.statAddr, ctlplane.Config{Service: "hintshard", Control: control, Logf: o.logf()})
+		if err != nil {
+			fmt.Fprintln(o.stderr, err)
+			return 1
+		}
+		defer ctl.Close()
+		fmt.Fprintf(o.stderr, "hintshard: control plane on %s\n", ctl.Addr())
+		if o.statFile != "" {
+			if err := atomicfile.WriteFile(o.statFile, []byte(ctl.Addr()), 0o644); err != nil {
+				fmt.Fprintln(o.stderr, err)
+				return 1
+			}
+		}
+	}
+
 	rep, _, err := cluster.Run(o.withChaos(t), cluster.Options{
+		Control:           control,
 		Experiment:        o.run,
 		Seed:              o.seed,
 		Scale:             o.scale,
@@ -669,8 +755,42 @@ func (o *options) runCampaign(specs []string) int {
 		return 1
 	}
 
+	// The control plane reads immutable snapshots and funnels mutations
+	// through the coordinator's event loop, so serving it — even under
+	// aggressive scraping — cannot perturb the campaign's determinism.
+	var control *cluster.Control
+	if o.statAddr != "" {
+		control = cluster.NewControl()
+		ctl, err := ctlplane.Start(o.statAddr, ctlplane.Config{
+			Service: "hintshard",
+			Control: control,
+			Submit: func(spec string) (int, error) {
+				j, err := campaign.ParseJob(spec, def)
+				if err != nil {
+					return 0, err
+				}
+				return control.Submit(cluster.Job{Experiment: j.Experiment, Seed: j.Seed, Scale: j.Scale, Shards: j.Shards})
+			},
+			Cancel: control.Cancel,
+			Logf:   o.logf(),
+		})
+		if err != nil {
+			fmt.Fprintln(o.stderr, err)
+			return 1
+		}
+		defer ctl.Close()
+		fmt.Fprintf(o.stderr, "hintshard: control plane on %s\n", ctl.Addr())
+		if o.statFile != "" {
+			if err := atomicfile.WriteFile(o.statFile, []byte(ctl.Addr()), 0o644); err != nil {
+				fmt.Fprintln(o.stderr, err)
+				return 1
+			}
+		}
+	}
+
 	failed := 0
 	_, stats, err := campaign.Run(o.withChaos(t), jobs, campaign.Options{
+		Control:           control,
 		ShardWorkers:      perWorker,
 		MergeWorkers:      o.workers,
 		Retries:           o.retries,
@@ -681,9 +801,11 @@ func (o *options) runCampaign(specs []string) int {
 		HeartbeatInterval: o.heartbeat,
 		HeartbeatMisses:   o.hbMisses,
 		Logf:              o.logf(),
-		Emit: func(ji int, rep *experiments.Report) error {
+		Emit: func(ji int, j campaign.Job, rep *experiments.Report) error {
 			if o.reportDir != "" {
-				path := filepath.Join(o.reportDir, fmt.Sprintf("job%d-%s.out", ji+1, jobs[ji].Experiment))
+				// j, not jobs[ji]: the control plane can submit jobs past
+				// the initial list, and their reports land here too.
+				path := filepath.Join(o.reportDir, fmt.Sprintf("job%d-%s.out", ji+1, j.Experiment))
 				if err := os.WriteFile(path, []byte(rep.String()+"\n"), 0o644); err != nil {
 					return err
 				}

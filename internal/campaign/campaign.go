@@ -82,10 +82,18 @@ type Options struct {
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...any)
 	// Emit, if set, receives each report in submission order the moment
-	// it is ready — while later jobs are still executing. Returning an
-	// error aborts the campaign. Reports are also collected into the
-	// Results that Run returns.
-	Emit func(job int, rep *experiments.Report) error
+	// it is ready — while later jobs are still executing. The Job is
+	// passed alongside the index because a control plane (Control) can
+	// submit jobs beyond the initial list; for those, Emit is the only
+	// delivery (Run's Results cover the initial jobs only). Returning an
+	// error aborts the campaign.
+	Emit func(job int, j Job, rep *experiments.Report) error
+	// Control, if set, attaches a cluster control plane to the run: live
+	// status snapshots plus job submission/cancellation against the
+	// running fleet (see cluster.Control and internal/ctlplane).
+	// Dynamically submitted jobs verify under the same Verify fraction
+	// as initial jobs, with the same deterministic VerifySample.
+	Control *cluster.Control
 }
 
 // Result pairs one job with its merged report.
@@ -139,17 +147,22 @@ func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats
 		Logf:              o.Logf,
 		Warm:              !o.NoWarm,
 		WarmFrames:        o.WarmFrames,
-		OnReport: func(ji int, rep *experiments.Report) error {
-			results[ji].Report = rep
+		Control:           o.Control,
+		OnReport: func(ji int, cj cluster.Job, rep *experiments.Report) error {
+			// Jobs submitted through the control plane land beyond the
+			// initial list: Emit is their only delivery.
+			if ji < len(results) {
+				results[ji].Report = rep
+			}
 			if o.Emit != nil {
-				return o.Emit(ji, rep)
+				return o.Emit(ji, fromCluster(cj), rep)
 			}
 			return nil
 		},
 	}
 	if o.Verify > 0 {
-		co.VerifyShards = func(ji, shards int) []int {
-			return VerifySample(jobs[ji], ji, o.Verify)
+		co.VerifyShards = func(ji int, cj cluster.Job) []int {
+			return VerifySample(fromCluster(cj), ji, o.Verify)
 		}
 	}
 	stats, err := cluster.RunCampaign(t, cjobs, co)
@@ -157,6 +170,14 @@ func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats
 		return nil, stats, err
 	}
 	return results, stats, nil
+}
+
+// fromCluster mirrors a cluster job back into the campaign's Job form —
+// the two carry identical fields, so the deterministic verification
+// sample of a dynamically submitted job matches what an initial job
+// with the same spec would get.
+func fromCluster(cj cluster.Job) Job {
+	return Job{Experiment: cj.Experiment, Scale: cj.Scale, Seed: cj.Seed, Shards: cj.Shards}
 }
 
 // VerifySample picks the shard indices of one job that verification

@@ -151,7 +151,7 @@ func TestCampaignReportsIdenticalAcrossTransportsAndWorkers(t *testing.T) {
 				results, _, err := Run(tr, jobs, Options{
 					ShardWorkers: 1,
 					Retries:      3,
-					Emit: func(ji int, rep *experiments.Report) error {
+					Emit: func(ji int, _ Job, rep *experiments.Report) error {
 						emitted = append(emitted, ji)
 						return nil
 					},

@@ -190,7 +190,7 @@ func TestChaosCampaignPartitionHealedByReconnect(t *testing.T) {
 		Retries:           10,
 		HeartbeatInterval: 25 * time.Millisecond,
 		HeartbeatMisses:   20,
-		OnReport: func(ji int, rep *experiments.Report) error {
+		OnReport: func(ji int, _ Job, rep *experiments.Report) error {
 			got[ji] = rep.String()
 			return nil
 		},

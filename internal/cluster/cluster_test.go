@@ -423,8 +423,8 @@ func TestHungVerifierSpeculativelyCovered(t *testing.T) {
 		Retries:      0, // any charged failure would abort
 		NoSteal:      true,
 		DrainTimeout: 300 * time.Millisecond,
-		VerifyShards: func(job, shards int) []int { return []int{0} },
-		OnReport: func(_ int, r *experiments.Report) error {
+		VerifyShards: func(job int, j Job) []int { return []int{0} },
+		OnReport: func(_ int, _ Job, r *experiments.Report) error {
 			if got := r.String(); got != base {
 				t.Errorf("report differs:\n%s\nvs\n%s", base, got)
 			}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// gatedTransport delays worker arrival until gate is closed, so tests
+// can mutate a running campaign while the scheduler is provably
+// quiescent (no dispatch can race the mutation: there is nobody to
+// dispatch to).
+type gatedTransport struct {
+	inner Transport
+	gate  chan struct{}
+}
+
+func (g *gatedTransport) Accept() (Conn, error) {
+	<-g.gate
+	return g.inner.Accept()
+}
+
+func (g *gatedTransport) Close() error { return g.inner.Close() }
+
+// waitSnapshot polls the control's snapshot feed until cond holds; the
+// loop publishes after every event, so anything acknowledged through a
+// mutation reply becomes visible promptly.
+func waitSnapshot(t *testing.T, ctl *Control, what string, cond func(*Snapshot) bool) *Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := ctl.Snapshot(); s != nil && cond(s) {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("snapshot never showed %s (last: %+v)", what, ctl.Snapshot())
+	return nil
+}
+
+// TestControlSubmitCancelLifecycle drives the full mutation surface
+// against a live campaign: validation rejections, a successful submit
+// and cancel while no worker has connected yet, then — after the fleet
+// is released — completion with the cancelled job never emitted, and
+// ErrNotRunning for every mutation after the end.
+func TestControlSubmitCancelLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	inner := NewInProcess(2, func(i int, c Conn) {
+		Serve(c, ServeOptions{Name: fmt.Sprintf("w%d", i), Workers: 1})
+	})
+	gate := make(chan struct{})
+	tr := &gatedTransport{inner: inner, gate: gate}
+	ctl := NewControl()
+
+	jobs := []Job{{Experiment: "fig2-2", Scale: 0.1, Seed: 42, Shards: 3}}
+	type emit struct {
+		ji  int
+		exp string
+		rep string
+	}
+	var emits []emit
+	var stats RunStats
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stats, runErr = RunCampaign(tr, jobs, CampaignOptions{
+			ShardWorkers: 1,
+			Retries:      3,
+			Control:      ctl,
+			OnReport: func(ji int, j Job, rep *experiments.Report) error {
+				emits = append(emits, emit{ji, j.Experiment, rep.String()})
+				return nil
+			},
+		})
+	}()
+
+	// Validation rejections answer through the loop without changing it.
+	if _, err := ctl.Submit(Job{Experiment: "no-such", Shards: 2}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown experiment submit: %v", err)
+	}
+	if _, err := ctl.Submit(Job{Experiment: "fig2-2", Scale: 0.1, Seed: 7}); err == nil || !strings.Contains(err.Error(), "shard count") {
+		t.Fatalf("zero-shard submit: %v", err)
+	}
+	if err := ctl.Cancel(5); err == nil || !strings.Contains(err.Error(), "no job 5") {
+		t.Fatalf("cancel of unknown job: %v", err)
+	}
+
+	// Real mutations: one job admitted, a second admitted then
+	// withdrawn, all before any worker exists.
+	ji, err := ctl.Submit(Job{Experiment: "fig3-1", Scale: 0.1, Seed: 42, Shards: 2})
+	if err != nil || ji != 1 {
+		t.Fatalf("submit = (%d, %v), want job 1", ji, err)
+	}
+	ji, err = ctl.Submit(Job{Experiment: "fig2-2", Scale: 0.1, Seed: 7, Shards: 2})
+	if err != nil || ji != 2 {
+		t.Fatalf("second submit = (%d, %v), want job 2", ji, err)
+	}
+	if err := ctl.Cancel(2); err != nil {
+		t.Fatalf("cancel job 2: %v", err)
+	}
+	if err := ctl.Cancel(2); err == nil || !strings.Contains(err.Error(), "already cancelled") {
+		t.Fatalf("double cancel: %v", err)
+	}
+
+	snap := waitSnapshot(t, ctl, "3 jobs with job 2 cancelled", func(s *Snapshot) bool {
+		return len(s.Jobs) == 3 && s.Jobs[2].State == "cancelled"
+	})
+	if snap.Stats.Submitted != 2 || snap.Stats.Cancelled != 1 {
+		t.Errorf("live stats submitted=%d cancelled=%d, want 2/1", snap.Stats.Submitted, snap.Stats.Cancelled)
+	}
+	if snap.Jobs[1].State != "queued" || snap.Jobs[1].Queued != 2 {
+		t.Errorf("submitted job not queued in snapshot: %+v", snap.Jobs[1])
+	}
+
+	// Release the fleet; the campaign must now run jobs 0 and 1 to
+	// completion and never emit the cancelled job 2.
+	close(gate)
+	<-done
+	if runErr != nil {
+		t.Fatalf("campaign: %v", runErr)
+	}
+	if len(emits) != 2 || emits[0].ji != 0 || emits[1].ji != 1 || emits[1].exp != "fig3-1" {
+		t.Fatalf("emitted %+v, want jobs 0 and 1 in order", emits)
+	}
+	for _, e := range emits {
+		var j Job
+		if e.ji == 0 {
+			j = jobs[0]
+		} else {
+			j = Job{Experiment: "fig3-1", Scale: 0.1, Seed: 42, Shards: 2}
+		}
+		exp, _ := experiments.ByID(j.Experiment)
+		want := exp.Run(experiments.Config{Scale: j.Scale, Seed: j.Seed, Workers: 1}).String()
+		if e.rep != want {
+			t.Errorf("job %d report differs from standalone run", e.ji)
+		}
+	}
+	if stats.Submitted != 2 || stats.Cancelled != 1 {
+		t.Errorf("final stats submitted=%d cancelled=%d, want 2/1", stats.Submitted, stats.Cancelled)
+	}
+
+	// The control is now a closed valve: Done fired, the final snapshot
+	// is marked, and every further mutation fails fast.
+	select {
+	case <-ctl.Done():
+	default:
+		t.Error("Done() not closed after the campaign finished")
+	}
+	final := ctl.Snapshot()
+	if final == nil || !final.Done {
+		t.Errorf("final snapshot not marked done: %+v", final)
+	}
+	if final.Jobs[0].State != "done" || final.Jobs[1].State != "done" || final.Jobs[2].State != "cancelled" {
+		t.Errorf("final job states %q %q %q, want done/done/cancelled",
+			final.Jobs[0].State, final.Jobs[1].State, final.Jobs[2].State)
+	}
+	if _, err := ctl.Submit(Job{Experiment: "fig2-2", Scale: 0.1, Seed: 1, Shards: 1}); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("submit after end: %v, want ErrNotRunning", err)
+	}
+	if err := ctl.Cancel(0); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("cancel after end: %v, want ErrNotRunning", err)
+	}
+
+	// A Control binds to exactly one campaign.
+	if _, err := RunCampaign(NewInProcess(0, nil), jobs, CampaignOptions{ShardWorkers: 1, Control: ctl}); err == nil || !strings.Contains(err.Error(), "already attached") {
+		t.Errorf("control reuse: %v, want attach error", err)
+	}
+}
+
+// TestControlUnattachedMutationsDoNotHang pins the failure mode of a
+// control plane wired to a campaign that already exited (or never
+// started): mutations must fail fast once finish ran, not block on the
+// unserviced request channel.
+func TestControlUnattachedMutationsDoNotHang(t *testing.T) {
+	ctl := NewControl()
+	ctl.finish()
+	if _, err := ctl.Submit(Job{Experiment: "fig2-2", Shards: 1}); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("submit on finished control: %v", err)
+	}
+	if err := ctl.Cancel(0); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("cancel on finished control: %v", err)
+	}
+	if ctl.Snapshot() != nil {
+		t.Error("unattached control has a snapshot")
+	}
+}

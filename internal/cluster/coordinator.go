@@ -81,6 +81,10 @@ type Options struct {
 	// Logf, if set, receives progress lines (dispatches, steals, worker
 	// deaths).
 	Logf func(format string, args ...any)
+	// Control, if set, attaches a control plane to the run: the loop
+	// publishes immutable status snapshots after every event and accepts
+	// Submit/Cancel mutations as loop events. See Control.
+	Control *Control
 }
 
 // CampaignOptions configures one RunCampaign: the per-fleet knobs of
@@ -110,14 +114,24 @@ type CampaignOptions struct {
 	// indices whose results are re-executed (preferably on a different
 	// worker) and byte-compared against the first result through
 	// experiments.CanonicalLoops. The determinism contract makes any
-	// divergence a hard fault: the run aborts with a *VerifyError.
-	VerifyShards func(job, shards int) []int
+	// divergence a hard fault: the run aborts with a *VerifyError. It is
+	// called once per job — including jobs submitted later through the
+	// Control, which is why it receives the Job itself rather than an
+	// index into the initial job list.
+	VerifyShards func(job int, j Job) []int
 	// OnReport receives each job's merged report in submission order: a
 	// report is delivered the moment its last shard has merged (and its
 	// verification sample, if any, confirmed), gated only behind the
-	// delivery of every earlier job's report. Returning an error aborts
-	// the campaign.
-	OnReport func(job int, rep *experiments.Report) error
+	// delivery of every earlier job's report. Cancelled jobs are skipped.
+	// The Job is passed alongside the index so dynamically submitted
+	// jobs (beyond the initial list) can be identified. Returning an
+	// error aborts the campaign.
+	OnReport func(job int, j Job, rep *experiments.Report) error
+	// Control, if set, attaches a control plane to the campaign: the
+	// loop publishes immutable status snapshots after every event
+	// (lock-free for scrapers) and accepts job submission/cancellation
+	// as loop events. A Control attaches to at most one campaign.
+	Control *Control
 }
 
 // RunStats summarizes the dispatch history of one run.
@@ -139,6 +153,9 @@ type RunStats struct {
 	// the rolling CRC32C check (corruption, loss, or duplication on the
 	// stream).
 	Rejected, Hung, CorruptFrames int
+	// Submitted counts jobs admitted through the control plane after
+	// the campaign started; Cancelled counts jobs withdrawn through it.
+	Submitted, Cancelled int
 }
 
 // Heartbeat defaults: generous enough that a worker grinding through a
@@ -209,6 +226,13 @@ type workerState struct {
 	nonce    string
 	lastSeen time.Time
 	pingSeq  int
+	// connectedAt, shardsDone, and loopsDone feed the status snapshots:
+	// when the connection arrived, how many shard results (of any kind,
+	// including discarded speculation losers) it delivered, and how many
+	// loop partials it streamed — the worker's throughput history.
+	connectedAt time.Time
+	shardsDone  int
+	loopsDone   int
 }
 
 // verifyState tracks one sampled shard's verification: the canonical
@@ -247,6 +271,10 @@ type jobState struct {
 	verifyQueue  []int
 	merged       *experiments.Report
 	mergeStarted bool
+	// cancelled marks a job withdrawn through the control plane: its
+	// shards no longer dispatch, in-flight results are discarded, and
+	// report delivery skips it.
+	cancelled bool
 }
 
 // mergeDone carries one job's finished merge back into the event loop.
@@ -259,13 +287,15 @@ type mergeDone struct {
 // event is one input to the coordinator's single-threaded state
 // machine: a new connection (msg, err and merge nil), a message, a dead
 // connection (err set), the end of the accept loop (w nil), a completed
-// background merge (merge set), or a heartbeat tick (tick set).
+// background merge (merge set), a heartbeat tick (tick set), or a
+// control-plane mutation (ctl set).
 type event struct {
 	w     *workerState
 	msg   Message
 	err   error
 	merge *mergeDone
 	tick  bool
+	ctl   *ctlReq
 }
 
 // newNonce draws a fresh challenge nonce. crypto/rand cannot fail on
@@ -306,8 +336,11 @@ func Run(t Transport, o Options) (*experiments.Report, RunStats, error) {
 		HeartbeatInterval: o.HeartbeatInterval,
 		HeartbeatMisses:   o.HeartbeatMisses,
 		Logf:              o.Logf,
-		OnReport: func(_ int, r *experiments.Report) error {
-			rep = r
+		Control:           o.Control,
+		OnReport: func(job int, _ Job, r *experiments.Report) error {
+			if job == 0 {
+				rep = r
+			}
 			return nil
 		},
 	})
@@ -381,7 +414,7 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 	}
 	if o.VerifyShards != nil {
 		for ji, js := range states {
-			for _, k := range o.VerifyShards(ji, js.job.Shards) {
+			for _, k := range o.VerifyShards(ji, js.job) {
 				if k < 0 || k >= js.job.Shards {
 					return stats, fmt.Errorf("cluster: verification sample names shard %d of job %d (%d shards)", k, ji, js.job.Shards)
 				}
@@ -394,6 +427,18 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			sort.Ints(js.sampled)
 		}
 	}
+
+	ctl := o.Control
+	if ctl != nil {
+		if !ctl.attach() {
+			return stats, errors.New("cluster: Control already attached to a campaign")
+		}
+		// finish unblocks every pending and future Submit/Cancel with
+		// ErrNotRunning once the campaign is over (including all early
+		// error returns below).
+		defer ctl.finish()
+	}
+	startedAt := time.Now()
 
 	events := make(chan event, 256)
 	var workers []*workerState
@@ -434,6 +479,26 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 	// campaign's event loop exits (the drain below consumes any tick
 	// already in flight).
 	loopDone := make(chan struct{})
+	if ctl != nil {
+		// Control mutations become loop events through this forwarder, so
+		// they serialize with dispatch exactly like worker messages. The
+		// buffered reply channel means answering never blocks the loop.
+		spawn(func() {
+			for {
+				select {
+				case r := <-ctl.reqs:
+					select {
+					case events <- event{ctl: &r}:
+					case <-loopDone:
+						r.reply <- ctlReply{err: ErrNotRunning}
+						return
+					}
+				case <-loopDone:
+					return
+				}
+			}
+		})
+	}
 	if heartbeats {
 		spawn(func() {
 			tick := time.NewTicker(hbInterval)
@@ -526,10 +591,14 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 	}
 
 	// allDone reports whether no further worker-side work can exist:
-	// every job's queue is complete and every verification confirmed.
-	// Merges and report delivery may still be outstanding.
+	// every live job's queue is complete and every verification
+	// confirmed (cancelled jobs owe nothing). Merges and report delivery
+	// may still be outstanding.
 	allDone := func() bool {
 		for _, js := range states {
+			if js.cancelled {
+				continue
+			}
 			if !js.queue.Done() || js.verifyLeft > 0 {
 				return false
 			}
@@ -544,11 +613,17 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 	tryEmit := func() {
 		for nextEmit < len(states) {
 			js := states[nextEmit]
+			if js.cancelled {
+				// A cancelled job emits nothing; it must not hold later
+				// reports back either.
+				nextEmit++
+				continue
+			}
 			if js.merged == nil || js.verifyLeft > 0 {
 				return
 			}
 			if o.OnReport != nil {
-				if err := o.OnReport(nextEmit, js.merged); err != nil {
+				if err := o.OnReport(nextEmit, js.job, js.merged); err != nil {
 					abort(fmt.Errorf("cluster: delivering job %d (%s) report: %w", nextEmit, js.job.Experiment, err))
 					return
 				}
@@ -591,6 +666,11 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		// The dispatch always comes back, even for a completed shard —
 		// Requeue on a done shard only fixes the live-copy accounting.
 		live := js.queue.Requeue(k)
+		if js.cancelled {
+			// A cancelled job charges no budget: the loss costs nothing
+			// because the result would have been discarded anyway.
+			return
+		}
 		if js.queue.Completed(k) {
 			return
 		}
@@ -616,7 +696,7 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		if vs.inFlight > 0 {
 			vs.inFlight--
 		}
-		if vs.resolved {
+		if js.cancelled || vs.resolved {
 			return
 		}
 		if vs.inFlight > 0 {
@@ -670,6 +750,9 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			return
 		}
 		for ji, js := range states {
+			if js.cancelled {
+				continue
+			}
 			if shard, ok := js.queue.Next(); ok {
 				stats.Assigned++
 				assign(w, ji, shard.Index, false)
@@ -693,6 +776,9 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		}
 		if !o.NoSteal {
 			for ji, js := range states {
+				if js.cancelled {
+					continue
+				}
 				if shard, ok := js.queue.Steal(); ok {
 					stats.Stolen++
 					logf("cluster: worker %s stealing in-flight job %d shard %v", w.name, ji, shard)
@@ -709,7 +795,7 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		// different-worker preference already had its chance when the
 		// re-run was first dispatched).
 		for ji, js := range states {
-			if js.verifyLeft == 0 {
+			if js.cancelled || js.verifyLeft == 0 {
 				continue
 			}
 			for _, k := range js.sampled {
@@ -822,6 +908,100 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		warmFrames = []int{phy.DefaultFrameBytes}
 	}
 
+	// publish builds a fresh immutable Snapshot of the loop's state and
+	// swaps it into the Control — the entire read path of the control
+	// plane. It runs at the end of every loop iteration, so scrapers
+	// always see a complete post-event view and never touch loop state.
+	publish := func(done bool) {
+		if ctl == nil {
+			return
+		}
+		now := time.Now()
+		s := &Snapshot{StartedAt: startedAt, At: now, Done: done, Stats: stats}
+		s.Jobs = make([]JobStatus, 0, len(states))
+		for ji, js := range states {
+			pend, inflight, completed := js.queue.Counts()
+			st := JobStatus{
+				Index:         ji,
+				Experiment:    js.job.Experiment,
+				Seed:          js.job.Seed,
+				Scale:         js.job.Scale,
+				Shards:        js.job.Shards,
+				Queued:        pend,
+				InFlight:      inflight,
+				Completed:     completed,
+				VerifySampled: len(js.sampled),
+				Verified:      len(js.sampled) - js.verifyLeft,
+			}
+			for _, n := range js.failures {
+				st.Failures += n
+			}
+			phases := js.queue.States()
+			b := make([]byte, len(phases))
+			for k, ph := range phases {
+				switch ph {
+				case parallel.ShardCompleted:
+					b[k] = 'd'
+				case parallel.ShardInFlight:
+					b[k] = 'f'
+				default:
+					b[k] = 'q'
+				}
+			}
+			st.ShardStates = string(b)
+			switch {
+			case js.cancelled:
+				st.State = "cancelled"
+			case ji < nextEmit:
+				st.State = "done"
+			case js.mergeStarted:
+				st.State = "merging"
+			case completed == 0 && inflight == 0:
+				st.State = "queued"
+			default:
+				st.State = "running"
+			}
+			if !js.cancelled {
+				s.QueueDepth += pend
+			}
+			s.Jobs = append(s.Jobs, st)
+		}
+		s.Workers = make([]WorkerStatus, 0, len(workers))
+		for _, w := range workers {
+			ws := WorkerStatus{
+				ID:         w.id,
+				Name:       w.name,
+				Job:        w.curJob,
+				Shard:      w.curShard,
+				Verify:     w.curVerify,
+				ShardsDone: w.shardsDone,
+				LoopsDone:  w.loopsDone,
+			}
+			switch {
+			case w.dead:
+				ws.State = "dead"
+			case !w.helloed:
+				ws.State = "handshake"
+			case w.curShard >= 0:
+				ws.State = "busy"
+			case w.stopped:
+				ws.State = "stopped"
+			default:
+				ws.State = "idle"
+			}
+			if !w.connectedAt.IsZero() {
+				ws.UptimeSec = now.Sub(w.connectedAt).Seconds()
+				if ws.UptimeSec > 0 {
+					ws.LoopsPerSec = float64(w.loopsDone) / ws.UptimeSec
+				}
+				ws.LastSeenSec = now.Sub(w.lastSeen).Seconds()
+			}
+			s.Workers = append(s.Workers, ws)
+		}
+		ctl.snap.Store(s)
+	}
+	publish(false) // initial snapshot: jobs visible before the first event
+
 	for abortErr == nil && !finished() {
 		var ev event
 		select {
@@ -840,6 +1020,81 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			continue
 		}
 		switch {
+		case ev.ctl != nil:
+			r := ev.ctl
+			switch {
+			case r.submit != nil:
+				j := *r.submit
+				if _, ok := experiments.ByID(j.Experiment); !ok {
+					r.reply <- ctlReply{err: fmt.Errorf("cluster: submit: unknown experiment %q", j.Experiment)}
+					break
+				}
+				if j.Shards < 1 {
+					r.reply <- ctlReply{err: fmt.Errorf("cluster: submit: job %s has invalid shard count %d", j.Experiment, j.Shards)}
+					break
+				}
+				if allDone() {
+					// All existing work is finished and the fleet is
+					// stopping (or already stopped): a job admitted now
+					// could never dispatch. The operator starts a fresh
+					// campaign instead.
+					r.reply <- ctlReply{err: errors.New("cluster: submit: campaign already draining")}
+					break
+				}
+				ji := len(states)
+				js := &jobState{
+					job:      j,
+					queue:    parallel.NewShardQueue(j.Shards),
+					partials: make([]*experiments.Partial, j.Shards),
+					failures: make([]int, j.Shards),
+					verify:   map[int]*verifyState{},
+				}
+				states = append(states, js)
+				if o.VerifyShards != nil {
+					for _, k := range o.VerifyShards(ji, j) {
+						if k < 0 || k >= j.Shards {
+							continue
+						}
+						if js.verify[k] == nil {
+							js.verify[k] = &verifyState{}
+							js.sampled = append(js.sampled, k)
+							js.verifyLeft++
+						}
+					}
+					sort.Ints(js.sampled)
+				}
+				stats.Submitted++
+				logf("cluster: control: submitted job %d (%s, %d shards)", ji, j.Experiment, j.Shards)
+				r.reply <- ctlReply{job: ji}
+				pump()
+			default:
+				ji := r.cancel
+				if ji < 0 || ji >= len(states) {
+					r.reply <- ctlReply{err: fmt.Errorf("cluster: cancel: no job %d", ji)}
+					break
+				}
+				js := states[ji]
+				switch {
+				case js.cancelled:
+					r.reply <- ctlReply{err: fmt.Errorf("cluster: cancel: job %d already cancelled", ji)}
+				case js.mergeStarted || ji < nextEmit:
+					r.reply <- ctlReply{err: fmt.Errorf("cluster: cancel: job %d (%s) already completed", ji, js.job.Experiment)}
+				default:
+					js.cancelled = true
+					js.verifyLeft = 0
+					js.verifyQueue = nil
+					stats.Cancelled++
+					logf("cluster: control: cancelled job %d (%s)", ji, js.job.Experiment)
+					r.reply <- ctlReply{job: ji}
+					// The cancellation may have been the last thing the
+					// campaign was waiting on.
+					tryEmit()
+					if allDone() {
+						release()
+						armDrainDeadline()
+					}
+				}
+			}
 		case ev.merge != nil:
 			if ev.merge.err != nil {
 				abort(fmt.Errorf("cluster: job %d (%s): %w", ev.merge.job, states[ev.merge.job].job.Experiment, ev.merge.err))
@@ -913,6 +1168,7 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			}
 			ev.w.nonce = newNonce()
 			ev.w.lastSeen = time.Now()
+			ev.w.connectedAt = ev.w.lastSeen
 			startWorker(ev.w)
 			ch := &Challenge{Version: ProtoVersion, Nonce: ev.w.nonce}
 			if heartbeats {
@@ -954,7 +1210,10 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 					violation(w, fmt.Sprintf("loop result for job %d shard %d while holding job %d shard %d", m.Job, m.Shard, w.curJob, w.curShard))
 					break
 				}
-				w.loops = append(w.loops, m.Loop)
+				w.loopsDone++
+				if !states[w.curJob].cancelled {
+					w.loops = append(w.loops, m.Loop)
+				}
 			case *ShardDone:
 				if !w.helloed || m.Job != w.curJob || m.Shard != w.curShard {
 					violation(w, fmt.Sprintf("done for job %d shard %d while holding job %d shard %d", m.Job, m.Shard, w.curJob, w.curShard))
@@ -966,6 +1225,23 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 				wasVerify := w.curVerify
 				w.curJob, w.curShard, w.curVerify = -1, -1, false
 				w.loops = nil
+				w.shardsDone++
+				if js.cancelled {
+					// The job was withdrawn while this shard was in
+					// flight: keep the copy accounting coherent, throw the
+					// result away, and put the worker back to work.
+					if wasVerify {
+						if vs := js.verify[m.Shard]; vs != nil && vs.inFlight > 0 {
+							vs.inFlight--
+						}
+					} else {
+						js.queue.Complete(m.Shard)
+					}
+					stats.Discarded++
+					logf("cluster: discarding result for cancelled job %d shard %d/%d from %s", ji, m.Shard, js.job.Shards, w.name)
+					dispatch(w)
+					break
+				}
 				if wasVerify {
 					vs := js.verify[m.Shard]
 					if vs.inFlight > 0 {
@@ -1050,6 +1326,9 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 		if abortErr == nil && acceptDone && alive() == 0 && !allDone() {
 			var pend, inflight, completed, total, verLeft int
 			for _, js := range states {
+				if js.cancelled {
+					continue
+				}
 				p, i, c := js.queue.Counts()
 				pend += p
 				inflight += i
@@ -1064,7 +1343,9 @@ func RunCampaign(t Transport, jobs []Job, o CampaignOptions) (RunStats, error) {
 			}
 			abort(stall)
 		}
+		publish(false)
 	}
+	publish(true)
 
 	close(loopDone)
 	graceful := abortErr == nil

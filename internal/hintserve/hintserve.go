@@ -183,7 +183,19 @@ func (b *batch) reset() {
 
 // shardStats are the per-shard counters, atomically readable from
 // outside the shard goroutine.
+//
+// The individual fields stay atomic (so any single counter can be read
+// racelessly at any time), but a cross-field snapshot needs more: the
+// shard goroutine bumps packets and acks at different points of a
+// batch, so a reader loading fields one by one can observe impossible
+// states like Acks > Packets. seq is a seqlock over the batch: the
+// shard goroutine makes it odd before serving a batch and even again
+// after the batch's ACKs are flushed, and snapshot() retries until it
+// reads the same even value on both sides of its field loads — every
+// snapshot is then a between-batches view where the cross-field
+// invariants hold.
 type shardStats struct {
+	seq         atomic.Uint64
 	packets     atomic.Uint64
 	badFrames   atomic.Uint64
 	dataFrames  atomic.Uint64
@@ -196,6 +208,41 @@ type shardStats struct {
 	writeErrors atomic.Uint64
 	batches     atomic.Uint64
 	live        atomic.Int64
+}
+
+// beginBatch/endBatch bracket the shard goroutine's write section (one
+// served batch plus its ACK flush): two atomic adds per 64-packet
+// batch, nothing on the per-packet path.
+func (ss *shardStats) beginBatch() { ss.seq.Add(1) }
+func (ss *shardStats) endBatch()   { ss.seq.Add(1) }
+
+// snapshot reads the shard's counters as one consistent unit.
+func (ss *shardStats) snapshot() Stats {
+	for {
+		s1 := ss.seq.Load()
+		if s1&1 == 0 {
+			st := Stats{
+				Packets:     ss.packets.Load(),
+				BadFrames:   ss.badFrames.Load(),
+				DataFrames:  ss.dataFrames.Load(),
+				Hints:       ss.hints.Load(),
+				Acks:        ss.acks.Load(),
+				Switches:    ss.switches.Load(),
+				Admitted:    ss.admitted.Load(),
+				Evicted:     ss.evicted.Load(),
+				Rejected:    ss.rejected.Load(),
+				WriteErrors: ss.writeErrors.Load(),
+				Batches:     ss.batches.Load(),
+				LiveClients: ss.live.Load(),
+			}
+			if ss.seq.Load() == s1 {
+				return st
+			}
+		}
+		// Mid-batch: the shard finishes its write section in microseconds
+		// (one batch serve + ACK burst), so yield and retry.
+		runtime.Gosched()
+	}
 }
 
 // shard owns one partition of the client space. Everything below stats
@@ -245,11 +292,16 @@ func (sh *shard) newAdapter() *rate.HintAware {
 }
 
 // run is the shard goroutine: serve each incoming batch, flush its
-// ACKs, recycle it.
+// ACKs, recycle it. The stats seqlock brackets serve+flush so Stats()
+// always observes whole-batch counter states (the conn-less bench
+// harness drives serveBatch directly from a single goroutine and needs
+// no bracketing).
 func (sh *shard) run(start time.Time) {
 	for b := range sh.in {
+		sh.stats.beginBatch()
 		sh.serveBatch(b, time.Since(start))
 		sh.flush(b)
+		sh.stats.endBatch()
 		b.reset()
 		sh.free <- b
 	}
@@ -514,22 +566,28 @@ func (s *Server) flushPending(pending []*batch) {
 	}
 }
 
-// Stats sums counters across all shards.
+// Stats sums counters across all shards. Each shard's counters are
+// collected as one consistent unit through its stats seqlock (a
+// field-by-field sum over live shards could tear — e.g. observe a
+// batch's ACKs but not its packets), so the cross-field invariants
+// (Acks ≤ Packets, DataFrames + BadFrames ≤ Packets) hold on every
+// snapshot.
 func (s *Server) Stats() Stats {
 	st := Stats{ShortDrops: s.shortDrop.Load()}
 	for _, sh := range s.shards {
-		st.Packets += sh.stats.packets.Load()
-		st.BadFrames += sh.stats.badFrames.Load()
-		st.DataFrames += sh.stats.dataFrames.Load()
-		st.Hints += sh.stats.hints.Load()
-		st.Acks += sh.stats.acks.Load()
-		st.Switches += sh.stats.switches.Load()
-		st.Admitted += sh.stats.admitted.Load()
-		st.Evicted += sh.stats.evicted.Load()
-		st.Rejected += sh.stats.rejected.Load()
-		st.WriteErrors += sh.stats.writeErrors.Load()
-		st.Batches += sh.stats.batches.Load()
-		st.LiveClients += sh.stats.live.Load()
+		p := sh.stats.snapshot()
+		st.Packets += p.Packets
+		st.BadFrames += p.BadFrames
+		st.DataFrames += p.DataFrames
+		st.Hints += p.Hints
+		st.Acks += p.Acks
+		st.Switches += p.Switches
+		st.Admitted += p.Admitted
+		st.Evicted += p.Evicted
+		st.Rejected += p.Rejected
+		st.WriteErrors += p.WriteErrors
+		st.Batches += p.Batches
+		st.LiveClients += p.LiveClients
 	}
 	return st
 }

@@ -234,9 +234,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 }
 
 // percentileIdx returns the index of the p-th percentile in a sorted
-// slice of length n (nearest-rank on n-1).
+// slice of length n: nearest-rank, ceil(p*n/100) as a 1-based rank,
+// clamped into [0, n-1]. The earlier floor form ((n-1)*p/100)
+// systematically undershot high percentiles at small n — n=50, p=99
+// gave index 48, reporting the 97th–98th percentile as the P99.
 func percentileIdx(n, p int) int {
-	i := (n - 1) * p / 100
+	if n < 1 {
+		return 0
+	}
+	i := (p*n+99)/100 - 1
 	if i < 0 {
 		i = 0
 	}

@@ -168,6 +168,36 @@ func (q *ShardQueue) Done() bool {
 	return q.remaining == 0
 }
 
+// ShardPhase is one shard's dispatch state as reported by States.
+type ShardPhase uint8
+
+const (
+	ShardQueued ShardPhase = iota
+	ShardInFlight
+	ShardCompleted
+)
+
+// States returns every shard's current phase — queued (undispatched,
+// incomplete), in flight (at least one live dispatch), or completed —
+// for coordinator status snapshots. A completed shard reports completed
+// even while a speculative copy of it is still computing.
+func (q *ShardQueue) States() []ShardPhase {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]ShardPhase, q.count)
+	for k := 0; k < q.count; k++ {
+		switch {
+		case q.done[k]:
+			out[k] = ShardCompleted
+		case q.outstanding[k] > 0:
+			out[k] = ShardInFlight
+		default:
+			out[k] = ShardQueued
+		}
+	}
+	return out
+}
+
 // Counts returns the number of queued, in-flight (live dispatches, so
 // speculative copies count individually), and completed shards —
 // coordinator progress reporting and test assertions.
