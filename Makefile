@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke cover fuzz
+.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke subtrial-smoke cover fuzz
 
 all: build
 
@@ -35,6 +35,9 @@ bench:
 	$(GO) run ./cmd/benchjson -out BENCH_hintserve.json \
 		-bench 'HintServeUDP' -benchtime 1x \
 		-microbench 'HintServeBatch' -microtime 200ms
+	$(GO) run ./cmd/benchjson -out BENCH_figures.json \
+		-bench 'BenchmarkFleet' -benchtime 1x \
+		-microbench '^$$' -microtime 1x
 
 bench-all:
 	$(GO) test -bench=. -benchtime=1x .
@@ -43,6 +46,8 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_hotpath.json -out BENCH_current.json
 	$(GO) run ./cmd/benchjson -check BENCH_hintserve.json -out BENCH_hintserve_current.json \
 		-microbench 'HintServeBatch' -microtime 200ms
+	$(GO) run ./cmd/benchjson -check BENCH_figures.json -out BENCH_figures_current.json \
+		-microbench 'BenchmarkFleet' -microtime 1x
 
 # Cross-process shard parity smoke: run one experiment through
 # cmd/hintshard as a 3-shard coordinator (spawning real worker
@@ -186,13 +191,16 @@ chaos-smoke:
 # The second campaign job is deliberately heavy (fig3-5 at scale 0.5)
 # so that window is wide. Finally every report — including the job
 # submitted over HTTP — must be byte-identical to standalone hintbench,
-# and the cancelled job must have written none.
+# and the cancelled job must have written none. The whole exchange runs
+# with a session token: the same -token that authenticates the workers'
+# handshakes signs the HTTP mutations, an unsigned submit must be
+# answered 401, and the read-only endpoints stay open.
 status-smoke:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard || exit 1; \
 	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench || exit 1; \
 	( timeout 240 "$$tmp/hintshard" -campaign -shards 3 -scale 0.2 -seed 42 \
-		-listen 127.0.0.1:0 -addr-file "$$tmp/addr" \
+		-listen 127.0.0.1:0 -addr-file "$$tmp/addr" -token s3cr3t \
 		-status-addr 127.0.0.1:0 -status-addr-file "$$tmp/saddr" \
 		-report-dir "$$tmp/reports" \
 		fig2-2 fig3-5:scale=0.5:shards=4 > "$$tmp/campaign.out" 2> "$$tmp/coord.err" ) & \
@@ -206,17 +214,20 @@ status-smoke:
 	addr=$$(cat "$$tmp/addr"); saddr=$$(cat "$$tmp/saddr"); \
 	"$$tmp/hintshard" -status "$$saddr" > "$$tmp/st1.out" || { echo "status scrape failed"; cat "$$tmp/coord.err"; exit 1; }; \
 	grep -q "workers: none connected yet" "$$tmp/st1.out" || { echo "expected an empty fleet in phase 1:"; cat "$$tmp/st1.out"; exit 1; }; \
-	"$$tmp/hintshard" -status "$$saddr" -submit fig3-1:seed=7:shards=2 | grep -q '"job": 2' || { echo "submit did not yield job 2"; exit 1; }; \
-	"$$tmp/hintshard" -status "$$saddr" -submit fig2-2:seed=9:shards=2 | grep -q '"job": 3' || { echo "second submit did not yield job 3"; exit 1; }; \
-	"$$tmp/hintshard" -status "$$saddr" -cancel 3 > /dev/null || { echo "cancel of job 3 failed"; exit 1; }; \
-	if "$$tmp/hintshard" -status "$$saddr" -cancel 17 2>/dev/null; then echo "cancel of a nonexistent job succeeded"; exit 1; fi; \
+	if "$$tmp/hintshard" -status "$$saddr" -submit fig3-1:seed=7:shards=2 > /dev/null 2> "$$tmp/unauth.err"; then \
+		echo "unsigned submit succeeded against a token-gated control plane"; exit 1; fi; \
+	grep -q "401" "$$tmp/unauth.err" || { echo "unsigned submit did not answer 401:"; cat "$$tmp/unauth.err"; exit 1; }; \
+	"$$tmp/hintshard" -status "$$saddr" -token s3cr3t -submit fig3-1:seed=7:shards=2 | grep -q '"job": 2' || { echo "submit did not yield job 2"; exit 1; }; \
+	"$$tmp/hintshard" -status "$$saddr" -token s3cr3t -submit fig2-2:seed=9:shards=2 | grep -q '"job": 3' || { echo "second submit did not yield job 3"; exit 1; }; \
+	"$$tmp/hintshard" -status "$$saddr" -token s3cr3t -cancel 3 > /dev/null || { echo "cancel of job 3 failed"; exit 1; }; \
+	if "$$tmp/hintshard" -status "$$saddr" -token s3cr3t -cancel 17 2>/dev/null; then echo "cancel of a nonexistent job succeeded"; exit 1; fi; \
 	"$$tmp/hintshard" -status "$$saddr" > "$$tmp/st2.out" || exit 1; \
 	grep -q "job=3 .*state=cancelled" "$$tmp/st2.out" || { echo "cancelled job not shown cancelled:"; cat "$$tmp/st2.out"; exit 1; }; \
 	"$$tmp/hintshard" -status "$$saddr" -metrics > "$$tmp/metrics.out" || exit 1; \
 	grep -q "hintshard_jobs_submitted_total 2" "$$tmp/metrics.out" || { echo "submitted counter wrong:"; cat "$$tmp/metrics.out"; exit 1; }; \
 	grep -q "hintshard_jobs_cancelled_total 1" "$$tmp/metrics.out" || { echo "cancelled counter wrong:"; cat "$$tmp/metrics.out"; exit 1; }; \
-	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w1.err" ) & w1=$$!; \
-	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w2.err" ) & w2=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" -token s3cr3t 2> "$$tmp/w1.err" ) & w1=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" -token s3cr3t 2> "$$tmp/w2.err" ) & w2=$$!; \
 	live=0; \
 	for i in $$(seq 400); do \
 		"$$tmp/hintshard" -status "$$saddr" > "$$tmp/live.out" 2>/dev/null || break; \
@@ -235,6 +246,38 @@ status-smoke:
 	diff "$$tmp/single3.out" "$$tmp/reports/job3-fig3-1.out" || exit 1; \
 	[ ! -e "$$tmp/reports/job4-fig2-2.out" ] || { echo "cancelled job wrote a report"; exit 1; }; \
 	echo "status-smoke: live scrape, HTTP submit and cancel took effect, reports bit-identical to hintbench"
+
+# Intra-trial sharding smoke: fig3-7 — a formerly single-trial-bound
+# experiment whose trial space is now a sub-trial grid of
+# protocol×env×repetition cells — runs as 4 shards over a real
+# TCP-loopback fleet of 3 worker processes, and the merged report must
+# be byte-identical to the single-process hintbench run. The Go-level
+# version of this check (dispatch spread, mid-sub-trial worker kill,
+# every sub-trial experiment) is internal/cluster's subtrial tests.
+subtrial-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard || exit 1; \
+	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench || exit 1; \
+	( timeout 240 "$$tmp/hintshard" -run fig3-7 -shards 4 -listen 127.0.0.1:0 \
+		-addr-file "$$tmp/addr" -scale 0.2 -seed 42 > "$$tmp/fleet.out" 2> "$$tmp/coord.err" ) & \
+	coord=$$!; \
+	for i in $$(seq 100); do \
+		[ -s "$$tmp/addr" ] && break; \
+		kill -0 $$coord 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	[ -s "$$tmp/addr" ] || { echo "coordinator never published its address:"; cat "$$tmp/coord.err"; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w1.err" ) & w1=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w2.err" ) & w2=$$!; \
+	( timeout 240 "$$tmp/hintshard" -connect "$$addr" 2> "$$tmp/w3.err" ) & w3=$$!; \
+	wait $$coord || { echo "coordinator failed:"; cat "$$tmp/coord.err"; exit 1; }; \
+	wait $$w1 || { echo "worker 1 exited non-zero:"; cat "$$tmp/w1.err"; exit 1; }; \
+	wait $$w2 || { echo "worker 2 exited non-zero:"; cat "$$tmp/w2.err"; exit 1; }; \
+	wait $$w3 || { echo "worker 3 exited non-zero:"; cat "$$tmp/w3.err"; exit 1; }; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 fig3-7 > "$$tmp/single.out" || exit 1; \
+	diff "$$tmp/single.out" "$$tmp/fleet.out" || exit 1; \
+	echo "subtrial-smoke: fig3-7 fanned across a 3-worker TCP fleet is bit-identical to the single-process run"
 
 # Coverage floors for the packages that carry the serialization,
 # sharding, scheduling, and campaign contracts — roughly five points
@@ -278,6 +321,8 @@ fuzz:
 	$(GO) test -fuzz FuzzHandshake -fuzztime $(FUZZTIME) ./internal/cluster/
 	$(GO) test -fuzz FuzzParseTrailer -fuzztime $(FUZZTIME) ./internal/hintproto/
 	$(GO) test -fuzz FuzzParseHintFrame -fuzztime $(FUZZTIME) ./internal/hintproto/
+	$(GO) test -fuzz FuzzFateTraceCodec -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz FuzzDecodePartial -fuzztime $(FUZZTIME) ./internal/experiments/
 
 # Hint-serving-plane smoke over real UDP: boot a hintnode AP, throw a
 # hintload herd at it, kill the herd mid-run (its ACKs now hit dead
@@ -310,4 +355,4 @@ hintserve-smoke:
 	cat "$$tmp/load2.out"; \
 	echo "hintserve-smoke: plane survived a herd killed mid-run and kept serving"
 
-ci: build vet shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke race
+ci: build vet shard-smoke subtrial-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke race

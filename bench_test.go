@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/hints"
 	"repro/internal/parallel"
@@ -150,6 +151,74 @@ func BenchmarkParallelFig3_8_Rate(b *testing.B) {
 	for _, w := range parallelWorkerCounts {
 		w := w
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchWorkers(b, "fig3-8", w) })
+	}
+}
+
+// --- fleet benchmarks: intra-trial sharding across a cluster ---
+//
+// The BenchmarkFleet* family measures figure-level wall clock for the
+// formerly single-trial-bound experiments: workers=1 is the plain
+// serial run, workers=N dispatches N shards of the sub-trial grid to an
+// N-worker in-process fleet. benchjson derives the fleet speedups from
+// the workers=N sub-benchmarks exactly as for the BenchmarkParallel*
+// family; BENCH_figures.json records them.
+
+// benchFleet runs one experiment either serially (workers=1) or over an
+// in-process fleet with one shard per worker, checking that the report
+// stays stable across iterations.
+func benchFleet(b *testing.B, id string, workers int) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	base := ""
+	for i := 0; i < b.N; i++ {
+		var got string
+		if workers == 1 {
+			got = exp.Run(experiments.Config{Scale: benchScale, Seed: 42, Workers: 1}).String()
+		} else {
+			tr := cluster.NewInProcess(workers, func(wi int, c cluster.Conn) {
+				cluster.Serve(c, cluster.ServeOptions{Name: fmt.Sprintf("w%d", wi), Workers: 1})
+			})
+			rep, _, err := cluster.Run(tr, cluster.Options{
+				Experiment: id, Seed: 42, Scale: benchScale,
+				Shards: workers, ShardWorkers: 1, Retries: 3,
+			})
+			if err != nil {
+				b.Fatalf("cluster run: %v", err)
+			}
+			got = rep.String()
+		}
+		if base == "" {
+			base = got
+		} else if got != base {
+			b.Fatal("fleet report drifted between iterations")
+		}
+	}
+}
+
+// fleetWorkerCounts: 1 is the serial baseline the speedups divide by.
+var fleetWorkerCounts = []int{1, 2, 4}
+
+func BenchmarkFleetFig3_7_Static(b *testing.B) {
+	for _, w := range fleetWorkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchFleet(b, "fig3-7", w) })
+	}
+}
+
+func BenchmarkFleetFig3_5_HintAwareMixed(b *testing.B) {
+	for _, w := range fleetWorkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchFleet(b, "fig3-5", w) })
+	}
+}
+
+func BenchmarkFleetFig4_6_AdaptiveProbing(b *testing.B) {
+	for _, w := range fleetWorkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchFleet(b, "fig4-6", w) })
 	}
 }
 

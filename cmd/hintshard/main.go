@@ -185,7 +185,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.submit, "submit", "", "with -status: submit one job `spec` to the running campaign and print its index")
 	fs.IntVar(&o.cancel, "cancel", -1, "with -status: cancel the job with this `index` (as shown in the status output)")
 	fs.BoolVar(&o.metrics, "metrics", false, "with -status: print the raw Prometheus metrics text instead of the summary")
-	fs.StringVar(&o.token, "token", "", "shared auth `secret`; the coordinator rejects workers whose hello MAC does not match (empty = trusted LAN)")
+	fs.StringVar(&o.token, "token", "", "shared auth `secret`; the coordinator rejects workers whose hello MAC does not match and gates control-plane mutations behind it; with -status it signs -submit/-cancel requests (empty = trusted LAN)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "coordinator: ping `interval` for worker liveness (0 = default 2s, negative = disable heartbeats)")
 	fs.IntVar(&o.hbMisses, "heartbeat-misses", 0, "coordinator: reap a worker after this many silent heartbeat intervals (0 = default 15)")
 	fs.IntVar(&o.reconnect, "reconnect", 0, "TCP worker: redial the coordinator up to `n` times with backoff after a lost session (0 = give up on first loss)")
@@ -389,8 +389,13 @@ func (o *options) mode(explicit map[string]bool) (string, error) {
 		if err := rejectCoordFlags("the -status client"); err != nil {
 			return "", err
 		}
-		if err := rejectSessionFlags("the -status client"); err != nil {
-			return "", err
+		// -token is meaningful here (it signs mutation requests); the
+		// other session flags still are not — the status client never
+		// speaks the cluster frame protocol.
+		for _, f := range []string{"chaos-seed", "chaos-plan", "reconnect"} {
+			if explicit[f] {
+				return "", fmt.Errorf("-%s is a cluster session flag; it does not apply to the -status client", f)
+			}
 		}
 		set := 0
 		for _, on := range []bool{o.submit != "", o.cancel >= 0, o.metrics} {
@@ -655,7 +660,7 @@ func (o *options) coordinate() int {
 	var control *cluster.Control
 	if o.statAddr != "" {
 		control = cluster.NewControl()
-		ctl, err := ctlplane.Start(o.statAddr, ctlplane.Config{Service: "hintshard", Control: control, Logf: o.logf()})
+		ctl, err := ctlplane.Start(o.statAddr, ctlplane.Config{Service: "hintshard", Control: control, Token: o.token, Logf: o.logf()})
 		if err != nil {
 			fmt.Fprintln(o.stderr, err)
 			return 1
@@ -772,6 +777,7 @@ func (o *options) runCampaign(specs []string) int {
 				return control.Submit(cluster.Job{Experiment: j.Experiment, Seed: j.Seed, Scale: j.Scale, Shards: j.Shards})
 			},
 			Cancel: control.Cancel,
+			Token:  o.token,
 			Logf:   o.logf(),
 		})
 		if err != nil {

@@ -63,9 +63,20 @@ func (o *options) statusClient() int {
 }
 
 // statusPost sends one mutation (submit or cancel) and relays the
-// server's JSON answer or error text.
+// server's JSON answer or error text. With -token the request carries
+// the control-plane MAC (see ctlplane.Sign); a token-gated coordinator
+// answers 401 without it.
 func (o *options) statusPost(client *http.Client, url, body string) int {
-	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(o.stderr, err)
+		return 1
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if o.token != "" {
+		req.Header.Set(ctlplane.MACHeader, ctlplane.Sign(o.token, req.Method, req.URL.Path, []byte(body)))
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		fmt.Fprintln(o.stderr, err)
 		return 1

@@ -1,10 +1,10 @@
 // Command tracegen generates synthetic channel fate traces in the format
-// the MAC simulator replays (gob-encoded trace.FateTrace), standing in
+// the MAC simulator replays (framed binary trace.FateTrace, see internal/trace/codec.go), standing in
 // for the paper's real-world trace collection campaign.
 //
 // Usage:
 //
-//	tracegen -env office -mode mixed -duration 20s -seed 7 -o trace.gob
+//	tracegen -env office -mode mixed -duration 20s -seed 7 -o trace.bin
 package main
 
 import (

@@ -57,7 +57,9 @@ type Options struct {
 	// NoWarm skips the warm-worker prepare step (sent by default: one
 	// tiny message per worker that pre-builds the phy tables every
 	// assignment of the campaign will read). WarmFrames overrides the
-	// frame lengths it names (nil = the phy default).
+	// frame lengths it names; nil derives the list from the campaign's
+	// own experiments (experiments.FrameSizes over the job list), so
+	// workers warm exactly the tables the jobs will read.
 	NoWarm     bool
 	WarmFrames []int
 	// Verify is the verification sampling fraction: 0 (the default)
@@ -135,6 +137,17 @@ func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats
 	for ji, j := range jobs {
 		results[ji].Job = j
 	}
+	warmFrames := o.WarmFrames
+	if warmFrames == nil && !o.NoWarm {
+		// Derive the prepare list from what the campaign will actually
+		// run. Jobs submitted later through the control plane warm their
+		// tables lazily on first use, like any uncovered size.
+		ids := make([]string, len(jobs))
+		for ji, j := range jobs {
+			ids[ji] = j.Experiment
+		}
+		warmFrames = experiments.FrameSizes(ids...)
+	}
 	co := cluster.CampaignOptions{
 		ShardWorkers:      o.ShardWorkers,
 		MergeWorkers:      o.MergeWorkers,
@@ -146,7 +159,7 @@ func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats
 		HeartbeatMisses:   o.HeartbeatMisses,
 		Logf:              o.Logf,
 		Warm:              !o.NoWarm,
-		WarmFrames:        o.WarmFrames,
+		WarmFrames:        warmFrames,
 		Control:           o.Control,
 		OnReport: func(ji int, cj cluster.Job, rep *experiments.Report) error {
 			// Jobs submitted through the control plane land beyond the

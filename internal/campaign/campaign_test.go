@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/cluster"
@@ -213,6 +215,42 @@ func TestCampaignWithWorkerKilledMidCampaign(t *testing.T) {
 				t.Errorf("%s: killed worker's shard was neither requeued nor stolen (stats %+v)", transport, stats)
 			}
 		})
+	}
+}
+
+// TestCampaignSubTrialJobsSurviveWorkerDeath: a campaign of the heavy
+// sub-trial experiments (one trace-grid runner, one windowed tracker)
+// with a worker dying on its second assignment — mid-sub-trial from the
+// campaign's point of view. The requeued chunk must regenerate its
+// traces and replay to byte-identical reports.
+func TestCampaignSubTrialJobsSurviveWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	jobs := []Job{
+		{Experiment: "fig3-7", Scale: 0.1, Seed: 42, Shards: 4},
+		{Experiment: "fig4-6", Scale: 0.1, Seed: 42, Shards: 4},
+	}
+	var bases []string
+	for _, j := range jobs {
+		bases = append(bases, standalone(t, j))
+	}
+	tr := startTransport(t, "inproc", 3, true)
+	results, stats, err := Run(tr, jobs, Options{ShardWorkers: 1, Retries: 3})
+	if err != nil {
+		t.Fatalf("sub-trial campaign with killed worker: %v", err)
+	}
+	for ji, res := range results {
+		if got := res.Report.String(); got != bases[ji] {
+			t.Errorf("job %d (%s) differs after mid-sub-trial kill:\n--- standalone ---\n%s\n--- campaign ---\n%s",
+				ji, res.Job.Experiment, bases[ji], got)
+		}
+	}
+	if stats.Requeued+stats.Stolen < 1 {
+		t.Errorf("killed worker's sub-trial chunk was neither requeued nor stolen (stats %+v)", stats)
+	}
+	if stats.Assigned < 2 {
+		t.Errorf("campaign dispatched only %d assignments; sub-trial shards are not spreading", stats.Assigned)
 	}
 }
 
@@ -469,5 +507,71 @@ func TestJobStringRoundTrips(t *testing.T) {
 	}
 	if got != j {
 		t.Errorf("round trip %q = %+v, want %+v", j.String(), got, j)
+	}
+}
+
+// recordPrepareServe is an honest worker that additionally records the
+// frame list of every Prepare it receives.
+func recordPrepareServe(c cluster.Conn, name string, record func([]int)) {
+	if err := cluster.Handshake(c, name, ""); err != nil {
+		return
+	}
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch a := m.(type) {
+		case *cluster.Stop:
+			return
+		case *cluster.Prepare:
+			record(append([]int(nil), a.Frames...))
+		case *cluster.Assign:
+			cfg := experiments.Config{Scale: a.Scale, Seed: a.Seed, Workers: 1}
+			p, err := experiments.RunShard(a.Experiment, cfg, parallel.Shard{Index: a.Shard, Count: a.Shards})
+			if err != nil {
+				c.Send(&cluster.ShardError{Job: a.Job, Shard: a.Shard, Msg: err.Error()})
+				continue
+			}
+			for _, lp := range p.Loops {
+				if err := c.Send(&cluster.LoopResult{Job: a.Job, Shard: a.Shard, Loop: lp}); err != nil {
+					return
+				}
+			}
+			if err := c.Send(&cluster.ShardDone{Job: a.Job, Shard: a.Shard}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// TestCampaignDerivesWarmFrames: with no WarmFrames override, the
+// prepare list every worker receives is derived from the campaign's own
+// experiments (experiments.FrameSizes over the job list), not a fixed
+// guess.
+func TestCampaignDerivesWarmFrames(t *testing.T) {
+	jobs := []Job{{Experiment: "fig2-2", Scale: 0.1, Seed: 1, Shards: 2}}
+	var mu sync.Mutex
+	var prepares [][]int
+	tr := cluster.NewInProcess(2, func(i int, c cluster.Conn) {
+		recordPrepareServe(c, fmt.Sprintf("warm%d", i), func(frames []int) {
+			mu.Lock()
+			prepares = append(prepares, frames)
+			mu.Unlock()
+		})
+	})
+	if _, _, err := Run(tr, jobs, Options{ShardWorkers: 1}); err != nil {
+		t.Fatalf("campaign run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(prepares) != 2 {
+		t.Fatalf("recorded %d prepare messages, want one per worker (2)", len(prepares))
+	}
+	want := experiments.FrameSizes("fig2-2")
+	for i, frames := range prepares {
+		if !reflect.DeepEqual(frames, want) {
+			t.Errorf("worker %d warmed %v, want the derived list %v", i, frames, want)
+		}
 	}
 }

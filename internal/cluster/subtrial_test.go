@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// subTrialExperiments are the heavy runners that used to pin a whole
+// trial (or the whole experiment) to one worker; since the sub-trial
+// decomposition their trial spaces are Cells×Units grids that genuinely
+// spread across a fleet. The generic golden tests already sweep them as
+// part of the registry; the tests here pin the intra-trial claims from
+// the issue — real multi-shard dispatch on a four-worker fleet, and
+// byte-identity surviving a worker killed while holding a sub-trial
+// chunk.
+var subTrialExperiments = []string{"fig3-5", "fig3-6", "fig3-7", "fig4-4", "fig4-5", "fig4-6"}
+
+// TestSubTrialExperimentsSpreadAcrossFleet: each restructured heavy
+// experiment, run over a four-worker in-process fleet with four shards,
+// must dispatch more than one shard (the fleet actually divides the
+// former single trial) and still reproduce the single-process report
+// byte for byte.
+func TestSubTrialExperimentsSpreadAcrossFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, id := range subTrialExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, ok := experiments.ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+			rep, stats := clusterRun(t, "inproc", id, 4, 4, false)
+			if got := rep.String(); got != base {
+				t.Errorf("report differs from single-process run on a 4-worker fleet:\n--- single ---\n%s\n--- cluster ---\n%s", base, got)
+			}
+			if stats.Assigned < 2 {
+				t.Errorf("%s dispatched %d shard assignments on a 4-worker fleet; the sub-trial plan is not spreading", id, stats.Assigned)
+			}
+		})
+	}
+}
+
+// TestSubTrialReportsIdenticalWithWorkerKilledMidSubTrial: a worker
+// dies holding a sub-trial chunk (assignment received, never answered)
+// on every transport; the chunk is re-dispatched and the report must
+// not drift by a byte — the regenerate-and-replay recovery path costs
+// wall clock only.
+func TestSubTrialReportsIdenticalWithWorkerKilledMidSubTrial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	transports := []string{"inproc", "subprocess", "tcp"}
+	if underRace {
+		transports = []string{"inproc"}
+	}
+	// One windowed tracker and one protocol-grid experiment cover both
+	// sub-trial shapes; the registry-wide kill test sweeps the rest.
+	for _, id := range []string{"fig3-7", "fig4-6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, ok := experiments.ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			base := exp.Run(experiments.Config{Scale: 0.1, Seed: 42, Workers: 1}).String()
+			for _, transport := range transports {
+				rep, stats := clusterRun(t, transport, id, 4, 4, true)
+				if got := rep.String(); got != base {
+					t.Errorf("report differs after mid-sub-trial kill via %s:\n--- single ---\n%s\n--- cluster ---\n%s",
+						transport, base, got)
+				}
+				if stats.Requeued+stats.Stolen < 1 {
+					t.Errorf("%s: killed worker's sub-trial chunk was neither requeued nor stolen (stats %+v)", transport, stats)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,9 @@
 package ctlplane
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,6 +46,14 @@ type Config struct {
 	// returning the new job index. Cancel withdraws a job by index.
 	Submit func(spec string) (int, error)
 	Cancel func(job int) error
+	// Token, when non-empty, gates the mutation endpoints (POST /jobs,
+	// POST /jobs/{n}/cancel) behind the fleet's session token: requests
+	// must carry Sign(token, method, path, body) in the MACHeader header
+	// or they answer 401. The read path (/status, /metrics) stays open —
+	// it is lock-free and side-effect-free by construction. An empty
+	// token leaves mutation open too, matching the trusted-LAN default
+	// of the worker handshake.
+	Token string
 	// Logf, if set, receives one line per mutation request.
 	Logf func(format string, args ...any)
 }
@@ -119,6 +130,36 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(s.status())
 }
 
+// MACHeader carries the mutation-request MAC (see Sign).
+const MACHeader = "X-Hintshard-MAC"
+
+// Sign computes the mutation-request MAC: HMAC-SHA256 over the request
+// method, path, and body under the shared session token, hex-encoded.
+// Binding method and path stops a captured submit MAC from authorising
+// a cancel (or vice versa); the scheme deliberately has no nonce — the
+// control plane trusts its LAN against replay the same way the worker
+// plane does, and the token only keeps strangers from steering the
+// fleet.
+func Sign(token, method, path string, body []byte) string {
+	mac := hmac.New(sha256.New, []byte(token))
+	io.WriteString(mac, method)
+	mac.Write([]byte{0})
+	io.WriteString(mac, path)
+	mac.Write([]byte{0})
+	mac.Write(body)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// authorized checks a mutation request's MAC in constant time; with no
+// token configured every request passes.
+func (s *Server) authorized(r *http.Request, body []byte) bool {
+	if s.cfg.Token == "" {
+		return true
+	}
+	want := Sign(s.cfg.Token, r.Method, r.URL.Path, body)
+	return hmac.Equal([]byte(r.Header.Get(MACHeader)), []byte(want))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Submit == nil {
 		http.Error(w, "job submission is not enabled on this endpoint", http.StatusForbidden)
@@ -127,6 +168,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.authorized(r, body) {
+		s.cfg.Logf("ctlplane: submit rejected: bad or missing MAC")
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
 		return
 	}
 	spec := strings.TrimSpace(string(body))
@@ -148,6 +194,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Cancel == nil {
 		http.Error(w, "job cancellation is not enabled on this endpoint", http.StatusForbidden)
+		return
+	}
+	if !s.authorized(r, nil) {
+		s.cfg.Logf("ctlplane: cancel rejected: bad or missing MAC")
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
 		return
 	}
 	job, err := strconv.Atoi(r.PathValue("job"))

@@ -141,3 +141,96 @@ func TestMetricLabels(t *testing.T) {
 		t.Errorf("typed metric rendered %q", b.String())
 	}
 }
+
+// TestTokenGatesMutation covers the session-token gate on the mutation
+// endpoints: a correct MAC passes, a wrong or missing one answers 401
+// before any hook runs, the MAC does not transfer between method/path
+// pairs, and the read path stays open without credentials.
+func TestTokenGatesMutation(t *testing.T) {
+	const token = "fleet-secret"
+	submits, cancels := 0, 0
+	srv, err := Start("127.0.0.1:0", Config{
+		Token:  token,
+		Submit: func(spec string) (int, error) { submits++; return 1, nil },
+		Cancel: func(job int) error { cancels++; return nil },
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	post := func(path, body, mac string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mac != "" {
+			req.Header.Set(MACHeader, mac)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	spec := "fig2-2:seed=7"
+	if code := post("/jobs", spec, Sign(token, "POST", "/jobs", []byte(spec))); code != http.StatusOK {
+		t.Errorf("signed submit = %d, want 200", code)
+	}
+	if code := post("/jobs/3/cancel", "", Sign(token, "POST", "/jobs/3/cancel", nil)); code != http.StatusOK {
+		t.Errorf("signed cancel = %d, want 200", code)
+	}
+	if submits != 1 || cancels != 1 {
+		t.Fatalf("hooks ran %d/%d times, want 1/1", submits, cancels)
+	}
+
+	for name, mac := range map[string]string{
+		"missing MAC":    "",
+		"wrong token":    Sign("other-secret", "POST", "/jobs", []byte(spec)),
+		"body not bound": Sign(token, "POST", "/jobs", []byte("fig3-1")),
+		"path not bound": Sign(token, "POST", "/jobs/3/cancel", []byte(spec)),
+		"garbage":        "zzzz",
+	} {
+		if code := post("/jobs", spec, mac); code != http.StatusUnauthorized {
+			t.Errorf("%s: submit = %d, want 401", name, code)
+		}
+	}
+	if code := post("/jobs/3/cancel", "", Sign(token, "POST", "/jobs/9/cancel", nil)); code != http.StatusUnauthorized {
+		t.Errorf("cancel MAC for another job index accepted")
+	}
+	if submits != 1 || cancels != 1 {
+		t.Errorf("hooks ran on rejected requests (%d/%d)", submits, cancels)
+	}
+
+	// Reads stay open: status is side-effect-free.
+	if code, _ := get(t, base+"/status"); code != http.StatusOK {
+		t.Errorf("unauthenticated /status = %d, want 200", code)
+	}
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Errorf("unauthenticated /metrics = %d, want 200", code)
+	}
+}
+
+// TestEmptyTokenStaysOpen: the trusted-LAN default — no token, no MAC
+// required.
+func TestEmptyTokenStaysOpen(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Config{
+		Submit: func(spec string) (int, error) { return 0, nil },
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Post("http://"+srv.Addr()+"/jobs", "text/plain", strings.NewReader("fig2-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("tokenless submit = %d, want 200", resp.StatusCode)
+	}
+}

@@ -75,6 +75,10 @@ type shardExec struct {
 	// that replayed partials match the experiment's structure and that
 	// no label is used twice.
 	loops map[string]int
+	// plans maps loop label → declared sub-trial plan (zero for plain
+	// loops), so a replay can verify the partials were produced by the
+	// same cell×unit decomposition the experiment declares.
+	plans map[string]parallel.SubPlan
 	// replayed marks the partial loops the experiment consumed in
 	// modeReplay; MergeShards turns leftovers into an error (a partial
 	// with loops the experiment never runs is from a different build).
@@ -90,6 +94,7 @@ func newExec(mode shardMode) *shardExec {
 		mode:     mode,
 		cols:     newColSet(),
 		loops:    map[string]int{},
+		plans:    map[string]parallel.SubPlan{},
 		owner:    map[string]string{},
 		replayed: map[string]bool{},
 	}
@@ -238,6 +243,24 @@ func (c *colSet) absorb(e *Emitter) {
 // randomness from the global trial index i and must not call
 // cfg.trials recursively.
 func (c Config) trials(label string, n int, fn func(i int, em *Emitter)) {
+	c.runLoop(label, n, parallel.SubPlan{}, fn)
+}
+
+// subTrials is the trials variant for loops whose trial range is really
+// a Cells×Units sub-trial grid (see parallel.SubPlan): fn(i, em) runs
+// work unit plan.Cell(i). The plan travels on the shard wire format so
+// a replaying coordinator can verify the partials were produced by the
+// same decomposition, and so operators can see how a heavy trial was
+// split. Execution is otherwise identical to trials — the flattened
+// range shards, seeds, and merges like any other.
+func (c Config) subTrials(label string, plan parallel.SubPlan, fn func(i int, em *Emitter)) {
+	if !plan.Valid() {
+		panic(fmt.Sprintf("experiments: trial loop %q declares invalid sub-trial plan %v", label, plan))
+	}
+	c.runLoop(label, plan.Trials(), plan, fn)
+}
+
+func (c Config) runLoop(label string, n int, plan parallel.SubPlan, fn func(i int, em *Emitter)) {
 	sh := c.sh
 	if sh == nil {
 		panic("experiments: Config.trials outside a registered runner")
@@ -254,6 +277,9 @@ func (c Config) trials(label string, n int, fn func(i int, em *Emitter)) {
 		if want != n {
 			panic(replayMismatch(fmt.Sprintf("trial loop %q has %d trials, partials carry %d", label, n, want)))
 		}
+		if got := sh.plans[label]; got != plan {
+			panic(replayMismatch(fmt.Sprintf("trial loop %q declares sub-trial plan %v, partials carry %v", label, plan, got)))
+		}
 		sh.replayed[label] = true
 		return
 	case modeCollect:
@@ -264,7 +290,8 @@ func (c Config) trials(label string, n int, fn func(i int, em *Emitter)) {
 			return em
 		})
 		sh.claim(label, n, ems)
-		if err := sh.emit(encodeLoop(label, n, lo, ems)); err != nil {
+		sh.plans[label] = plan
+		if err := sh.emit(encodeLoop(label, n, lo, plan, ems)); err != nil {
 			panic(emitAbort{err})
 		}
 	default:
@@ -274,10 +301,28 @@ func (c Config) trials(label string, n int, fn func(i int, em *Emitter)) {
 			return em
 		})
 		sh.claim(label, n, ems)
+		sh.plans[label] = plan
 		for _, em := range ems {
 			sh.cols.absorb(em)
 		}
 	}
+}
+
+// execRange returns the slice [lo, hi) of an n-trial range this
+// execution mode actually runs: the whole range in-process, the shard's
+// contiguous slice on a shard worker, nothing on a replaying
+// coordinator. Runners use it to size shared per-cell resources (for
+// example memoized traces) to the work this process will perform.
+func (c Config) execRange(n int) (lo, hi int) {
+	if c.sh != nil {
+		switch c.sh.mode {
+		case modeCollect:
+			return c.sh.shard.Range(n)
+		case modeReplay:
+			return 0, 0
+		}
+	}
+	return 0, n
 }
 
 // collecting reports whether this run is a shard worker, in which case

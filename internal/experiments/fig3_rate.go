@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/parallel"
+	"repro/internal/phy"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
 	"repro/internal/sensors"
@@ -12,10 +14,10 @@ import (
 )
 
 func init() {
-	register("fig3-5", "hint-aware rate adaptation on mixed static/mobile traces (TCP)", Fig3_5)
-	register("fig3-6", "rate adaptation on mobile-only traces (TCP)", Fig3_6)
-	register("fig3-7", "rate adaptation on static-only traces (TCP)", Fig3_7)
-	register("fig3-8", "rate adaptation in the vehicular setting (UDP)", Fig3_8)
+	register("fig3-5", "hint-aware rate adaptation on mixed static/mobile traces (TCP)", Fig3_5, frames(phy.DefaultFrameBytes))
+	register("fig3-6", "rate adaptation on mobile-only traces (TCP)", Fig3_6, frames(phy.DefaultFrameBytes))
+	register("fig3-7", "rate adaptation on static-only traces (TCP)", Fig3_7, frames(phy.DefaultFrameBytes))
+	register("fig3-8", "rate adaptation in the vehicular setting (UDP)", Fig3_8, frames(phy.DefaultFrameBytes))
 }
 
 // protoSet names the protocols compared in Chapter 3.
@@ -67,13 +69,18 @@ func runProto(name string, tr *trace.FateTrace, workload ratesim.Workload, seed 
 	return res.ThroughputMbps
 }
 
-// rateComparisonTrials runs the trial phase of a Chapter 3 comparison:
-// one trial per (environment, trace) pair runs the whole protocol set
-// and emits each protocol's throughput into the "<env>/<protocol>"
-// accumulator. Trials derive their trace and adapter seeds from the
-// experiment's seed stream by global trial index and their emissions
-// absorb in trial order, so the resulting table is bit-identical for
-// any worker count — and for any shard count.
+// rateComparisonTrials runs the trial phase of a Chapter 3 comparison
+// as a sub-trial grid: one cell per (environment, trace) pair, one work
+// unit per protocol replay. Each unit emits its protocol's throughput
+// into the "<env>/<protocol>" accumulator; row-major sub-trial indexing
+// visits units in exactly the order the old one-trial-per-cell loop
+// emitted them, so the merged accumulators — and the report bytes — are
+// unchanged, while a cell's six replays (the actual wall-clock weight;
+// MAC replay dwarfs trace generation) can now land on six different
+// workers. Trace and adapter seeds derive from the *cell* index on the
+// cell seed streams, so every unit of a cell replays the identical
+// trace regardless of which process runs it; the traceProvider memoizes
+// the cell's generation across the units that share a process.
 type rateCell struct {
 	mean, ci float64
 }
@@ -83,22 +90,26 @@ func rateComparisonTrials(cfg Config, label string, envs []channel.Environment, 
 
 	traces := cfg.stream(label + "/traces")
 	adapters := cfg.stream(label + "/adapters")
-	trials := len(envs) * nTraces
-	// Traces are per-trial throwaways; a pool recycles slot buffers
-	// across trials so the fan-out is not throttled by allocation.
+	plan := parallel.SubPlan{Cells: len(envs) * nTraces, Units: len(protoSet)}
+	// Traces are per-cell throwaways; the pool recycles slot buffers
+	// across cells so the fan-out is not throttled by allocation.
 	var pool channel.TracePool
-	cfg.trials(label, trials, func(idx int, em *Emitter) {
-		ei, rep := idx/nTraces, idx%nTraces
-		tr := pool.Generate(channel.Config{
+	prov := newTraceProvider(cfg, &pool, plan.Units, plan.Trials(), func(cell int) channel.Config {
+		ei, rep := cell/nTraces, cell%nTraces
+		return channel.Config{
 			Env:   envs[ei],
 			Sched: schedFor(total, rep),
 			Total: total,
-			Seed:  traces.Seed(idx),
-		})
-		defer pool.Put(tr)
-		for _, p := range protoSet {
-			em.Add(envs[ei].Name+"/"+p, runProto(p, tr, workload, adapters.Seed(idx)))
+			Seed:  traces.Seed(cell),
 		}
+	})
+	cfg.subTrials(label, plan, func(idx int, em *Emitter) {
+		cell, unit := plan.Cell(idx)
+		ei := cell / nTraces
+		tr := prov.acquire(cell)
+		defer prov.release(cell)
+		p := protoSet[unit]
+		em.Add(envs[ei].Name+"/"+p, runProto(p, tr, workload, adapters.Seed(cell)))
 	})
 }
 

@@ -7,18 +7,20 @@ import (
 	"repro/internal/channel"
 	"repro/internal/mesh"
 	"repro/internal/parallel"
+	"repro/internal/phy"
 	"repro/internal/probing"
 	"repro/internal/sensors"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func init() {
 	register("fig4-1", "delivery rate over time with movement hint", Fig4_1)
 	register("fig4-2", "estimate error vs probing rate, static", Fig4_2)
 	register("fig4-3", "estimate error vs probing rate, mobile", Fig4_3)
-	register("fig4-4", "delivery probability by probing rate, stationary timeline", Fig4_4)
-	register("fig4-5", "delivery probability by probing rate, mobile timeline", Fig4_5)
-	register("fig4-6", "adaptive vs fixed probing on a combined trace", Fig4_6)
+	register("fig4-4", "delivery probability by probing rate, stationary timeline", Fig4_4, frames(phy.DefaultFrameBytes))
+	register("fig4-5", "delivery probability by probing rate, mobile timeline", Fig4_5, frames(phy.DefaultFrameBytes))
+	register("fig4-6", "adaptive vs fixed probing on a combined trace", Fig4_6, frames(phy.DefaultFrameBytes))
 	register("sec4-2", "ETX penalty of erroneous link estimates", Sec4_2)
 }
 
@@ -276,37 +278,61 @@ func Fig4_3(cfg Config) *Report {
 // trackRates are the probing rates of the Figure 4-4/4-5 timelines.
 var trackRates = []float64{1, 5, 10}
 
-// trackingTrials runs the Figure 4-4/4-5 timeline as one trial: a
-// representative 25 s trace, the actual delivery probability, and the
-// estimates at 1, 5 and 10 probes/s (fanned out in-process).
+// windowOf maps a sample time to its index among nWin time windows of
+// width win (the last window absorbs any tail past the grid).
+func windowOf(at time.Duration, win time.Duration, nWin int) int {
+	w := int(at / win)
+	if w >= nWin {
+		w = nWin - 1
+	}
+	return w
+}
+
+// trackingTrials runs the Figure 4-4/4-5 timeline as a sub-trial grid
+// over one shared 25 s trace: cell 0 emits the actual-probability
+// curve, and each tracked probing rate is a cell whose units are time
+// windows of the run. A window unit replays the scheduler run from
+// t = 0 — the run is a pure function of (trace, seed), so the prefix
+// replay reconstructs the estimator and RNG state the window starts
+// with — and emits only the samples its window owns. Windows are
+// visited in trial order, so every collector receives its samples in
+// time order, exactly as the old single-trial loop emitted them; the
+// replays are hundreds of probes while the shared trace generation is
+// memoized per process, so fanning the grid moves real work.
 func trackingTrials(cfg Config, mode sensors.MobilityMode, seedOff int64, label string) {
-	cfg.trials(label, 1, func(_ int, em *Emitter) {
-		const total = 25 * time.Second
+	const total = 25 * time.Second
+	const win = 10 * time.Second
+	nWin := int((total + win - 1) / win)
+	plan := parallel.SubPlan{Cells: 1 + len(trackRates), Units: nWin}
+	var pool channel.TracePool
+	prov := newTraceProvider(cfg, &pool, plan.Trials(), plan.Trials(), func(int) channel.Config {
 		sched := sensors.Schedule{{Start: 0, End: total, Mode: mode}}
-		tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + seedOff})
-
-		for t := time.Duration(0); t < total; t += 250 * time.Millisecond {
-			em.Point("actual", t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
-		}
-
-		// The three probing rates are independent runs over the same
-		// trace; fan them out and emit series and errors in rate order.
-		runs := parallel.Map(cfg.workers(), len(trackRates), func(i int) probing.RunResult {
-			rate := trackRates[i]
-			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: rate}, 10, cfg.Seed+seedOff+int64(rate))
-		})
-		for i, rate := range trackRates {
-			res := runs[i]
-			// Skip the window-fill transient (10 probes).
-			fill := time.Duration(float64(10*time.Second) / rate)
-			var errs []float64
-			for _, smp := range res.Samples {
-				em.Point(trackKey(rate), smp.At.Seconds(), smp.Observed)
-				if smp.At > fill {
-					errs = append(errs, smp.Error())
+		return channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + seedOff}
+	})
+	cfg.subTrials(label, plan, func(idx int, em *Emitter) {
+		cell, w := plan.Cell(idx)
+		tr := prov.acquire(0)
+		defer prov.release(0)
+		if cell == 0 {
+			if w == 0 {
+				for t := time.Duration(0); t < total; t += 250 * time.Millisecond {
+					em.Point("actual", t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
 				}
 			}
-			em.Add(trackErrKey(rate), stats.Mean(errs))
+			return
+		}
+		rate := trackRates[cell-1]
+		res := probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: rate}, 10, cfg.Seed+seedOff+int64(rate))
+		// Skip the window-fill transient (10 probes).
+		fill := time.Duration(float64(10*time.Second) / rate)
+		for _, smp := range res.Samples {
+			if windowOf(smp.At, win, nWin) != w {
+				continue
+			}
+			em.Point(trackKey(rate), smp.At.Seconds(), smp.Observed)
+			if smp.At > fill {
+				em.Add(trackErrKey(rate), smp.Error())
+			}
 		}
 	})
 }
@@ -319,7 +345,10 @@ func trackingReport(cfg Config, r *Report) map[float64]float64 {
 	for _, rate := range trackRates {
 		name := fmt.Sprintf("%.0f probe/s", rate)
 		r.Series = append(r.Series, cfg.seriesCol(trackKey(rate), name))
-		meanErr[rate] = cfg.val(trackErrKey(rate))
+		// Per-sample errors absorb in window (= time) order, so this mean
+		// sums the same values in the same order as the old single-trial
+		// emission.
+		meanErr[rate] = cfg.acc(trackErrKey(rate)).Mean()
 	}
 	r.Columns = []string{"mean error"}
 	for _, rate := range trackRates {
@@ -378,54 +407,72 @@ func Fig4_6(cfg Config) *Report {
 	total := time.Duration(cfg.scaleInt(60, 40)) * time.Second
 	sched := sensors.AlternatingSchedule(total, 10*time.Second, sensors.Walk, false)
 
-	// One trial: the trace, the three scheduler strategies over it, and
-	// the mobile-phase error/bandwidth statistics.
-	cfg.trials("fig4-6", 1, func(_ int, em *Emitter) {
-		tr := channel.Generate(channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + 501})
-
-		// Three independent scheduler strategies over the same trace.
-		scheds := []func() probing.RunResult{
-			func() probing.RunResult {
-				hintFn := probing.MovementHintFn(tr, 100*time.Millisecond)
-				return probing.RunScheduler(tr, &probing.HintScheduler{MovingFn: hintFn}, 10, cfg.Seed+502)
-			},
-			func() probing.RunResult {
-				return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 1}, 10, cfg.Seed+503)
-			},
-			func() probing.RunResult {
-				return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 10}, 10, cfg.Seed+504)
-			},
-		}
-		runs := parallel.Map(cfg.workers(), len(scheds), func(i int) probing.RunResult { return scheds[i]() })
-		adaptive, fixed, fast := runs[0], runs[1], runs[2]
-
-		for t := time.Duration(0); t < total; t += 500 * time.Millisecond {
-			em.Point("actual", t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
-		}
-		for _, smp := range adaptive.Samples {
-			em.Point("adaptive", smp.At.Seconds(), smp.Observed)
-		}
-		for _, smp := range fixed.Samples {
-			em.Point("fixed", smp.At.Seconds(), smp.Observed)
-		}
-
-		// Errors are compared on the mobile phases, where the strategies
-		// differ; probe counts show the bandwidth saving vs always-fast.
-		mobileErr := func(res probing.RunResult) float64 {
-			var xs []float64
-			for _, smp := range res.Samples {
-				if tr.MovingAt(smp.At) {
-					xs = append(xs, smp.Error())
+	// The run is a sub-trial grid over one shared trace: cell 0 emits
+	// the actual-probability curve, cells 1–3 are the three scheduler
+	// strategies, and each strategy cell's units are 20 s time windows.
+	// A window unit replays its strategy from t = 0 — the stateful hint
+	// scheduler's movingTill/linger state is a pure function of the
+	// (trace, seed) prefix, so the replay carries the state the window
+	// starts with — and emits only its window's samples, per-sample
+	// mobile-phase errors, and probe count. Finish sums/means them in
+	// window order, reproducing the old single-trial statistics exactly.
+	const fig46Win = 20 * time.Second
+	nWin := int((total + fig46Win - 1) / fig46Win)
+	type strategy struct {
+		series string // sample series collector ("" = none)
+		err    string
+		probes string
+		run    func(tr *trace.FateTrace) probing.RunResult
+	}
+	strategies := []strategy{
+		{"adaptive", "adErr", "adProbes", func(tr *trace.FateTrace) probing.RunResult {
+			hintFn := probing.MovementHintFn(tr, 100*time.Millisecond)
+			return probing.RunScheduler(tr, &probing.HintScheduler{MovingFn: hintFn}, 10, cfg.Seed+502)
+		}},
+		{"fixed", "fxErr", "fxProbes", func(tr *trace.FateTrace) probing.RunResult {
+			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 1}, 10, cfg.Seed+503)
+		}},
+		{"", "fastErr", "fastProbes", func(tr *trace.FateTrace) probing.RunResult {
+			return probing.RunScheduler(tr, &probing.FixedScheduler{PerSecond: 10}, 10, cfg.Seed+504)
+		}},
+	}
+	plan := parallel.SubPlan{Cells: 1 + len(strategies), Units: nWin}
+	var pool channel.TracePool
+	prov := newTraceProvider(cfg, &pool, plan.Trials(), plan.Trials(), func(int) channel.Config {
+		return channel.Config{Env: probingEnv(), Sched: sched, Total: total, Seed: cfg.Seed + 501}
+	})
+	cfg.subTrials("fig4-6", plan, func(idx int, em *Emitter) {
+		cell, w := plan.Cell(idx)
+		tr := prov.acquire(0)
+		defer prov.release(0)
+		if cell == 0 {
+			if w == 0 {
+				for t := time.Duration(0); t < total; t += 500 * time.Millisecond {
+					em.Point("actual", t.Seconds(), tr.WindowProb(t, probing.ActualWindow, probing.ProbeRate))
 				}
 			}
-			return stats.Mean(xs)
+			return
 		}
-		em.Add("adErr", mobileErr(adaptive))
-		em.Add("fxErr", mobileErr(fixed))
-		em.Add("fastErr", mobileErr(fast))
-		em.Add("adProbes", float64(adaptive.Probes))
-		em.Add("fxProbes", float64(fixed.Probes))
-		em.Add("fastProbes", float64(fast.Probes))
+		st := strategies[cell-1]
+		res := st.run(tr)
+		probes := 0
+		for _, smp := range res.Samples {
+			if windowOf(smp.At, fig46Win, nWin) != w {
+				continue
+			}
+			probes++
+			if st.series != "" {
+				em.Point(st.series, smp.At.Seconds(), smp.Observed)
+			}
+			// Errors are compared on the mobile phases, where the
+			// strategies differ.
+			if tr.MovingAt(smp.At) {
+				em.Add(st.err, smp.Error())
+			}
+		}
+		// Every probe yields one sample, so the per-window sample counts
+		// sum to the run's exact probe total.
+		em.Add(st.probes, float64(probes))
 	})
 	if cfg.collecting() {
 		return nil
@@ -450,8 +497,15 @@ func Fig4_6(cfg Config) *Report {
 		cfg.seriesCol("fixed", "1 probe/s"),
 		hint)
 
-	adErr, fxErr, fastErr := cfg.val("adErr"), cfg.val("fxErr"), cfg.val("fastErr")
-	adProbes, fxProbes, fastProbes := cfg.val("adProbes"), cfg.val("fxProbes"), cfg.val("fastProbes")
+	sum := func(name string) float64 {
+		total := 0.0
+		for _, v := range cfg.acc(name).Values() {
+			total += v
+		}
+		return total
+	}
+	adErr, fxErr, fastErr := cfg.acc("adErr").Mean(), cfg.acc("fxErr").Mean(), cfg.acc("fastErr").Mean()
+	adProbes, fxProbes, fastProbes := sum("adProbes"), sum("fxProbes"), sum("fastProbes")
 	r.Columns = []string{"mobile err", "probes"}
 	r.Rows = []Row{
 		{Label: "adaptive", Values: []float64{adErr, adProbes}},

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/phy"
+)
+
+// TestFrameSizes covers the warm-list derivation: declared sizes win,
+// undeclared runners and unknown ids fall back to the phy default, and
+// the union is sorted and deduplicated.
+func TestFrameSizes(t *testing.T) {
+	if got := FrameSizes("fig3-7"); !reflect.DeepEqual(got, []int{phy.DefaultFrameBytes}) {
+		t.Errorf("FrameSizes(fig3-7) = %v, want [%d]", got, phy.DefaultFrameBytes)
+	}
+	if got := FrameSizes("fig2-2", "no-such-experiment"); !reflect.DeepEqual(got, []int{phy.DefaultFrameBytes}) {
+		t.Errorf("FrameSizes with fallback ids = %v, want [%d]", got, phy.DefaultFrameBytes)
+	}
+	whole := FrameSizes()
+	if len(whole) == 0 {
+		t.Fatal("FrameSizes() over the registry is empty")
+	}
+	for i := 1; i < len(whole); i++ {
+		if whole[i] <= whole[i-1] {
+			t.Fatalf("FrameSizes() = %v is not sorted and deduplicated", whole)
+		}
+	}
+
+	// A synthetic runner with declared sizes unions with the defaults.
+	registry = append(registry, Runner{ID: "frames-test-synth", Frames: []int{256, 1500}})
+	defer func() { registry = registry[:len(registry)-1] }()
+	got := FrameSizes("frames-test-synth", "fig3-7")
+	want := []int{256, phy.DefaultFrameBytes, 1500}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FrameSizes(synth, fig3-7) = %v, want %v", got, want)
+	}
+}

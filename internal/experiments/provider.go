@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/trace"
+)
+
+// traceProvider memoizes per-cell trace generation for sub-trial loops
+// (see Config.subTrials): when one input cell's trace feeds several work
+// units, the units of the cell that land in this process share a single
+// generation instead of each regenerating it. Traces are pure functions
+// of (seed, params) and ~350 KB each, so regenerating at the process
+// that replays them is cheaper than shipping them — the sub-trial fan
+// moves the *replay* work, and the provider keeps the generation work
+// from multiplying by the unit count. A boundary cell split between two
+// shards generates once per shard; with row-major sub-trial indexing at
+// most two cells per shard pay that.
+//
+// Reference counting returns each trace to the TracePool as soon as the
+// last local unit of its cell finishes, so the provider holds at most
+// the working set of cells in flight — not the whole grid — and the
+// generation hot path stays on the pooled 0-alloc GenerateInto.
+type traceProvider struct {
+	pool  *channel.TracePool
+	gen   func(cell int) channel.Config
+	units int
+	// lo/hi is the global trial range this process executes
+	// (Config.execRange), from which per-cell local use counts derive.
+	lo, hi int
+
+	mu      sync.Mutex
+	entries map[int]*traceEntry
+}
+
+type traceEntry struct {
+	ready chan struct{}
+	tr    *trace.FateTrace
+	refs  int
+}
+
+// newTraceProvider builds a provider for a loop of plan.Units work
+// units per cell; gen maps a cell index to its generation parameters.
+func newTraceProvider(cfg Config, pool *channel.TracePool, units, trials int, gen func(cell int) channel.Config) *traceProvider {
+	lo, hi := cfg.execRange(trials)
+	return &traceProvider{
+		pool:    pool,
+		gen:     gen,
+		units:   units,
+		lo:      lo,
+		hi:      hi,
+		entries: map[int]*traceEntry{},
+	}
+}
+
+// uses returns how many local work units read the cell's trace.
+func (p *traceProvider) uses(cell int) int {
+	lo, hi := cell*p.units, (cell+1)*p.units
+	if lo < p.lo {
+		lo = p.lo
+	}
+	if hi > p.hi {
+		hi = p.hi
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// acquire returns the cell's trace, generating it on first use. The
+// caller must release it when its unit of work is done. Concurrent
+// units of one cell share the first caller's generation: later callers
+// block on it rather than generating twice.
+func (p *traceProvider) acquire(cell int) *trace.FateTrace {
+	p.mu.Lock()
+	e := p.entries[cell]
+	if e != nil {
+		p.mu.Unlock()
+		<-e.ready
+		return e.tr
+	}
+	e = &traceEntry{ready: make(chan struct{}), refs: p.uses(cell)}
+	p.entries[cell] = e
+	p.mu.Unlock()
+	e.tr = p.pool.Generate(p.gen(cell))
+	close(e.ready)
+	return e.tr
+}
+
+// release returns one unit's reference; the trace goes back to the pool
+// when the last local unit of the cell is done with it.
+func (p *traceProvider) release(cell int) {
+	p.mu.Lock()
+	e := p.entries[cell]
+	if e == nil {
+		p.mu.Unlock()
+		panic("experiments: trace released for a cell never acquired")
+	}
+	e.refs--
+	done := e.refs == 0
+	if done {
+		delete(p.entries, cell)
+	}
+	p.mu.Unlock()
+	if done {
+		p.pool.Put(e.tr)
+	}
+}

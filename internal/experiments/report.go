@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/parallel"
+	"repro/internal/phy"
 	"repro/internal/stats"
 )
 
@@ -164,6 +165,21 @@ type Runner struct {
 	ID   string
 	Run  func(Config) *Report
 	Desc string
+	// Frames lists the frame payload sizes (phy LUT keys) the
+	// experiment's hot loops read; nil means phy.DefaultFrameBytes. A
+	// fleet warms exactly these tables before dispatching the experiment
+	// (see FrameSizes), instead of guessing from a fixed list.
+	Frames []int
+}
+
+// runnerOpt customises a registration beyond (id, desc, run).
+type runnerOpt func(*Runner)
+
+// frames declares the frame payload sizes the experiment's trials hit,
+// for the warm-worker prepare step. Experiments that leave it out
+// default to phy.DefaultFrameBytes.
+func frames(sizes ...int) runnerOpt {
+	return func(r *Runner) { r.Frames = sizes }
 }
 
 var registry []Runner
@@ -173,14 +189,55 @@ var registry []Runner
 // engine when the caller did not set one up, so plain Runner.Run keeps
 // working unchanged while RunShard/MergeShards can substitute the
 // worker and coordinator engines.
-func register(id, desc string, run func(Config) *Report) {
+func register(id, desc string, run func(Config) *Report, opts ...runnerOpt) {
 	wrapped := func(cfg Config) *Report {
 		if cfg.sh == nil {
 			cfg.sh = newExec(modeRun)
 		}
 		return run(cfg)
 	}
-	registry = append(registry, Runner{ID: id, Run: wrapped, Desc: desc})
+	r := Runner{ID: id, Run: wrapped, Desc: desc}
+	for _, opt := range opts {
+		opt(&r)
+	}
+	registry = append(registry, r)
+}
+
+// FrameSizes returns the sorted, deduplicated union of the frame
+// payload sizes the named experiments declare (phy.DefaultFrameBytes
+// for experiments that declare none, and for ids not in the registry) —
+// the exact table set a fleet should phy.Warm before running them. With
+// no ids it covers the whole registry.
+func FrameSizes(ids ...string) []int {
+	set := map[int]bool{}
+	add := func(r Runner) {
+		if len(r.Frames) == 0 {
+			set[phy.DefaultFrameBytes] = true
+			return
+		}
+		for _, b := range r.Frames {
+			set[b] = true
+		}
+	}
+	if len(ids) == 0 {
+		for _, r := range registry {
+			add(r)
+		}
+	}
+	for _, id := range ids {
+		r, ok := ByID(id)
+		if !ok {
+			set[phy.DefaultFrameBytes] = true
+			continue
+		}
+		add(r)
+	}
+	out := make([]int, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // All returns every registered experiment sorted by id.

@@ -63,9 +63,22 @@ type LoopPartial struct {
 	// Lo is the first global trial index of this shard's slice; the
 	// slice is [Lo, Lo+len(Trials)).
 	Lo int `json:"lo"`
+	// Cells and Units carry the loop's declared sub-trial plan when the
+	// trial range is really a Cells×Units grid of sub-trial work units
+	// (see parallel.SubPlan); both are zero for plain loops. When set,
+	// Cells×Units must equal N, and every shard of a run must agree —
+	// a replaying coordinator additionally checks the plan against the
+	// decomposition the experiment declares.
+	Cells int `json:"cells,omitempty"`
+	Units int `json:"units,omitempty"`
 	// Trials holds the per-trial emissions in ascending global trial
 	// index order.
 	Trials []TrialPartial `json:"trials"`
+}
+
+// plan returns the loop's sub-trial plan (zero for plain loops).
+func (lp *LoopPartial) plan() parallel.SubPlan {
+	return parallel.SubPlan{Cells: lp.Cells, Units: lp.Units}
 }
 
 // TrialPartial is the serialized emissions of a single trial. Map
@@ -78,8 +91,8 @@ type TrialPartial struct {
 }
 
 // encodeLoop serializes one loop's per-trial emitters.
-func encodeLoop(label string, n, lo int, ems []*Emitter) *LoopPartial {
-	out := &LoopPartial{Label: label, N: n, Lo: lo, Trials: make([]TrialPartial, len(ems))}
+func encodeLoop(label string, n, lo int, plan parallel.SubPlan, ems []*Emitter) *LoopPartial {
+	out := &LoopPartial{Label: label, N: n, Lo: lo, Cells: plan.Cells, Units: plan.Units, Trials: make([]TrialPartial, len(ems))}
 	for i, em := range ems {
 		out.Trials[i] = encodeTrial(em)
 	}
@@ -191,6 +204,18 @@ func DecodePartial(r io.Reader) (*Partial, error) {
 			return nil, fmt.Errorf("experiments: loop %q carries trials [%d,%d), shard %v of %d trials owns [%d,%d)",
 				loop.Label, loop.Lo, loop.Lo+len(loop.Trials), sh, loop.N, lo, hi)
 		}
+		if (loop.Cells != 0) != (loop.Units != 0) {
+			return nil, fmt.Errorf("experiments: loop %q carries half a sub-trial plan (%d cells, %d units)",
+				loop.Label, loop.Cells, loop.Units)
+		}
+		if loop.Cells != 0 {
+			// Division instead of multiplication so hostile counts cannot
+			// overflow their way past the check.
+			if loop.Cells < 0 || loop.Units < 0 || loop.N/loop.Units != loop.Cells || loop.N%loop.Units != 0 {
+				return nil, fmt.Errorf("experiments: loop %q declares sub-trial plan %d×%d over %d trials",
+					loop.Label, loop.Cells, loop.Units, loop.N)
+			}
+		}
 	}
 	return &p, nil
 }
@@ -205,7 +230,8 @@ func DecodePartial(r io.Reader) (*Partial, error) {
 // tampering worker must not be able to craft a different result with
 // the same bytes) and order-stable. Layout, all fields
 // stats.AppendFrame-framed: the loop count; then per loop its label and
-// a fixed-width header carrying N, Lo, and the trial count; then per
+// a fixed-width header carrying N, Lo, the trial count, and the
+// sub-trial plan (zero for plain loops); then per
 // trial a kind+name frame and payload frame per collector in sorted
 // name order, closed by an empty frame. The explicit counts pin every
 // frame's role — a decoder always knows whether the next frame is a
@@ -229,10 +255,12 @@ func CanonicalLoops(loops []*LoopPartial) ([]byte, error) {
 	app(count[:])
 	for _, loop := range loops {
 		app([]byte(loop.Label))
-		var hdr [24]byte
+		var hdr [40]byte
 		binary.LittleEndian.PutUint64(hdr[0:8], uint64(loop.N))
 		binary.LittleEndian.PutUint64(hdr[8:16], uint64(loop.Lo))
 		binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(loop.Trials)))
+		binary.LittleEndian.PutUint64(hdr[24:32], uint64(loop.Cells))
+		binary.LittleEndian.PutUint64(hdr[32:40], uint64(loop.Units))
 		app(hdr[:])
 		for _, tp := range loop.Trials {
 			for _, name := range sortedKeys(tp.Accs) {
@@ -382,6 +410,10 @@ func MergeShards(parts []*Partial, workers int) (*Report, error) {
 				return nil, fmt.Errorf("experiments: partial %d/%d loop %d is %q (%d trials), first is %q (%d trials)",
 					p.Shard, p.Shards, li, loop.Label, loop.N, ref.Label, ref.N)
 			}
+			if loop.plan() != ref.plan() {
+				return nil, fmt.Errorf("experiments: partial %d/%d loop %q declares sub-trial plan %v, first declares %v",
+					p.Shard, p.Shards, loop.Label, loop.plan(), ref.plan())
+			}
 			lo, hi := want.Range(loop.N, p.Shard)
 			if loop.Lo != lo || len(loop.Trials) != hi-lo {
 				return nil, fmt.Errorf("experiments: loop %q shard %d/%d carries [%d,%d), plan assigns [%d,%d)",
@@ -408,6 +440,7 @@ func MergeShards(parts []*Partial, workers int) (*Report, error) {
 			return nil, fmt.Errorf("experiments: loop %q merged %d of %d trials", ref.Label, covered, ref.N)
 		}
 		sh.loops[ref.Label] = ref.N
+		sh.plans[ref.Label] = ref.plan()
 	}
 
 	cfg := Config{Scale: first.Scale, Seed: first.Seed, Workers: workers, sh: sh}

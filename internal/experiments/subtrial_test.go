@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// subTrialExperiments are the heavy runners that decompose their trials
+// into sub-trial grids; their loop records must carry the plan.
+var subTrialExperiments = []string{"fig3-5", "fig3-6", "fig3-7", "fig3-8", "fig4-4", "fig4-5", "fig4-6"}
+
+// TestSubTrialPlanTravelsOnWire asserts that a sub-trial loop's
+// LoopPartial carries the declared Cells×Units plan and that the plan
+// multiplies out to the trial-range size.
+func TestSubTrialPlanTravelsOnWire(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 7}
+	p, err := RunShard("fig3-8", cfg, parallel.Shard{Index: 0, Count: 1})
+	if err != nil {
+		t.Fatalf("RunShard: %v", err)
+	}
+	if len(p.Loops) != 1 {
+		t.Fatalf("recorded %d loops, want 1", len(p.Loops))
+	}
+	loop := p.Loops[0]
+	// fig3-8 at scale 0.1: one environment × scaleInt(10,4)=4 traces,
+	// six protocols per cell.
+	if loop.Cells != 4 || loop.Units != 6 || loop.N != 24 {
+		t.Errorf("loop plan = %d×%d over %d trials, want 4×6 over 24", loop.Cells, loop.Units, loop.N)
+	}
+}
+
+// TestMergeShardsRejectsSubPlanMismatch asserts the two plan guards: a
+// shard disagreeing with its peers on the plan, and a complete partial
+// set whose plan does not match the decomposition the experiment
+// declares (stale partials from a build with a different split).
+func TestMergeShardsRejectsSubPlanMismatch(t *testing.T) {
+	fixture := func() []*Partial {
+		var parts []*Partial
+		for _, shard := range parallel.NewShardPlan(2).Shards() {
+			p, err := RunShard("fig3-8", Config{Scale: 0.1, Seed: 7}, shard)
+			if err != nil {
+				t.Fatalf("RunShard %v: %v", shard, err)
+			}
+			parts = append(parts, p)
+		}
+		return parts
+	}
+
+	disagree := fixture()
+	disagree[1].Loops[0].Cells, disagree[1].Loops[0].Units = 6, 4
+	if _, err := MergeShards(disagree, 0); err == nil || !strings.Contains(err.Error(), "sub-trial plan") {
+		t.Errorf("cross-shard plan disagreement accepted (err=%v)", err)
+	}
+
+	stale := fixture()
+	for _, p := range stale {
+		p.Loops[0].Cells, p.Loops[0].Units = 0, 0
+	}
+	if _, err := MergeShards(stale, 0); err == nil || !strings.Contains(err.Error(), "stale partials") {
+		t.Errorf("plan-less partials for a sub-trial loop accepted (err=%v)", err)
+	}
+}
+
+// TestDecodePartialSubPlanValidation asserts the envelope checks on the
+// wire: half a plan, a plan that does not multiply out to N, and
+// hostile counts that would overflow a naive Cells*Units==N check.
+func TestDecodePartialSubPlanValidation(t *testing.T) {
+	p, err := RunShard("fig3-8", Config{Scale: 0.1, Seed: 7}, parallel.Shard{Index: 0, Count: 1})
+	if err != nil {
+		t.Fatalf("RunShard: %v", err)
+	}
+	reencode := func(mutate func(*LoopPartial)) string {
+		var buf bytes.Buffer
+		saved := *p.Loops[0]
+		mutate(p.Loops[0])
+		err := p.Encode(&buf)
+		*p.Loops[0] = saved
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.String()
+	}
+
+	if _, err := DecodePartial(strings.NewReader(reencode(func(*LoopPartial) {}))); err != nil {
+		t.Fatalf("valid sub-trial partial rejected: %v", err)
+	}
+	cases := map[string]func(*LoopPartial){
+		"cells without units": func(lp *LoopPartial) { lp.Units = 0 },
+		"units without cells": func(lp *LoopPartial) { lp.Cells = 0 },
+		"plan mismatches n":   func(lp *LoopPartial) { lp.Cells = 5 },
+		"negative plan":       func(lp *LoopPartial) { lp.Cells, lp.Units = -4, -6 },
+		"overflowing plan":    func(lp *LoopPartial) { lp.Cells, lp.Units = 1<<40, 1<<40 },
+	}
+	for name, mutate := range cases {
+		if _, err := DecodePartial(strings.NewReader(reencode(mutate))); err == nil {
+			t.Errorf("%s: malformed partial accepted", name)
+		}
+	}
+}
+
+// TestSubTrialShardsSpread is the decomposition half of the issue's
+// acceptance criterion: on a four-shard split (the four-worker fleet),
+// every restructured heavy experiment must put real work on every
+// shard, and the merge must stay byte-identical to the single-process
+// run.
+func TestSubTrialShardsSpread(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment sweep")
+	}
+	const k = 4
+	for _, id := range subTrialExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			cfg := Config{Scale: 0.1, Seed: 42}
+			want := exp.Run(Config{Scale: cfg.Scale, Seed: cfg.Seed, Workers: 1}).String()
+
+			var parts []*Partial
+			busy := 0
+			for _, shard := range parallel.NewShardPlan(k).Shards() {
+				p, err := RunShard(id, cfg, shard)
+				if err != nil {
+					t.Fatalf("RunShard %v: %v", shard, err)
+				}
+				trials := 0
+				for _, loop := range p.Loops {
+					trials += len(loop.Trials)
+				}
+				if trials > 0 {
+					busy++
+				}
+				parts = append(parts, p)
+			}
+			if busy < 2 {
+				t.Fatalf("only %d of %d shards carried trials; the experiment does not spread", busy, k)
+			}
+			rep, err := MergeShards(parts, 0)
+			if err != nil {
+				t.Fatalf("MergeShards: %v", err)
+			}
+			if got := rep.String(); got != want {
+				t.Errorf("merged report differs from single-process run\n--- merged ---\n%s\n--- single ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// FuzzDecodePartial asserts the partial envelope decoder's contract on
+// arbitrary input: error or accept, never panic; accepted partials
+// satisfy the envelope invariants the merge relies on.
+func FuzzDecodePartial(f *testing.F) {
+	for _, shard := range parallel.NewShardPlan(2).Shards() {
+		p, err := RunShard("fig3-8", Config{Scale: 0.1, Seed: 7}, shard)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":1,"experiment":"x","shard":0,"shards":1,"loops":[]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePartial(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if p.Version != PartialVersion || p.Experiment == "" || p.Job < 0 {
+			t.Fatalf("accepted partial violates envelope invariants: %+v", p)
+		}
+		sh := parallel.Shard{Index: p.Shard, Count: p.Shards}
+		if !sh.Valid() {
+			t.Fatalf("accepted partial has invalid shard %v", sh)
+		}
+		for _, loop := range p.Loops {
+			lo, hi := sh.Range(loop.N)
+			if loop.Lo != lo || len(loop.Trials) != hi-lo {
+				t.Fatalf("accepted loop %q violates its shard range", loop.Label)
+			}
+			if (loop.Cells != 0) != (loop.Units != 0) {
+				t.Fatalf("accepted loop %q carries half a sub-trial plan", loop.Label)
+			}
+			if loop.Cells != 0 && loop.Cells*loop.Units != loop.N {
+				t.Fatalf("accepted loop %q plan %d×%d ≠ %d trials", loop.Label, loop.Cells, loop.Units, loop.N)
+			}
+		}
+	})
+}

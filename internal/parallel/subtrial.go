@@ -1,0 +1,49 @@
+package parallel
+
+import "fmt"
+
+// A SubPlan names the internal structure of a trial range whose
+// "trials" are really sub-trial work units: Cells independent pieces of
+// input (an environment × repetition, a tracked probe rate, a probing
+// strategy) each split into Units work units (one MAC protocol replay,
+// one time window of a tracker run). Flattening the grid into a single
+// range of Cells×Units trials lets the existing shard machinery fan the
+// *inside* of a heavy trial across the fleet: Shard.Range slices the
+// flattened range, per-unit seeds still derive from the root SeedStream
+// by global index, and the trial-index-order merge visits units in
+// (cell, unit) row-major order in every mode.
+//
+// The zero SubPlan means "no sub-trial structure" — a plain trial loop.
+type SubPlan struct {
+	// Cells is the number of independent input cells, at least 1.
+	Cells int
+	// Units is the number of work units per cell, at least 1.
+	Units int
+}
+
+// Valid reports whether the plan is well-formed (a zero plan is not;
+// test IsZero first when the plan is optional).
+func (p SubPlan) Valid() bool { return p.Cells >= 1 && p.Units >= 1 }
+
+// IsZero reports whether the plan is the "no sub-trial structure"
+// marker.
+func (p SubPlan) IsZero() bool { return p == SubPlan{} }
+
+// String renders the plan as "cells×units".
+func (p SubPlan) String() string { return fmt.Sprintf("%d×%d", p.Cells, p.Units) }
+
+// Trials returns the flattened trial-range size, Cells×Units.
+func (p SubPlan) Trials() int { return p.Cells * p.Units }
+
+// Cell maps a flattened trial index back to its (cell, unit)
+// coordinates. Indexes are row-major: all units of cell 0, then all
+// units of cell 1, so a contiguous shard slice covers whole cells with
+// at most two partial cells at its edges.
+func (p SubPlan) Cell(idx int) (cell, unit int) {
+	return idx / p.Units, idx % p.Units
+}
+
+// CellRange returns the flattened index range [lo, hi) of one cell.
+func (p SubPlan) CellRange(cell int) (lo, hi int) {
+	return cell * p.Units, (cell + 1) * p.Units
+}

@@ -1,0 +1,60 @@
+package parallel
+
+import "testing"
+
+func TestSubPlanValidity(t *testing.T) {
+	cases := []struct {
+		plan  SubPlan
+		valid bool
+	}{
+		{SubPlan{}, false},
+		{SubPlan{Cells: 1, Units: 0}, false},
+		{SubPlan{Cells: 0, Units: 1}, false},
+		{SubPlan{Cells: -1, Units: 2}, false},
+		{SubPlan{Cells: 1, Units: 1}, true},
+		{SubPlan{Cells: 12, Units: 6}, true},
+	}
+	for _, c := range cases {
+		if got := c.plan.Valid(); got != c.valid {
+			t.Errorf("%v.Valid() = %v, want %v", c.plan, got, c.valid)
+		}
+	}
+	if !(SubPlan{}).IsZero() {
+		t.Error("zero SubPlan should report IsZero")
+	}
+	if (SubPlan{Cells: 1, Units: 1}).IsZero() {
+		t.Error("1×1 SubPlan should not report IsZero")
+	}
+}
+
+func TestSubPlanCellMappingRoundTrips(t *testing.T) {
+	p := SubPlan{Cells: 5, Units: 3}
+	if p.Trials() != 15 {
+		t.Fatalf("Trials() = %d, want 15", p.Trials())
+	}
+	seen := map[[2]int]bool{}
+	for idx := 0; idx < p.Trials(); idx++ {
+		cell, unit := p.Cell(idx)
+		if cell < 0 || cell >= p.Cells || unit < 0 || unit >= p.Units {
+			t.Fatalf("Cell(%d) = (%d, %d) out of range", idx, cell, unit)
+		}
+		if seen[[2]int{cell, unit}] {
+			t.Fatalf("Cell(%d) = (%d, %d) repeats an earlier index", idx, cell, unit)
+		}
+		seen[[2]int{cell, unit}] = true
+		lo, hi := p.CellRange(cell)
+		if idx < lo || idx >= hi {
+			t.Fatalf("index %d outside CellRange(%d) = [%d, %d)", idx, cell, lo, hi)
+		}
+	}
+	// Row-major: units of one cell are contiguous, so any contiguous
+	// shard slice splits at most two cells.
+	for k := 0; k < 4; k++ {
+		lo, hi := Shard{Index: k, Count: 4}.Range(p.Trials())
+		cLo, _ := p.Cell(lo)
+		cHi, _ := p.Cell(hi - 1)
+		if cHi < cLo {
+			t.Fatalf("shard %d/4 spans cells [%d, %d] out of order", k, cLo, cHi)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package trace
+
+// Version-tagged bit-exact binary codec for FateTrace, mirroring the
+// internal/stats codec idiom: a tag+version header, little-endian
+// fixed-width integers, floats as their IEEE 754 bit patterns (so a
+// decoded trace replays float-op for float-op identically to the
+// generated one — NaN payloads, signed zeros and all), and a decoder
+// that answers malformed input with an error wrapping ErrCodec, never
+// a panic. This replaces the original gob serialisation (Encode/Read
+// now route through it): the encoding is canonical — one valid byte
+// string per trace — so two fleets proving they generated the same
+// trace can compare bytes, and sub-trial shards can ship or check
+// traces without gob's self-describing framing or its reflection cost.
+//
+// Layout, all integers little-endian:
+//
+//	'T' version        — header, version 1
+//	u32 len, bytes     — Env
+//	u32 len, bytes     — Mode
+//	u64                — SlotDur (nanoseconds, int64 bits)
+//	u64                — Seed (int64 bits)
+//	f64                — ExtraLoss
+//	u64                — slot count
+//	per slot:
+//	  f64              — SNR
+//	  byte             — Moving (0 or 1, strictly)
+//	  byte             — Delivered bitmask, bit r = rate r delivered
+//	  f64 × NumRates   — Prob
+//
+// Decoding validates the structural invariants (Validate) and prepares
+// the derived fast-path state (Prepare), so a decoded trace is ready to
+// replay.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/stats"
+)
+
+// CodecVersion tags the FateTrace binary codec; decoders refuse any
+// other version.
+const CodecVersion = 1
+
+const codecTag = 'T'
+
+// slotBytes is the fixed wire size of one slot record.
+const slotBytes = 8 + 1 + 1 + 8*phy.NumRates
+
+// The Delivered bitmask is a single byte; this fails to compile if the
+// rate table ever outgrows it.
+var _ [8 - phy.NumRates]struct{}
+
+// ErrCodec is the sentinel wrapped by every malformed-input error the
+// decoder returns.
+var ErrCodec = errors.New("trace: malformed codec input")
+
+func codecErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCodec, fmt.Sprintf(format, args...))
+}
+
+// AppendBinary appends the canonical encoding of the trace to dst and
+// returns the extended slice. The trace must be structurally valid —
+// encoding a trace the decoder would reject is an error, not a way to
+// smuggle invalid state across a process boundary.
+func (t *FateTrace) AppendBinary(dst []byte) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: encoding invalid trace: %w", err)
+	}
+	need := 2 + 4 + len(t.Env) + 4 + len(t.Mode) + 8 + 8 + 8 + 8 + len(t.Slots)*slotBytes
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, codecTag, CodecVersion)
+	dst = appendString(dst, t.Env)
+	dst = appendString(dst, t.Mode)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.SlotDur))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Seed))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.ExtraLoss))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(t.Slots)))
+	for i := range t.Slots {
+		s := &t.Slots[i]
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.SNR))
+		var moving byte
+		if s.Moving {
+			moving = 1
+		}
+		var mask byte
+		for r := 0; r < phy.NumRates; r++ {
+			if s.Delivered[r] {
+				mask |= 1 << r
+			}
+		}
+		dst = append(dst, moving, mask)
+		for r := 0; r < phy.NumRates; r++ {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.Prob[r]))
+		}
+	}
+	return dst, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// MarshalBinary returns the canonical encoding of the trace.
+func (t *FateTrace) MarshalBinary() ([]byte, error) {
+	return t.AppendBinary(nil)
+}
+
+// UnmarshalBinary decodes an encoding produced by AppendBinary,
+// validates it, and prepares the derived replay state. The existing
+// Slots backing array is reused when it has capacity, so pooled traces
+// decode without allocating on the hot path. Malformed input yields an
+// error wrapping ErrCodec; the decoder never panics.
+func (t *FateTrace) UnmarshalBinary(data []byte) error {
+	r := codecReader{buf: data}
+	if err := r.header(); err != nil {
+		return err
+	}
+	env, err := r.str("env")
+	if err != nil {
+		return err
+	}
+	mode, err := r.str("mode")
+	if err != nil {
+		return err
+	}
+	slotDur, err := r.u64()
+	if err != nil {
+		return err
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return err
+	}
+	extraLoss, err := r.f64()
+	if err != nil {
+		return err
+	}
+	n, err := r.count(slotBytes)
+	if err != nil {
+		return err
+	}
+	slots := t.Slots
+	if cap(slots) >= n {
+		slots = slots[:n]
+	} else {
+		slots = make([]Slot, n)
+	}
+	for i := 0; i < n; i++ {
+		s := &slots[i]
+		if s.SNR, err = r.f64(); err != nil {
+			return err
+		}
+		flags, err := r.bytes(2)
+		if err != nil {
+			return err
+		}
+		switch flags[0] {
+		case 0:
+			s.Moving = false
+		case 1:
+			s.Moving = true
+		default:
+			return codecErr("slot %d moving flag %#x (want 0 or 1)", i, flags[0])
+		}
+		if uint(flags[1])>>phy.NumRates != 0 {
+			return codecErr("slot %d delivered mask %#x has bits beyond rate %d", i, flags[1], phy.NumRates-1)
+		}
+		for rt := 0; rt < phy.NumRates; rt++ {
+			s.Delivered[rt] = flags[1]&(1<<rt) != 0
+			if s.Prob[rt], err = r.f64(); err != nil {
+				return err
+			}
+		}
+	}
+	if r.remaining() != 0 {
+		return codecErr("%d trailing bytes", r.remaining())
+	}
+	t.Env, t.Mode = env, mode
+	t.SlotDur = time.Duration(slotDur)
+	t.Seed = int64(seed)
+	t.ExtraLoss = extraLoss
+	t.Slots = slots
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	t.Prepare()
+	return nil
+}
+
+// WriteBinary writes the trace as one stats frame (u32 length prefix),
+// the streaming form shard transports use.
+func (t *FateTrace) WriteBinary(w io.Writer) error {
+	payload, err := t.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return stats.WriteFrame(w, payload)
+}
+
+// ReadBinary reads one frame written by WriteBinary into a fresh trace.
+func ReadBinary(r io.Reader) (*FateTrace, error) {
+	payload, err := stats.ReadFrame(r, stats.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	var t FateTrace
+	if err := t.UnmarshalBinary(payload); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// codecReader is a bounds-checked cursor over an encoded trace.
+type codecReader struct {
+	buf []byte
+	off int
+}
+
+func (r *codecReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *codecReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, codecErr("truncated input: need %d bytes, have %d", n, r.remaining())
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *codecReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *codecReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *codecReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+// count reads a u64 element count and rejects values whose elements
+// cannot fit in the remaining input — the standard defence against
+// allocation bombs in length-prefixed formats.
+func (r *codecReader) count(elemBytes int) (int, error) {
+	v, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()/elemBytes) {
+		return 0, codecErr("count %d exceeds remaining input (%d bytes)", v, r.remaining())
+	}
+	return int(v), nil
+}
+
+func (r *codecReader) str(what string) (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if uint64(n) > uint64(r.remaining()) {
+		return "", codecErr("%s length %d exceeds remaining input (%d bytes)", what, n, r.remaining())
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *codecReader) header() error {
+	b, err := r.bytes(2)
+	if err != nil {
+		return err
+	}
+	if b[0] != codecTag {
+		return codecErr("tag %#x, want %#x", b[0], codecTag)
+	}
+	if b[1] != CodecVersion {
+		return codecErr("version %d, want %d", b[1], CodecVersion)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/sensors"
+	"repro/internal/trace"
+)
+
+func generated(t *testing.T, seed int64) *trace.FateTrace {
+	t.Helper()
+	total := 2 * time.Second
+	return channel.Generate(channel.Config{
+		Env:   channel.Office,
+		Sched: sensors.AlternatingSchedule(total, total/2, sensors.Walk, seed%2 == 1),
+		Total: total,
+		Seed:  seed,
+	})
+}
+
+func tracesEqual(a, b *trace.FateTrace) bool {
+	if a.Env != b.Env || a.Mode != b.Mode || a.SlotDur != b.SlotDur ||
+		a.Seed != b.Seed || a.ExtraLoss != b.ExtraLoss || len(a.Slots) != len(b.Slots) {
+		return false
+	}
+	for i := range a.Slots {
+		x, y := &a.Slots[i], &b.Slots[i]
+		if math.Float64bits(x.SNR) != math.Float64bits(y.SNR) || x.Moving != y.Moving ||
+			x.Delivered != y.Delivered {
+			return false
+		}
+		for r := 0; r < phy.NumRates; r++ {
+			if math.Float64bits(x.Prob[r]) != math.Float64bits(y.Prob[r]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFateTraceCodecRoundTripsBitExactly(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		orig := generated(t, seed)
+		enc, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatalf("seed %d: MarshalBinary: %v", seed, err)
+		}
+		var dec trace.FateTrace
+		if err := dec.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("seed %d: UnmarshalBinary: %v", seed, err)
+		}
+		if !tracesEqual(orig, &dec) {
+			t.Fatalf("seed %d: decoded trace differs from original", seed)
+		}
+		// Canonical: re-encoding the decoded trace reproduces the bytes.
+		enc2, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatalf("seed %d: re-encoding: %v", seed, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("seed %d: re-encoded bytes differ", seed)
+		}
+		// Decoded traces must replay identically: the fast-path slot
+		// lookup state is rebuilt by UnmarshalBinary.
+		for _, at := range []time.Duration{0, 7 * time.Millisecond, orig.Duration() - 1} {
+			if orig.SlotIndex(at) != dec.SlotIndex(at) {
+				t.Fatalf("seed %d: SlotIndex(%v) differs after round trip", seed, at)
+			}
+		}
+	}
+}
+
+func TestFateTraceCodecReusesSlotCapacity(t *testing.T) {
+	orig := generated(t, 1)
+	enc, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := trace.FateTrace{Slots: make([]trace.Slot, 0, len(orig.Slots)+10)}
+	backing := &dec.Slots[:1][0]
+	if err := dec.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if &dec.Slots[0] != backing {
+		t.Error("decode into a trace with capacity reallocated the slot array")
+	}
+}
+
+func TestFateTraceCodecStreamForm(t *testing.T) {
+	orig := generated(t, 2)
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(orig, dec) {
+		t.Fatal("stream round trip altered the trace")
+	}
+}
+
+func TestFateTraceCodecRejectsMalformedInput(t *testing.T) {
+	valid, err := generated(t, 3).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad tag":       append([]byte{'X'}, valid[1:]...),
+		"bad version":   append([]byte{'T', 99}, valid[2:]...),
+		"truncated":     valid[:len(valid)/2],
+		"trailing":      append(append([]byte{}, valid...), 0),
+		"bad moving":    corrupt(valid, envModeLen(valid)+2+8+8+8+8+8, 7),
+		"count bomb":    corrupt(valid, envModeLen(valid)+2+8+8+8+7, 0xff),
+		"prob range":    corrupt(valid, envModeLen(valid)+2+8+8+8+8+8+2+7, 0x40),
+		"half header":   {'T'},
+		"string length": corrupt(valid, 5, 0xff),
+	}
+	for name, data := range cases {
+		var tr trace.FateTrace
+		err := tr.UnmarshalBinary(data)
+		if err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+			continue
+		}
+		if !errors.Is(err, trace.ErrCodec) {
+			t.Errorf("%s: error %v does not wrap ErrCodec", name, err)
+		}
+	}
+}
+
+// envModeLen returns the byte length of the two string fields (with
+// their length prefixes) in a valid encoding, so corruption offsets can
+// target fields after them.
+func envModeLen(enc []byte) int {
+	envLen := int(uint32(enc[2]) | uint32(enc[3])<<8 | uint32(enc[4])<<16 | uint32(enc[5])<<24)
+	off := 2 + 4 + envLen
+	modeLen := int(uint32(enc[off]) | uint32(enc[off+1])<<8 | uint32(enc[off+2])<<16 | uint32(enc[off+3])<<24)
+	return 4 + envLen + 4 + modeLen
+}
+
+func corrupt(enc []byte, off int, val byte) []byte {
+	out := append([]byte{}, enc...)
+	out[off] = val
+	return out
+}
+
+func TestFateTraceCodecRejectsInvalidTraceOnEncode(t *testing.T) {
+	bad := &trace.FateTrace{SlotDur: time.Millisecond} // no slots
+	if _, err := bad.MarshalBinary(); err == nil {
+		t.Error("MarshalBinary accepted a trace Validate rejects")
+	}
+}
+
+func FuzzFateTraceCodec(f *testing.F) {
+	total := 500 * time.Millisecond
+	for seed := int64(0); seed < 3; seed++ {
+		tr := channel.Generate(channel.Config{
+			Env:   channel.Office,
+			Sched: sensors.AlternatingSchedule(total, total/2, sensors.Walk, false),
+			Total: total,
+			Seed:  seed,
+		})
+		enc, err := tr.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'T', 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr trace.FateTrace
+		if err := tr.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, trace.ErrCodec) {
+				t.Fatalf("malformed input error %v does not wrap ErrCodec", err)
+			}
+			return
+		}
+		// Accepted input must re-encode canonically and round-trip.
+		enc, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded trace fails to re-encode: %v", err)
+		}
+		var again trace.FateTrace
+		if err := again.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("re-encoded trace fails to decode: %v", err)
+		}
+		if !bytes.Equal(data, enc) {
+			t.Fatalf("accepted input is not canonical: %d in, %d out", len(data), len(enc))
+		}
+	})
+}

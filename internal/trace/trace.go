@@ -5,12 +5,12 @@
 // propagation model and simply references the trace — the same
 // architecture as the paper's modified ns-3 harness.
 //
-// Traces serialise with encoding/gob for storage and exchange between
-// cmd/tracegen and the benchmarks.
+// Traces serialise through the version-tagged bit-exact binary codec in
+// codec.go for storage and exchange between cmd/tracegen, the
+// benchmarks, and the fleet.
 package trace
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -54,8 +54,8 @@ type FateTrace struct {
 	Slots     []Slot
 
 	// invSlot/invMax implement SlotIndex's division-free fast path (see
-	// Prepare); both zero means "divide". They are derived state, so gob
-	// skips them (unexported) and Read recomputes them after decoding.
+	// Prepare); both zero means "divide". They are derived state, so the
+	// codec skips them and decoding recomputes them.
 	invSlot uint64
 	invMax  int64
 }
@@ -173,22 +173,16 @@ func (t *FateTrace) Validate() error {
 	return nil
 }
 
-// Encode serialises the trace with gob.
+// Encode serialises the trace as one framed record of the binary codec
+// (see codec.go); Read is its inverse.
 func (t *FateTrace) Encode(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(t)
+	return t.WriteBinary(w)
 }
 
-// Read deserialises a trace written by Encode.
+// Read deserialises a trace written by Encode: the trace is validated
+// and its derived replay state prepared.
 func Read(r io.Reader) (*FateTrace, error) {
-	var t FateTrace
-	if err := gob.NewDecoder(r).Decode(&t); err != nil {
-		return nil, err
-	}
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	t.Prepare()
-	return &t, nil
+	return ReadBinary(r)
 }
 
 // PacketTrace is a fine-grained per-packet fate record used by the
