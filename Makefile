@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke subtrial-smoke cover fuzz
+.PHONY: all build fmt vet test race bench bench-all bench-check ci shard-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke subtrial-smoke scenario-smoke cover fuzz
 
 all: build
 
@@ -38,6 +38,9 @@ bench:
 	$(GO) run ./cmd/benchjson -out BENCH_figures.json \
 		-bench 'BenchmarkFleet' -benchtime 1x \
 		-microbench '^$$' -microtime 1x
+	$(GO) run ./cmd/benchjson -out BENCH_scenario.json \
+		-bench 'BenchmarkScenarioCity' -benchtime 1x \
+		-microbench 'BenchmarkScenarioIdle|BenchmarkTimerWheel' -microtime 200ms
 
 bench-all:
 	$(GO) test -bench=. -benchtime=1x .
@@ -48,6 +51,8 @@ bench-check:
 		-microbench 'HintServeBatch' -microtime 200ms
 	$(GO) run ./cmd/benchjson -check BENCH_figures.json -out BENCH_figures_current.json \
 		-microbench 'BenchmarkFleet' -microtime 1x
+	$(GO) run ./cmd/benchjson -check BENCH_scenario.json -out BENCH_scenario_current.json \
+		-microbench 'BenchmarkScenarioIdle|BenchmarkTimerWheel' -microtime 200ms
 
 # Cross-process shard parity smoke: run one experiment through
 # cmd/hintshard as a 3-shard coordinator (spawning real worker
@@ -279,6 +284,24 @@ subtrial-smoke:
 	diff "$$tmp/single.out" "$$tmp/fleet.out" || exit 1; \
 	echo "subtrial-smoke: fig3-7 fanned across a 3-worker TCP fleet is bit-identical to the single-process run"
 
+# Scenario-engine smoke: the scn-oracle experiment is the differential
+# gate — its shape checks require the event engine to match the
+# slot-driven oracles byte-for-byte (Metrics, the MAC replay ports, the
+# chunk-union property) and statistically where engines interleave —
+# and a city-grid run fanned over a real 3-worker fleet must be
+# bit-identical to the single-process report, proving one city trial
+# shards across workers by client chunk.
+scenario-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hintshard" ./cmd/hintshard || exit 1; \
+	$(GO) build -o "$$tmp/hintbench" ./cmd/hintbench || exit 1; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 scn-oracle > "$$tmp/oracle.out" || \
+		{ echo "scenario-smoke: oracle differentials failed"; cat "$$tmp/oracle.out"; exit 1; }; \
+	"$$tmp/hintshard" -run city-grid -shards 3 -scale 0.2 -seed 42 > "$$tmp/sharded.out" || exit 1; \
+	"$$tmp/hintbench" -scale 0.2 -seed 42 city-grid > "$$tmp/single.out" || exit 1; \
+	diff "$$tmp/single.out" "$$tmp/sharded.out" || exit 1; \
+	echo "scenario-smoke: oracle differentials passed; 3-shard city run bit-identical to the single process"
+
 # Coverage floors for the packages that carry the serialization,
 # sharding, scheduling, and campaign contracts — roughly five points
 # under the measured totals (stats 89.4, parallel 96.8, cluster 88.8,
@@ -355,4 +378,4 @@ hintserve-smoke:
 	cat "$$tmp/load2.out"; \
 	echo "hintserve-smoke: plane survived a herd killed mid-run and kept serving"
 
-ci: build vet shard-smoke subtrial-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke race
+ci: build vet shard-smoke subtrial-smoke scenario-smoke cluster-smoke campaign-smoke chaos-smoke hintserve-smoke status-smoke race

@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -41,6 +42,7 @@ func realMain() int {
 	seed := flag.Int64("seed", 42, "random seed for deterministic runs")
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU); output is identical for any value")
 	list := flag.Bool("list", false, "list experiments and exit")
+	tag := flag.String("tag", "", "run every experiment carrying this registry tag (see -list)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file` (pprof format)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to `file` on exit (pprof format)")
 	flag.Parse()
@@ -73,27 +75,38 @@ func realMain() int {
 		}()
 	}
 
+	reg := experiments.Default
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		for _, e := range reg.All() {
+			fmt.Printf("%-12s %-40s %s\n", e.ID, e.Desc, strings.Join(e.Tags, ","))
 		}
+		fmt.Printf("tags: %s\n", strings.Join(reg.Tags(), " "))
 		return 0
 	}
 
-	ids := flag.Args()
-	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hintbench [-scale S] [-seed N] all | <experiment-id>...")
-		fmt.Fprintln(os.Stderr, "run 'hintbench -list' for experiment ids")
-		return 2
-	}
-
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	ids := flag.Args()
 	var runners []experiments.Runner
-	if len(ids) == 1 && ids[0] == "all" {
-		runners = experiments.All()
-	} else {
+	switch {
+	case *tag != "":
+		if len(ids) > 0 {
+			fmt.Fprintln(os.Stderr, "-tag and explicit experiment ids are mutually exclusive")
+			return 2
+		}
+		runners = reg.ByTag(*tag)
+		if len(runners) == 0 {
+			fmt.Fprintf(os.Stderr, "no experiments tagged %q (try -list)\n", *tag)
+			return 2
+		}
+	case len(ids) == 0:
+		fmt.Fprintln(os.Stderr, "usage: hintbench [-scale S] [-seed N] all | -tag <tag> | <experiment-id>...")
+		fmt.Fprintln(os.Stderr, "run 'hintbench -list' for experiment ids and tags")
+		return 2
+	case len(ids) == 1 && ids[0] == "all":
+		runners = reg.All()
+	default:
 		for _, id := range ids {
-			r, ok := experiments.ByID(id)
+			r, ok := reg.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 				return 2

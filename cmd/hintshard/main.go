@@ -198,8 +198,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if o.list {
-		for _, e := range experiments.All() {
-			fmt.Fprintf(o.stdout, "%-10s %s\n", e.ID, e.Desc)
+		for _, e := range experiments.Default.All() {
+			line := fmt.Sprintf("%-12s %s", e.ID, e.Desc)
+			if len(e.Tags) > 0 {
+				line += "  [" + strings.Join(e.Tags, ",") + "]"
+			}
+			if e.Plan != nil {
+				p := e.Plan(experiments.Config{Scale: o.scale})
+				line += fmt.Sprintf("  plan=%dx%d", p.Cells, p.Units)
+			}
+			fmt.Fprintln(o.stdout, line)
 		}
 		return 0
 	}

@@ -89,8 +89,8 @@ func TestVehicularFacade(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := sensorhints.Experiments()
-	if len(exps) != 20 {
-		t.Errorf("%d experiments registered, want 20", len(exps))
+	if len(exps) != 24 {
+		t.Errorf("%d experiments registered, want 24", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
@@ -100,6 +100,7 @@ func TestExperimentRegistry(t *testing.T) {
 		"fig2-2", "fig3-1", "fig3-5", "fig3-6", "fig3-7", "fig3-8",
 		"fig4-1", "fig4-2", "fig4-3", "fig4-4", "fig4-5", "fig4-6",
 		"sec4-2", "table5-1", "sec5-1", "fig5-1", "sec5-2", "sec5-3", "sec5-4", "sec5-6",
+		"city-grid", "city-handoff", "city-contend", "scn-oracle",
 	} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing", want)
@@ -110,5 +111,49 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	if _, ok := sensorhints.ExperimentByID("nope"); ok {
 		t.Error("phantom experiment")
+	}
+	if city := sensorhints.ExperimentsByTag("city"); len(city) != 3 {
+		t.Errorf("%d city-tagged experiments, want 3", len(city))
+	}
+	if len(sensorhints.ExperimentTags()) == 0 {
+		t.Error("no registry tags")
+	}
+}
+
+func TestScenarioFacade(t *testing.T) {
+	sc := sensorhints.Scenario{
+		Name: "facade",
+		Grid: sensorhints.APGrid{Side: 3, Spacing: 160},
+		Herds: []sensorhints.Herd{{
+			Name: "walkers", Clients: 20,
+			Mobility: sensorhints.MobilityProfile{SpeedMps: 1.4, MeanSegment: 60},
+			Traffic:  sensorhints.TrafficMix{{Name: "web", Bytes: 1000, Interval: 200 * time.Millisecond}},
+		}},
+		Duration: 5 * time.Second,
+		Seed:     9,
+	}
+	ev := sensorhints.RunScenario(sc)
+	if ev.Metrics != sensorhints.RunScenarioSlotted(sc).Metrics {
+		t.Error("event engine diverged from the slot-driven oracle")
+	}
+	var merged sensorhints.ScenarioMetrics
+	merged.Merge(sensorhints.RunScenarioChunk(sc, 0, 10).Metrics)
+	merged.Merge(sensorhints.RunScenarioChunk(sc, 10, 20).Metrics)
+	if merged != ev.Metrics {
+		t.Error("chunk union diverged from the full run")
+	}
+	if ev.Metrics.Delivered == 0 || ev.Metrics.Handoffs == 0 {
+		t.Errorf("degenerate scenario run: %+v", ev.Metrics)
+	}
+	city := sensorhints.DefaultCityScenario(1)
+	if city.APCount() < 1000 || city.ClientCount() < 100000 {
+		t.Errorf("default city too small: %d APs, %d clients", city.APCount(), city.ClientCount())
+	}
+	eng := sensorhints.NewTimerWheel(time.Millisecond, 64)
+	fired := false
+	eng.At(5*time.Millisecond, func() { fired = true })
+	eng.RunUntil(10 * time.Millisecond)
+	if !fired {
+		t.Error("timer wheel did not fire")
 	}
 }

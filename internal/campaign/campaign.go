@@ -120,7 +120,7 @@ func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats
 	}
 	cjobs := make([]cluster.Job, len(jobs))
 	for ji, j := range jobs {
-		if _, ok := experiments.ByID(j.Experiment); !ok {
+		if _, ok := experiments.Default.ByID(j.Experiment); !ok {
 			return nil, stats, fmt.Errorf("campaign: job %d names unknown experiment %q", ji, j.Experiment)
 		}
 		if j.Shards < 1 {
@@ -146,7 +146,7 @@ func Run(t cluster.Transport, jobs []Job, o Options) ([]Result, cluster.RunStats
 		for ji, j := range jobs {
 			ids[ji] = j.Experiment
 		}
-		warmFrames = experiments.FrameSizes(ids...)
+		warmFrames = experiments.Default.FrameSizes(ids...)
 	}
 	co := cluster.CampaignOptions{
 		ShardWorkers:      o.ShardWorkers,

@@ -34,7 +34,7 @@ func ParseJob(spec string, def Job) (Job, error) {
 	if j.Experiment == "" {
 		return Job{}, fmt.Errorf("campaign: job spec %q names no experiment", spec)
 	}
-	if _, ok := experiments.ByID(j.Experiment); !ok {
+	if _, ok := experiments.Default.ByID(j.Experiment); !ok {
 		return Job{}, fmt.Errorf("campaign: job spec %q names unknown experiment %q", spec, j.Experiment)
 	}
 	for _, opt := range parts[1:] {

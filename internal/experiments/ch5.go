@@ -12,12 +12,12 @@ import (
 )
 
 func init() {
-	register("table5-1", "median vehicular link duration by heading difference", Table5_1)
-	register("sec5-1", "CTE route selection vs hint-free route stability", Sec5_1)
-	register("fig5-1", "AP throughput collapse when a client departs", Fig5_1)
-	register("sec5-2", "AP association scoring and mobile-favored scheduling", Sec5_2)
-	register("sec5-3", "guard-interval (cyclic prefix) selection from location hints", Sec5_3)
-	register("sec5-4", "movement-based radio power saving", Sec5_4)
+	register("table5-1", "median vehicular link duration by heading difference", Table5_1, tags("ch5", "vehicular", "paper"))
+	register("sec5-1", "CTE route selection vs hint-free route stability", Sec5_1, tags("ch5", "vehicular", "paper"))
+	register("fig5-1", "AP throughput collapse when a client departs", Fig5_1, tags("ch5", "ap", "paper"))
+	register("sec5-2", "AP association scoring and mobile-favored scheduling", Sec5_2, tags("ch5", "ap", "paper"))
+	register("sec5-3", "guard-interval (cyclic prefix) selection from location hints", Sec5_3, tags("ch5", "paper"))
+	register("sec5-4", "movement-based radio power saving", Sec5_4, tags("ch5", "paper"))
 }
 
 // Table5_1 reproduces Table 5.1: simulate vehicle fleets on the road

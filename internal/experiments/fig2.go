@@ -8,7 +8,7 @@ import (
 )
 
 func init() {
-	register("fig2-2", "jerk over time: rest, move, rest", Fig2_2)
+	register("fig2-2", "jerk over time: rest, move, rest", Fig2_2, tags("ch2", "sensors", "paper"))
 }
 
 // Fig2_2 reproduces Figure 2-2: the jerk statistic over an experiment in

@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("fig3-1", "conditional packet-loss probability vs lag, static vs mobile", Fig3_1)
+	register("fig3-1", "conditional packet-loss probability vs lag, static vs mobile", Fig3_1, tags("ch3", "paper"))
 }
 
 // Fig3_1 reproduces Figure 3-1: send back-to-back 1000-byte packets at

@@ -14,10 +14,23 @@ import (
 )
 
 func init() {
-	register("fig3-5", "hint-aware rate adaptation on mixed static/mobile traces (TCP)", Fig3_5, frames(phy.DefaultFrameBytes))
-	register("fig3-6", "rate adaptation on mobile-only traces (TCP)", Fig3_6, frames(phy.DefaultFrameBytes))
-	register("fig3-7", "rate adaptation on static-only traces (TCP)", Fig3_7, frames(phy.DefaultFrameBytes))
-	register("fig3-8", "rate adaptation in the vehicular setting (UDP)", Fig3_8, frames(phy.DefaultFrameBytes))
+	register("fig3-5", "hint-aware rate adaptation on mixed static/mobile traces (TCP)", Fig3_5,
+		frames(phy.DefaultFrameBytes), tags("ch3", "rate", "paper"), plan(ratePlan(3, 15, 4)))
+	register("fig3-6", "rate adaptation on mobile-only traces (TCP)", Fig3_6,
+		frames(phy.DefaultFrameBytes), tags("ch3", "rate", "paper"), plan(ratePlan(3, 10, 4)))
+	register("fig3-7", "rate adaptation on static-only traces (TCP)", Fig3_7,
+		frames(phy.DefaultFrameBytes), tags("ch3", "rate", "paper"), plan(ratePlan(3, 10, 4)))
+	register("fig3-8", "rate adaptation in the vehicular setting (UDP)", Fig3_8,
+		frames(phy.DefaultFrameBytes), tags("ch3", "rate", "paper"), plan(ratePlan(1, 10, 4)))
+}
+
+// ratePlan publishes a Chapter 3 comparison's sub-trial grid as data:
+// one cell per (environment, trace) pair, one unit per protocol — the
+// exact plan its rateComparisonTrials call declares at the same Config.
+func ratePlan(envs, nBase, nMin int) func(Config) parallel.SubPlan {
+	return func(cfg Config) parallel.SubPlan {
+		return parallel.SubPlan{Cells: envs * cfg.scaleInt(nBase, nMin), Units: len(protoSet)}
+	}
 }
 
 // protoSet names the protocols compared in Chapter 3.

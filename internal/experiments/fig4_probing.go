@@ -15,13 +15,32 @@ import (
 )
 
 func init() {
-	register("fig4-1", "delivery rate over time with movement hint", Fig4_1)
-	register("fig4-2", "estimate error vs probing rate, static", Fig4_2)
-	register("fig4-3", "estimate error vs probing rate, mobile", Fig4_3)
-	register("fig4-4", "delivery probability by probing rate, stationary timeline", Fig4_4, frames(phy.DefaultFrameBytes))
-	register("fig4-5", "delivery probability by probing rate, mobile timeline", Fig4_5, frames(phy.DefaultFrameBytes))
-	register("fig4-6", "adaptive vs fixed probing on a combined trace", Fig4_6, frames(phy.DefaultFrameBytes))
-	register("sec4-2", "ETX penalty of erroneous link estimates", Sec4_2)
+	register("fig4-1", "delivery rate over time with movement hint", Fig4_1, tags("ch4", "probing", "paper"))
+	register("fig4-2", "estimate error vs probing rate, static", Fig4_2, tags("ch4", "probing", "paper"))
+	register("fig4-3", "estimate error vs probing rate, mobile", Fig4_3, tags("ch4", "probing", "paper"))
+	register("fig4-4", "delivery probability by probing rate, stationary timeline", Fig4_4,
+		frames(phy.DefaultFrameBytes), tags("ch4", "probing", "paper"), plan(trackingPlan))
+	register("fig4-5", "delivery probability by probing rate, mobile timeline", Fig4_5,
+		frames(phy.DefaultFrameBytes), tags("ch4", "probing", "paper"), plan(trackingPlan))
+	register("fig4-6", "adaptive vs fixed probing on a combined trace", Fig4_6,
+		frames(phy.DefaultFrameBytes), tags("ch4", "probing", "paper"), plan(fig46Plan))
+	register("sec4-2", "ETX penalty of erroneous link estimates", Sec4_2, tags("ch4", "probing", "paper"))
+}
+
+// trackingPlan publishes the Figure 4-4/4-5 sub-trial grid: the
+// actual-probability cell plus one cell per tracked probing rate, with
+// one unit per 10 s window of the 25 s run (see trackingTrials).
+func trackingPlan(Config) parallel.SubPlan {
+	const total, win = 25 * time.Second, 10 * time.Second
+	return parallel.SubPlan{Cells: 1 + len(trackRates), Units: int((total + win - 1) / win)}
+}
+
+// fig46Plan publishes the Figure 4-6 grid: the actual curve plus three
+// scheduler strategies, one unit per 20 s window of the scaled run.
+func fig46Plan(cfg Config) parallel.SubPlan {
+	total := time.Duration(cfg.scaleInt(60, 40)) * time.Second
+	const win = 20 * time.Second
+	return parallel.SubPlan{Cells: 4, Units: int((total + win - 1) / win)}
 }
 
 // probingEnv is the marginal mesh-scale link the Chapter 4 measurements

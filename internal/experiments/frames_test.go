@@ -27,12 +27,70 @@ func TestFrameSizes(t *testing.T) {
 		}
 	}
 
-	// A synthetic runner with declared sizes unions with the defaults.
-	registry = append(registry, Runner{ID: "frames-test-synth", Frames: []int{256, 1500}})
-	defer func() { registry = registry[:len(registry)-1] }()
+	// A synthetic runner with declared sizes unions with the defaults —
+	// on a private registry seeded with the relevant Default entries,
+	// since Default is append-only.
+	reg := NewRegistry()
+	f37, _ := Default.ByID("fig3-7")
+	reg.MustRegister(f37)
+	reg.MustRegister(Runner{ID: "frames-test-synth", Frames: []int{256, 1500}, Run: func(Config) *Report { return nil }})
 	got := FrameSizes("frames-test-synth", "fig3-7")
+	if !reflect.DeepEqual(got, []int{phy.DefaultFrameBytes}) {
+		// Default has no synth runner: unknown ids fall back.
+		t.Errorf("Default FrameSizes(synth, fig3-7) = %v, want [%d]", got, phy.DefaultFrameBytes)
+	}
+	got = reg.FrameSizes("frames-test-synth", "fig3-7")
 	want := []int{256, phy.DefaultFrameBytes, 1500}
 	if !reflect.DeepEqual(got, want) {
-		t.Errorf("FrameSizes(synth, fig3-7) = %v, want %v", got, want)
+		t.Errorf("reg.FrameSizes(synth, fig3-7) = %v, want %v", got, want)
+	}
+}
+
+// TestRegistry covers the exported Registry API: validation, duplicate
+// rejection, tag lookup, id ordering, and plan publication.
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	noop := func(Config) *Report { return nil }
+	if err := reg.Register(Runner{ID: "", Run: noop}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := reg.Register(Runner{ID: "x"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	reg.MustRegister(Runner{ID: "b", Run: noop, Tags: []string{"t1"}})
+	reg.MustRegister(Runner{ID: "a", Run: noop, Tags: []string{"t1", "t2"}})
+	if err := reg.Register(Runner{ID: "a", Run: noop}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if ids := reg.IDs(); !reflect.DeepEqual(ids, []string{"a", "b"}) {
+		t.Errorf("IDs() = %v", ids)
+	}
+	if ts := reg.Tags(); !reflect.DeepEqual(ts, []string{"t1", "t2"}) {
+		t.Errorf("Tags() = %v", ts)
+	}
+	if rs := reg.ByTag("t1"); len(rs) != 2 || rs[0].ID != "a" {
+		t.Errorf("ByTag(t1) = %v", rs)
+	}
+	if rs := reg.ByTag("t2"); len(rs) != 1 || rs[0].ID != "a" {
+		t.Errorf("ByTag(t2) = %v", rs)
+	}
+	if rs := reg.ByTag("nope"); len(rs) != 0 {
+		t.Errorf("ByTag(nope) = %v", rs)
+	}
+
+	// Every paper experiment in Default is tagged, and the Chapter 3
+	// comparisons publish the plan their trial loops declare.
+	for _, r := range Default.All() {
+		if len(r.Tags) == 0 {
+			t.Errorf("experiment %q has no tags", r.ID)
+		}
+	}
+	f35, ok := Default.ByID("fig3-5")
+	if !ok || f35.Plan == nil {
+		t.Fatal("fig3-5 missing or without a published plan")
+	}
+	p := f35.Plan(Config{Scale: 0.1})
+	if p.Cells == 0 || p.Units != len(protoSet) {
+		t.Errorf("fig3-5 plan = %+v, want %d units", p, len(protoSet))
 	}
 }

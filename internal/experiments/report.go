@@ -168,39 +168,132 @@ type Runner struct {
 	// Frames lists the frame payload sizes (phy LUT keys) the
 	// experiment's hot loops read; nil means phy.DefaultFrameBytes. A
 	// fleet warms exactly these tables before dispatching the experiment
-	// (see FrameSizes), instead of guessing from a fixed list.
+	// (see Registry.FrameSizes), instead of guessing from a fixed list.
 	Frames []int
+	// Tags group experiments for bulk selection (Registry.ByTag,
+	// hintbench -tag): the chapter ("ch3", "ch5"), the workload family
+	// ("rate", "probing", "scenario"), the scale ("city").
+	Tags []string
+	// Plan, when non-nil, describes the experiment's dominant trial
+	// decomposition as data — the Cells×Units sub-trial grid it will
+	// declare to the shard engine at the given Config — so operators and
+	// schedulers can see how a heavy experiment splits without running
+	// it. Nil means a flat trial loop.
+	Plan func(Config) parallel.SubPlan
 }
 
-// runnerOpt customises a registration beyond (id, desc, run).
-type runnerOpt func(*Runner)
-
-// frames declares the frame payload sizes the experiment's trials hit,
-// for the warm-worker prepare step. Experiments that leave it out
-// default to phy.DefaultFrameBytes.
-func frames(sizes ...int) runnerOpt {
-	return func(r *Runner) { r.Frames = sizes }
+// HasTag reports whether the runner carries the tag.
+func (r Runner) HasTag(tag string) bool {
+	for _, t := range r.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
 }
 
-var registry []Runner
+// Registry is an ordered, ID-unique collection of experiments. The
+// package-level Default registry collects every init-time registration;
+// tests build private registries to exercise tooling against synthetic
+// experiment sets. All lookup methods are read-only and safe for
+// concurrent use after registration finishes.
+type Registry struct {
+	runners []Runner
+	index   map[string]int
+}
 
-// register adds an experiment to the global registry (called from each
-// experiment file's init). The wrapper installs the in-process trial
-// engine when the caller did not set one up, so plain Runner.Run keeps
-// working unchanged while RunShard/MergeShards can substitute the
-// worker and coordinator engines.
-func register(id, desc string, run func(Config) *Report, opts ...runnerOpt) {
-	wrapped := func(cfg Config) *Report {
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]int{}}
+}
+
+// Register validates and adds one experiment. The stored Run is wrapped
+// to install the in-process trial engine when the caller did not set
+// one up, so plain Runner.Run keeps working unchanged while
+// RunShard/MergeShards can substitute the worker and coordinator
+// engines.
+func (g *Registry) Register(r Runner) error {
+	if r.ID == "" {
+		return fmt.Errorf("experiments: Register with empty ID")
+	}
+	if r.Run == nil {
+		return fmt.Errorf("experiments: Register(%q) with nil Run", r.ID)
+	}
+	if _, dup := g.index[r.ID]; dup {
+		return fmt.Errorf("experiments: Register(%q): id already registered", r.ID)
+	}
+	run := r.Run
+	r.Run = func(cfg Config) *Report {
 		if cfg.sh == nil {
 			cfg.sh = newExec(modeRun)
 		}
 		return run(cfg)
 	}
-	r := Runner{ID: id, Run: wrapped, Desc: desc}
-	for _, opt := range opts {
-		opt(&r)
+	g.index[r.ID] = len(g.runners)
+	g.runners = append(g.runners, r)
+	return nil
+}
+
+// MustRegister is Register for init-time use; registration errors are
+// programming errors there.
+func (g *Registry) MustRegister(r Runner) {
+	if err := g.Register(r); err != nil {
+		panic(err)
 	}
-	registry = append(registry, r)
+}
+
+// All returns every registered experiment sorted by id.
+func (g *Registry) All() []Runner {
+	out := append([]Runner(nil), g.runners...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func (g *Registry) ByID(id string) (Runner, bool) {
+	i, ok := g.index[id]
+	if !ok {
+		return Runner{}, false
+	}
+	return g.runners[i], true
+}
+
+// ByTag returns the experiments carrying the tag, sorted by id.
+func (g *Registry) ByTag(tag string) []Runner {
+	var out []Runner
+	for _, r := range g.runners {
+		if r.HasTag(tag) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns every registered id, sorted.
+func (g *Registry) IDs() []string {
+	out := make([]string, 0, len(g.runners))
+	for _, r := range g.runners {
+		out = append(out, r.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tags returns the sorted distinct tags across the registry.
+func (g *Registry) Tags() []string {
+	set := map[string]bool{}
+	for _, r := range g.runners {
+		for _, t := range r.Tags {
+			set[t] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // FrameSizes returns the sorted, deduplicated union of the frame
@@ -208,7 +301,7 @@ func register(id, desc string, run func(Config) *Report, opts ...runnerOpt) {
 // for experiments that declare none, and for ids not in the registry) —
 // the exact table set a fleet should phy.Warm before running them. With
 // no ids it covers the whole registry.
-func FrameSizes(ids ...string) []int {
+func (g *Registry) FrameSizes(ids ...string) []int {
 	set := map[int]bool{}
 	add := func(r Runner) {
 		if len(r.Frames) == 0 {
@@ -220,12 +313,12 @@ func FrameSizes(ids ...string) []int {
 		}
 	}
 	if len(ids) == 0 {
-		for _, r := range registry {
+		for _, r := range g.runners {
 			add(r)
 		}
 	}
 	for _, id := range ids {
-		r, ok := ByID(id)
+		r, ok := g.ByID(id)
 		if !ok {
 			set[phy.DefaultFrameBytes] = true
 			continue
@@ -240,19 +333,45 @@ func FrameSizes(ids ...string) []int {
 	return out
 }
 
-// All returns every registered experiment sorted by id.
-func All() []Runner {
-	out := append([]Runner(nil), registry...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+// Default is the registry every init-time registration lands in and the
+// one the CLIs, the campaign engine, and the cluster fleet consume.
+var Default = NewRegistry()
+
+// runnerOpt customises a registration beyond (id, desc, run).
+type runnerOpt func(*Runner)
+
+// frames declares the frame payload sizes the experiment's trials hit,
+// for the warm-worker prepare step. Experiments that leave it out
+// default to phy.DefaultFrameBytes.
+func frames(sizes ...int) runnerOpt {
+	return func(r *Runner) { r.Frames = sizes }
 }
 
-// ByID returns the experiment with the given id.
-func ByID(id string) (Runner, bool) {
-	for _, r := range registry {
-		if r.ID == id {
-			return r, true
-		}
-	}
-	return Runner{}, false
+// tags labels the experiment for bulk selection.
+func tags(ts ...string) runnerOpt {
+	return func(r *Runner) { r.Tags = ts }
 }
+
+// plan publishes the experiment's sub-trial decomposition as data.
+func plan(fn func(Config) parallel.SubPlan) runnerOpt {
+	return func(r *Runner) { r.Plan = fn }
+}
+
+// register adds an experiment to the Default registry (called from each
+// experiment file's init).
+func register(id, desc string, run func(Config) *Report, opts ...runnerOpt) {
+	r := Runner{ID: id, Run: run, Desc: desc}
+	for _, opt := range opts {
+		opt(&r)
+	}
+	Default.MustRegister(r)
+}
+
+// FrameSizes, All, and ByID delegate to the Default registry.
+func FrameSizes(ids ...string) []int { return Default.FrameSizes(ids...) }
+
+// All returns every experiment in the Default registry sorted by id.
+func All() []Runner { return Default.All() }
+
+// ByID looks up an experiment in the Default registry.
+func ByID(id string) (Runner, bool) { return Default.ByID(id) }

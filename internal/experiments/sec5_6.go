@@ -12,7 +12,7 @@ import (
 )
 
 func init() {
-	register("sec5-6", "microphone hint: static node in a dynamic environment", Sec5_6)
+	register("sec5-6", "microphone hint: static node in a dynamic environment", Sec5_6, tags("ch5", "sensors", "paper"))
 }
 
 // pinned wraps an adapter so the MAC harness cannot drive its movement

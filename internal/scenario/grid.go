@@ -1,0 +1,121 @@
+package scenario
+
+import "math"
+
+// apIndex is the toroidal spatial index over the AP grid. Cells are at
+// least one radio range wide in each axis, so every AP within range of
+// a point lies in the 3×3 cell neighbourhood around it — a best-AP
+// query scans a constant number of APs no matter how large the city
+// grows, which is what makes idle links free in the event engine.
+//
+// Selection is min (distance², AP id) over in-range APs, a total order
+// with no float ties to break, so the grid scan and the oracle's full
+// linear scan return the identical AP (TestGridMatchesLinear).
+type apIndex struct {
+	w, h       float64
+	cols, rows int
+	cellW      float64
+	cellH      float64
+	xs, ys     []float64
+	cells      [][]int32
+	rangeSq    float64
+}
+
+// newAPIndex lays out the scenario's AP grid and buckets it.
+func newAPIndex(grid APGrid, radio Radio) *apIndex {
+	area := float64(grid.Side) * grid.Spacing
+	ix := &apIndex{w: area, h: area, rangeSq: radio.RangeM * radio.RangeM}
+	// floor(area/range) cells keeps each cell ≥ one range wide; tiny
+	// areas collapse to a single cell.
+	ix.cols = int(area / radio.RangeM)
+	if ix.cols < 1 {
+		ix.cols = 1
+	}
+	ix.rows = ix.cols
+	ix.cellW = area / float64(ix.cols)
+	ix.cellH = area / float64(ix.rows)
+	n := grid.Side * grid.Side
+	ix.xs = make([]float64, n)
+	ix.ys = make([]float64, n)
+	ix.cells = make([][]int32, ix.cols*ix.rows)
+	for i := 0; i < n; i++ {
+		ix.xs[i] = (float64(i%grid.Side) + 0.5) * grid.Spacing
+		ix.ys[i] = (float64(i/grid.Side) + 0.5) * grid.Spacing
+		c := ix.cellOf(ix.xs[i], ix.ys[i])
+		ix.cells[c] = append(ix.cells[c], int32(i))
+	}
+	return ix
+}
+
+func (ix *apIndex) cellOf(x, y float64) int {
+	cx := int(x / ix.cellW)
+	if cx >= ix.cols {
+		cx = ix.cols - 1
+	}
+	cy := int(y / ix.cellH)
+	if cy >= ix.rows {
+		cy = ix.rows - 1
+	}
+	return cy*ix.cols + cx
+}
+
+// dist2 returns the toroidal squared distance from (x, y) to AP i.
+func (ix *apIndex) dist2(i int32, x, y float64) float64 {
+	dx := math.Abs(ix.xs[i] - x)
+	if dx > ix.w/2 {
+		dx = ix.w - dx
+	}
+	dy := math.Abs(ix.ys[i] - y)
+	if dy > ix.h/2 {
+		dy = ix.h - dy
+	}
+	return dx*dx + dy*dy
+}
+
+// consider folds AP i into the running (best id, best dist²) pair.
+func (ix *apIndex) consider(i int32, x, y float64, best int32, bd float64) (int32, float64) {
+	d2 := ix.dist2(i, x, y)
+	if d2 > ix.rangeSq {
+		return best, bd
+	}
+	if best < 0 || d2 < bd || (d2 == bd && i < best) {
+		return i, d2
+	}
+	return best, bd
+}
+
+// best returns the in-range AP minimising (dist², id) via the 3×3 cell
+// neighbourhood, or (-1, 0) when none is in range. Wrapping may visit a
+// cell twice on degenerate 1–2 cell grids; min selection makes the
+// duplicate scan harmless.
+func (ix *apIndex) best(x, y float64) (int32, float64) {
+	cx := int(x / ix.cellW)
+	if cx >= ix.cols {
+		cx = ix.cols - 1
+	}
+	cy := int(y / ix.cellH)
+	if cy >= ix.rows {
+		cy = ix.rows - 1
+	}
+	best, bd := int32(-1), 0.0
+	for dy := -1; dy <= 1; dy++ {
+		ny := (cy + dy + ix.rows) % ix.rows
+		for dx := -1; dx <= 1; dx++ {
+			nx := (cx + dx + ix.cols) % ix.cols
+			for _, i := range ix.cells[ny*ix.cols+nx] {
+				best, bd = ix.consider(i, x, y, best, bd)
+			}
+		}
+	}
+	return best, bd
+}
+
+// bestLinear is the oracle's selection: the same min over a full scan
+// of every AP.
+func (ix *apIndex) bestLinear(x, y float64) (int32, float64) {
+	best, bd := int32(-1), 0.0
+	for i := range ix.xs {
+		best, bd = ix.consider(int32(i), x, y, best, bd)
+	}
+	return best, bd
+}

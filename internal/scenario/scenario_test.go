@@ -1,0 +1,327 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/channel"
+	"repro/internal/parallel"
+	"repro/internal/rate"
+	"repro/internal/ratesim"
+	"repro/internal/sensors"
+)
+
+// testScenarios is the paper-scale differential suite: small enough to
+// run the slot-driven oracle, varied enough to cover static herds,
+// walking and vehicular mobility, multi-class mixes, route jitter, and
+// coverage gaps.
+func testScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "static-office",
+			Grid: APGrid{Side: 3, Spacing: 160},
+			Herds: []Herd{{
+				Name: "desks", Clients: 40,
+				Traffic: TrafficMix{{Name: "web", Bytes: 1000, Interval: 200 * time.Millisecond}},
+			}},
+			Duration: 10 * time.Second,
+			Seed:     7,
+		},
+		{
+			Name: "walkers",
+			Grid: APGrid{Side: 4, Spacing: 180},
+			Herds: []Herd{
+				{
+					Name: "pedestrians", Clients: 30,
+					Mobility: MobilityProfile{SpeedMps: 1.4, SpeedJitter: 0.3, MeanSegment: 60},
+					Traffic: TrafficMix{
+						{Name: "voip", Bytes: 200, Interval: 60 * time.Millisecond},
+						{Name: "web", Bytes: 1400, Interval: 400 * time.Millisecond},
+					},
+				},
+				{
+					Name: "kiosks", Clients: 10,
+					Traffic: TrafficMix{{Name: "telemetry", Bytes: 600, Interval: 500 * time.Millisecond}},
+				},
+			},
+			Duration: 12 * time.Second,
+			Seed:     11,
+		},
+		{
+			Name: "taxis-manhattan",
+			Grid: APGrid{Side: 5, Spacing: 240}, // sparse: real coverage gaps
+			Herds: []Herd{{
+				Name: "taxis", Clients: 25,
+				Mobility: MobilityProfile{SpeedMps: 9, SpeedJitter: 1.5, MeanSegment: 300, RoadHeadings: 4, RouteJitterDeg: 10},
+				Traffic:  TrafficMix{{Name: "probe", Bytes: 1000, Interval: 100 * time.Millisecond}},
+			}},
+			Duration: 15 * time.Second,
+			Seed:     23,
+		},
+	}
+}
+
+// TestEventedMatchesSlotted is the tentpole differential: on
+// contention-free scenarios the event-driven engine and the slot-driven
+// oracle must produce byte-identical Metrics.
+func TestEventedMatchesSlotted(t *testing.T) {
+	for _, sc := range testScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			ev := Run(sc)
+			sl := RunSlotted(sc)
+			if ev.Metrics != sl.Metrics {
+				t.Fatalf("engines diverge:\nevented: %+v\nslotted: %+v", ev.Metrics, sl.Metrics)
+			}
+			if ev.Events != sl.Events {
+				t.Fatalf("evented processed %d arrivals, slotted %d", ev.Events, sl.Events)
+			}
+			if ev.Metrics.Arrivals == 0 || ev.Metrics.Delivered == 0 {
+				t.Fatalf("degenerate scenario: %+v", ev.Metrics)
+			}
+		})
+	}
+}
+
+// TestEventedDeterministic pins seeding: same seed → identical result,
+// different seed → different result.
+func TestEventedDeterministic(t *testing.T) {
+	sc := testScenarios()[1]
+	a, b := Run(sc), Run(sc)
+	if a.Metrics != b.Metrics {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	sc.Seed++
+	c := Run(sc)
+	if a.Metrics == c.Metrics {
+		t.Fatalf("seed change did not move the metrics: %+v", a.Metrics)
+	}
+}
+
+// TestContentionStatistical compares the engines on a contended
+// scenario: medium-acquisition order differs between them, so the
+// comparison is statistical — totals within a few percent, deferral
+// observed by both.
+func TestContentionStatistical(t *testing.T) {
+	sc := testScenarios()[1]
+	sc.Name = "walkers-contended"
+	sc.Contention = true
+	ev := Run(sc)
+	sl := RunSlotted(sc)
+	if ev.Metrics.DeferredNs == 0 || sl.Metrics.DeferredNs == 0 {
+		t.Fatalf("expected medium deferral on both engines: evented %d ns, slotted %d ns",
+			ev.Metrics.DeferredNs, sl.Metrics.DeferredNs)
+	}
+	if ev.Metrics.Arrivals != sl.Metrics.Arrivals {
+		t.Fatalf("arrival schedules must still agree: %d vs %d", ev.Metrics.Arrivals, sl.Metrics.Arrivals)
+	}
+	rel := func(a, b int64) float64 {
+		return math.Abs(float64(a)-float64(b)) / math.Max(float64(b), 1)
+	}
+	if d := rel(ev.Metrics.Delivered, sl.Metrics.Delivered); d > 0.05 {
+		t.Fatalf("delivered diverged %.1f%%: evented %d, slotted %d", 100*d, ev.Metrics.Delivered, sl.Metrics.Delivered)
+	}
+	if d := rel(ev.Metrics.AirtimeNs, sl.Metrics.AirtimeNs); d > 0.05 {
+		t.Fatalf("airtime diverged %.1f%%: evented %d, slotted %d", 100*d, ev.Metrics.AirtimeNs, sl.Metrics.AirtimeNs)
+	}
+}
+
+// TestChunkUnionMatchesRun is the sharding differential: running any
+// disjoint chunk cover of the client population and merging in chunk
+// order must reproduce the full run byte-for-byte. This is the property
+// that lets one city-scale trial split into fleet sub-trials.
+func TestChunkUnionMatchesRun(t *testing.T) {
+	for _, sc := range testScenarios() {
+		want := Run(sc)
+		n := sc.ClientCount()
+		for _, chunks := range []int{1, 3, 7} {
+			var got Metrics
+			var events int64
+			for c := 0; c < chunks; c++ {
+				lo, hi := c*n/chunks, (c+1)*n/chunks
+				res := RunChunk(sc, lo, hi)
+				got.Merge(res.Metrics)
+				events += res.Events
+			}
+			if got != want.Metrics || events != want.Events {
+				t.Fatalf("%s in %d chunks diverged from full run:\nchunked: %+v (%d events)\nfull:    %+v (%d events)",
+					sc.Name, chunks, got, events, want.Metrics, want.Events)
+			}
+		}
+	}
+}
+
+// TestChunkRefusesContention pins the guard: chunking a contended
+// scenario would silently decouple clients, so it must panic.
+func TestChunkRefusesContention(t *testing.T) {
+	sc := testScenarios()[0]
+	sc.Contention = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunChunk on a contended scenario did not panic")
+		}
+	}()
+	RunChunk(sc, 0, 10)
+}
+
+// TestHandoffsOnMobileScenarios checks the mobility → handoff pipeline:
+// moving herds hand off, static herds never do.
+func TestHandoffsOnMobileScenarios(t *testing.T) {
+	scs := testScenarios()
+	if hs := Run(scs[0]).Metrics.Handoffs; hs != 0 {
+		t.Fatalf("static scenario produced %d handoffs", hs)
+	}
+	if hs := Run(scs[2]).Metrics.Handoffs; hs == 0 {
+		t.Fatal("vehicular scenario produced no handoffs")
+	}
+}
+
+// TestGridMatchesLinear drives the spatial index against the full
+// linear scan at random query points, including points in coverage
+// gaps.
+func TestGridMatchesLinear(t *testing.T) {
+	for _, g := range []struct {
+		grid  APGrid
+		radio Radio
+	}{
+		{APGrid{Side: 8, Spacing: 180}, DefaultRadio()},
+		{APGrid{Side: 3, Spacing: 300}, DefaultRadio()}, // sparse, gaps
+		{APGrid{Side: 1, Spacing: 100}, DefaultRadio()}, // degenerate 1-cell wheel
+		{APGrid{Side: 20, Spacing: 60}, Radio{RangeM: 90, RefSNR: 68, PathLossExp: 3, SNRNoise: 1.5, RetryLimit: 3}},
+	} {
+		ix := newAPIndex(g.grid, g.radio)
+		rng := parallel.NewRNG(99)
+		area := float64(g.grid.Side) * g.grid.Spacing
+		for i := 0; i < 5000; i++ {
+			x := rng.Float64() * area
+			y := rng.Float64() * area
+			gb, gd := ix.best(x, y)
+			lb, ld := ix.bestLinear(x, y)
+			if gb != lb || gd != ld {
+				t.Fatalf("grid %dx%d spacing %g at (%.2f, %.2f): grid picked AP %d (d²=%g), linear AP %d (d²=%g)",
+					g.grid.Side, g.grid.Side, g.grid.Spacing, x, y, gb, gd, lb, ld)
+			}
+		}
+	}
+}
+
+// TestReplayLinkMatchesRatesim proves the event engine hosts the
+// paper's exact MAC loop: for every Chapter 3 adapter, on office and
+// vehicular traces, under UDP and TCP, ReplayLink's Result equals
+// ratesim.Run's byte for byte.
+func TestReplayLinkMatchesRatesim(t *testing.T) {
+	mk := func(name string, seed int64) rate.Adapter {
+		switch name {
+		case "HintAware":
+			return rate.NewHintAware(seed)
+		case "RapidSample":
+			return rate.NewRapidSample()
+		case "SampleRate":
+			return rate.NewSampleRate(seed)
+		case "RRAA":
+			return rate.NewRRAA()
+		case "RBAR":
+			return rate.NewRBAR()
+		case "CHARM":
+			return rate.NewCHARM()
+		}
+		panic(name)
+	}
+	traces := []struct {
+		name string
+		cfg  channel.Config
+	}{
+		{"office-mixed", channel.Config{
+			Env:   channel.Office,
+			Sched: sensors.AlternatingSchedule(8*time.Second, 4*time.Second, sensors.Walk, false),
+			Total: 8 * time.Second,
+			Seed:  41,
+		}},
+		{"vehicular", channel.Config{
+			Env:   channel.Vehicular,
+			Sched: sensors.Schedule{{Start: 0, End: 6 * time.Second, Mode: sensors.Vehicle}},
+			Total: 6 * time.Second,
+			Seed:  43,
+		}},
+	}
+	for _, trc := range traces {
+		tr := channel.Generate(trc.cfg)
+		for _, proto := range []string{"HintAware", "RapidSample", "SampleRate", "RRAA", "RBAR", "CHARM"} {
+			for _, wl := range []ratesim.Workload{ratesim.UDP, ratesim.TCP} {
+				base := ratesim.Config{Trace: tr, Workload: wl, Seed: 5}
+				base.Adapter = mk(proto, 17)
+				want := ratesim.Run(base)
+				base.Adapter = mk(proto, 17) // fresh adapter, same state
+				got := ReplayLink(base)
+				if got != want {
+					t.Fatalf("%s/%s/%s: replay diverged\nratesim: %+v\nreplay:  %+v", trc.name, proto, wl, want, got)
+				}
+				if want.Sent == 0 {
+					t.Fatalf("%s/%s/%s: degenerate run", trc.name, proto, wl)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayTwoClientsMatchesAP proves the same for the Chapter 5 AP
+// loop across every policy × prune combination: totals, prune time,
+// and each per-second series point must be identical.
+func TestReplayTwoClientsMatchesAP(t *testing.T) {
+	for _, pol := range []ap.SchedulerPolicy{ap.FrameFair, ap.TimeFair, ap.MobileFavored} {
+		for _, hint := range []bool{false, true} {
+			cfg := ap.TwoClientConfig{Policy: pol}
+			if hint {
+				cfg.Prune = ap.PruneConfig{Timeout: 10 * time.Second, HintAware: true, ProbeEvery: time.Second}
+			}
+			want := ap.RunTwoClients(cfg)
+			got := ReplayTwoClients(cfg)
+			if got.Total1 != want.Total1 || got.Total2 != want.Total2 || got.PruneAt != want.PruneAt {
+				t.Fatalf("%v hint=%v: totals diverged: got (%.6f, %.6f, %v), want (%.6f, %.6f, %v)",
+					pol, hint, got.Total1, got.Total2, got.PruneAt, want.Total1, want.Total2, want.PruneAt)
+			}
+			for i, s := range []struct{ got, want interface{ Len() int } }{
+				{got.Client1, want.Client1},
+				{got.Client2, want.Client2},
+			} {
+				if s.got.Len() != s.want.Len() {
+					t.Fatalf("%v hint=%v: series %d length %d vs %d", pol, hint, i, s.got.Len(), s.want.Len())
+				}
+			}
+			for i := range want.Client1.Points {
+				if got.Client1.Points[i] != want.Client1.Points[i] || got.Client2.Points[i] != want.Client2.Points[i] {
+					t.Fatalf("%v hint=%v: series point %d diverged", pol, hint, i)
+				}
+			}
+			if want.Total1 == 0 {
+				t.Fatalf("%v hint=%v: degenerate run", pol, hint)
+			}
+		}
+	}
+}
+
+// TestIdleLinksAreFree pins the event-engine scaling claim: growing the
+// city (more APs, more area) at fixed population and traffic leaves the
+// processed event count unchanged — idle links generate no events.
+func TestIdleLinksAreFree(t *testing.T) {
+	base := Scenario{
+		Name: "sweep",
+		Grid: APGrid{Side: 4, Spacing: 180},
+		Herds: []Herd{{
+			Name: "walkers", Clients: 50,
+			Mobility: MobilityProfile{SpeedMps: 1.4, MeanSegment: 80},
+			Traffic:  TrafficMix{{Name: "web", Bytes: 1000, Interval: 250 * time.Millisecond}},
+		}},
+		Duration: 5 * time.Second,
+		Seed:     3,
+	}
+	small := Run(base)
+	big := base
+	big.Grid.Side = 16 // 16× the APs, same population
+	large := Run(big)
+	if small.Events != large.Events {
+		t.Fatalf("event count should track traffic, not APs: %d events with %d APs, %d with %d",
+			small.Events, small.APs, large.Events, large.APs)
+	}
+}

@@ -1,7 +1,21 @@
 // Package sim provides a small deterministic discrete-event simulation
 // engine: a virtual clock and a priority event queue. The MAC-level rate
-// adaptation harness, the access-point simulator, and the vehicular
-// network simulator all run on top of it.
+// adaptation harness, the access-point simulator, the vehicular network
+// simulator, and the city-scale scenario engine all run on top of it.
+//
+// Two queue backends share the one Engine API:
+//
+//   - New returns the binary-heap engine: O(log n) schedule, simple,
+//     and the behavioural oracle.
+//   - NewWheel returns the timer-wheel engine (cf. ndn-dpdk's
+//     container/mintmr): events within the wheel horizon land in a
+//     ring slot in O(1), far events overflow to the heap and migrate
+//     into slots as the wheel turns. Cancel+reschedule — the dominant
+//     operation of MAC retry/backoff timers — is O(1) amortised.
+//
+// Both backends fire events in identical (time, scheduling-FIFO) order;
+// TestWheelMatchesHeap drives randomized schedules, cancels, and
+// reschedules through both and requires the same firing sequence.
 package sim
 
 import (
@@ -57,14 +71,17 @@ func (q *eventQueue) Pop() any {
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use
-// with the clock at zero.
+// with the clock at zero and the heap backend.
 type Engine struct {
 	now   time.Duration
 	queue eventQueue
 	seq   uint64
+	// w is the optional timer wheel; nil selects the pure-heap backend.
+	// With a wheel, queue holds only beyond-horizon overflow events.
+	w *wheel
 }
 
-// New returns a fresh engine with the clock at zero.
+// New returns a fresh heap-backed engine with the clock at zero.
 func New() *Engine { return &Engine{} }
 
 // Now returns the current simulated time.
@@ -79,7 +96,11 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	if e.w != nil {
+		e.w.schedule(e, ev)
+	} else {
+		heap.Push(&e.queue, ev)
+	}
 	return ev
 }
 
@@ -88,19 +109,48 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// Reschedule cancels ev and schedules its callback anew at time t,
+// returning the new event. The new event takes a fresh scheduling
+// sequence number, so among events with equal times it fires after
+// those already queued — exactly as a Cancel followed by At. On the
+// wheel backend this is O(1). Reschedule of a nil, fired, or cancelled
+// event just schedules the callback (nil ev panics on nil fn access
+// like any misuse would).
+func (e *Engine) Reschedule(ev *Event, t time.Duration) *Event {
+	ev.Cancel()
+	return e.At(t, ev.fn)
+}
+
+// peekLive returns the earliest live queued event without firing it,
+// discarding dead events it passes over; nil when the queue is empty.
+func (e *Engine) peekLive() *Event {
+	if e.w != nil {
+		return e.w.peekLive(e)
+	}
+	for len(e.queue) > 0 {
+		if next := e.queue[0]; !next.dead {
+			return next
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
 // Step fires the next pending event, advancing the clock to its time.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+	ev := e.peekLive()
+	if ev == nil {
+		return false
 	}
-	return false
+	if e.w != nil {
+		e.w.popHead()
+	} else {
+		heap.Pop(&e.queue)
+	}
+	e.now = ev.at
+	ev.fn()
+	return true
 }
 
 // Run fires events until the queue is empty.
@@ -112,14 +162,9 @@ func (e *Engine) Run() {
 // RunUntil fires events with time ≤ deadline, then advances the clock to
 // the deadline. Events scheduled beyond the deadline remain queued.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for len(e.queue) > 0 {
-		// Peek at the earliest live event.
-		next := e.queue[0]
-		if next.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > deadline {
+	for {
+		next := e.peekLive()
+		if next == nil || next.at > deadline {
 			break
 		}
 		e.Step()
@@ -130,4 +175,10 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 }
 
 // Pending returns the number of queued (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int {
+	n := len(e.queue)
+	if e.w != nil {
+		n += e.w.pending()
+	}
+	return n
+}

@@ -9,6 +9,8 @@ import (
 	"repro/internal/probing"
 	"repro/internal/rate"
 	"repro/internal/ratesim"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vehicular"
 )
@@ -133,6 +135,75 @@ func DefaultVehicleMobility(seed int64) VehicleMobilityConfig {
 	return vehicular.DefaultMobilityConfig(seed)
 }
 
+// The event-driven simulation core: a discrete-event engine with two
+// interchangeable backends — a binary heap and an indexed timer wheel —
+// that fire identical event sequences.
+type (
+	// EventEngine orders and fires scheduled events.
+	EventEngine = sim.Engine
+	// EventHandle identifies a scheduled event for Cancel/Reschedule.
+	EventHandle = sim.Event
+)
+
+// NewEventEngine returns a heap-backed event engine.
+func NewEventEngine() *EventEngine { return sim.New() }
+
+// NewTimerWheel returns a timer-wheel event engine: O(1) scheduling
+// inside the slotDur×nslots horizon, heap overflow beyond it, firing
+// order identical to NewEventEngine.
+func NewTimerWheel(slotDur time.Duration, nslots int) *EventEngine {
+	return sim.NewWheel(slotDur, nslots)
+}
+
+// The city-scale Scenario API: declare AP grids, client herds, mobility
+// profiles and traffic mixes; run them on the event engine or the
+// slot-driven oracle.
+type (
+	// Scenario is a declarative city: grid, radio, herds, duration.
+	Scenario = scenario.Scenario
+	// ScenarioArea is the toroidal simulation area in metres.
+	ScenarioArea = scenario.Area
+	// APGrid places a Side×Side grid of access points.
+	APGrid = scenario.APGrid
+	// ScenarioRadio is the log-distance radio model.
+	ScenarioRadio = scenario.Radio
+	// MobilityProfile describes how a herd moves.
+	MobilityProfile = scenario.MobilityProfile
+	// TrafficClass is one periodic packet flow.
+	TrafficClass = scenario.TrafficClass
+	// TrafficMix is a herd's set of traffic classes.
+	TrafficMix = scenario.TrafficMix
+	// Herd is a group of clients sharing mobility and traffic.
+	Herd = scenario.Herd
+	// ScenarioMetrics is the integer outcome counters of a run.
+	ScenarioMetrics = scenario.Metrics
+	// ScenarioResult is metrics plus engine bookkeeping.
+	ScenarioResult = scenario.Result
+)
+
+// DefaultScenarioRadio returns the calibrated radio model.
+func DefaultScenarioRadio() ScenarioRadio { return scenario.DefaultRadio() }
+
+// RunScenario executes a scenario on the event-driven engine (timer
+// wheel + spatial AP index); cost follows packet events.
+func RunScenario(sc Scenario) ScenarioResult { return scenario.Run(sc) }
+
+// RunScenarioSlotted executes a scenario on the slot-driven oracle;
+// contention-free results are byte-identical to RunScenario.
+func RunScenarioSlotted(sc Scenario) ScenarioResult { return scenario.RunSlotted(sc) }
+
+// RunScenarioChunk runs clients [lo, hi) of a contention-free scenario;
+// merging a disjoint cover reproduces RunScenario exactly.
+func RunScenarioChunk(sc Scenario, lo, hi int) ScenarioResult {
+	return scenario.RunChunk(sc, lo, hi)
+}
+
+// DefaultCityScenario returns the city-grid experiment's city at the
+// given scale: 1.0 is 1024 APs and 100,000 clients for 40 s.
+func DefaultCityScenario(scale float64) Scenario {
+	return experiments.CityScenario(experiments.Config{Scale: scale, Seed: 42})
+}
+
 // Experiments: the per-table/figure reproduction harness.
 type (
 	// Experiment is one registered table/figure runner.
@@ -141,6 +212,9 @@ type (
 	ExperimentConfig = experiments.Config
 	// ExperimentReport is a reproduction report with shape checks.
 	ExperimentReport = experiments.Report
+	// ExperimentRegistry is a catalogue of experiments with id and tag
+	// lookup; the package-level registry is what Experiments() serves.
+	ExperimentRegistry = experiments.Registry
 )
 
 // Experiments returns every registered experiment.
@@ -148,6 +222,13 @@ func Experiments() []Experiment { return experiments.All() }
 
 // ExperimentByID returns one experiment by id (e.g. "fig3-5").
 func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// ExperimentsByTag returns every experiment carrying the tag (e.g.
+// "scenario", "paper").
+func ExperimentsByTag(tag string) []Experiment { return experiments.Default.ByTag(tag) }
+
+// ExperimentTags returns the sorted union of registry tags.
+func ExperimentTags() []string { return experiments.Default.Tags() }
 
 // quickstart convenience: DetectMovement runs the §2.2.1 detector over a
 // whole accelerometer trace and returns the per-report hint values.
